@@ -1,0 +1,109 @@
+// Root benchmark harness: one testing.B benchmark per experiment in
+// DESIGN.md §5 (tables T1–T12 and figure series F1–F2). Each benchmark
+// drives the same registered experiment the cmd/experiments binary runs
+// — in quick mode with one trial, so `go test -bench=.` regenerates a
+// smoke version of every table and reports its wall-clock cost. Full
+// tables: `go run ./cmd/experiments`.
+//
+// Additional micro-benchmarks at the bottom measure the solvers
+// directly (ns/op per full solve) for the throughput-focused reader.
+package hypermis
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/harness"
+
+	_ "repro/internal/experiments"
+)
+
+// benchExperiment runs the registered experiment once per b.N iteration
+// and sanity-checks that it yields rows.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := harness.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := harness.Config{Seed: 1, Trials: 1, Quick: true, Log: nil}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(cfg)
+		rows := 0
+		for _, t := range tables {
+			rows += len(t.Rows)
+		}
+		if rows == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkT1_SBLDepthScaling(b *testing.B)       { benchExperiment(b, "t1") }
+func BenchmarkT2_SBLRounds(b *testing.B)             { benchExperiment(b, "t2") }
+func BenchmarkT3_SampledDimension(b *testing.B)      { benchExperiment(b, "t3") }
+func BenchmarkT4_BLStages(b *testing.B)              { benchExperiment(b, "t4") }
+func BenchmarkT5_SurvivalProbability(b *testing.B)   { benchExperiment(b, "t5") }
+func BenchmarkT6_DegreeCollapse(b *testing.B)        { benchExperiment(b, "t6") }
+func BenchmarkT7_PotentialTrajectory(b *testing.B)   { benchExperiment(b, "t7") }
+func BenchmarkT8_RecurrenceFeasibility(b *testing.B) { benchExperiment(b, "t8") }
+func BenchmarkT9_ConcentrationTails(b *testing.B)    { benchExperiment(b, "t9") }
+func BenchmarkT10_FailureRate(b *testing.B)          { benchExperiment(b, "t10") }
+func BenchmarkT11_WorkBounds(b *testing.B)           { benchExperiment(b, "t11") }
+func BenchmarkT12_SpecialClasses(b *testing.B)       { benchExperiment(b, "t12") }
+func BenchmarkT13_PermDependencyDepth(b *testing.B)  { benchExperiment(b, "t13") }
+func BenchmarkT14_Ablations(b *testing.B)            { benchExperiment(b, "t14") }
+func BenchmarkT15_EREWMachineAudit(b *testing.B)     { benchExperiment(b, "t15") }
+func BenchmarkF1_DepthCrossover(b *testing.B)        { benchExperiment(b, "f1") }
+func BenchmarkF2_EdgeMigration(b *testing.B)         { benchExperiment(b, "f2") }
+
+// --- solver micro-benchmarks ---
+
+func benchSolve(b *testing.B, algo Algorithm, h *Hypergraph) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(h, Options{Algorithm: algo, Seed: uint64(i), Alpha: 0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Size == 0 && h.N() > 0 {
+			b.Fatal("empty MIS")
+		}
+	}
+}
+
+func BenchmarkSolveSBL_n1000(b *testing.B) {
+	benchSolve(b, AlgSBL, RandomMixed(1, 1000, 2000, 2, 12))
+}
+
+func BenchmarkSolveBL_n1000_d3(b *testing.B) {
+	benchSolve(b, AlgBL, RandomUniform(2, 1000, 2000, 3))
+}
+
+func BenchmarkSolveKUW_n1000(b *testing.B) {
+	benchSolve(b, AlgKUW, RandomMixed(3, 1000, 2000, 2, 12))
+}
+
+func BenchmarkSolveLuby_n1000(b *testing.B) {
+	benchSolve(b, AlgLuby, RandomGraph(4, 1000, 3000))
+}
+
+func BenchmarkSolveGreedy_n1000(b *testing.B) {
+	benchSolve(b, AlgGreedy, RandomMixed(5, 1000, 2000, 2, 12))
+}
+
+func BenchmarkVerifyMIS_n10000(b *testing.B) {
+	h := RandomMixed(6, 10000, 20000, 2, 6)
+	res, err := Solve(h, Options{Algorithm: AlgGreedy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyMIS(h, res.MIS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ io.Writer // reserved for future bench log plumbing

@@ -1,0 +1,80 @@
+// Command experiments regenerates every table and figure-series of the
+// reproduction (DESIGN.md §5): the paper's analytical claims turned into
+// measurements.
+//
+// Usage:
+//
+//	experiments [flags] [id ...]
+//
+// With no ids, all experiments run in registry order (t1…t12, f1, f2).
+//
+// Flags:
+//
+//	-seed N     master seed (default 1)
+//	-trials N   trials per parameter point (0 = per-experiment default)
+//	-quick      shrink sweeps for a fast smoke run
+//	-csv        emit CSV instead of aligned tables
+//	-list       list experiment ids and exit
+//	-v          progress logging to stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/harness"
+
+	_ "repro/internal/experiments" // registers all experiments
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "master seed")
+	trials := flag.Int("trials", 0, "trials per parameter point (0 = default)")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
+	csv := flag.Bool("csv", false, "emit CSV")
+	list := flag.Bool("list", false, "list experiments and exit")
+	verbose := flag.Bool("v", false, "progress logging to stderr")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var log io.Writer
+	if *verbose {
+		log = os.Stderr
+	}
+	cfg := harness.Config{Seed: *seed, Trials: *trials, Quick: *quick, Log: log}
+
+	var exps []harness.Experiment
+	if flag.NArg() == 0 {
+		exps = harness.All()
+	} else {
+		for _, id := range flag.Args() {
+			e, ok := harness.Get(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	for _, e := range exps {
+		fmt.Printf("### %s — %s\n", e.ID, e.Title)
+		fmt.Printf("    claim: %s\n\n", e.Claim)
+		for _, tab := range e.Run(cfg) {
+			if *csv {
+				tab.RenderCSV(os.Stdout)
+				fmt.Println()
+			} else {
+				tab.Render(os.Stdout)
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Command hypermis is the command-line front end of the library:
+// generate instances, solve them with any of the six algorithms, and
+// verify independence/maximality (or transversal-minimality)
+// certificates.
+//
+// Usage:
+//
+//	hypermis generate -n 1000 -m 2000 -min 2 -max 6 -seed 1 > h.txt
+//	hypermis solve -algo sbl -seed 7 < h.txt > mis.txt
+//	hypermis verify -mis mis.txt < h.txt
+//	hypermis stats < h.txt
+//
+// Instances use the line-oriented text format of internal/hgio by
+// default ("hypergraph <n> <m>" header, one edge per line); -bin on any
+// subcommand switches to the compact binary format. MIS files are one
+// vertex id per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	hypermis "repro"
+	"repro/internal/hgio"
+	"repro/internal/hypergraph"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "generate":
+		err = cmdGenerate(args)
+	case "solve":
+		err = cmdSolve(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "stats":
+		err = cmdStats(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hypermis:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hypermis <generate|solve|verify|stats> [flags]
+  generate -n N -m M [-min S] [-max S] [-d D] [-kind uniform|mixed|graph|linear|sunflower] [-seed S] [-bin]
+  solve    [-algo auto|sbl|bl|kuw|luby|greedy|permbl] [-seed S] [-alpha A] [-cost] [-transversal] [-bin]  < instance
+  verify   -mis FILE [-transversal] [-bin]  < instance
+  stats    [-bin]  < instance`)
+}
+
+func readInstance(r io.Reader, bin bool) (*hypergraph.Hypergraph, error) {
+	if bin {
+		return hgio.ReadBinary(r)
+	}
+	return hgio.ReadText(r)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	n := fs.Int("n", 1000, "vertices")
+	m := fs.Int("m", 2000, "edges")
+	minS := fs.Int("min", 2, "min edge size (mixed)")
+	maxS := fs.Int("max", 6, "max edge size (mixed)")
+	d := fs.Int("d", 3, "edge size (uniform/linear)")
+	kind := fs.String("kind", "mixed", "uniform|mixed|graph|linear|sunflower")
+	seed := fs.Uint64("seed", 1, "seed")
+	bin := fs.Bool("bin", false, "binary output format")
+	fs.Parse(args)
+
+	var h *hypermis.Hypergraph
+	switch *kind {
+	case "uniform":
+		h = hypermis.RandomUniform(*seed, *n, *m, *d)
+	case "mixed":
+		h = hypermis.RandomMixed(*seed, *n, *m, *minS, *maxS)
+	case "graph":
+		h = hypermis.RandomGraph(*seed, *n, *m)
+	case "linear":
+		h = hypermis.Linear(*seed, *n, *m, *d)
+	case "sunflower":
+		h = hypermis.Sunflower(*seed, *n, 2, *d, *m)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if *bin {
+		return hgio.WriteBinary(os.Stdout, h)
+	}
+	return hgio.WriteText(os.Stdout, h)
+}
+
+func cmdSolve(args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	algoName := fs.String("algo", "auto", "algorithm")
+	seed := fs.Uint64("seed", 1, "seed")
+	alpha := fs.Float64("alpha", 0, "SBL sampling exponent (0 = default)")
+	cost := fs.Bool("cost", false, "print PRAM depth/work to stderr")
+	transversal := fs.Bool("transversal", false, "output the dual minimal transversal instead of the MIS")
+	bin := fs.Bool("bin", false, "binary instance format")
+	fs.Parse(args)
+
+	algo, err := hypermis.ParseAlgorithm(*algoName)
+	if err != nil {
+		return err
+	}
+	h, err := readInstance(os.Stdin, *bin)
+	if err != nil {
+		return err
+	}
+	res, err := hypermis.Solve(h, hypermis.Options{
+		Algorithm: algo, Seed: *seed, Alpha: *alpha, CollectCost: *cost,
+	})
+	if err != nil {
+		return err
+	}
+	if err := hypermis.VerifyMIS(h, res.MIS); err != nil {
+		return fmt.Errorf("internal verification failed: %w", err)
+	}
+	out := res.MIS
+	kind := "MIS"
+	if *transversal {
+		out = hypergraph.ComplementMask(res.MIS)
+		kind = "minimal transversal"
+	}
+	if err := hgio.WriteVertexSet(os.Stdout, out); err != nil {
+		return err
+	}
+	size := 0
+	for _, in := range out {
+		if in {
+			size++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "algorithm=%v %s size=%d rounds=%d", res.Algorithm, kind, size, res.Rounds)
+	if *cost {
+		fmt.Fprintf(os.Stderr, " depth=%d work=%d", res.Depth, res.Work)
+	}
+	fmt.Fprintln(os.Stderr)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	misFile := fs.String("mis", "", "file with one vertex id per line")
+	transversal := fs.Bool("transversal", false, "verify a minimal transversal instead of a MIS")
+	bin := fs.Bool("bin", false, "binary instance format")
+	fs.Parse(args)
+	if *misFile == "" {
+		return fmt.Errorf("verify: -mis required")
+	}
+	h, err := readInstance(os.Stdin, *bin)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*misFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	mask, err := hgio.ReadVertexSet(f, h.N())
+	if err != nil {
+		return err
+	}
+	if *transversal {
+		if err := hypermis.VerifyMinimalTransversal(h, mask); err != nil {
+			return err
+		}
+		fmt.Println("OK: minimal transversal")
+		return nil
+	}
+	if err := hypermis.VerifyMIS(h, mask); err != nil {
+		return err
+	}
+	fmt.Println("OK: maximal independent set")
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	bin := fs.Bool("bin", false, "binary instance format")
+	fs.Parse(args)
+	h, err := readInstance(os.Stdin, *bin)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n=%d m=%d dim=%d\n", h.N(), h.M(), h.Dim())
+	hist := h.DimHistogram()
+	for size, count := range hist {
+		if count > 0 {
+			fmt.Printf("  edges of size %d: %d\n", size, count)
+		}
+	}
+	deg := h.VertexDegrees()
+	maxDeg, isolated := 0, 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d == 0 {
+			isolated++
+		}
+	}
+	fmt.Printf("  max vertex degree: %d, isolated vertices: %d\n", maxDeg, isolated)
+	return nil
+}

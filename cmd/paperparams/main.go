@@ -1,0 +1,72 @@
+// Command paperparams prints the paper's derived quantities across a
+// sweep of n: the Theorem 1 parameterization (α, p, d, β, the edge
+// budget n^β, the tail threshold 1/p², the round bound 2·log n/p, the
+// runtime bound n^{2/log⁽³⁾n}) and the Theorem 2 feasibility facts —
+// making §2.2's parameter arithmetic executable. It is the quickest way
+// to see *why* the asymptotic constants degenerate at practical n
+// (1/p² ≈ n) and what the measurable-regime α used by the experiments
+// changes.
+//
+// Usage:
+//
+//	paperparams [-alpha 0.3] [-m 2n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/potential"
+)
+
+func main() {
+	alpha := flag.Float64("alpha", 0.3, "measurable-regime sampling exponent for the comparison columns")
+	flag.Parse()
+
+	fmt.Println("Theorem 1 parameterization (paper constants), by n:")
+	fmt.Printf("%10s %8s %10s %6s %8s %12s %12s %14s\n",
+		"n", "α", "p=n^-α", "d", "β", "edges n^β", "tail 1/p²", "time n^{2/l3}")
+	for _, lg := range []int{10, 12, 16, 20, 24, 32, 48, 62} {
+		n := 1 << uint(lg)
+		fn := float64(n)
+		prm := core.PaperParams(n)
+		l3 := mathx.LogLogLog2(fn)
+		a := 1.0 / l3
+		beta := mathx.LogLog2(fn) / (8 * l3 * l3)
+		timeBound := math.Pow(fn, 2/l3)
+		fmt.Printf("%10.3g %8.3f %10.4g %6d %8.4f %12.4g %12.4g %14.4g\n",
+			fn, a, prm.P, prm.D, beta, core.EdgeBudget(n), float64(prm.MinVertices), timeBound)
+	}
+
+	fmt.Printf("\nMeasurable regime (α = %.2f, m = 2n): derived d keeps r·m·p^{d+1} ≤ 1/n\n", *alpha)
+	fmt.Printf("%10s %10s %6s %12s %14s\n", "n", "p", "d", "tail 1/p²", "rounds 2logn/p")
+	for _, lg := range []int{8, 10, 12, 14, 16, 20} {
+		n := 1 << uint(lg)
+		prm := core.DeriveParams(n, 2*n, *alpha)
+		fmt.Printf("%10d %10.4g %6d %12d %14.4g\n",
+			n, prm.P, prm.D, prm.MinVertices, core.ExpectedRounds(n, prm.P))
+	}
+
+	fmt.Println("\nTheorem 2 feasibility (paper recurrence f(+d²) vs Kelsen f(+7)), by log₂ n:")
+	fmt.Printf("%12s %8s %8s %16s %16s %10s\n",
+		"log n", "cap d", "d used", "Kelsen feasible", "paper feasible", "dim cond")
+	for _, logN := range []float64{16, 64, 256, 4096, 65536, 1 << 24} {
+		capD := potential.TheoremDBound(logN)
+		d := int(capD)
+		if d < 3 {
+			d = 3
+		}
+		fmt.Printf("%12.4g %8.3f %8d %16v %16v %10v\n",
+			logN, capD, d,
+			potential.KelsenTable(d).Feasible(logN, d),
+			potential.PaperTable(d).Feasible(logN, d),
+			potential.DimensionCondition(logN, d))
+	}
+	fmt.Println("\nReading: at every practical n the paper's α ≈ ½ puts 1/p² near n —")
+	fmt.Println("the sampling loop is skipped and SBL degenerates to its tail solver.")
+	fmt.Println("The theorem's content is asymptotic; the experiments use the paper's")
+	fmt.Println("granted parameter flexibility (smaller α, event-B-derived d).")
+}

@@ -1,0 +1,75 @@
+// Command pramtrace demonstrates the EREW PRAM substrate: it runs the
+// textbook primitives (broadcast, reduce, prefix sums) on the simulated
+// machine and prints each routine's depth, work, peak processor count,
+// and the auditor's verdict on the EREW discipline — the machine-level
+// grounding for the paper's "can be implemented on EREW PRAM" claims.
+//
+// Usage:
+//
+//	pramtrace [-n 4096]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"repro/internal/pram"
+)
+
+func main() {
+	n := flag.Int("n", 4096, "input size")
+	flag.Parse()
+
+	fmt.Printf("EREW PRAM primitive traces at n = %d (log2 n = %.1f)\n\n", *n, math.Log2(float64(*n)))
+	fmt.Printf("%-22s %8s %10s %10s %10s  %s\n", "routine", "depth", "work", "maxProcs", "work/depth", "EREW")
+
+	row := func(name string, run func(m *pram.Machine)) {
+		m := pram.NewMachine(4**n + 8)
+		run(m)
+		verdict := "clean"
+		if len(m.Violations()) > 0 {
+			verdict = fmt.Sprintf("VIOLATED (%s)", m.Violations()[0])
+		}
+		ratio := float64(m.Work()) / float64(max64(m.Steps(), 1))
+		fmt.Printf("%-22s %8d %10d %10d %10.1f  %s\n",
+			name, m.Steps(), m.Work(), m.MaxProcs(), ratio, verdict)
+	}
+
+	row("broadcast", func(m *pram.Machine) {
+		m.Store(0, 42)
+		pram.Broadcast(m, 0, 1, *n)
+	})
+	row("reduce (sum)", func(m *pram.Machine) {
+		for i := 0; i < *n; i++ {
+			m.Store(i, int64(i))
+		}
+		pram.ReduceSum(m, 0, *n, 3**n, *n)
+	})
+	row("prefix sums (scan)", func(m *pram.Machine) {
+		for i := 0; i < *n; i++ {
+			m.Store(i, 1)
+		}
+		pram.PrefixSumExclusive(m, 0, *n, *n, 2**n+2)
+	})
+
+	// A deliberately broken CREW-style program, to show the auditor
+	// catching it.
+	row("naive broadcast (CREW)", func(m *pram.Machine) {
+		m.Store(0, 7)
+		m.Step(*n, func(p *pram.Proc) {
+			p.Write(1+p.ID(), p.Read(0)) // everyone reads cell 0 at once
+		})
+	})
+
+	fmt.Println("\nDepth grows logarithmically for the clean routines; the CREW variant")
+	fmt.Println("is depth 1 but violates exclusive reads — exactly the trade the EREW")
+	fmt.Println("model forbids and the paper's algorithms are engineered around.")
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

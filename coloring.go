@@ -1,0 +1,40 @@
+package hypermis
+
+import (
+	"repro/internal/coloring"
+	"repro/internal/hypergraph"
+)
+
+// Coloring is a proper hypergraph coloring: no edge (of size ≥ 2)
+// monochromatic.
+type Coloring = coloring.Result
+
+// ColorByMIS colors h by repeated MIS extraction ("MIS peeling") using
+// the solver selected in opts: color class c is a maximal independent
+// set of the sub-hypergraph induced by the vertices still uncolored
+// after classes 0…c−1. Each class is solved with Seed = opts.Seed + c.
+// The result is a proper coloring; the number of classes is the
+// peeling number of the instance under the chosen solver.
+func ColorByMIS(h *Hypergraph, opts Options) (*Coloring, error) {
+	solver := func(sub *hypergraph.Hypergraph, active []bool, round int) ([]bool, error) {
+		// The peeling loop hands us the induced sub-hypergraph (its
+		// edges lie inside the active set). Solving the whole universe
+		// is correct: inactive vertices are edge-free there, and the
+		// peeling loop intersects the returned mask with the active set;
+		// maximality witnesses live inside the active set because every
+		// edge does.
+		o := opts
+		o.Seed = opts.Seed + uint64(round)
+		res, err := Solve(sub, o)
+		if err != nil {
+			return nil, err
+		}
+		return res.MIS, nil
+	}
+	return coloring.ByMIS(h, solver, 0)
+}
+
+// VerifyColoring checks completeness and properness of a coloring of h.
+func VerifyColoring(h *Hypergraph, c *Coloring) error {
+	return coloring.Verify(h, c)
+}

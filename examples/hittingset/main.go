@@ -1,0 +1,120 @@
+// Hitting set: monitoring placement via the MIS/transversal duality.
+//
+// A data center operator must choose a minimal set of hosts to
+// instrument so that every failure domain (rack power group, switch
+// uplink set, storage pool) contains at least one instrumented host —
+// a hitting set (transversal) of the domain hypergraph, minimal so no
+// probe is redundant. The classical duality (S is a maximal independent
+// set iff its complement is a minimal transversal) turns any of this
+// library's parallel MIS solvers into a parallel minimal-hitting-set
+// solver — this example exercises that path end to end and
+// cross-checks minimality by brute force.
+//
+//	go run ./examples/hittingset
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hypermis "repro"
+	"repro/internal/rng"
+)
+
+const (
+	hosts   = 900
+	racks   = 60  // power groups of 15 hosts
+	uplinks = 120 // switch groups of 6 random hosts
+	pools   = 90  // storage pools of 4 random hosts
+)
+
+func main() {
+	s := rng.New(7)
+	b := hypermis.NewBuilder(hosts)
+
+	// Rack power groups: contiguous blocks.
+	perRack := hosts / racks
+	for r := 0; r < racks; r++ {
+		e := make(hypermis.Edge, 0, perRack)
+		for i := 0; i < perRack; i++ {
+			e = append(e, hypermis.V(r*perRack+i))
+		}
+		b.AddEdgeSlice(e)
+	}
+	// Switch uplink groups and storage pools: random host sets.
+	addRandomGroups := func(count, size int) {
+		for g := 0; g < count; g++ {
+			seen := map[int]bool{}
+			e := make(hypermis.Edge, 0, size)
+			for len(e) < size {
+				h := s.Intn(hosts)
+				if !seen[h] {
+					seen[h] = true
+					e = append(e, hypermis.V(h))
+				}
+			}
+			b.AddEdgeSlice(e)
+		}
+	}
+	addRandomGroups(uplinks, 6)
+	addRandomGroups(pools, 4)
+
+	h, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hosts=%d failure domains=%d (sizes %d–%d)\n", h.N(), h.M(), 4, perRack)
+
+	// One call: MIS complement = minimal transversal.
+	probes, err := hypermis.MinimalTransversal(h, hypermis.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	count := 0
+	for _, p := range probes {
+		if p {
+			count++
+		}
+	}
+	fmt.Printf("instrumented hosts: %d (%.1f%% of fleet)\n", count, 100*float64(count)/hosts)
+
+	if !hypermis.IsTransversal(h, probes) {
+		log.Fatal("some failure domain has no probe")
+	}
+	if err := hypermis.VerifyMinimalTransversal(h, probes); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: every domain hit, no probe redundant")
+
+	// Brute-force double check of minimality: removing any single probe
+	// must leave some domain unmonitored.
+	for v := 0; v < hosts; v++ {
+		if !probes[v] {
+			continue
+		}
+		probes[v] = false
+		if hypermis.IsTransversal(h, probes) {
+			log.Fatalf("probe on host %d was redundant", v)
+		}
+		probes[v] = true
+	}
+	fmt.Println("brute-force minimality check passed")
+
+	// Compare probe counts across solvers (all minimal, sizes differ).
+	fmt.Println("\nprobe count by solver:")
+	for _, algo := range []hypermis.Algorithm{
+		hypermis.AlgSBL, hypermis.AlgBL, hypermis.AlgKUW, hypermis.AlgPermBL, hypermis.AlgGreedy,
+	} {
+		tr, err := hypermis.MinimalTransversal(h, hypermis.Options{Algorithm: algo, Seed: 11, Alpha: 0.3})
+		if err != nil {
+			log.Fatalf("%v: %v", algo, err)
+		}
+		c := 0
+		for _, p := range tr {
+			if p {
+				c++
+			}
+		}
+		fmt.Printf("  %-7v %d probes\n", algo, c)
+	}
+}

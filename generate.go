@@ -1,0 +1,58 @@
+package hypermis
+
+import (
+	"repro/internal/hypergraph"
+	"repro/internal/rng"
+)
+
+// Instance generators re-exported for applications and benchmarks. All
+// take an explicit seed and are fully deterministic.
+
+// RandomUniform generates m random d-uniform edges on n vertices
+// (duplicates dropped).
+func RandomUniform(seed uint64, n, m, d int) *Hypergraph {
+	return hypergraph.RandomUniform(rng.New(seed), n, m, d)
+}
+
+// RandomMixed generates m edges with sizes uniform in [minSize, maxSize]
+// — the "general hypergraph" workload of the paper.
+func RandomMixed(seed uint64, n, m, minSize, maxSize int) *Hypergraph {
+	return hypergraph.RandomMixed(rng.New(seed), n, m, minSize, maxSize)
+}
+
+// RandomGraph generates an ordinary graph (2-uniform hypergraph).
+func RandomGraph(seed uint64, n, m int) *Hypergraph {
+	return hypergraph.RandomGraph(rng.New(seed), n, m)
+}
+
+// Linear generates a linear hypergraph (any two edges share at most one
+// vertex — the Łuczak–Szymańska RNC class). May return fewer than m
+// edges if the space saturates.
+func Linear(seed uint64, n, m, d int) *Hypergraph {
+	return hypergraph.Linear(rng.New(seed), n, m, d)
+}
+
+// Sunflower generates `petals` edges sharing a common core: the
+// edge-migration adversary of Kelsen's analysis.
+func Sunflower(seed uint64, n, coreSize, petalSize, petals int) *Hypergraph {
+	return hypergraph.Sunflower(rng.New(seed), n, coreSize, petalSize, petals)
+}
+
+// PlantedMIS generates an instance whose first plantedSize vertices are
+// guaranteed independent.
+func PlantedMIS(seed uint64, n, m, d, plantedSize int) *Hypergraph {
+	return hypergraph.PlantedMIS(rng.New(seed), n, m, d, plantedSize)
+}
+
+// BlockPartition generates per-block local subproblems: blocks of
+// blockSize vertices, perBlock random d-subsets of each as edges.
+func BlockPartition(seed uint64, n, blockSize, d, perBlock int) *Hypergraph {
+	return hypergraph.BlockPartition(rng.New(seed), n, blockSize, d, perBlock)
+}
+
+// SteinerTripleSystem constructs STS(n) (Bose construction, n ≡ 3
+// mod 6): every vertex pair lies in exactly one triple — the extreme
+// structured linear hypergraph, deterministic (no seed).
+func SteinerTripleSystem(n int) (*Hypergraph, error) {
+	return hypergraph.SteinerTripleSystem(n)
+}

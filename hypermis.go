@@ -1,0 +1,83 @@
+// Package hypermis is a Go library for computing maximal independent
+// sets (MIS) of hypergraphs in parallel. It is a full reproduction of
+//
+//	Bercea, Goyal, Harris, Srinivasan:
+//	"On Computing Maximal Independent Sets of Hypergraphs in Parallel"
+//	(SPAA 2014, arXiv:1405.1133)
+//
+// and packages the paper's SBL algorithm — the first n^{o(1)}-time
+// parallel MIS algorithm for general hypergraphs with
+// m ≤ n^{log log n/(8(log log log n)²)} edges — together with every
+// algorithm it builds on: the Beame–Luby marking algorithm (with
+// Kelsen's analysis extended to super-constant dimension), the
+// Karp–Upfal–Wigderson O(√n) algorithm, Luby's graph-MIS algorithm for
+// the dimension-2 case, and sequential greedy baselines.
+//
+// # Quick start
+//
+//	h, err := hypermis.NewBuilder(6).
+//		AddEdge(0, 1, 2).
+//		AddEdge(2, 3, 4).
+//		Build()
+//	res, err := hypermis.Solve(h, hypermis.Options{Seed: 1})
+//	// res.MIS is a vertex mask; res.Size its cardinality.
+//	err = hypermis.VerifyMIS(h, res.MIS) // nil: independent and maximal
+//
+// A maximal independent set of a hypergraph H = (V, E) is a set S ⊆ V
+// containing no edge entirely (independence) such that adding any
+// vertex would complete an edge (maximality). For dimension 2 this is
+// the classic graph MIS.
+//
+// # Cost model
+//
+// Alongside wall-clock parallelism (the solvers use multicore
+// goroutine primitives internally), every solve can account idealized
+// EREW PRAM work and depth — the quantities the paper's theorems bound.
+// Set Options.CollectCost and read Result.Depth / Result.Work.
+//
+// The experiment suite regenerating the paper's analytical claims lives
+// under cmd/experiments; see DESIGN.md and EXPERIMENTS.md.
+package hypermis
+
+import (
+	"repro/internal/hypergraph"
+)
+
+// V is a vertex identifier in [0, N).
+type V = hypergraph.V
+
+// Edge is a set of vertices stored as a strictly increasing slice.
+type Edge = hypergraph.Edge
+
+// Hypergraph is an immutable hypergraph on vertices {0, …, N−1}.
+type Hypergraph = hypergraph.Hypergraph
+
+// Builder accumulates edges and produces a canonical Hypergraph.
+type Builder = hypergraph.Builder
+
+// NewBuilder returns a builder for a hypergraph on n vertices.
+func NewBuilder(n int) *Builder { return hypergraph.NewBuilder(n) }
+
+// FromEdges builds a hypergraph from an edge list (canonicalized:
+// sorted, deduplicated; empty edges rejected).
+func FromEdges(n int, edges []Edge) (*Hypergraph, error) {
+	return hypergraph.FromEdges(n, edges)
+}
+
+// VerifyMIS checks that mask is a maximal independent set of h,
+// returning nil on success or a descriptive error naming the violated
+// property and a witness.
+func VerifyMIS(h *Hypergraph, mask []bool) error {
+	return hypergraph.VerifyMIS(h, mask)
+}
+
+// IsIndependent reports whether the vertex set contains no edge of h.
+func IsIndependent(h *Hypergraph, mask []bool) bool {
+	return hypergraph.IsIndependent(h, mask)
+}
+
+// MaskFromList converts a vertex list into a boolean mask of length n.
+func MaskFromList(n int, vs []V) []bool { return hypergraph.MaskFromList(n, vs) }
+
+// ListFromMask converts a boolean mask into a sorted vertex list.
+func ListFromMask(mask []bool) []V { return hypergraph.ListFromMask(mask) }

@@ -1,0 +1,190 @@
+package hypermis
+
+// Integration tests: cross-solver agreement on validity across every
+// generator, failure injection, determinism under concurrency, and the
+// MIS/transversal duality at scale. These exercise the public API the
+// way a downstream user would.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// allAlgorithms lists every solver applicable to general hypergraphs.
+var allAlgorithms = []Algorithm{AlgSBL, AlgBL, AlgKUW, AlgGreedy, AlgPermBL}
+
+// generatorMatrix yields a named instance per generator family.
+func generatorMatrix(seed uint64, n int) map[string]*Hypergraph {
+	return map[string]*Hypergraph{
+		"uniform3":  RandomUniform(seed, n, 2*n, 3),
+		"uniform5":  RandomUniform(seed+1, n, n, 5),
+		"mixed2_8":  RandomMixed(seed+2, n, 2*n, 2, 8),
+		"graph":     RandomGraph(seed+3, n, 3*n),
+		"linear":    Linear(seed+4, n, n/3, 3),
+		"sunflower": Sunflower(seed+5, n, 2, 3, (n-2)/3),
+		"planted":   PlantedMIS(seed+6, n, 2*n, 4, n/4),
+		"blocks":    BlockPartition(seed+7, n, 8, 3, 4),
+	}
+}
+
+func TestEverySolverOnEveryGenerator(t *testing.T) {
+	const n = 240
+	for name, h := range generatorMatrix(1000, n) {
+		for _, algo := range allAlgorithms {
+			t.Run(fmt.Sprintf("%s/%v", name, algo), func(t *testing.T) {
+				res, err := Solve(h, Options{Algorithm: algo, Seed: 9, Alpha: 0.3})
+				if err != nil {
+					t.Fatalf("%v on %s: %v", algo, name, err)
+				}
+				if err := VerifyMIS(h, res.MIS); err != nil {
+					t.Fatalf("%v on %s: %v", algo, name, err)
+				}
+			})
+		}
+		// Luby only on graphs.
+		if h.Dim() <= 2 {
+			res, err := Solve(h, Options{Algorithm: AlgLuby, Seed: 9})
+			if err != nil {
+				t.Fatalf("luby on %s: %v", name, err)
+			}
+			if err := VerifyMIS(h, res.MIS); err != nil {
+				t.Fatalf("luby on %s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestConcurrentSolvesAreIsolated(t *testing.T) {
+	// The library must be safe for concurrent use on distinct inputs,
+	// and seeded determinism must hold under concurrency.
+	h := RandomMixed(77, 300, 600, 2, 6)
+	ref, err := Solve(h, Options{Algorithm: AlgSBL, Seed: 5, Alpha: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := Solve(h, Options{Algorithm: AlgSBL, Seed: 5, Alpha: 0.3})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			for v := range res.MIS {
+				if res.MIS[v] != ref.MIS[v] {
+					errs[g] = fmt.Errorf("goroutine %d diverged at vertex %d", g, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDualityAcrossSolvers(t *testing.T) {
+	h := RandomMixed(88, 400, 800, 2, 6)
+	for _, algo := range allAlgorithms {
+		res, err := Solve(h, Options{Algorithm: algo, Seed: 3, Alpha: 0.3})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		comp := make([]bool, h.N())
+		for v := range comp {
+			comp[v] = !res.MIS[v]
+		}
+		if !IsTransversal(h, comp) {
+			t.Fatalf("%v: complement is not a transversal", algo)
+		}
+		if err := VerifyMinimalTransversal(h, comp); err != nil {
+			t.Fatalf("%v: complement not minimal: %v", algo, err)
+		}
+	}
+}
+
+func TestDegenerateInstances(t *testing.T) {
+	cases := map[string]*Hypergraph{
+		"no vertices":    buildOrDie(t, NewBuilder(0)),
+		"edgeless":       buildOrDie(t, NewBuilder(10)),
+		"one big edge":   buildOrDie(t, NewBuilder(6).AddEdge(0, 1, 2, 3, 4, 5)),
+		"all singletons": buildOrDie(t, NewBuilder(3).AddEdge(0).AddEdge(1).AddEdge(2)),
+		"nested edges":   buildOrDie(t, NewBuilder(5).AddEdge(0, 1).AddEdge(0, 1, 2).AddEdge(0, 1, 2, 3)),
+		"duplicate-ish":  buildOrDie(t, NewBuilder(4).AddEdge(0, 1).AddEdge(1, 0).AddEdge(0, 1)),
+	}
+	for name, h := range cases {
+		for _, algo := range allAlgorithms {
+			res, err := Solve(h, Options{Algorithm: algo, Seed: 2})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, algo, err)
+			}
+			if err := VerifyMIS(h, res.MIS); err != nil {
+				t.Fatalf("%s/%v: %v", name, algo, err)
+			}
+		}
+	}
+}
+
+func buildOrDie(t *testing.T, b *Builder) *Hypergraph {
+	t.Helper()
+	h, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestLargeScaleSBL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale run")
+	}
+	h := RandomMixed(99, 4096, 8192, 2, 12)
+	res, err := Solve(h, Options{Algorithm: AlgSBL, Seed: 1, Alpha: 0.3, CollectCost: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMIS(h, res.MIS); err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth <= 0 || res.Work <= 0 {
+		t.Fatal("cost missing")
+	}
+	// Depth must be dramatically below the sequential baseline n.
+	if res.Depth >= int64(h.N())*4 {
+		t.Fatalf("depth %d not sublinear-ish for n=%d", res.Depth, h.N())
+	}
+}
+
+func TestSizesAgreeLoosely(t *testing.T) {
+	// Different solvers produce different MISs, but on symmetric random
+	// instances the sizes should agree within a modest band — a cheap
+	// cross-validation that nobody returns degenerate sets.
+	h := RandomUniform(111, 500, 1000, 3)
+	sizes := map[Algorithm]int{}
+	for _, algo := range allAlgorithms {
+		res, err := Solve(h, Options{Algorithm: algo, Seed: 4, Alpha: 0.3})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		sizes[algo] = res.Size
+	}
+	min, max := h.N(), 0
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if float64(max-min) > 0.2*float64(max) {
+		t.Fatalf("suspicious size spread: %v", sizes)
+	}
+}

@@ -1,0 +1,370 @@
+// Package bl implements the Beame–Luby (BL) marking algorithm for
+// hypergraph MIS (Algorithm 2 of the paper, originally from Beame &
+// Luby, SODA 1990), with the per-stage instrumentation Kelsen's analysis
+// — and Theorem 2's extension of it to super-constant dimension — is
+// phrased in.
+//
+// Each stage:
+//
+//  1. every live vertex marks itself independently with probability
+//     p = 1/(2^{d+1}·Δ(H)), where Δ(H) is the maximum normalized degree;
+//  2. every fully-marked edge unmarks all of its vertices;
+//  3. surviving marked vertices join the independent set and leave the
+//     vertex set; edges shrink by the new IS vertices;
+//  4. cleanup: edges that now contain another edge are discarded, and
+//     singleton edges delete their vertex (it can never join the IS).
+//
+// The package records, per stage, the quantities the analysis tracks:
+// Δ_i(H), the edge-migration matrix (how many edges moved from size k to
+// size j, the phenomenon bounded by Kelsen's Corollary 2 and sharpened
+// by the paper's Corollary 4), mark/unmark counts, and survival
+// statistics for Lemma 2 (Pr[E_X | C_X] < 1/2).
+//
+// Implementation note: stages in which no vertex joins the set leave the
+// hypergraph untouched, so the degree structures are cached and only
+// recomputed after stages that made progress. This changes nothing
+// observable (the stage sequence and randomness are identical) but
+// removes the dominant cost in the small-p regime, where most stages are
+// empty coin-flip rounds.
+package bl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// Options configures a BL run.
+type Options struct {
+	// MaxStages aborts the run when exceeded (0 = default 1000000).
+	// Theorem 2 guarantees O((log n)^{(d+4)!}) stages w.h.p.; the cap
+	// exists to convert an analysis failure into an error instead of an
+	// unbounded loop.
+	MaxStages int
+
+	// RecomputeDelta recomputes Δ(H) — and hence the marking probability
+	// — after every stage that changed the hypergraph (Kelsen's
+	// per-stage p = 1/(a·Δ)). When false, the initial probability is
+	// used throughout, exactly as in the pseudocode of Algorithm 2.
+	// Recomputation is the default: it is the variant the analysis of
+	// Section 3.1 tracks and it terminates much faster at finite n.
+	RecomputeDelta bool
+
+	// AddIsolatedImmediately moves vertices with no incident edges into
+	// the IS as soon as they become isolated instead of waiting for them
+	// to be marked. This does not change the output distribution's
+	// support (isolated vertices always eventually join) but removes a
+	// Θ(1/p)-stage coupon-collector tail irrelevant to the analysis.
+	// Disable for pseudocode-exact staging.
+	AddIsolatedImmediately bool
+
+	// CollectStats enables the per-stage instrumentation (degree
+	// vectors, migration matrices).
+	CollectStats bool
+}
+
+// DefaultOptions is the configuration used by SBL and the experiments.
+func DefaultOptions() Options {
+	return Options{
+		MaxStages:              1000000,
+		RecomputeDelta:         true,
+		AddIsolatedImmediately: true,
+	}
+}
+
+// StageStat records one stage of the algorithm.
+type StageStat struct {
+	Stage      int       // 0-based stage index
+	LiveBefore int       // live vertices entering the stage
+	Edges      int       // edges entering the stage
+	Dim        int       // dimension entering the stage
+	Delta      float64   // Δ(H) used for the marking probability
+	P          float64   // marking probability
+	Marked     int       // vertices marked (C_v = 1)
+	Unmarked   int       // vertices unmarked by fully-marked edges (E_v = 1)
+	Added      int       // vertices added to the IS this stage (A_v = 1)
+	Isolated   int       // isolated vertices fast-pathed into the IS
+	Singletons int       // vertices deleted red via singleton edges
+	Supersets  int       // edges discarded as supersets
+	Emptied    int       // edges that became empty when shrinking (invariant: 0)
+	Deltas     []float64 // Δ_i(H) by dimension i (CollectStats only)
+	// Migration[k][j] counts edges that entered the stage with size k
+	// and left with size j < k (CollectStats only, nil on empty stages).
+	Migration [][]int
+}
+
+// Result of a BL run.
+type Result struct {
+	InIS   []bool      // blue vertices (the MIS of the input)
+	Red    []bool      // vertices decided out (red)
+	Stages int         // stages executed
+	Stats  []StageStat // per-stage records if Options.CollectStats
+}
+
+// ErrStageLimit is returned when MaxStages is exceeded.
+var ErrStageLimit = errors.New("bl: stage limit exceeded")
+
+// Run executes BL on the sub-hypergraph of h induced by the active
+// vertices. Every edge of h must consist solely of active vertices
+// (callers pass the already-induced hypergraph; SBL does). On return
+// every active vertex is colored: blue (InIS) or red.
+//
+// The stream s provides all randomness; cost, if non-nil, accumulates
+// the work-depth charges of the parallel primitives used by one
+// EREW-implementable staging of the algorithm.
+func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost, opts Options) (*Result, error) {
+	n := h.N()
+	if opts.MaxStages == 0 {
+		opts.MaxStages = 1000000
+	}
+	if active == nil {
+		active = make([]bool, n)
+		par.Fill(cost, active, true)
+	} else {
+		a := make([]bool, n)
+		copy(a, active)
+		active = a
+	}
+	for _, e := range h.Edges() {
+		for _, v := range e {
+			if !active[v] {
+				return nil, fmt.Errorf("bl: edge %v contains inactive vertex %d", e, v)
+			}
+		}
+	}
+
+	res := &Result{
+		InIS: make([]bool, n),
+		Red:  make([]bool, n),
+	}
+	live := make([]bool, n)
+	copy(live, active)
+
+	// Normalize the input once: discard supersets, then delete singleton
+	// edges (their vertices are red) and edges touching those vertices.
+	// The per-stage cleanup maintains this normal form thereafter.
+	cur := hypergraph.RemoveSupersets(h)
+	cur, _ = dropSingletons(cur, live, res)
+	par.ChargeAux(cost, int64(h.M())<<uint(minInt(h.Dim(), 30)), 1)
+
+	marked := make([]bool, n)
+	unmark := make([]bool, n)
+
+	// Cached degree structure; rebuilt only after stages that changed
+	// the hypergraph.
+	dirty := true
+	var cachedDelta float64
+	var cachedDeltas []float64
+	var usedMask []bool
+	p := 1.0
+
+	for stage := 0; ; stage++ {
+		liveCount := par.Count(cost, n, func(i int) bool { return live[i] })
+		if liveCount == 0 {
+			res.Stages = stage
+			return res, nil
+		}
+		if stage >= opts.MaxStages {
+			return nil, fmt.Errorf("%w after %d stages (%d vertices live)", ErrStageLimit, stage, liveCount)
+		}
+
+		st := StageStat{
+			Stage:      stage,
+			LiveBefore: liveCount,
+			Edges:      cur.M(),
+			Dim:        cur.Dim(),
+		}
+
+		// Fast path: if no edges remain, every live vertex is free.
+		if cur.M() == 0 {
+			par.For(cost, n, func(i int) {
+				if live[i] {
+					res.InIS[i] = true
+					live[i] = false
+				}
+			})
+			st.Added = liveCount
+			st.Isolated = liveCount
+			if opts.CollectStats {
+				res.Stats = append(res.Stats, st)
+			}
+			res.Stages = stage + 1
+			return res, nil
+		}
+
+		// Optional isolated-vertex fast path. The isolated set can only
+		// change when the edge set changed.
+		if opts.AddIsolatedImmediately {
+			if dirty || usedMask == nil {
+				usedMask = cur.UsedVertices()
+			}
+			iso := 0
+			for v := 0; v < n; v++ {
+				if live[v] && !usedMask[v] {
+					res.InIS[v] = true
+					live[v] = false
+					iso++
+				}
+			}
+			par.ChargeStep(cost, n)
+			st.Isolated = iso
+		}
+
+		// Marking probability from the degree structure. With
+		// RecomputeDelta (the analyzed variant) Δ and p follow the
+		// current hypergraph; otherwise the stage-0 values persist,
+		// matching Algorithm 2's pseudocode.
+		if dirty && (opts.RecomputeDelta || stage == 0 || opts.CollectStats) {
+			tab := hypergraph.BuildDegreeTable(cur)
+			cachedDelta = tab.Delta()
+			cachedDeltas = tab.AllDeltas()
+			if opts.RecomputeDelta || stage == 0 {
+				d := cur.Dim()
+				p = 1.0
+				if cachedDelta > 0 {
+					a := float64(int64(1) << uint(minInt(d+1, 62)))
+					p = 1.0 / (a * cachedDelta)
+				}
+				if p > 1 {
+					p = 1
+				}
+			}
+			// Charge the degree-table build: O(m·2^d) work, O(log) depth
+			// on a PRAM (per-subset counting via sorting/hashing).
+			par.ChargeAux(cost, int64(cur.M())<<uint(minInt(cur.Dim(), 30)), 1)
+		}
+		dirty = false
+		st.Delta = cachedDelta
+		st.P = p
+		if opts.CollectStats {
+			st.Deltas = cachedDeltas
+		}
+
+		// Step 1: independent marking. Randomness is drawn from a
+		// per-(stage, vertex) child stream so results are independent of
+		// iteration order.
+		stageStream := s.Child(uint64(stage))
+		par.For(cost, n, func(i int) {
+			marked[i] = live[i] && stageStream.Child(uint64(i)).Bernoulli(p)
+			unmark[i] = false
+		})
+		st.Marked = par.Count(cost, n, func(i int) bool { return marked[i] })
+
+		// Step 2: unmark every vertex of every fully-marked edge,
+		// evaluated against the original marking (parallel semantics:
+		// E_v is a function of the C_u's).
+		edges := cur.Edges()
+		if st.Marked > 0 {
+			par.For(cost, len(edges), func(ei int) {
+				e := edges[ei]
+				for _, v := range e {
+					if !marked[v] {
+						return
+					}
+				}
+				for _, v := range e {
+					unmark[v] = true
+				}
+			})
+			st.Unmarked = par.Count(cost, n, func(i int) bool { return marked[i] && unmark[i] })
+		}
+
+		// Step 3: survivors join the IS.
+		added := 0
+		for v := 0; v < n; v++ {
+			if marked[v] && !unmark[v] {
+				res.InIS[v] = true
+				live[v] = false
+				added++
+			}
+		}
+		par.ChargeStep(cost, n)
+		st.Added += added
+
+		// A stage with no survivors leaves the hypergraph untouched:
+		// skip the structural updates entirely.
+		if added == 0 {
+			if opts.CollectStats {
+				res.Stats = append(res.Stats, st)
+			}
+			continue
+		}
+
+		// Shrink edges by the new IS vertices, tracking migration.
+		if opts.CollectStats {
+			migration := make([][]int, cur.Dim()+1)
+			for k := range migration {
+				migration[k] = make([]int, cur.Dim()+1)
+			}
+			for _, e := range edges {
+				k := len(e)
+				j := 0
+				for _, v := range e {
+					if !(marked[v] && !unmark[v]) {
+						j++
+					}
+				}
+				if j < k {
+					migration[k][j]++
+				}
+			}
+			st.Migration = migration
+		}
+		next, emptied := hypergraph.Shrink(cur, func(v hypergraph.V) bool {
+			return marked[v] && !unmark[v]
+		})
+		st.Emptied = emptied
+		if emptied > 0 {
+			return nil, fmt.Errorf("bl: %d edges became fully blue at stage %d (independence broken)", emptied, stage)
+		}
+
+		// Cleanup: discard supersets, then delete singleton edges and
+		// their vertices (red).
+		mBefore := next.M()
+		next = hypergraph.RemoveSupersets(next)
+		st.Supersets = mBefore - next.M()
+		par.ChargeAux(cost, int64(mBefore)<<uint(minInt(next.Dim(), 30)), 1)
+
+		var newlyRed int
+		next, newlyRed = dropSingletons(next, live, res)
+		st.Singletons = newlyRed
+		par.ChargeStep(cost, next.M())
+
+		cur = next
+		dirty = true
+		if opts.CollectStats {
+			res.Stats = append(res.Stats, st)
+		}
+	}
+}
+
+// dropSingletons removes singleton edges, colors their vertices red
+// (removing them from live), and discards edges touching those vertices
+// (BL lines 21–24: V' ← V' \ {v}).
+func dropSingletons(cur *hypergraph.Hypergraph, live []bool, res *Result) (*hypergraph.Hypergraph, int) {
+	next, blocked := hypergraph.RemoveSingletons(cur)
+	if len(blocked) == 0 {
+		return next, 0
+	}
+	newlyRed := 0
+	for _, v := range blocked {
+		if live[v] {
+			live[v] = false
+			res.Red[v] = true
+			newlyRed++
+		}
+	}
+	return hypergraph.DiscardTouching(next, func(v hypergraph.V) bool {
+		return !live[v] && !res.InIS[v]
+	}), newlyRed
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

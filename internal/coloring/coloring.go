@@ -1,0 +1,123 @@
+// Package coloring implements hypergraph coloring by repeated MIS
+// extraction ("MIS peeling"): assign color c to a maximal independent
+// set of the sub-hypergraph induced by the still-uncolored vertices,
+// remove it, repeat. The result is a proper coloring in the hypergraph
+// sense — no edge monochromatic — using at most as many colors as
+// peeling rounds. This is the classic consumption pattern for parallel
+// MIS primitives (scheduling windows, channel assignment, symmetry
+// breaking), and the application layer of the paper's contribution.
+package coloring
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hypergraph"
+)
+
+// Solver produces a maximal independent set of the sub-hypergraph of h
+// induced by the active vertices: a mask that is independent and cannot
+// be extended *within the active set*. The round index lets callers
+// reseed per color class.
+type Solver func(h *hypergraph.Hypergraph, active []bool, round int) ([]bool, error)
+
+// Result is a proper coloring.
+type Result struct {
+	// Colors[v] is the color of vertex v, in [0, NumColors).
+	Colors []int
+	// NumColors is the number of color classes used.
+	NumColors int
+	// ClassSizes[c] is the size of color class c.
+	ClassSizes []int
+}
+
+// ErrTooManyColors is returned when maxColors is exhausted.
+var ErrTooManyColors = errors.New("coloring: color budget exhausted")
+
+// ErrNoProgress is returned when a solver returns an empty class (a
+// broken solver; a correct MIS of a nonempty active set is nonempty).
+var ErrNoProgress = errors.New("coloring: solver made no progress")
+
+// ByMIS peels color classes off h using the given solver. maxColors
+// bounds the palette (0 = n, always sufficient: singleton classes).
+func ByMIS(h *hypergraph.Hypergraph, solve Solver, maxColors int) (*Result, error) {
+	n := h.N()
+	if maxColors == 0 {
+		maxColors = n
+	}
+	colors := make([]int, n)
+	for v := range colors {
+		colors[v] = -1
+	}
+	active := make([]bool, n)
+	remaining := n
+	for v := range active {
+		active[v] = true
+	}
+	res := &Result{Colors: colors}
+	// Proper hypergraph coloring is defined on edges of size ≥ 2 (a
+	// singleton edge is unsatisfiable: any color makes it
+	// monochromatic). Strip singletons so their vertices are colorable;
+	// Verify skips them symmetrically.
+	cur := hypergraph.FilterEdges(h, func(e hypergraph.Edge) bool { return len(e) >= 2 })
+	for c := 0; remaining > 0; c++ {
+		if c >= maxColors {
+			return nil, fmt.Errorf("%w: %d vertices uncolored after %d colors", ErrTooManyColors, remaining, c)
+		}
+		mis, err := solve(cur, active, c)
+		if err != nil {
+			return nil, fmt.Errorf("coloring: round %d: %w", c, err)
+		}
+		class := 0
+		for v := 0; v < n; v++ {
+			if active[v] && mis[v] {
+				colors[v] = c
+				active[v] = false
+				class++
+			}
+		}
+		if class == 0 {
+			return nil, fmt.Errorf("%w at color %d", ErrNoProgress, c)
+		}
+		remaining -= class
+		res.ClassSizes = append(res.ClassSizes, class)
+		res.NumColors = c + 1
+		// Restrict to edges entirely among uncolored vertices: only
+		// those can still become monochromatic in later classes.
+		cur = hypergraph.Induced(cur, func(v hypergraph.V) bool { return active[v] })
+	}
+	return res, nil
+}
+
+// Verify checks that the coloring is complete (no -1), within the
+// palette, and proper: no edge of h has all vertices the same color.
+func Verify(h *hypergraph.Hypergraph, res *Result) error {
+	if len(res.Colors) != h.N() {
+		return fmt.Errorf("coloring: %d colors for %d vertices", len(res.Colors), h.N())
+	}
+	for v, c := range res.Colors {
+		if c < 0 || c >= res.NumColors {
+			return fmt.Errorf("coloring: vertex %d has color %d outside [0,%d)", v, c, res.NumColors)
+		}
+	}
+	for i, e := range h.Edges() {
+		if len(e) < 2 {
+			// A singleton edge can never be non-monochromatic; proper
+			// hypergraph coloring is conventionally defined on edges of
+			// size ≥ 2 (a singleton is an unsatisfiable constraint).
+			continue
+		}
+		c0 := res.Colors[e[0]]
+		mono := true
+		for _, v := range e {
+			if res.Colors[v] != c0 {
+				mono = false
+				break
+			}
+		}
+		if mono {
+			return fmt.Errorf("coloring: edge #%d %v monochromatic in color %d", i, e, c0)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package coloring
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bl"
+	"repro/internal/greedy"
+	"repro/internal/hypergraph"
+	"repro/internal/rng"
+)
+
+// greedySolver adapts the sequential greedy MIS to the Solver signature.
+func greedySolver(h *hypergraph.Hypergraph, active []bool, round int) ([]bool, error) {
+	return greedy.Run(h, active).InIS, nil
+}
+
+// blSolver adapts BL.
+func blSolver(h *hypergraph.Hypergraph, active []bool, round int) ([]bool, error) {
+	res, err := bl.Run(h, active, rng.New(uint64(round)+77), nil, bl.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return res.InIS, nil
+}
+
+func TestColoringTriangle(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddEdge(0, 1, 2).MustBuild()
+	res, err := ByMIS(h, greedySolver, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(h, res); err != nil {
+		t.Fatal(err)
+	}
+	// One MIS takes 2 vertices, the second takes the last: 2 colors.
+	if res.NumColors != 2 {
+		t.Fatalf("colors = %d", res.NumColors)
+	}
+}
+
+func TestColoringEdgeless(t *testing.T) {
+	h := hypergraph.NewBuilder(6).MustBuild()
+	res, err := ByMIS(h, greedySolver, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors != 1 {
+		t.Fatalf("edgeless should be 1-colorable, got %d", res.NumColors)
+	}
+	if err := Verify(h, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColoringSingletonEdge(t *testing.T) {
+	// Singleton edges are stripped; their vertices still get colored.
+	h := hypergraph.NewBuilder(3).AddEdge(1).AddEdge(0, 2).MustBuild()
+	res, err := ByMIS(h, greedySolver, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(h, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Colors[1] < 0 {
+		t.Fatal("singleton vertex left uncolored")
+	}
+}
+
+func TestColoringRandomWithBL(t *testing.T) {
+	s := rng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		h := hypergraph.RandomMixed(s, 60+s.Intn(60), 2*60, 2, 4)
+		res, err := ByMIS(h, blSolver, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Verify(h, res); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		total := 0
+		for _, sz := range res.ClassSizes {
+			total += sz
+		}
+		if total != h.N() {
+			t.Fatalf("trial %d: classes cover %d of %d", trial, total, h.N())
+		}
+	}
+}
+
+func TestColoringHypergraphBeatsCliqueBound(t *testing.T) {
+	// A 3-uniform complete hypergraph on k vertices is 2-colorable for
+	// any k ≥ 3 split unevenly? No: any color class of size ≥ 3 contains
+	// an edge, so classes have size ≤ 2 and we need ⌈k/2⌉ colors. Check
+	// the peeling matches that bound.
+	h := hypergraph.Complete(8, 8, 3)
+	res, err := ByMIS(h, greedySolver, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(h, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors != 4 {
+		t.Fatalf("complete 3-uniform on 8 vertices: %d colors, want 4", res.NumColors)
+	}
+}
+
+func TestColoringBudgetExhausted(t *testing.T) {
+	h := hypergraph.Complete(8, 8, 3) // needs 4 colors
+	_, err := ByMIS(h, greedySolver, 2)
+	if !errors.Is(err, ErrTooManyColors) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestColoringBrokenSolver(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddEdge(0, 1).MustBuild()
+	broken := func(h *hypergraph.Hypergraph, active []bool, round int) ([]bool, error) {
+		return make([]bool, h.N()), nil // empty "MIS"
+	}
+	if _, err := ByMIS(h, broken, 0); !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestVerifyCatchesMonochromatic(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddEdge(0, 1, 2).MustBuild()
+	bad := &Result{Colors: []int{0, 0, 0}, NumColors: 1}
+	if Verify(h, bad) == nil {
+		t.Fatal("monochromatic edge accepted")
+	}
+}
+
+func TestVerifyCatchesUncolored(t *testing.T) {
+	h := hypergraph.NewBuilder(2).AddEdge(0, 1).MustBuild()
+	bad := &Result{Colors: []int{0, -1}, NumColors: 1}
+	if Verify(h, bad) == nil {
+		t.Fatal("uncolored vertex accepted")
+	}
+}

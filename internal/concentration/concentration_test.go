@@ -1,0 +1,243 @@
+package concentration
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/rng"
+)
+
+func TestEvaluateCountsBlueEdges(t *testing.T) {
+	h := hypergraph.NewBuilder(4).AddEdge(0, 1).AddEdge(2, 3).MustBuild()
+	w := FromHypergraph(h)
+	blue := []bool{true, true, true, false}
+	if got := w.Evaluate(blue); got != 1 {
+		t.Fatalf("S = %v, want 1", got)
+	}
+	blue[3] = true
+	if got := w.Evaluate(blue); got != 2 {
+		t.Fatalf("S = %v, want 2", got)
+	}
+}
+
+func TestExpectationSimple(t *testing.T) {
+	// Two disjoint edges of size 2: E[S] = 2p².
+	h := hypergraph.NewBuilder(4).AddEdge(0, 1).AddEdge(2, 3).MustBuild()
+	w := FromHypergraph(h)
+	p := 0.3
+	if got, want := w.Expectation(p), 2*p*p; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("E[S] = %v, want %v", got, want)
+	}
+}
+
+func TestPartialExpectation(t *testing.T) {
+	// Edges {0,1,2} and {0,1,3}: P({0,1}) = 2p.
+	h := hypergraph.NewBuilder(4).AddEdge(0, 1, 2).AddEdge(0, 1, 3).MustBuild()
+	w := FromHypergraph(h)
+	p := 0.25
+	if got := w.PartialExpectation(p, hypergraph.Edge{0, 1}); math.Abs(got-2*p) > 1e-12 {
+		t.Fatalf("P({0,1}) = %v, want %v", got, 2*p)
+	}
+	// P(∅) = E[S].
+	if got := w.PartialExpectation(p, nil); math.Abs(got-w.Expectation(p)) > 1e-12 {
+		t.Fatal("P(∅) != E[S]")
+	}
+}
+
+func TestDExceedsExpectation(t *testing.T) {
+	s := rng.New(1)
+	h := hypergraph.RandomMixed(s, 20, 30, 2, 4)
+	w := FromHypergraph(h)
+	for _, p := range []float64{0.1, 0.3, 0.7} {
+		if w.D(p) < w.Expectation(p)-1e-12 {
+			t.Fatalf("D < E[S] at p=%v", p)
+		}
+	}
+}
+
+func TestDIsMaxOfPartials(t *testing.T) {
+	h := hypergraph.NewBuilder(5).
+		AddEdge(0, 1, 2).AddEdge(0, 1, 3).AddEdge(0, 1, 4).MustBuild()
+	w := FromHypergraph(h)
+	p := 0.1
+	// x may be a full edge, giving P(x) = w(e) = 1, which dominates
+	// P({0,1}) = 3p = 0.3, E[S] = 3p³, and the singletons (3p²). This is
+	// why D(H,w,p) ≥ max_e w(e) always.
+	if got := w.D(p); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("D = %v, want 1", got)
+	}
+	// The {0,1} partial is still what dominates among *proper* subsets.
+	if got := w.PartialExpectation(p, hypergraph.Edge{0, 1}); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("P({0,1}) = %v, want 0.3", got)
+	}
+}
+
+func TestMonteCarloTailMatchesBinomial(t *testing.T) {
+	// Single edge {0}: S = C_0, so Pr[S > 0.5] = p exactly.
+	h := hypergraph.NewBuilder(1).AddEdge(0).MustBuild()
+	w := FromHypergraph(h)
+	res := MonteCarloTail(w, 0.3, 0.5, 50000, rng.New(2))
+	if math.Abs(res.Probability()-0.3) > 0.01 {
+		t.Fatalf("tail = %v, want ≈ 0.3", res.Probability())
+	}
+	if math.Abs(res.Mean-0.3) > 0.01 {
+		t.Fatalf("mean = %v", res.Mean)
+	}
+}
+
+func TestMonteCarloMeanMatchesExpectation(t *testing.T) {
+	s := rng.New(3)
+	h := hypergraph.RandomMixed(s, 15, 25, 2, 3)
+	w := FromHypergraph(h)
+	p := 0.4
+	res := MonteCarloTail(w, p, math.Inf(1), 40000, rng.New(4))
+	want := w.Expectation(p)
+	if math.Abs(res.Mean-want) > 0.05*want+0.02 {
+		t.Fatalf("empirical mean %v vs E[S] %v", res.Mean, want)
+	}
+	if res.Exceed != 0 {
+		t.Fatal("nothing exceeds +Inf")
+	}
+}
+
+func TestKelsenBoundHoldsEmpirically(t *testing.T) {
+	// The Theorem 3 threshold k(H)·D is enormous; empirically S must
+	// essentially never exceed it.
+	s := rng.New(5)
+	h := hypergraph.RandomUniform(s, 30, 60, 3)
+	w := FromHypergraph(h)
+	p := 0.2
+	threshold := KelsenK(30, 3, 2) * w.D(p)
+	res := MonteCarloTail(w, p, threshold, 5000, rng.New(6))
+	if res.Exceed != 0 {
+		t.Fatalf("S exceeded the Kelsen threshold %v in %d/%d trials (max %v)",
+			threshold, res.Exceed, res.Trials, res.Max)
+	}
+}
+
+func TestKelsenTailProbShape(t *testing.T) {
+	// Larger δ → smaller tail probability.
+	a := KelsenTailProb(1024, 3, 100, 8)
+	b := KelsenTailProb(1024, 3, 100, 64)
+	if b >= a {
+		t.Fatalf("tail prob not decreasing in δ: %v vs %v", a, b)
+	}
+	if KelsenTailProb(1024, 3, 100, 0.5) != 1 {
+		t.Fatal("δ ≤ 1 should yield the vacuous bound 1")
+	}
+}
+
+func TestKimVuFactorGrowth(t *testing.T) {
+	if KimVuA(1) != 8 {
+		t.Fatalf("a_1 = %v", KimVuA(1))
+	}
+	if got, want := KimVuA(2), 64*math.Sqrt(2); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("a_2 = %v, want %v", got, want)
+	}
+	f := KimVuThresholdFactor(2, 3)
+	if f <= 1 {
+		t.Fatalf("factor = %v", f)
+	}
+}
+
+func TestKimVuTailDecaysInLambda(t *testing.T) {
+	a := KimVuTailProb(1024, 2, 5)
+	b := KimVuTailProb(1024, 2, 50)
+	if b >= a {
+		t.Fatal("Kim–Vu tail not decaying in λ")
+	}
+}
+
+func TestMigrationFactorComparison(t *testing.T) {
+	// The paper's claim: (log n)^{2(k−j)} ≪ (log n)^{2^{k−j}+1} once
+	// k−j ≥ 2 (strictly smaller exponent: 2r < 2^r+1 for r ≥ 2... equal
+	// at r=2? 4 vs 5 — smaller; r=3: 6 vs 9).
+	n := 1 << 16
+	for _, r := range []int{2, 3, 4} {
+		kel := KelsenMigrationFactor(n, r+2, 2)
+		kv := KimVuMigrationFactor(n, r+2, 2)
+		if kv >= kel {
+			t.Fatalf("k−j=%d: Kim–Vu factor %v not smaller than Kelsen %v", r, kv, kel)
+		}
+	}
+}
+
+func TestMigrationPolynomialSunflower(t *testing.T) {
+	// Sunflower with core {c0,c1} and 5 petals of size 3 (edges size 5).
+	// X = core, k = 3, j = 1: edges of H' are 2-subsets of each petal
+	// (3 per petal, disjoint petals → 15 edges), each with weight 1.
+	s := rng.New(7)
+	h := hypergraph.Sunflower(s, 60, 2, 3, 5)
+	core := hypergraph.Edge(nil)
+	// Recover the core as the intersection of the first two edges.
+	e0, e1 := h.Edge(0), h.Edge(1)
+	for _, v := range e0 {
+		if hypergraph.ContainsSorted(e1, hypergraph.Edge{v}) {
+			core = append(core, v)
+		}
+	}
+	if len(core) != 2 {
+		t.Fatalf("core recovery failed: %v", core)
+	}
+	w := MigrationPolynomial(h, core, 1, 3)
+	if len(w.Edges) != 15 {
+		t.Fatalf("|E'| = %d, want 15", len(w.Edges))
+	}
+	for i, wt := range w.Weights {
+		if wt != 1 {
+			t.Fatalf("weight[%d] = %v, want 1 (disjoint petals)", i, wt)
+		}
+		if len(w.Edges[i]) != 2 {
+			t.Fatalf("edge size %d, want k−j = 2", len(w.Edges[i]))
+		}
+	}
+}
+
+func TestMigrationPolynomialSharedPetals(t *testing.T) {
+	// Two edges sharing X = {0} and overlapping petals:
+	// {0,1,2} and {0,1,3}, k = 2, j = 1: Y runs over 1-subsets of
+	// petals; Y={1} has weight 2 (both petals contain it).
+	h := hypergraph.NewBuilder(4).AddEdge(0, 1, 2).AddEdge(0, 1, 3).MustBuild()
+	w := MigrationPolynomial(h, hypergraph.Edge{0}, 1, 2)
+	var w1 float64
+	for i, e := range w.Edges {
+		if len(e) == 1 && e[0] == 1 {
+			w1 = w.Weights[i]
+		}
+	}
+	if w1 != 2 {
+		t.Fatalf("w'({1}) = %v, want 2", w1)
+	}
+}
+
+func TestLemma4BoundDominatesD(t *testing.T) {
+	// Lemma 4: D(H',w',p) ≤ (Δ_{|X|+k}(H))^j for the migration
+	// polynomial with p below BL's marking probability.
+	s := rng.New(8)
+	h := hypergraph.LayeredMigration(s, 80, 1, 4, 5, 12)
+	tab := hypergraph.BuildDegreeTable(h)
+	x := hypergraph.Edge{h.Edge(0)[0]} // a core vertex
+	j, k := 1, 3
+	if len(x)+k > h.Dim() {
+		t.Skip("instance too shallow")
+	}
+	w := MigrationPolynomial(h, x, j, k)
+	if len(w.Edges) == 0 {
+		t.Skip("empty migration polynomial")
+	}
+	d := h.Dim()
+	p := 1.0 / (math.Pow(2, float64(d+1)) * tab.Delta())
+	dVal := w.D(p)
+	bound := Lemma4Bound(tab, len(x), j, k)
+	if dVal > bound+1e-9 {
+		t.Fatalf("D(H',w',p) = %v exceeds Lemma 4 bound %v", dVal, bound)
+	}
+}
+
+func TestWeightedDim(t *testing.T) {
+	h := hypergraph.NewBuilder(5).AddEdge(0, 1).AddEdge(1, 2, 3).MustBuild()
+	if got := FromHypergraph(h).Dim(); got != 3 {
+		t.Fatalf("dim = %d", got)
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bl"
+	"repro/internal/greedy"
+	"repro/internal/hypergraph"
+	"repro/internal/kuw"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// TailSolver selects the algorithm SBL finishes with once the residual
+// instance has fewer than Params.MinVertices undecided vertices.
+type TailSolver int
+
+const (
+	// TailKUW uses the Karp–Upfal–Wigderson parallel algorithm (the
+	// paper's default on line 23 of Algorithm 1).
+	TailKUW TailSolver = iota
+	// TailGreedy uses the sequential linear-time solver (the paper's
+	// stated alternative: "the algorithm that takes time linear in the
+	// number of vertices").
+	TailGreedy
+)
+
+// FailPolicy selects how an event-B failure (a sampled edge larger than
+// Params.D) is handled.
+type FailPolicy int
+
+const (
+	// RetryRound redraws the round's sample (up to Options.RetryLimit
+	// times). Event B has probability ≤ 1/n per run, so retries are
+	// rare; this policy keeps completed rounds.
+	RetryRound FailPolicy = iota
+	// RestartAll discards all progress and restarts from the input
+	// hypergraph — the literal reading of the paper's "we declare
+	// failure and start over".
+	RestartAll
+	// FailHard returns ErrEventB immediately (used by the failure-rate
+	// experiment T10 to measure the raw event probability).
+	FailHard
+)
+
+// Options configures an SBL run.
+type Options struct {
+	// Params overrides the algorithm parameters; the zero value derives
+	// them via DeriveParams(n, m, 0.25).
+	Params Params
+	// Alpha is used instead of 0.25 when Params is zero and Alpha > 0.
+	Alpha float64
+	// Tail selects the finishing solver (default TailKUW).
+	Tail TailSolver
+	// OnEventB selects failure handling (default RetryRound).
+	OnEventB FailPolicy
+	// RetryLimit bounds per-round retries under RetryRound and total
+	// restarts under RestartAll (0 = default 64).
+	RetryLimit int
+	// MaxRounds bounds sampling rounds (0 = default 4·ExpectedRounds +
+	// 64); exceeding it returns ErrRoundLimit.
+	MaxRounds int
+	// BL configures the subroutine (zero value = bl.DefaultOptions()).
+	BL bl.Options
+	// CollectStats records per-round counters.
+	CollectStats bool
+	// VerifyEachRound re-checks invariant I3 (the running independent
+	// set is independent in the *original* hypergraph) after every
+	// round. O(m·d) per round; meant for tests.
+	VerifyEachRound bool
+}
+
+// RoundStat records one sampling round.
+type RoundStat struct {
+	Round      int     // 0-based round index
+	Undecided  int     // undecided vertices entering the round (n_i)
+	Edges      int     // residual edges entering the round
+	Sampled    int     // |V'|
+	SampledDim int     // dimension of H' (after retries)
+	SampledM   int     // edges of H'
+	Blue       int     // vertices BL added to the IS
+	Red        int     // sampled vertices decided out
+	BLStages   int     // stages the BL subroutine took
+	Retries    int     // event-B retries consumed this round
+	EventA     bool    // true if the round removed fewer than p·n_i/2 vertices
+	P          float64 // sampling probability in effect
+}
+
+// Result of an SBL run.
+type Result struct {
+	InIS       []bool      // the maximal independent set
+	Rounds     int         // sampling rounds executed (excluding tail)
+	TailUsed   TailSolver  // which tail solver ran
+	TailSize   int         // undecided vertices handed to the tail solver
+	TailRounds int         // rounds/stages the tail solver took (0 for greedy)
+	DirectBL   bool        // input dimension ≤ d: BL ran directly (line 26)
+	EventBs    int         // total event-B occurrences observed
+	Restarts   int         // full restarts under RestartAll
+	Stats      []RoundStat // per-round records if Options.CollectStats
+	Params     Params      // parameters in effect
+}
+
+// ErrEventB is returned under FailHard when a sampled edge exceeds d.
+var ErrEventB = errors.New("sbl: event B (sampled edge exceeds dimension cap)")
+
+// ErrRoundLimit is returned when MaxRounds is exceeded.
+var ErrRoundLimit = errors.New("sbl: round limit exceeded")
+
+// ErrRetryLimit is returned when event-B retries/restarts are exhausted.
+var ErrRetryLimit = errors.New("sbl: retry limit exceeded")
+
+// Run executes Algorithm 1 on h. All randomness comes from s; cost, if
+// non-nil, accumulates work-depth charges across SBL and its
+// subroutines.
+func Run(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Options) (*Result, error) {
+	n := h.N()
+	params := opts.Params
+	if params.P == 0 {
+		alpha := opts.Alpha
+		if alpha == 0 {
+			alpha = 0.25
+		}
+		params = DeriveParams(n, h.M(), alpha)
+	}
+	if opts.RetryLimit == 0 {
+		opts.RetryLimit = 64
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = int(4*ExpectedRounds(n, params.P)) + 64
+	}
+	blOpts := opts.BL
+	if blOpts.MaxStages == 0 {
+		blOpts = bl.DefaultOptions()
+		blOpts.CollectStats = opts.BL.CollectStats
+	}
+
+	for attempt := 0; ; attempt++ {
+		res, err := runOnce(h, s.Child(uint64(attempt)), cost, opts, params, blOpts)
+		if err == nil {
+			res.Restarts = attempt
+			return res, nil
+		}
+		if opts.OnEventB == RestartAll && errors.Is(err, ErrEventB) && attempt < opts.RetryLimit {
+			continue
+		}
+		return nil, err
+	}
+}
+
+func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Options, params Params, blOpts bl.Options) (*Result, error) {
+	n := h.N()
+	res := &Result{
+		InIS:   make([]bool, n),
+		Params: params,
+	}
+
+	// Line 3 / 25–27: if the input dimension is already within the cap,
+	// run BL directly on the whole hypergraph.
+	if h.Dim() <= params.D {
+		blRes, err := bl.Run(h, nil, s.Child(1_000_000), cost, blOpts)
+		if err != nil {
+			return nil, fmt.Errorf("sbl: direct BL: %w", err)
+		}
+		copy(res.InIS, blRes.InIS)
+		res.DirectBL = true
+		res.TailRounds = blRes.Stages
+		return res, nil
+	}
+
+	undecided := make([]bool, n)
+	par.Fill(cost, undecided, true)
+	cur := h
+	sampled := make([]bool, n)
+
+	round := 0
+	for {
+		remaining := par.Count(cost, n, func(i int) bool { return undecided[i] })
+		// Line 4: while |V| ≥ 1/p².
+		if remaining < params.MinVertices {
+			break
+		}
+		if round >= opts.MaxRounds {
+			return nil, fmt.Errorf("%w after %d rounds (%d undecided)", ErrRoundLimit, round, remaining)
+		}
+
+		st := RoundStat{Round: round, Undecided: remaining, Edges: cur.M(), P: params.P}
+
+		// Lines 6–9: sample V' and induce H'; event B retries.
+		roundStream := s.Child(uint64(round))
+		var sub *hypergraph.Hypergraph
+		var sampledCount int
+		try := 0
+		for {
+			tryStream := roundStream.Child(uint64(try))
+			par.For(cost, n, func(i int) {
+				sampled[i] = undecided[i] && tryStream.Child(uint64(i)).Bernoulli(params.P)
+			})
+			sampledCount = par.Count(cost, n, func(i int) bool { return sampled[i] })
+			sub = hypergraph.Induced(cur, func(v hypergraph.V) bool { return sampled[v] })
+			par.ChargeStep(cost, cur.M())
+			if sub.Dim() <= params.D {
+				break
+			}
+			res.EventBs++
+			switch opts.OnEventB {
+			case FailHard:
+				return nil, fmt.Errorf("%w: dim %d > %d at round %d", ErrEventB, sub.Dim(), params.D, round)
+			case RestartAll:
+				return nil, fmt.Errorf("%w: dim %d > %d at round %d", ErrEventB, sub.Dim(), params.D, round)
+			default: // RetryRound
+				try++
+				st.Retries++
+				if try > opts.RetryLimit {
+					return nil, fmt.Errorf("%w: event B persisted %d retries at round %d", ErrRetryLimit, try, round)
+				}
+			}
+		}
+		st.Sampled = sampledCount
+		st.SampledDim = sub.Dim()
+		st.SampledM = sub.M()
+
+		// Line 11: run BL on H'. Every sampled vertex comes back colored
+		// blue (in I') or red.
+		blRes, err := bl.Run(sub, sampled, roundStream.Child(1_000_003), cost, blOpts)
+		if err != nil {
+			return nil, fmt.Errorf("sbl: BL at round %d: %w", round, err)
+		}
+		st.BLStages = blRes.Stages
+
+		// Line 12: commit. I ∪= I'; V \= V'.
+		blue, red := 0, 0
+		for v := 0; v < n; v++ {
+			if !sampled[v] {
+				continue
+			}
+			undecided[v] = false
+			if blRes.InIS[v] {
+				res.InIS[v] = true
+				blue++
+			} else {
+				red++
+			}
+		}
+		par.ChargeStep(cost, n)
+		st.Blue = blue
+		st.Red = red
+		st.EventA = float64(sampledCount) < params.P*float64(remaining)/2
+
+		// Lines 13–17: drop edges meeting a red vertex.
+		isRed := func(v hypergraph.V) bool { return sampled[v] && !blRes.InIS[v] }
+		next := hypergraph.DiscardTouching(cur, isRed)
+		// Lines 18–20: shrink surviving edges by I'.
+		next, emptied := hypergraph.Shrink(next, func(v hypergraph.V) bool { return blRes.InIS[v] })
+		if emptied > 0 {
+			return nil, fmt.Errorf("sbl: %d edges became fully blue at round %d (independence broken)", emptied, round)
+		}
+		par.ChargeStep(cost, cur.M())
+		cur = next
+
+		if opts.VerifyEachRound {
+			if !hypergraph.IsIndependent(h, res.InIS) {
+				return nil, fmt.Errorf("sbl: invariant I3 violated at round %d", round)
+			}
+		}
+		if opts.CollectStats {
+			res.Stats = append(res.Stats, st)
+		}
+		round++
+	}
+	res.Rounds = round
+
+	// Lines 23–24: tail solver on the residual instance.
+	res.TailSize = par.Count(cost, n, func(i int) bool { return undecided[i] })
+	res.TailUsed = opts.Tail
+	switch opts.Tail {
+	case TailGreedy:
+		g := greedy.Run(cur, undecided)
+		for v := 0; v < n; v++ {
+			if g.InIS[v] {
+				res.InIS[v] = true
+			}
+		}
+		par.ChargeAux(cost, int64(res.TailSize), int64(res.TailSize))
+	default:
+		k, err := kuw.Run(cur, undecided, s.Child(2_000_003), cost, kuw.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("sbl: KUW tail: %w", err)
+		}
+		for v := 0; v < n; v++ {
+			if k.InIS[v] {
+				res.InIS[v] = true
+			}
+		}
+		res.TailRounds = k.Rounds
+	}
+	return res, nil
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+func mixed(seed uint64, n, m, lo, hi int) *hypergraph.Hypergraph {
+	return hypergraph.RandomMixed(rng.New(seed), n, m, lo, hi)
+}
+
+func TestPaperParamsShape(t *testing.T) {
+	p := PaperParams(1 << 16)
+	if p.P <= 0 || p.P >= 1 {
+		t.Fatalf("p = %v", p.P)
+	}
+	if p.D < 2 {
+		t.Fatalf("d = %d", p.D)
+	}
+	if p.MinVertices < 1 {
+		t.Fatalf("minVertices = %d", p.MinVertices)
+	}
+	// At experimental scale the paper's α ≈ ½ makes 1/p² ≈ n: the
+	// documented degeneracy. Check it is acknowledged by the value.
+	if p.MinVertices < 1000 {
+		t.Fatalf("paper params at n=2^16 should have large tail threshold, got %d", p.MinVertices)
+	}
+}
+
+func TestDeriveParamsEventBBudget(t *testing.T) {
+	n, m := 1<<14, 1<<14
+	prm := DeriveParams(n, m, 0.25)
+	// The derived d must make r·m·p^{d+1} ≤ 1/n approximately hold.
+	r := ExpectedRounds(n, prm.P)
+	bound := r * float64(m) * math.Pow(prm.P, float64(prm.D+1))
+	if bound > 1.5/float64(n)*10 { // generous slack for ceil rounding
+		t.Fatalf("event-B budget violated: r·m·p^(d+1) = %v", bound)
+	}
+	if prm.MinVertices != int(math.Ceil(1/(prm.P*prm.P))) {
+		t.Fatalf("minVertices = %d", prm.MinVertices)
+	}
+}
+
+func TestDeriveParamsBadAlphaFallsBack(t *testing.T) {
+	a := DeriveParams(1000, 1000, 0)
+	b := DeriveParams(1000, 1000, 0.25)
+	if a.P != b.P || a.D != b.D {
+		t.Fatal("alpha=0 should fall back to 0.25")
+	}
+}
+
+func TestEdgeBudgetMonotone(t *testing.T) {
+	if EdgeBudget(1<<20) < EdgeBudget(1<<10) {
+		t.Fatal("edge budget should grow with n")
+	}
+}
+
+func TestSBLSmallMIS(t *testing.T) {
+	h := mixed(1, 60, 100, 2, 6)
+	res, err := Run(h, rng.New(1), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSBLAlwaysMISAcrossSeeds(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		h := mixed(seed+100, 80, 150, 2, 8)
+		res, err := Run(h, rng.New(seed), nil, Options{VerifyEachRound: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestSBLDirectBLPath(t *testing.T) {
+	// Input dimension 2 with a derived cap ≥ 2 triggers line 26.
+	h := hypergraph.RandomGraph(rng.New(5), 50, 80)
+	res, err := Run(h, rng.New(2), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DirectBL {
+		t.Fatal("dimension-2 input should take the direct BL path")
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSBLSamplingLoopRuns(t *testing.T) {
+	// Large-dimension edges force the sampling path; pick α so the loop
+	// has room (1/p² ≪ n).
+	h := mixed(7, 400, 300, 2, 12)
+	res, err := Run(h, rng.New(3), nil, Options{Alpha: 0.3, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirectBL {
+		t.Skip("derived D exceeded input dimension; no sampling to test")
+	}
+	if res.Rounds == 0 {
+		t.Fatal("sampling loop never ran")
+	}
+	if len(res.Stats) != res.Rounds {
+		t.Fatalf("stats %d != rounds %d", len(res.Stats), res.Rounds)
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Stats {
+		if st.SampledDim > res.Params.D {
+			t.Fatalf("round %d: sampled dim %d > cap %d", st.Round, st.SampledDim, res.Params.D)
+		}
+		if st.Blue+st.Red != st.Sampled {
+			t.Fatalf("round %d: blue %d + red %d != sampled %d", st.Round, st.Blue, st.Red, st.Sampled)
+		}
+	}
+}
+
+func TestSBLGreedyTail(t *testing.T) {
+	h := mixed(9, 200, 250, 2, 10)
+	res, err := Run(h, rng.New(4), nil, Options{Alpha: 0.3, Tail: TailGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TailUsed != TailGreedy {
+		t.Fatal("wrong tail solver recorded")
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSBLDeterministic(t *testing.T) {
+	h := mixed(11, 150, 200, 2, 9)
+	a, err := Run(h, rng.New(6), nil, Options{Alpha: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(h, rng.New(6), nil, Options{Alpha: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.InIS {
+		if a.InIS[v] != b.InIS[v] {
+			t.Fatal("same seed, different MIS")
+		}
+	}
+}
+
+func TestSBLEdgeless(t *testing.T) {
+	h := hypergraph.NewBuilder(40).MustBuild()
+	res, err := Run(h, rng.New(7), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, in := range res.InIS {
+		if !in {
+			t.Fatalf("vertex %d missing from MIS of edgeless hypergraph", v)
+		}
+	}
+}
+
+func TestSBLFailHardPolicy(t *testing.T) {
+	// Force event B: dimension cap 2 with big edges and p = 0.9 makes a
+	// fully-sampled size-3 edge overwhelmingly likely.
+	h := mixed(13, 60, 100, 3, 6)
+	_, err := Run(h, rng.New(8), nil, Options{
+		Params:   Params{P: 0.9, D: 2, MinVertices: 1},
+		OnEventB: FailHard,
+	})
+	if !errors.Is(err, ErrEventB) {
+		t.Fatalf("got %v, want ErrEventB", err)
+	}
+}
+
+func TestSBLRetryRoundSurvivesEventB(t *testing.T) {
+	// Moderate p with tight cap: retries should eventually find a
+	// conforming sample and the run must still produce a MIS.
+	h := mixed(17, 120, 80, 3, 5)
+	res, err := Run(h, rng.New(9), nil, Options{
+		Params:     Params{P: 0.15, D: 3, MinVertices: 16},
+		RetryLimit: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSBLRestartAllPolicy(t *testing.T) {
+	h := mixed(19, 100, 60, 3, 5)
+	res, err := Run(h, rng.New(10), nil, Options{
+		Params:     Params{P: 0.25, D: 3, MinVertices: 10},
+		OnEventB:   RestartAll,
+		RetryLimit: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSBLCostAccounting(t *testing.T) {
+	h := mixed(23, 100, 150, 2, 8)
+	var cost par.Cost
+	if _, err := Run(h, rng.New(11), &cost, Options{Alpha: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if cost.Work() == 0 || cost.Depth() == 0 || cost.Work() < cost.Depth() {
+		t.Fatalf("bad cost: work=%d depth=%d", cost.Work(), cost.Depth())
+	}
+}
+
+func TestSBLSunflowerAndLinear(t *testing.T) {
+	s := rng.New(29)
+	hs := []*hypergraph.Hypergraph{
+		hypergraph.Sunflower(s, 120, 2, 3, 12),
+		hypergraph.Linear(s, 200, 60, 3),
+		hypergraph.Star(s, 100, 50, 4),
+	}
+	for i, h := range hs {
+		res, err := Run(h, rng.New(uint64(i)), nil, Options{Alpha: 0.3})
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+}
+
+func TestSBLPaperParamsDegenerateToTail(t *testing.T) {
+	// With PaperParams at small n, MinVertices ≈ n: the loop is skipped
+	// and the tail solves everything. The run must still be a MIS.
+	h := mixed(31, 100, 120, 2, 10)
+	prm := PaperParams(100)
+	res, err := Run(h, rng.New(12), nil, Options{Params: prm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+	if !res.DirectBL && res.Rounds > 2 {
+		t.Fatalf("paper params at n=100 should degenerate, ran %d rounds", res.Rounds)
+	}
+}
+
+func BenchmarkSBL(b *testing.B) {
+	h := mixed(1, 1000, 1500, 2, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(h, rng.New(uint64(i)), nil, Options{Alpha: 0.3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSBLRestartsReported(t *testing.T) {
+	// Under RestartAll with forced event B, successful runs should
+	// report how many full restarts were consumed.
+	h := mixed(41, 80, 60, 3, 5)
+	res, err := Run(h, rng.New(14), nil, Options{
+		Params:     Params{P: 0.35, D: 3, MinVertices: 8},
+		OnEventB:   RestartAll,
+		RetryLimit: 2000,
+	})
+	if err != nil {
+		t.Skipf("all restarts failed (acceptable at these hostile params): %v", err)
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+	// Restarts is ≥ 0 and counts attempts before the successful one.
+	if res.Restarts < 0 {
+		t.Fatalf("restarts = %d", res.Restarts)
+	}
+}
+
+func TestSBLStatsRoundsConsistent(t *testing.T) {
+	h := mixed(43, 300, 280, 2, 12)
+	res, err := Run(h, rng.New(15), nil, Options{Alpha: 0.3, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirectBL {
+		t.Skip("took the direct path")
+	}
+	// Undecided counts must be strictly decreasing across rounds and all
+	// rounds must sample within the cap.
+	prev := 1 << 30
+	for _, st := range res.Stats {
+		if st.Undecided >= prev {
+			t.Fatalf("round %d: undecided %d not decreasing (prev %d)", st.Round, st.Undecided, prev)
+		}
+		prev = st.Undecided
+		if st.Undecided-st.Sampled < 0 {
+			t.Fatalf("round %d: sampled %d > undecided %d", st.Round, st.Sampled, st.Undecided)
+		}
+	}
+	if res.TailSize >= res.Params.MinVertices {
+		t.Fatalf("tail size %d ≥ threshold %d", res.TailSize, res.Params.MinVertices)
+	}
+}

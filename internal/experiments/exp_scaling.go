@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// T1 — Theorem 1: SBL total parallel time n^{o(1)}. We measure the PRAM
+// depth of SBL across a size sweep and fit the growth exponent; the
+// claim's finite-n shadow is an exponent visibly below KUW's ~0.5 and
+// shrinking as n grows.
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "t1",
+		Title: "SBL depth scaling (Theorem 1: total time n^{o(1)})",
+		Claim: "SBL runs in n^{o(1)} parallel time on EREW PRAM with poly(m,n) processors",
+		Run:   runT1,
+	})
+}
+
+func runT1(cfg harness.Config) []*harness.Table {
+	trials := trialsOr(cfg.Trials, 3)
+	sizes := sweepSizes(cfg.Quick)
+	tab := &harness.Table{
+		ID:      "t1",
+		Title:   "SBL PRAM depth vs n (mixed edges 2–14, m = 2n, α = 0.3)",
+		Note:    "Theorem 1 predicts depth n^{o(1)}: the fitted exponent must sit below KUW's ≈ ½ and shrink with scale",
+		Columns: []string{"n", "m", "depth(mean)", "depth/log²n", "rounds(mean)", "work(mean)"},
+	}
+	var ns []int
+	var depths []float64
+	for _, n := range sizes {
+		var ds, ws, rs []float64
+		for t := 0; t < trials; t++ {
+			h := generalInstance(rng.New(cfg.Seed+uint64(1000*n+t)), n, 14, 2)
+			d, w, r, _, err := runSBLDepth(h, cfg.Seed+uint64(t))
+			if err != nil {
+				cfg.Logf("t1: n=%d trial %d: %v", n, t, err)
+				continue
+			}
+			ds = append(ds, float64(d))
+			ws = append(ws, float64(w))
+			rs = append(rs, float64(r))
+		}
+		if len(ds) == 0 {
+			continue
+		}
+		sd := stats.Summarize(ds)
+		logn := mathx.Log2(float64(n))
+		tab.AddRow(fmtI(n), fmtI(2*n), fmtF(sd.Mean),
+			fmtF(sd.Mean/(logn*logn)),
+			fmtF(stats.Summarize(rs).Mean), fmtF(stats.Summarize(ws).Mean))
+		ns = append(ns, n)
+		depths = append(depths, sd.Mean)
+		cfg.Logf("t1: n=%d done", n)
+	}
+	fit := &harness.Table{
+		ID: "t1", Title: "Fitted depth growth exponent",
+		Note:    "paper: o(1) asymptotically; at finite n the α=0.3 parameterization bounds rounds by 2·n^0.3·log n",
+		Columns: []string{"series", "exponent e in depth ~ n^e"},
+	}
+	fit.AddRow("SBL depth", fitExponent(ns, depths))
+	return []*harness.Table{tab, fit}
+}
+
+// T2 — the round bound of Section 2.2 claim (1): SBL executes at most
+// r = 2·log(n)/p rounds w.h.p., because each round colors ≥ p·n_i/2
+// vertices except with probability e^{−1/(8p)} (event A).
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "t2",
+		Title: "SBL round count vs the 2·log(n)/p bound (claim 1, §2.2)",
+		Claim: "rounds ≤ 2·log(n)/p w.h.p.; per-round removals ≥ p·n_i/2 (Chernoff, Lemma 1)",
+		Run:   runT2,
+	})
+}
+
+func runT2(cfg harness.Config) []*harness.Table {
+	trials := trialsOr(cfg.Trials, 5)
+	sizes := sweepSizes(cfg.Quick)
+	tab := &harness.Table{
+		ID:      "t2",
+		Title:   "SBL rounds: measured vs bound (α = 0.3)",
+		Note:    "every row must satisfy max(rounds) ≤ bound; eventA counts rounds that removed < p·n_i/2 vertices",
+		Columns: []string{"n", "p", "bound 2logn/p", "rounds mean", "rounds max", "eventA rounds", "total rounds"},
+	}
+	for _, n := range sizes {
+		prm := core.DeriveParams(n, 2*n, sblAlpha)
+		bound := core.ExpectedRounds(n, prm.P)
+		var rounds []float64
+		eventA, total := 0, 0
+		for t := 0; t < trials; t++ {
+			h := generalInstance(rng.New(cfg.Seed+uint64(2000*n+t)), n, 14, 2)
+			res, err := core.Run(h, rng.New(cfg.Seed+uint64(t)), nil,
+				core.Options{Alpha: sblAlpha, CollectStats: true})
+			if err != nil {
+				cfg.Logf("t2: n=%d trial %d: %v", n, t, err)
+				continue
+			}
+			rounds = append(rounds, float64(res.Rounds))
+			for _, st := range res.Stats {
+				total++
+				if st.EventA {
+					eventA++
+				}
+			}
+		}
+		if len(rounds) == 0 {
+			continue
+		}
+		s := stats.Summarize(rounds)
+		tab.AddRow(fmtI(n), fmtF(prm.P), fmtF(bound), fmtF(s.Mean), fmtF(s.Max),
+			fmtI(eventA), fmtI(total))
+		cfg.Logf("t2: n=%d done", n)
+	}
+	return []*harness.Table{tab}
+}
+
+// T11 — work bound: Theorem 1 claims poly(m,n) processors; measured
+// total work and its growth exponent confirm polynomial (in fact
+// near-linear-per-round) work for all solvers.
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "t11",
+		Title: "PRAM work bounds across solvers (poly(m,n) processors)",
+		Claim: "SBL and its subroutines use poly(m,n) processors / work",
+		Run:   runT11,
+	})
+}
+
+func runT11(cfg harness.Config) []*harness.Table {
+	trials := trialsOr(cfg.Trials, 3)
+	sizes := sweepSizes(cfg.Quick)
+	tab := &harness.Table{
+		ID:      "t11",
+		Title:   "Total PRAM work and parallelism (work/depth)",
+		Note:    "polynomial work exponents certify the poly(m,n) processor bound; work/depth is the average usable parallelism",
+		Columns: []string{"n", "SBL work", "SBL work/depth", "KUW work", "KUW work/depth", "greedy work(seq)"},
+	}
+	var ns []int
+	var sblW, kuwW []float64
+	for _, n := range sizes {
+		var sw, sd, kw, kd, gw []float64
+		for t := 0; t < trials; t++ {
+			h := generalInstance(rng.New(cfg.Seed+uint64(3000*n+t)), n, 14, 2)
+			d, w, _, _, err := runSBLDepth(h, cfg.Seed+uint64(t))
+			if err == nil {
+				sw = append(sw, float64(w))
+				sd = append(sd, float64(d))
+			}
+			dk, wk, _, err := runKUWDepth(h, cfg.Seed+uint64(t))
+			if err == nil {
+				kw = append(kw, float64(wk))
+				kd = append(kd, float64(dk))
+			}
+			if g, err := runGreedyDepth(h); err == nil {
+				gw = append(gw, float64(g))
+			}
+		}
+		if len(sw) == 0 || len(kw) == 0 {
+			continue
+		}
+		msw, msd := stats.Summarize(sw).Mean, stats.Summarize(sd).Mean
+		mkw, mkd := stats.Summarize(kw).Mean, stats.Summarize(kd).Mean
+		tab.AddRow(fmtI(n), fmtF(msw), fmtF(msw/msd), fmtF(mkw), fmtF(mkw/mkd),
+			fmtF(stats.Summarize(gw).Mean))
+		ns = append(ns, n)
+		sblW = append(sblW, msw)
+		kuwW = append(kuwW, mkw)
+		cfg.Logf("t11: n=%d done", n)
+	}
+	fit := &harness.Table{
+		ID: "t11", Title: "Work growth exponents",
+		Columns: []string{"series", "exponent e in work ~ n^e"},
+	}
+	fit.AddRow("SBL", fitExponent(ns, sblW))
+	fit.AddRow("KUW", fitExponent(ns, kuwW))
+	return []*harness.Table{tab, fit}
+}
+
+// F1 — the headline comparison: SBL's depth grows as n^{o(1)} against
+// KUW's O(√n·(log n + log m)). We produce the log-log series for both
+// (plus the sequential baseline) and the fitted exponents; "who wins and
+// where the crossover falls" is the figure the paper's introduction
+// implies.
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "f1",
+		Title: "Depth crossover: SBL vs KUW vs sequential (headline, §1)",
+		Claim: "SBL is the first o(√n)-time algorithm for general hypergraphs with m ≤ n^{log(2)n/(8(log(3)n)²)}",
+		Run:   runF1,
+	})
+}
+
+func runF1(cfg harness.Config) []*harness.Table {
+	trials := trialsOr(cfg.Trials, 3)
+	sizes := sweepSizes(cfg.Quick)
+	tab := &harness.Table{
+		ID:      "f1",
+		Title:   "Depth series (log-log figure data; mixed edges 2–14, m = 2n)",
+		Note:    "KUW's exponent should sit near ½ (its Θ(√m) blocking behaviour); SBL's below it — the paper's separation",
+		Columns: []string{"n", "SBL depth", "KUW depth", "greedy time", "SBL rounds", "KUW rounds"},
+	}
+	var ns []int
+	var sblD, kuwD, sblR, kuwR []float64
+	for _, n := range sizes {
+		var sd, kd, gd, sr, kr []float64
+		for t := 0; t < trials; t++ {
+			h := generalInstance(rng.New(cfg.Seed+uint64(4000*n+t)), n, 14, 2)
+			d, _, r, _, err := runSBLDepth(h, cfg.Seed+uint64(t))
+			if err != nil {
+				cfg.Logf("f1: sbl n=%d: %v", n, err)
+				continue
+			}
+			dk, _, rk, err := runKUWDepth(h, cfg.Seed+uint64(t)+7)
+			if err != nil {
+				continue
+			}
+			g, err := runGreedyDepth(h)
+			if err != nil {
+				continue
+			}
+			sd = append(sd, float64(d))
+			kd = append(kd, float64(dk))
+			gd = append(gd, float64(g))
+			sr = append(sr, float64(r))
+			kr = append(kr, float64(rk))
+		}
+		if len(sd) == 0 {
+			continue
+		}
+		tab.AddRow(fmtI(n),
+			fmtF(stats.Summarize(sd).Mean), fmtF(stats.Summarize(kd).Mean),
+			fmtF(stats.Summarize(gd).Mean),
+			fmtF(stats.Summarize(sr).Mean), fmtF(stats.Summarize(kr).Mean))
+		ns = append(ns, n)
+		sblD = append(sblD, stats.Summarize(sd).Mean)
+		kuwD = append(kuwD, stats.Summarize(kd).Mean)
+		sblR = append(sblR, stats.Summarize(sr).Mean)
+		kuwR = append(kuwR, stats.Summarize(kr).Mean)
+		cfg.Logf("f1: n=%d done", n)
+	}
+	fit := &harness.Table{
+		ID: "f1", Title: "Fitted exponents (the figure's slopes)",
+		Note: "rounds are the theory-level comparison: SBL's bound is 2·n^α·log n (slope ≈ α + log-term, α = 0.3 here), " +
+			"KUW's is Θ(√n)-like (slope ≈ 0.5); depth adds per-round polylog overheads to both",
+		Columns: []string{"series", "exponent e in y ~ n^e"},
+	}
+	fit.AddRow("SBL depth", fitExponent(ns, sblD))
+	fit.AddRow("KUW depth", fitExponent(ns, kuwD))
+	fit.AddRow("SBL rounds", fitExponent(ns, sblR))
+	fit.AddRow("KUW rounds", fitExponent(ns, kuwR))
+	// Crossover estimate: first size where SBL's depth beats KUW's.
+	cross := "none in sweep"
+	for i := range ns {
+		if sblD[i] < kuwD[i] {
+			cross = fmt.Sprintf("n = %d", ns[i])
+			break
+		}
+	}
+	fit.AddRow("crossover (SBL < KUW)", cross)
+	return []*harness.Table{tab, fit}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/concentration"
+	"repro/internal/harness"
+	"repro/internal/hypergraph"
+	"repro/internal/mathx"
+	"repro/internal/potential"
+	"repro/internal/rng"
+)
+
+// T8 — the recurrence feasibility sweep of §3.1: Kelsen's f(+7) fails
+// the induction for super-constant d (the k = j+1 exponent collapses to
+// −1, reducing the claim to 2^{d(d+1)} < 1), while the paper's f(+d²)
+// satisfies Lemma 6, the feasibility inequality, the dimension
+// condition d(d+1) ≤ loglog n·(d²−8), and F(i) ≤ d²(i+2)!.
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "t8",
+		Title: "Recurrence feasibility: Kelsen f(+7) vs paper f(+d²) (§3.1)",
+		Claim: "the modified recurrence makes the potential induction go through for d ≤ log(2)n/(4·log(3)n); Kelsen's does not",
+		Run:   runT8,
+	})
+}
+
+func runT8(cfg harness.Config) []*harness.Table {
+	main := &harness.Table{
+		ID:      "t8",
+		Title:   "Induction feasibility across scales (logN = log₂ n; d from the Theorem 2 cap unless noted)",
+		Note:    "paper's table must become feasible once logN is large enough for its d; Kelsen's must stay infeasible",
+		Columns: []string{"logN", "cap d", "d used", "Kelsen feasible", "paper feasible", "dim cond", "Lemma 6 (paper)", "F_paper(d)"},
+	}
+	logNs := []float64{8, 16, 64, 256, 4096, 1 << 16, 1 << 24}
+	if cfg.Quick {
+		logNs = []float64{16, 256, 4096}
+	}
+	for _, logN := range logNs {
+		cap := potential.TheoremDBound(logN)
+		d := int(cap)
+		if d < 3 {
+			d = 3
+		}
+		kel := potential.KelsenTable(d)
+		pap := potential.PaperTable(d)
+		l6, _, _ := pap.Lemma6Holds(d)
+		main.AddRow(fmtF(logN), fmtF(cap), fmtI(d),
+			boolCell(kel.Feasible(logN, d)), boolCell(pap.Feasible(logN, d)),
+			boolCell(potential.DimensionCondition(logN, d)),
+			boolCell(l6), fmtF(pap.F[d]))
+	}
+
+	// Kelsen's breakpoint inequality 2^{d(d+1)} ≤ logn/(logn+2loglogn):
+	// false everywhere — the paper's observation, tabulated.
+	bp := &harness.Table{
+		ID:      "t8",
+		Title:   "Kelsen reduced claim at k = j+1 (must be false for all d ≥ 1)",
+		Columns: []string{"logN", "d", "2^{d(d+1)} ≤ logn/(logn+2loglogn)"},
+	}
+	for _, logN := range []float64{16, 4096, 1 << 24} {
+		for _, d := range []int{1, 3, 6} {
+			bp.AddRow(fmtF(logN), fmtI(d), boolCell(potential.KelsenBreakpoint(logN, d)))
+		}
+	}
+
+	// §4.1: the minimal-F lower bound — F(j) ≥ F(j−1)·j + 5 is forced
+	// even with the Kim–Vu factor; both factorial tables satisfy it,
+	// polynomial tables cannot.
+	lower := &harness.Table{
+		ID:      "t8",
+		Title:   "§4.1 necessary condition F(j) ≥ F(j−1)·j + 5",
+		Note:    "the paper's point: no concentration-bound improvement alone beats roughly-factorial exponents",
+		Columns: []string{"table", "first violating j (0 = none)"},
+	}
+	d := 8
+	lower.AddRow("Kelsen f(+7)", fmtI(potential.Section41MinimalF(potential.KelsenTable(d).F)))
+	lower.AddRow("paper f(+d²)", fmtI(potential.Section41MinimalF(potential.PaperTable(d).F)))
+	poly := make([]float64, d+1)
+	for i := range poly {
+		poly[i] = float64(i * i * i)
+	}
+	lower.AddRow("cubic F (hypothetical)", fmtI(potential.Section41MinimalF(poly)))
+
+	// Factorial envelope F(i) ≤ d²(i+2)! (used for the (d+4)! bound).
+	env := &harness.Table{
+		ID:      "t8",
+		Title:   "Envelope F(i) ≤ d²·(i+2)! (paper recurrence)",
+		Columns: []string{"d", "holds"},
+	}
+	for _, dd := range []int{3, 5, 8, 12} {
+		env.AddRow(fmtI(dd), boolCell(potential.PaperTable(dd).FactorialBoundHolds(dd)))
+	}
+	return []*harness.Table{main, bp, lower, env}
+}
+
+func boolCell(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// T9 — concentration tails: Kelsen's Theorem 3 / Corollary 1 thresholds
+// versus the Kim–Vu (Corollary 3) thresholds versus the measured tail of
+// S(H,w,p). The bounds should hold with room to spare (they are
+// worst-case); the experiment quantifies how much sharper Kim–Vu is.
+func init() {
+	harness.Register(harness.Experiment{
+		ID:    "t9",
+		Title: "Concentration tails: Kelsen vs Kim–Vu vs Monte Carlo (Thm 3, Cor 1/3)",
+		Claim: "Pr[S > k(H)·D] < p(H) (Kelsen); Pr[S > (1+a_r λ^r)·Δ^j] ≤ 2e²e^{−λ}n^{r−1} (Kim–Vu)",
+		Run:   runT9,
+	})
+}
+
+func runT9(cfg harness.Config) []*harness.Table {
+	trials := trialsOr(cfg.Trials, 20000)
+	n := 256
+	if cfg.Quick {
+		n, trials = 128, 4000
+	}
+	tab := &harness.Table{
+		ID:      "t9",
+		Title:   "Tail of S(H,w,p) on random d-uniform hypergraphs (unit weights)",
+		Note:    "max/D shows the true concentration; both analytic thresholds must never be exceeded empirically",
+		Columns: []string{"d", "p", "E[S]", "D", "emp max/D", "Kelsen thr/D (δ=log²n)", "KimVu thr/D (λ=log²n)", "exceed either"},
+	}
+	for _, d := range []int{2, 3, 4} {
+		h := hypergraph.RandomUniform(rng.New(cfg.Seed+uint64(d)), n, 3*n, d)
+		w := concentration.FromHypergraph(h)
+		tabDeg := hypergraph.BuildDegreeTable(h)
+		p := 1.0 / (math.Pow(2, float64(d+1)) * tabDeg.Delta())
+		dVal := w.D(p)
+		logn := mathx.Log2(float64(n))
+		delta := logn * logn
+		kelsenThr := concentration.KelsenK(n, d, delta) * dVal
+		// Kim–Vu style threshold against D as the base quantity with
+		// r = d−1 (full-edge collapse) and λ = log²n.
+		r := d - 1
+		if r < 1 {
+			r = 1
+		}
+		kvThr := concentration.KimVuThresholdFactor(r, delta) * dVal
+		thr := math.Min(kelsenThr, kvThr)
+		res := concentration.MonteCarloTail(w, p, thr, trials, rng.New(cfg.Seed+uint64(100+d)))
+		tab.AddRow(fmtI(d), fmtF(p), fmtF(w.Expectation(p)), fmtF(dVal),
+			fmtF(res.Max/dVal), fmtF(kelsenThr/dVal), fmtF(kvThr/dVal),
+			fmtI(res.Exceed))
+		cfg.Logf("t9: d=%d done", d)
+	}
+	bounds := &harness.Table{
+		ID:      "t9",
+		Title:   "Analytic failure probabilities at δ = λ = log²n (often vacuous at small n — reported honestly)",
+		Columns: []string{"d", "Kelsen p(H)", "KimVu tail", "Cor1 threshold/D"},
+	}
+	for _, d := range []int{2, 3, 4} {
+		logn := mathx.Log2(float64(n))
+		delta := logn * logn
+		r := d - 1
+		if r < 1 {
+			r = 1
+		}
+		bounds.AddRow(fmtI(d),
+			fmtF(concentration.KelsenTailProb(n, d, 3*n, delta)),
+			fmtF(concentration.KimVuTailProb(n, r, delta)),
+			fmtF(concentration.KelsenCorollary1Threshold(n, d, 1)))
+	}
+	return []*harness.Table{tab, bounds}
+}

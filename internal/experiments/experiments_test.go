@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/hypergraph"
+	"repro/internal/rng"
+)
+
+// TestRegistryComplete asserts every experiment in DESIGN.md §5 is
+// registered.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9",
+		"t10", "t11", "t12", "t13", "t14", "t15", "f1", "f2"}
+	for _, id := range want {
+		if _, ok := harness.Get(id); !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+	}
+}
+
+// TestAllExperimentsSmoke runs every experiment in quick mode with
+// minimal trials: every one must produce at least one table with rows
+// and render without panicking.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs take ~1 min")
+	}
+	cfg := harness.Config{Seed: 7, Trials: 1, Quick: true}
+	for _, e := range harness.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tables := e.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			var buf bytes.Buffer
+			rows := 0
+			for _, tab := range tables {
+				tab.Render(&buf)
+				rows += len(tab.Rows)
+			}
+			if rows == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if !strings.Contains(buf.String(), strings.ToUpper(e.ID)) {
+				t.Fatalf("%s render missing id header", e.ID)
+			}
+		})
+	}
+}
+
+func TestGeneralInstanceWithinEdgeBudget(t *testing.T) {
+	h := generalInstance(rng.New(1), 1024, 10, 2)
+	if h.N() != 1024 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if h.M() == 0 || h.M() > 2048 {
+		t.Fatalf("m = %d", h.M())
+	}
+	if h.Dim() > 10 {
+		t.Fatalf("dim = %d", h.Dim())
+	}
+}
+
+func TestRunDepthHelpers(t *testing.T) {
+	h := generalInstance(rng.New(2), 128, 6, 2)
+	d, w, _, _, err := runSBLDepth(h, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || w < d {
+		t.Fatalf("depth=%d work=%d", d, w)
+	}
+	dk, wk, rk, err := runKUWDepth(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dk <= 0 || wk < dk || rk <= 0 {
+		t.Fatalf("kuw depth=%d work=%d rounds=%d", dk, wk, rk)
+	}
+	g, err := runGreedyDepth(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < int64(h.N()) {
+		t.Fatalf("greedy work %d below n", g)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	cases := map[float64]string{}
+	_ = cases
+	if fmtF(1.0/3) == "" || fmtI(7) != "7" {
+		t.Fatal("formatting broken")
+	}
+	if got := fmtF(1e9); !strings.Contains(got, "e+") {
+		t.Fatalf("large float format: %s", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := geoMean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Fatalf("geoMean = %v", g)
+	}
+	if geoMean(nil) != 0 {
+		t.Fatal("empty geoMean")
+	}
+}
+
+func TestCountHelper(t *testing.T) {
+	if count([]bool{true, false, true}) != 2 {
+		t.Fatal("count broken")
+	}
+}
+
+func TestBoolCell(t *testing.T) {
+	if boolCell(true) != "yes" || boolCell(false) != "no" {
+		t.Fatal("boolCell broken")
+	}
+}
+
+var _ = hypergraph.Edge{} // keep the import used under future edits

@@ -1,0 +1,149 @@
+package greedy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hypergraph"
+	"repro/internal/rng"
+)
+
+func TestRunTriangle(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddEdge(0, 1, 2).MustBuild()
+	res := Run(h, nil)
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+	// Greedy in order 0,1,2 adds 0 and 1, rejects 2.
+	if !res.InIS[0] || !res.InIS[1] || res.InIS[2] {
+		t.Fatalf("got %v", res.InIS)
+	}
+	if res.Size != 2 || res.Rejected != 1 {
+		t.Fatalf("size=%d rejected=%d", res.Size, res.Rejected)
+	}
+}
+
+func TestRunSingletonEdgeBlocks(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddEdge(1).MustBuild()
+	res := Run(h, nil)
+	if res.InIS[1] {
+		t.Fatal("vertex with singleton edge joined the IS")
+	}
+	if !res.InIS[0] || !res.InIS[2] {
+		t.Fatal("free vertices must join")
+	}
+}
+
+func TestRunEdgeless(t *testing.T) {
+	h := hypergraph.NewBuilder(5).MustBuild()
+	res := Run(h, nil)
+	if res.Size != 5 {
+		t.Fatalf("size = %d", res.Size)
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAlwaysMIS(t *testing.T) {
+	s := rng.New(1)
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + s.Intn(60)
+		m := s.Intn(120)
+		h := hypergraph.RandomMixed(s, n, m+1, 2, 5)
+		res := Run(h, nil)
+		if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, h, err)
+		}
+	}
+}
+
+func TestRunPermAlwaysMIS(t *testing.T) {
+	s := rng.New(2)
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + s.Intn(60)
+		h := hypergraph.RandomMixed(s, n, 1+s.Intn(100), 2, 4)
+		res := RunPerm(h, nil, s)
+		if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRunActiveSubset(t *testing.T) {
+	// Edge {0,1}; only vertex 0 active: 0 joins (1 can't complete the edge).
+	h := hypergraph.NewBuilder(2).AddEdge(0, 1).MustBuild()
+	active := []bool{true, false}
+	res := Run(h, active)
+	if !res.InIS[0] {
+		t.Fatal("active vertex with uncompletable edge rejected")
+	}
+	if res.InIS[1] {
+		t.Fatal("inactive vertex added")
+	}
+}
+
+func TestRunActiveEdgeInside(t *testing.T) {
+	// Edge {0,1} with both active: second is rejected.
+	h := hypergraph.NewBuilder(3).AddEdge(0, 1).MustBuild()
+	active := []bool{true, true, false}
+	res := Run(h, active)
+	if !res.InIS[0] || res.InIS[1] {
+		t.Fatalf("got %v", res.InIS)
+	}
+}
+
+func TestRunOrderRespectsOrder(t *testing.T) {
+	h := hypergraph.NewBuilder(2).AddEdge(0, 1).MustBuild()
+	res := RunOrder(h, nil, []hypergraph.V{1, 0})
+	if !res.InIS[1] || res.InIS[0] {
+		t.Fatalf("order ignored: %v", res.InIS)
+	}
+}
+
+func TestGreedyIndependenceProperty(t *testing.T) {
+	s := rng.New(3)
+	check := func(seed uint16) bool {
+		st := s.Child(uint64(seed))
+		h := hypergraph.RandomMixed(st, 30, 50, 2, 4)
+		res := RunPerm(h, nil, st)
+		return hypergraph.VerifyMIS(h, res.InIS) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	s := rng.New(4)
+	h := hypergraph.RandomMixed(s, 50, 80, 2, 4)
+	a := RunPerm(h, nil, rng.New(7))
+	b := RunPerm(h, nil, rng.New(7))
+	for i := range a.InIS {
+		if a.InIS[i] != b.InIS[i] {
+			t.Fatal("same seed, different MIS")
+		}
+	}
+}
+
+func TestCompleteHypergraphISSize(t *testing.T) {
+	// Complete 3-uniform on 6 vertices: any 2 vertices independent, any 3
+	// contain an edge → MIS size exactly 2.
+	h := hypergraph.Complete(6, 6, 3)
+	res := Run(h, nil)
+	if res.Size != 2 {
+		t.Fatalf("MIS of complete 3-uniform K6 has size %d, want 2", res.Size)
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	s := rng.New(1)
+	h := hypergraph.RandomMixed(s, 10000, 20000, 2, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(h, nil)
+	}
+}

@@ -1,0 +1,169 @@
+// Package harness is the experiment framework: a registry of named
+// experiments (one per table/figure in DESIGN.md §5), a sweep
+// configuration, and plain-text / CSV table rendering. The cmd/experiments
+// binary and the root bench suite both drive experiments through this
+// package, so the rows printed by `go test -bench` and by
+// `experiments <id>` are produced by the same code.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed makes the whole experiment deterministic.
+	Seed uint64
+	// Trials is the number of repetitions per parameter point (each
+	// experiment documents its own default when 0).
+	Trials int
+	// Quick shrinks sweeps for smoke runs (bench mode, CI).
+	Quick bool
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// Logf writes a progress line if a log sink is configured.
+func (c Config) Logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // experiment id, e.g. "t1"
+	Title   string
+	Note    string // provenance: what paper claim this regenerates
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; cell counts should match Columns.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes an aligned plain-text table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s\n", strings.ToUpper(t.ID), t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "   %s\n", t.Note)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, cell)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as CSV (no quoting needed: cells are
+// numeric or simple identifiers by construction).
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Experiment is a registered table/figure generator.
+type Experiment struct {
+	ID    string // "t1" … "t12", "f1", "f2"
+	Title string
+	Claim string // the paper claim being regenerated
+	Run   func(cfg Config) []*Table
+}
+
+var (
+	mu       sync.Mutex
+	registry = map[string]Experiment{}
+)
+
+// Register adds an experiment; duplicate IDs panic (programmer error).
+func Register(e Experiment) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	e, ok := registry[strings.ToLower(id)]
+	return e, ok
+}
+
+// All returns every experiment sorted by ID (t-series then f-series,
+// numerically).
+func All() []Experiment {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// idLess orders experiment ids like t1 < t2 < … < t10 < f1 < f2.
+func idLess(a, b string) bool {
+	ka, na := splitID(a)
+	kb, nb := splitID(b)
+	if ka != kb {
+		return ka < kb // "f" < "t": keep t-series after? We want t first.
+	}
+	return na < nb
+}
+
+func splitID(id string) (kind string, num int) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	kind = id[:i]
+	fmt.Sscanf(id[i:], "%d", &num)
+	// Order t-series before f-series by mapping: t -> "a", f -> "b".
+	switch kind {
+	case "t":
+		kind = "a"
+	case "f":
+		kind = "b"
+	}
+	return kind, num
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "t1", Title: "demo", Note: "a note",
+		Columns: []string{"n", "value"},
+	}
+	tab.AddRow("1024", "3.5")
+	tab.AddRow("2048", "4.25")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"T1", "demo", "a note", "1024", "4.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tab := &Table{ID: "x", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	tab.RenderCSV(&buf)
+	if got := buf.String(); got != "a,b\n1,2\n" {
+		t.Fatalf("csv = %q", got)
+	}
+}
+
+func TestRegistryOrdering(t *testing.T) {
+	// Register in scrambled order with unique ids; All() must sort
+	// t-series numerically before f-series.
+	for _, id := range []string{"t91", "f92", "t90", "f91"} {
+		Register(Experiment{ID: id, Run: func(Config) []*Table { return nil }})
+	}
+	var seq []string
+	for _, e := range All() {
+		switch e.ID {
+		case "t90", "t91", "f91", "f92":
+			seq = append(seq, e.ID)
+		}
+	}
+	want := []string{"t90", "t91", "f91", "f92"}
+	if len(seq) != 4 {
+		t.Fatalf("got %v", seq)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("order %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	Register(Experiment{ID: "t99", Run: func(Config) []*Table { return nil }})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(Experiment{ID: "t99", Run: func(Config) []*Table { return nil }})
+}
+
+func TestGetCaseInsensitive(t *testing.T) {
+	Register(Experiment{ID: "t98", Title: "x", Run: func(Config) []*Table { return nil }})
+	if _, ok := Get("T98"); !ok {
+		t.Fatal("Get should be case-insensitive")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestConfigLogf(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Log: &buf}
+	cfg.Logf("hello %d", 42)
+	if !strings.Contains(buf.String(), "hello 42") {
+		t.Fatal("Logf did not write")
+	}
+	// nil log must not panic.
+	Config{}.Logf("discarded")
+}

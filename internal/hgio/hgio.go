@@ -1,0 +1,223 @@
+// Package hgio serializes hypergraphs and vertex sets. Two formats:
+//
+// Text (the CLI interchange format): line-oriented, human-editable.
+//
+//	hypergraph <n> <m>
+//	v1 v2 v3        # one edge per line, space-separated vertex ids
+//	...
+//
+// Binary: a compact varint encoding for large instances (magic "HGB1",
+// then n, m, then each edge as a length-prefixed delta-encoded vertex
+// list). Canonical form (sorted edges) makes delta encoding effective.
+//
+// Vertex-set files (MIS certificates) are one vertex id per line.
+package hgio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/hypergraph"
+)
+
+// WriteText emits the text format.
+func WriteText(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "hypergraph %d %d\n", h.N(), h.M()); err != nil {
+		return err
+	}
+	for _, e := range h.Edges() {
+		for i, v := range e {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(v))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format. Blank lines and '#' comments are
+// permitted after the header. The edge count in the header must match.
+func ReadText(r io.Reader) (*hypergraph.Hypergraph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("hgio: empty input")
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(strings.TrimSpace(sc.Text()), "hypergraph %d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("hgio: bad header %q: %w", sc.Text(), err)
+	}
+	b := hypergraph.NewBuilder(n)
+	edges := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		e := make(hypergraph.Edge, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("hgio: bad vertex %q", f)
+			}
+			e = append(e, hypergraph.V(v))
+		}
+		b.AddEdgeSlice(e)
+		edges++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if edges != m {
+		return nil, fmt.Errorf("hgio: header declares %d edges, found %d", m, edges)
+	}
+	return b.Build()
+}
+
+// binaryMagic identifies the binary format, versioned.
+const binaryMagic = "HGB1"
+
+// WriteBinary emits the compact varint format.
+func WriteBinary(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) error {
+		k := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	if err := putUvarint(uint64(h.N())); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(h.M())); err != nil {
+		return err
+	}
+	for _, e := range h.Edges() {
+		if err := putUvarint(uint64(len(e))); err != nil {
+			return err
+		}
+		prev := uint64(0)
+		for i, v := range e {
+			// Delta encoding exploits sortedness: first vertex absolute,
+			// the rest as gaps ≥ 1.
+			cur := uint64(v)
+			if i == 0 {
+				if err := putUvarint(cur); err != nil {
+					return err
+				}
+			} else {
+				if err := putUvarint(cur - prev); err != nil {
+					return err
+				}
+			}
+			prev = cur
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary(r io.Reader) (*hypergraph.Hypergraph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("hgio: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("hgio: bad magic %q", magic)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	m, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<31 || m > 1<<31 {
+		return nil, fmt.Errorf("hgio: implausible sizes n=%d m=%d", n, m)
+	}
+	b := hypergraph.NewBuilder(int(n))
+	for i := uint64(0); i < m; i++ {
+		k, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("hgio: edge %d size: %w", i, err)
+		}
+		if k == 0 || k > n {
+			return nil, fmt.Errorf("hgio: edge %d has implausible size %d", i, k)
+		}
+		e := make(hypergraph.Edge, k)
+		prev := uint64(0)
+		for j := uint64(0); j < k; j++ {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("hgio: edge %d vertex %d: %w", i, j, err)
+			}
+			if j == 0 {
+				prev = d
+			} else {
+				prev += d
+			}
+			e[j] = hypergraph.V(prev)
+		}
+		b.AddEdgeSlice(e)
+	}
+	return b.Build()
+}
+
+// WriteVertexSet emits a vertex mask as one id per line (ascending).
+func WriteVertexSet(w io.Writer, mask []bool) error {
+	bw := bufio.NewWriter(w)
+	for v, in := range mask {
+		if in {
+			if _, err := fmt.Fprintln(bw, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadVertexSet parses one id per line into a mask of length n.
+func ReadVertexSet(r io.Reader, n int) ([]bool, error) {
+	mask := make([]bool, n)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("hgio: bad vertex %q", line)
+		}
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("hgio: vertex %d out of range [0,%d)", v, n)
+		}
+		mask[v] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return mask, nil
+}

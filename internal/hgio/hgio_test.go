@@ -1,0 +1,180 @@
+package hgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hypergraph"
+	"repro/internal/rng"
+)
+
+func roundTripText(t *testing.T, h *hypergraph.Hypergraph) *hypergraph.Hypergraph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func roundTripBinary(t *testing.T, h *hypergraph.Hypergraph) *hypergraph.Hypergraph {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func equalHypergraphs(a, b *hypergraph.Hypergraph) bool {
+	if a.N() != b.N() || a.M() != b.M() || a.Dim() != b.Dim() {
+		return false
+	}
+	for i := range a.Edges() {
+		ea, eb := a.Edge(i), b.Edge(i)
+		if len(ea) != len(eb) {
+			return false
+		}
+		for j := range ea {
+			if ea[j] != eb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	h := hypergraph.NewBuilder(10).AddEdge(0, 5).AddEdge(1, 2, 9).MustBuild()
+	if !equalHypergraphs(h, roundTripText(t, h)) {
+		t.Fatal("text round trip mismatch")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	h := hypergraph.NewBuilder(10).AddEdge(0, 5).AddEdge(1, 2, 9).MustBuild()
+	if !equalHypergraphs(h, roundTripBinary(t, h)) {
+		t.Fatal("binary round trip mismatch")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := rng.New(1)
+	check := func(seed uint16) bool {
+		st := s.Child(uint64(seed))
+		h := hypergraph.RandomMixed(st, 20+st.Intn(60), 1+st.Intn(80), 2, 5)
+		return equalHypergraphs(h, roundTripText(t, h)) &&
+			equalHypergraphs(h, roundTripBinary(t, h))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyHypergraphRoundTrip(t *testing.T) {
+	h := hypergraph.NewBuilder(5).MustBuild()
+	if got := roundTripText(t, h); got.N() != 5 || got.M() != 0 {
+		t.Fatal("empty text round trip")
+	}
+	if got := roundTripBinary(t, h); got.N() != 5 || got.M() != 0 {
+		t.Fatal("empty binary round trip")
+	}
+}
+
+func TestReadTextComments(t *testing.T) {
+	in := "hypergraph 4 2\n# comment\n0 1\n\n2 3\n"
+	h, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.M() != 2 {
+		t.Fatalf("m = %d", h.M())
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"",                         // empty
+		"nonsense\n",               // bad header
+		"hypergraph 3 2\n0 1\n",    // count mismatch
+		"hypergraph 3 1\n0 x\n",    // bad vertex
+		"hypergraph 3 1\n0 1 99\n", // out of range (builder rejects)
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("HGB1")); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// Valid magic, absurd n.
+	var buf bytes.Buffer
+	buf.WriteString("HGB1")
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // huge uvarint
+	buf.WriteByte(0)
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("implausible n accepted")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	s := rng.New(2)
+	h := hypergraph.RandomUniform(s, 5000, 8000, 4)
+	var tb, bb bytes.Buffer
+	if err := WriteText(&tb, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bb, h); err != nil {
+		t.Fatal(err)
+	}
+	if bb.Len() >= tb.Len() {
+		t.Fatalf("binary (%d) not smaller than text (%d)", bb.Len(), tb.Len())
+	}
+}
+
+func TestVertexSetRoundTrip(t *testing.T) {
+	mask := []bool{true, false, true, true, false}
+	var buf bytes.Buffer
+	if err := WriteVertexSet(&buf, mask); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVertexSet(&buf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mask {
+		if got[i] != mask[i] {
+			t.Fatalf("mask mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadVertexSetErrors(t *testing.T) {
+	if _, err := ReadVertexSet(strings.NewReader("abc\n"), 3); err == nil {
+		t.Fatal("bad id accepted")
+	}
+	if _, err := ReadVertexSet(strings.NewReader("7\n"), 3); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	got, err := ReadVertexSet(strings.NewReader("# only a comment\n"), 3)
+	if err != nil || got[0] || got[1] || got[2] {
+		t.Fatal("comment-only set should be empty")
+	}
+}

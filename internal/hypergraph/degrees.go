@@ -1,0 +1,244 @@
+package hypergraph
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// This file computes the degree structures from Section 3 of the paper.
+// For a nonempty vertex set x and 1 ≤ j ≤ d − |x|:
+//
+//	N_j(x,H) = { y ⊆ V : x ∪ y ∈ E, x ∩ y = ∅, |y| = j }
+//	d_j(x,H) = |N_j(x,H)|^{1/j}            (normalized degree)
+//	Δ_i(H)   = max{ d_{i−|x|}(x,H) : x ⊆ V, 0 < |x| < i }
+//	Δ(H)     = max{ Δ_i(H) : 2 ≤ i ≤ d }
+//
+// Only subsets x that are contained in at least one edge can have a
+// nonzero degree, so the table enumerates, for every edge e, every
+// nonempty proper subset x ⊂ e, and counts edges of each size that
+// contain x. This is Θ(m·2^d) work, which is the regime BL operates in
+// (d ≤ log log n / (4 log log log n), so 2^d is polylogarithmic).
+
+// maxEnumerableDim bounds the edge size for subset enumeration; above
+// this, 2^d blows up and the degree table refuses to build.
+const maxEnumerableDim = 22
+
+// subsetKey canonically encodes a sorted vertex set.
+func subsetKey(x Edge) string {
+	buf := make([]byte, 4*len(x))
+	for i, v := range x {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(v))
+	}
+	return string(buf)
+}
+
+// DegreeTable holds, for every vertex subset x contained in some edge,
+// the counts |N_j(x,H)| for each j ≥ 1. It answers the Δ queries used by
+// the BL marking probability p = 1/(2^{d+1}·Δ(H)).
+type DegreeTable struct {
+	dim int
+	// counts[key][j] = |N_j(x,H)| where key encodes x; index 0 unused.
+	counts map[string][]int32
+}
+
+// BuildDegreeTable enumerates all edge subsets. It panics if the
+// dimension exceeds maxEnumerableDim (callers control dimension: BL is
+// only invoked on small-dimension hypergraphs, by construction in SBL).
+func BuildDegreeTable(h *Hypergraph) *DegreeTable {
+	if h.Dim() > maxEnumerableDim {
+		panic("hypergraph: dimension too large for degree enumeration")
+	}
+	t := &DegreeTable{dim: h.Dim(), counts: make(map[string][]int32)}
+	var scratch Edge
+	for _, e := range h.edges {
+		k := len(e)
+		// Enumerate nonempty proper subsets x of e by bitmask.
+		full := uint32(1)<<uint(k) - 1
+		for mask := uint32(1); mask < full; mask++ {
+			scratch = scratch[:0]
+			for b := 0; b < k; b++ {
+				if mask&(1<<uint(b)) != 0 {
+					scratch = append(scratch, e[b])
+				}
+			}
+			j := k - len(scratch)
+			key := subsetKey(scratch)
+			row := t.counts[key]
+			if row == nil {
+				row = make([]int32, t.dim+1)
+				t.counts[key] = row
+			}
+			row[j]++
+		}
+	}
+	return t
+}
+
+// NCount returns |N_j(x,H)| for the sorted set x.
+func (t *DegreeTable) NCount(x Edge, j int) int {
+	if j < 1 || j > t.dim {
+		return 0
+	}
+	row := t.counts[subsetKey(x)]
+	if row == nil {
+		return 0
+	}
+	return int(row[j])
+}
+
+// NormDegree returns d_j(x,H) = |N_j(x,H)|^{1/j}.
+func (t *DegreeTable) NormDegree(x Edge, j int) float64 {
+	c := t.NCount(x, j)
+	if c == 0 {
+		return 0
+	}
+	return math.Pow(float64(c), 1/float64(j))
+}
+
+// DeltaI returns Δ_i(H): the maximum normalized degree with respect to
+// dimension-i edges, i.e. max over subsets x with 0 < |x| < i of
+// d_{i−|x|}(x,H). Returns 0 when i < 2 or i > dim.
+func (t *DegreeTable) DeltaI(i int) float64 {
+	if i < 2 || i > t.dim {
+		return 0
+	}
+	best := 0.0
+	for key, row := range t.counts {
+		xlen := len(key) / 4
+		j := i - xlen
+		if j < 1 || j > t.dim || row[j] == 0 {
+			continue
+		}
+		d := math.Pow(float64(row[j]), 1/float64(j))
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Delta returns Δ(H) = max_{2 ≤ i ≤ d} Δ_i(H). For an edgeless
+// hypergraph it returns 0.
+func (t *DegreeTable) Delta() float64 {
+	best := 0.0
+	for key, row := range t.counts {
+		xlen := len(key) / 4
+		for j := 1; j <= t.dim-0; j++ {
+			if j >= len(row) || row[j] == 0 {
+				continue
+			}
+			i := xlen + j
+			if i < 2 || i > t.dim {
+				continue
+			}
+			d := math.Pow(float64(row[j]), 1/float64(j))
+			if d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// AllDeltas returns the vector [Δ_2(H), …, Δ_d(H)] indexed by i
+// (index < 2 unused). Computed in one pass over the table.
+func (t *DegreeTable) AllDeltas() []float64 {
+	deltas := make([]float64, t.dim+1)
+	for key, row := range t.counts {
+		xlen := len(key) / 4
+		for j := 1; j < len(row); j++ {
+			if row[j] == 0 {
+				continue
+			}
+			i := xlen + j
+			if i < 2 || i > t.dim {
+				continue
+			}
+			d := math.Pow(float64(row[j]), 1/float64(j))
+			if d > deltas[i] {
+				deltas[i] = d
+			}
+		}
+	}
+	return deltas
+}
+
+// MaxDegreeSet returns a subset x and level j attaining d_j(x,H) ≥
+// threshold, or nil if none exists. Used by the degree-collapse
+// experiment (T6) to locate high-degree witnesses.
+func (t *DegreeTable) MaxDegreeSet(threshold float64) (Edge, int) {
+	for key, row := range t.counts {
+		for j := 1; j < len(row); j++ {
+			if row[j] == 0 {
+				continue
+			}
+			if math.Pow(float64(row[j]), 1/float64(j)) >= threshold {
+				return decodeKey(key), j
+			}
+		}
+	}
+	return nil, 0
+}
+
+func decodeKey(key string) Edge {
+	x := make(Edge, len(key)/4)
+	for i := range x {
+		x[i] = V(binary.BigEndian.Uint32([]byte(key[4*i : 4*i+4])))
+	}
+	return x
+}
+
+// NjDirect computes |N_j(x,H)| by scanning all edges — the reference
+// implementation the table is property-tested against.
+func NjDirect(h *Hypergraph, x Edge, j int) int {
+	count := 0
+	for _, e := range h.edges {
+		if len(e) == len(x)+j && ContainsSorted(e, x) {
+			count++
+		}
+	}
+	return count
+}
+
+// DeltaDirect computes Δ(H) by brute force over all subsets of all
+// edges, independently of DegreeTable; reference for property tests.
+func DeltaDirect(h *Hypergraph) float64 {
+	if h.Dim() > maxEnumerableDim {
+		panic("hypergraph: dimension too large")
+	}
+	seen := make(map[string]bool)
+	best := 0.0
+	var scratch Edge
+	for _, e := range h.edges {
+		k := len(e)
+		full := uint32(1)<<uint(k) - 1
+		for mask := uint32(1); mask < full; mask++ {
+			scratch = scratch[:0]
+			for b := 0; b < k; b++ {
+				if mask&(1<<uint(b)) != 0 {
+					scratch = append(scratch, e[b])
+				}
+			}
+			key := subsetKey(scratch)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			for j := 1; j <= h.Dim()-len(scratch); j++ {
+				c := NjDirect(h, scratch, j)
+				if c == 0 {
+					continue
+				}
+				i := len(scratch) + j
+				if i < 2 {
+					continue
+				}
+				d := math.Pow(float64(c), 1/float64(j))
+				if d > best {
+					best = d
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,289 @@
+// Package hypergraph implements the hypergraph representation shared by
+// every algorithm in this repository, together with the structural
+// quantities Kelsen's analysis of the Beame–Luby algorithm is phrased in
+// (the neighbourhood counts N_j(x,H), normalized degrees d_j(x,H) and
+// maximum normalized degrees Δ_i(H), Δ(H)), the trimming operations the
+// SBL and BL loops perform each round, random instance generators, and
+// verification of independence and maximality.
+//
+// Terminology follows the paper: a hypergraph H = (V, E) has n vertices
+// and m edges, each edge being a subset of V; the dimension is the
+// maximum edge size. A vertex set is independent if it contains no edge,
+// and a maximal independent set (MIS) is an independent set contained in
+// no larger one.
+package hypergraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// V is a vertex identifier: an index in [0, N).
+type V = int32
+
+// Edge is a set of vertices stored as a strictly increasing slice.
+type Edge []V
+
+// Hypergraph is an immutable hypergraph on the vertex set {0, …, N-1}.
+// Edges are deduplicated, sorted slices. Construct via Builder or the
+// generator functions; algorithms never mutate a Hypergraph in place.
+type Hypergraph struct {
+	n     int
+	edges []Edge
+	dim   int
+}
+
+// NewBuilder returns a builder for a hypergraph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("hypergraph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// Builder accumulates edges and produces a canonical Hypergraph. Edges
+// are canonicalized (sorted, duplicate vertices within an edge removed)
+// and duplicate edges are dropped. Empty edges are rejected at Build
+// time: an empty edge makes every set dependent and no MIS exists.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// AddEdge appends an edge given as vertex list. Vertices out of range
+// cause Build to fail.
+func (b *Builder) AddEdge(vs ...V) *Builder {
+	e := make(Edge, len(vs))
+	copy(e, vs)
+	b.edges = append(b.edges, e)
+	return b
+}
+
+// AddEdgeSlice appends an edge, taking ownership of the slice.
+func (b *Builder) AddEdgeSlice(e Edge) *Builder {
+	b.edges = append(b.edges, e)
+	return b
+}
+
+// Build canonicalizes and validates the accumulated edges.
+func (b *Builder) Build() (*Hypergraph, error) {
+	canon := make([]Edge, 0, len(b.edges))
+	for _, e := range b.edges {
+		if len(e) == 0 {
+			return nil, fmt.Errorf("hypergraph: empty edge (no independent set can exist)")
+		}
+		c := append(Edge(nil), e...)
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		// Remove duplicate vertices within the edge.
+		w := 1
+		for i := 1; i < len(c); i++ {
+			if c[i] != c[i-1] {
+				c[w] = c[i]
+				w++
+			}
+		}
+		c = c[:w]
+		for _, v := range c {
+			if v < 0 || int(v) >= b.n {
+				return nil, fmt.Errorf("hypergraph: vertex %d out of range [0,%d)", v, b.n)
+			}
+		}
+		canon = append(canon, c)
+	}
+	canon = dedupEdges(canon)
+	dim := 0
+	for _, e := range canon {
+		if len(e) > dim {
+			dim = len(e)
+		}
+	}
+	return &Hypergraph{n: b.n, edges: canon, dim: dim}, nil
+}
+
+// MustBuild is Build that panics on error; for tests and generators
+// whose construction cannot fail.
+func (b *Builder) MustBuild() *Hypergraph {
+	h, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// dedupEdges sorts edges lexicographically and removes exact duplicates.
+func dedupEdges(edges []Edge) []Edge {
+	sort.Slice(edges, func(i, j int) bool { return lessEdge(edges[i], edges[j]) })
+	out := edges[:0]
+	for i, e := range edges {
+		if i == 0 || !equalEdge(e, edges[i-1]) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func lessEdge(a, b Edge) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func equalEdge(a, b Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FromEdges builds a hypergraph directly from edges assumed owned by the
+// caller; they are canonicalized like Builder does.
+func FromEdges(n int, edges []Edge) (*Hypergraph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdgeSlice(e)
+	}
+	return b.Build()
+}
+
+// N returns the number of vertices.
+func (h *Hypergraph) N() int { return h.n }
+
+// M returns the number of edges.
+func (h *Hypergraph) M() int { return len(h.edges) }
+
+// Dim returns the dimension (maximum edge size); 0 if there are no edges.
+func (h *Hypergraph) Dim() int { return h.dim }
+
+// Edges returns the canonical edge list. Callers must not mutate it.
+func (h *Hypergraph) Edges() []Edge { return h.edges }
+
+// Edge returns the i-th canonical edge. Callers must not mutate it.
+func (h *Hypergraph) Edge(i int) Edge { return h.edges[i] }
+
+// HasEdge reports whether the exact edge (as a vertex set) is present.
+func (h *Hypergraph) HasEdge(vs ...V) bool {
+	e := append(Edge(nil), vs...)
+	sort.Slice(e, func(i, j int) bool { return e[i] < e[j] })
+	for _, f := range h.edges {
+		if equalEdge(e, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Incidence returns, for each vertex, the indices of edges containing it.
+func (h *Hypergraph) Incidence() [][]int32 {
+	inc := make([][]int32, h.n)
+	deg := make([]int32, h.n)
+	for _, e := range h.edges {
+		for _, v := range e {
+			deg[v]++
+		}
+	}
+	for v := range inc {
+		inc[v] = make([]int32, 0, deg[v])
+	}
+	for i, e := range h.edges {
+		for _, v := range e {
+			inc[v] = append(inc[v], int32(i))
+		}
+	}
+	return inc
+}
+
+// VertexDegrees returns the number of edges containing each vertex.
+func (h *Hypergraph) VertexDegrees() []int {
+	deg := make([]int, h.n)
+	for _, e := range h.edges {
+		for _, v := range e {
+			deg[v]++
+		}
+	}
+	return deg
+}
+
+// DimHistogram returns counts of edges by size, indexed by size
+// (index 0 unused).
+func (h *Hypergraph) DimHistogram() []int {
+	hist := make([]int, h.dim+1)
+	for _, e := range h.edges {
+		hist[len(e)]++
+	}
+	return hist
+}
+
+// String summarizes the hypergraph.
+func (h *Hypergraph) String() string {
+	return fmt.Sprintf("Hypergraph{n=%d, m=%d, dim=%d}", h.n, len(h.edges), h.dim)
+}
+
+// Clone returns a deep copy. Useful when callers need to hold onto a
+// hypergraph across mutating pipelines built from raw edge slices.
+func (h *Hypergraph) Clone() *Hypergraph {
+	edges := make([]Edge, len(h.edges))
+	for i, e := range h.edges {
+		edges[i] = append(Edge(nil), e...)
+	}
+	return &Hypergraph{n: h.n, edges: edges, dim: h.dim}
+}
+
+// ContainsSorted reports whether sorted edge e contains sorted subset x.
+func ContainsSorted(e, x Edge) bool {
+	if len(x) > len(e) {
+		return false
+	}
+	i := 0
+	for _, v := range x {
+		for i < len(e) && e[i] < v {
+			i++
+		}
+		if i >= len(e) || e[i] != v {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// IntersectionSize returns |a ∩ b| for sorted edges.
+func IntersectionSize(a, b Edge) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// DiffSorted returns e \ s for sorted slices, allocating a new slice.
+func DiffSorted(e, s Edge) Edge {
+	out := make(Edge, 0, len(e))
+	j := 0
+	for _, v := range e {
+		for j < len(s) && s[j] < v {
+			j++
+		}
+		if j < len(s) && s[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

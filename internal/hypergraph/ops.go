@@ -1,0 +1,188 @@
+package hypergraph
+
+// This file implements the structural transformations the SBL and BL
+// loops apply between rounds. All of them preserve canonical form
+// (sorted, deduplicated edges) without re-running the Builder.
+
+// fromCanon assembles a hypergraph from edges that are already sorted
+// internally; it deduplicates the edge list and recomputes the dimension.
+func fromCanon(n int, edges []Edge) *Hypergraph {
+	edges = dedupEdges(edges)
+	dim := 0
+	for _, e := range edges {
+		if len(e) > dim {
+			dim = len(e)
+		}
+	}
+	return &Hypergraph{n: n, edges: edges, dim: dim}
+}
+
+// Induced returns the hypergraph H' = (V', E') of the paper's SBL round:
+// same vertex universe, but only edges entirely contained in the set
+// {v : in(v)}. (Vertices outside the set simply have no incident edges;
+// identity of vertex IDs is preserved so colorings transfer back.)
+func Induced(h *Hypergraph, in func(V) bool) *Hypergraph {
+	kept := make([]Edge, 0, len(h.edges))
+	for _, e := range h.edges {
+		inside := true
+		for _, v := range e {
+			if !in(v) {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			kept = append(kept, e)
+		}
+	}
+	return fromCanon(h.n, kept)
+}
+
+// FilterEdges keeps only edges satisfying keep.
+func FilterEdges(h *Hypergraph, keep func(Edge) bool) *Hypergraph {
+	kept := make([]Edge, 0, len(h.edges))
+	for _, e := range h.edges {
+		if keep(e) {
+			kept = append(kept, e)
+		}
+	}
+	return fromCanon(h.n, kept)
+}
+
+// DiscardTouching removes every edge containing at least one vertex with
+// touch(v) true. This is SBL line 13–17: edges meeting a red vertex
+// (V' \ I') can never become fully blue and are dropped.
+func DiscardTouching(h *Hypergraph, touch func(V) bool) *Hypergraph {
+	return FilterEdges(h, func(e Edge) bool {
+		for _, v := range e {
+			if touch(v) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Shrink removes the vertices with drop(v) true from every edge (SBL
+// line 18–20 and BL line 13–15: e ← e \ I'). Edges that would become
+// empty are reported via the second return value; for a correct MIS
+// pipeline this never happens (an edge fully inside the independent set
+// would contradict independence), so callers treat emptied > 0 as an
+// invariant violation.
+func Shrink(h *Hypergraph, drop func(V) bool) (*Hypergraph, int) {
+	kept := make([]Edge, 0, len(h.edges))
+	emptied := 0
+	for _, e := range h.edges {
+		out := make(Edge, 0, len(e))
+		for _, v := range e {
+			if !drop(v) {
+				out = append(out, v)
+			}
+		}
+		if len(out) == 0 {
+			emptied++
+			continue
+		}
+		kept = append(kept, out)
+	}
+	return fromCanon(h.n, kept), emptied
+}
+
+// RemoveSupersets discards every edge that strictly contains another
+// edge (BL line 16–20). Such supersets are redundant: any set containing
+// the smaller edge already fails independence.
+//
+// For enumerable dimensions the check is: e survives iff no proper
+// nonempty subset of e is an edge. That costs m·2^d set lookups, which
+// is the regime BL runs in. Beyond maxEnumerableDim a pairwise check is
+// used instead.
+func RemoveSupersets(h *Hypergraph) *Hypergraph {
+	if h.Dim() <= maxEnumerableDim {
+		present := make(map[string]bool, len(h.edges))
+		for _, e := range h.edges {
+			present[subsetKey(e)] = true
+		}
+		var scratch Edge
+		kept := make([]Edge, 0, len(h.edges))
+		for _, e := range h.edges {
+			k := len(e)
+			full := uint32(1)<<uint(k) - 1
+			dominated := false
+			for mask := uint32(1); mask < full && !dominated; mask++ {
+				scratch = scratch[:0]
+				for b := 0; b < k; b++ {
+					if mask&(1<<uint(b)) != 0 {
+						scratch = append(scratch, e[b])
+					}
+				}
+				if present[subsetKey(scratch)] {
+					dominated = true
+				}
+			}
+			if !dominated {
+				kept = append(kept, e)
+			}
+		}
+		return fromCanon(h.n, kept)
+	}
+	// Pairwise fallback for very large dimension.
+	kept := make([]Edge, 0, len(h.edges))
+	for i, e := range h.edges {
+		dominated := false
+		for j, f := range h.edges {
+			if i == j || len(f) >= len(e) {
+				continue
+			}
+			if ContainsSorted(e, f) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, e)
+		}
+	}
+	return fromCanon(h.n, kept)
+}
+
+// RemoveSingletons drops every singleton edge {v} and returns the
+// affected vertices (BL line 21–24). A singleton edge means v can never
+// join any independent set extension, so BL colors it red and removes it
+// from the working vertex set.
+func RemoveSingletons(h *Hypergraph) (*Hypergraph, []V) {
+	var blocked []V
+	kept := make([]Edge, 0, len(h.edges))
+	for _, e := range h.edges {
+		if len(e) == 1 {
+			blocked = append(blocked, e[0])
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if len(blocked) == 0 {
+		return h, nil
+	}
+	// Any surviving edge containing a blocked vertex can never be fully
+	// blue either; BL's next rounds would discard it when the vertex is
+	// removed from V'. We keep such edges (they are harmless: the
+	// blocked vertex is never marked again), matching the pseudocode,
+	// which only deletes the singleton edges themselves.
+	return fromCanon(h.n, kept), blocked
+}
+
+// Restrict removes all edges incident to any vertex with gone(v) true.
+// Used when a set of vertices leaves the working universe entirely.
+func Restrict(h *Hypergraph, gone func(V) bool) *Hypergraph {
+	return DiscardTouching(h, gone)
+}
+
+// UsedVertices returns a mask of vertices appearing in at least one edge.
+func (h *Hypergraph) UsedVertices() []bool {
+	used := make([]bool, h.n)
+	for _, e := range h.edges {
+		for _, v := range e {
+			used[v] = true
+		}
+	}
+	return used
+}

@@ -1,0 +1,41 @@
+package hypergraph
+
+import "fmt"
+
+// SteinerTripleSystem constructs STS(n) — a 3-uniform hypergraph on n
+// vertices in which every pair of vertices lies in exactly one triple —
+// via the Bose construction, defined for n ≡ 3 (mod 6). An STS is the
+// extreme linear hypergraph (pairwise edge intersections ≤ 1 with
+// perfect pair coverage), which makes it the canonical structured
+// instance for the Łuczak–Szymańska RNC class experiments: m = n(n−1)/6
+// exactly, every vertex has degree (n−1)/2.
+//
+// Bose construction: let n = 3(2s+1), q = 2s+1, and identify vertices
+// with pairs (i, k) ∈ Z_q × {0,1,2} encoded as 3i+k. The triples are
+//
+//	{(i,0), (i,1), (i,2)}                    for every i ∈ Z_q
+//	{(i,k), (j,k), ((i+j)·2⁻¹ mod q, k+1)}   for i < j, k ∈ {0,1,2}
+//
+// where 2⁻¹ = (q+1)/2 is the inverse of 2 modulo the odd q.
+func SteinerTripleSystem(n int) (*Hypergraph, error) {
+	if n < 3 || n%6 != 3 {
+		return nil, fmt.Errorf("hypergraph: Bose STS needs n ≡ 3 (mod 6), got %d", n)
+	}
+	q := n / 3 // odd
+	halfInv := (q + 1) / 2
+	vid := func(i, k int) V { return V(3*i + k) }
+
+	b := NewBuilder(n)
+	for i := 0; i < q; i++ {
+		b.AddEdge(vid(i, 0), vid(i, 1), vid(i, 2))
+	}
+	for i := 0; i < q; i++ {
+		for j := i + 1; j < q; j++ {
+			mid := ((i + j) * halfInv) % q
+			for k := 0; k < 3; k++ {
+				b.AddEdge(vid(i, k), vid(j, k), vid(mid, (k+1)%3))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,101 @@
+package hypergraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestIsTransversal(t *testing.T) {
+	h := NewBuilder(4).AddEdge(0, 1).AddEdge(2, 3).MustBuild()
+	if !IsTransversal(h, []bool{true, false, true, false}) {
+		t.Fatal("valid transversal rejected")
+	}
+	if IsTransversal(h, []bool{true, false, false, false}) {
+		t.Fatal("non-transversal accepted")
+	}
+	// Empty set is a transversal of an edgeless hypergraph.
+	if !IsTransversal(NewBuilder(3).MustBuild(), []bool{false, false, false}) {
+		t.Fatal("vacuous transversal rejected")
+	}
+}
+
+func TestVerifyMinimalTransversal(t *testing.T) {
+	h := NewBuilder(4).AddEdge(0, 1).AddEdge(2, 3).MustBuild()
+	if err := VerifyMinimalTransversal(h, []bool{true, false, true, false}); err != nil {
+		t.Fatal(err)
+	}
+	// Redundant vertex: 1 covers nothing essential ({0,1} already hit by 0).
+	if err := VerifyMinimalTransversal(h, []bool{true, true, true, false}); err == nil {
+		t.Fatal("redundant transversal accepted as minimal")
+	}
+	// Uncovered edge.
+	if err := VerifyMinimalTransversal(h, []bool{true, false, false, false}); err == nil {
+		t.Fatal("non-covering set accepted")
+	}
+	// Wrong length.
+	if err := VerifyMinimalTransversal(h, []bool{true}); err == nil {
+		t.Fatal("wrong-length set accepted")
+	}
+}
+
+func TestComplementMask(t *testing.T) {
+	got := ComplementMask([]bool{true, false})
+	if got[0] || !got[1] {
+		t.Fatal("complement broken")
+	}
+}
+
+func TestMISTransversalDuality(t *testing.T) {
+	// The central identity: complement of a maximal independent set is a
+	// minimal transversal, across random instances.
+	s := rng.New(1)
+	check := func(seed uint16) bool {
+		st := s.Child(uint64(seed))
+		h := RandomMixed(st, 20+st.Intn(40), 1+st.Intn(80), 2, 4)
+		// Build a MIS greedily (inline, to keep this package test local).
+		in := make([]bool, h.N())
+		for v := 0; v < h.N(); v++ {
+			in[v] = true
+			if firstContainedEdge(h, in) != -1 {
+				in[v] = false
+			}
+		}
+		if VerifyMIS(h, in) != nil {
+			return false
+		}
+		tr, err := MinimalTransversalFromMIS(h, in)
+		if err != nil {
+			return false
+		}
+		return VerifyMinimalTransversal(h, tr) == nil && IsTransversal(h, tr)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimalTransversalFromMISRejectsNonMIS(t *testing.T) {
+	h := NewBuilder(3).AddEdge(0, 1, 2).MustBuild()
+	if _, err := MinimalTransversalFromMIS(h, []bool{true, true, true}); err == nil {
+		t.Fatal("dependent set accepted")
+	}
+}
+
+func TestDualityIsolatedVertices(t *testing.T) {
+	// Isolated vertex 2 must be in every MIS, hence never in the
+	// minimal transversal.
+	h := NewBuilder(3).AddEdge(0, 1).MustBuild()
+	mis := []bool{true, false, true}
+	tr, err := MinimalTransversalFromMIS(h, mis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr[2] {
+		t.Fatal("isolated vertex in minimal transversal")
+	}
+	if !tr[1] {
+		t.Fatal("vertex 1 must be in the transversal")
+	}
+}

@@ -1,0 +1,92 @@
+package hypergraph
+
+import "fmt"
+
+// IsIndependent reports whether the vertex set {v : in[v]} contains no
+// edge of h. in must have length h.N().
+func IsIndependent(h *Hypergraph, in []bool) bool {
+	return firstContainedEdge(h, in) == -1
+}
+
+// firstContainedEdge returns the index of an edge fully inside the set,
+// or -1.
+func firstContainedEdge(h *Hypergraph, in []bool) int {
+	for i, e := range h.edges {
+		inside := true
+		for _, v := range e {
+			if !in[v] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsMaximalIndependent reports whether the set is independent and
+// maximal: adding any vertex outside the set creates a fully-contained
+// edge. Note a vertex with no incident edges must always be in a MIS.
+func IsMaximalIndependent(h *Hypergraph, in []bool) bool {
+	return VerifyMIS(h, in) == nil
+}
+
+// VerifyMIS checks independence and maximality and returns a descriptive
+// error naming the violated invariant and a witness, or nil if the set
+// is a maximal independent set of h.
+func VerifyMIS(h *Hypergraph, in []bool) error {
+	if len(in) != h.n {
+		return fmt.Errorf("verify: set has length %d, hypergraph has %d vertices", len(in), h.n)
+	}
+	if i := firstContainedEdge(h, in); i != -1 {
+		return fmt.Errorf("verify: not independent: edge #%d %v fully contained", i, h.edges[i])
+	}
+	// Maximality: for each vertex u not in the set, adding u must make
+	// some edge fully contained; equivalently some edge e ∋ u has all
+	// other vertices in the set.
+	completes := make([]bool, h.n)
+	for _, e := range h.edges {
+		missing := -1
+		count := 0
+		for _, v := range e {
+			if !in[v] {
+				count++
+				missing = int(v)
+				if count > 1 {
+					break
+				}
+			}
+		}
+		if count == 1 {
+			completes[missing] = true
+		}
+	}
+	for v := 0; v < h.n; v++ {
+		if !in[v] && !completes[v] {
+			return fmt.Errorf("verify: not maximal: vertex %d can be added without creating a contained edge", v)
+		}
+	}
+	return nil
+}
+
+// MaskFromList converts a vertex list into a boolean mask of length n.
+func MaskFromList(n int, vs []V) []bool {
+	mask := make([]bool, n)
+	for _, v := range vs {
+		mask[v] = true
+	}
+	return mask
+}
+
+// ListFromMask converts a boolean mask into a sorted vertex list.
+func ListFromMask(mask []bool) []V {
+	var vs []V
+	for v, ok := range mask {
+		if ok {
+			vs = append(vs, V(v))
+		}
+	}
+	return vs
+}

@@ -1,0 +1,222 @@
+package hypergraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// pipelineReference applies the pure-function pipeline equivalent to
+// Working.Commit: kill red-touching edges, shrink by blue, restore the
+// antichain.
+func pipelineReference(h *Hypergraph, blue, red []V) (*Hypergraph, int) {
+	isRed := MaskFromList(h.N(), red)
+	isBlue := MaskFromList(h.N(), blue)
+	out := DiscardTouching(h, func(v V) bool { return isRed[v] })
+	out, emptied := Shrink(out, func(v V) bool { return isBlue[v] })
+	out = RemoveSupersets(out)
+	return out, emptied
+}
+
+func sameEdgeSets(t *testing.T, a, b *Hypergraph) bool {
+	t.Helper()
+	if a.M() != b.M() {
+		return false
+	}
+	for i := range a.Edges() {
+		if !equalEdge(a.Edge(i), b.Edge(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWorkingMatchesPipelineProperty(t *testing.T) {
+	s := rng.New(1)
+	check := func(seed uint16) bool {
+		st := s.Child(uint64(seed))
+		h := RandomMixed(st, 25+st.Intn(30), 1+st.Intn(80), 2, 5)
+		// Random disjoint blue/red sets.
+		var blue, red []V
+		for v := 0; v < h.N(); v++ {
+			switch st.Intn(5) {
+			case 0:
+				blue = append(blue, V(v))
+			case 1:
+				red = append(red, V(v))
+			}
+		}
+		w := NewWorking(h)
+		gotEmptied := w.Commit(blue, red)
+		// The reference pipeline starts from the same normalized state.
+		norm := RemoveSupersets(h)
+		want, wantEmptied := pipelineReference(norm, blue, red)
+		if gotEmptied != wantEmptied {
+			t.Logf("seed %d: emptied %d vs %d", seed, gotEmptied, wantEmptied)
+			return false
+		}
+		if !sameEdgeSets(t, w.Snapshot(), want) {
+			t.Logf("seed %d: edge sets differ:\n got %v\nwant %v",
+				seed, w.Snapshot().Edges(), want.Edges())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkingMultiRoundReplay(t *testing.T) {
+	// Replay several rounds of random commits; Working and the pure
+	// pipeline must agree at every step.
+	s := rng.New(2)
+	for trial := 0; trial < 15; trial++ {
+		h := RandomMixed(s, 60, 140, 2, 6)
+		w := NewWorking(h)
+		ref := RemoveSupersets(h)
+		for round := 0; round < 6 && ref.M() > 0; round++ {
+			var blue, red []V
+			for v := 0; v < h.N(); v++ {
+				switch s.Intn(8) {
+				case 0:
+					blue = append(blue, V(v))
+				case 1:
+					red = append(red, V(v))
+				}
+			}
+			w.Commit(blue, red)
+			ref, _ = pipelineReference(ref, blue, red)
+			// Singleton cleanup on both sides.
+			blocked := w.RemoveSingletons()
+			var refBlocked []V
+			ref, refBlocked = RemoveSingletons(ref)
+			blockedSet := MaskFromList(h.N(), refBlocked)
+			ref = DiscardTouching(ref, func(v V) bool { return blockedSet[v] })
+			if len(blocked) != len(refBlocked) {
+				t.Fatalf("trial %d round %d: blocked %d vs %d", trial, round, len(blocked), len(refBlocked))
+			}
+			if !sameEdgeSets(t, w.Snapshot(), ref) {
+				t.Fatalf("trial %d round %d: divergence\n got %v\nwant %v",
+					trial, round, w.Snapshot().Edges(), ref.Edges())
+			}
+		}
+	}
+}
+
+func TestWorkingBasics(t *testing.T) {
+	h := NewBuilder(5).AddEdge(0, 1).AddEdge(0, 1, 2).AddEdge(2, 3, 4).MustBuild()
+	w := NewWorking(h)
+	// Normalization drops the superset {0,1,2}.
+	if w.M() != 2 {
+		t.Fatalf("M = %d after normalization", w.M())
+	}
+	if w.N() != 5 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if w.Dim() != 3 {
+		t.Fatalf("Dim = %d", w.Dim())
+	}
+}
+
+func TestWorkingCommitShrinkCreatesDomination(t *testing.T) {
+	// {0,1,2} and {1,2,3}: blue {0} shrinks the first to {1,2}, which
+	// dominates... nothing ({1,2,3} ⊋ {1,2} → {1,2,3} dies).
+	h := NewBuilder(4).AddEdge(0, 1, 2).AddEdge(1, 2, 3).MustBuild()
+	w := NewWorking(h)
+	emptied := w.Commit([]V{0}, nil)
+	if emptied != 0 {
+		t.Fatalf("emptied = %d", emptied)
+	}
+	snap := w.Snapshot()
+	if snap.M() != 1 || !snap.HasEdge(1, 2) {
+		t.Fatalf("got %v", snap.Edges())
+	}
+}
+
+func TestWorkingCommitEmptied(t *testing.T) {
+	h := NewBuilder(3).AddEdge(0, 1).MustBuild()
+	w := NewWorking(h)
+	if emptied := w.Commit([]V{0, 1}, nil); emptied != 1 {
+		t.Fatalf("emptied = %d", emptied)
+	}
+	if w.M() != 0 {
+		t.Fatalf("M = %d", w.M())
+	}
+}
+
+func TestWorkingRedKills(t *testing.T) {
+	h := NewBuilder(4).AddEdge(0, 1).AddEdge(2, 3).MustBuild()
+	w := NewWorking(h)
+	w.Commit(nil, []V{0})
+	snap := w.Snapshot()
+	if snap.M() != 1 || !snap.HasEdge(2, 3) {
+		t.Fatalf("got %v", snap.Edges())
+	}
+}
+
+func TestWorkingSingletons(t *testing.T) {
+	// {0,1} shrinks to {1} when 0 goes blue; then singleton cleanup
+	// blocks 1 and kills {1,2,3} through it.
+	h := NewBuilder(4).AddEdge(0, 1).AddEdge(1, 2, 3).MustBuild()
+	w := NewWorking(h)
+	w.Commit([]V{0}, nil)
+	blocked := w.RemoveSingletons()
+	if len(blocked) != 1 || blocked[0] != 1 {
+		t.Fatalf("blocked = %v", blocked)
+	}
+	if w.M() != 0 {
+		t.Fatalf("M = %d: %v", w.M(), w.Snapshot().Edges())
+	}
+}
+
+func TestWorkingDuplicateMerge(t *testing.T) {
+	// Both edges shrink to {2,3}: one survives.
+	h := NewBuilder(5).AddEdge(0, 2, 3).AddEdge(1, 2, 3).MustBuild()
+	w := NewWorking(h)
+	w.Commit([]V{0, 1}, nil)
+	snap := w.Snapshot()
+	if snap.M() != 1 || !snap.HasEdge(2, 3) {
+		t.Fatalf("got %v", snap.Edges())
+	}
+}
+
+func TestWorkingUsedVertices(t *testing.T) {
+	h := NewBuilder(4).AddEdge(1, 2).MustBuild()
+	w := NewWorking(h)
+	used := w.UsedVertices()
+	if used[0] || !used[1] || !used[2] || used[3] {
+		t.Fatalf("used = %v", used)
+	}
+}
+
+func BenchmarkWorkingCommit(b *testing.B) {
+	s := rng.New(1)
+	h := RandomMixed(s, 5000, 10000, 2, 6)
+	blue := make([]V, 0, 200)
+	for v := V(0); v < 200; v++ {
+		blue = append(blue, v*7%5000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := NewWorking(h)
+		b.StartTimer()
+		w.Commit(blue, nil)
+	}
+}
+
+func BenchmarkPipelineCommit(b *testing.B) {
+	s := rng.New(1)
+	h := RandomMixed(s, 5000, 10000, 2, 6)
+	isBlue := make([]bool, 5000)
+	for v := 0; v < 200; v++ {
+		isBlue[v*7%5000] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _ := Shrink(h, func(v V) bool { return isBlue[v] })
+		RemoveSupersets(out)
+	}
+}

@@ -1,0 +1,214 @@
+// Package kuw implements the Karp–Upfal–Wigderson style parallel MIS
+// algorithm for general hypergraphs: the O(√n)-round baseline the paper
+// compares SBL against, and SBL's terminal solver once the residual
+// instance has fewer than 1/p² vertices.
+//
+// Karp, Upfal and Wigderson (JCSS 1988) work in an independence-oracle
+// model; the paper notes their algorithm "can be adapted to run in time
+// O(√n)·(log n + log m) with high probability on mn processors". This
+// package is that adaptation, using random-order prefix maximality:
+//
+// Each round has two phases, both essential to the O(√n) behaviour:
+//
+// Filter. Every candidate vertex v whose admission is already blocked —
+// some residual edge has shrunk to the singleton {v}, i.e. S ∪ {v}
+// would contain an edge — is discarded *in bulk*. (Without this step a
+// blocked vertex would cost one round each and the round count would
+// degrade to Θ(n − |MIS|).) The singleton edge is the maximality
+// witness: all its other vertices are already in S.
+//
+// Extend. A uniform random order is drawn on the surviving candidates;
+// in parallel over edges, the round finds the first position at which
+// the prefix of the order, together with S, would fully contain an
+// edge. All vertices strictly before that position join S (no edge
+// completes inside the prefix, by minimality), and the vertex *at* the
+// blocking position is discarded (its witness edge is in S ∪ prefix
+// except for itself — the same certificate as the filter phase).
+//
+// With random orders the accepted prefix is ~k/√q for k candidates and
+// q live edges, giving the O(√n·polylog) round behaviour measured in
+// experiment F1. Per-round depth is O(log n + log m): a permutation, a
+// per-edge max, and a min-reduction, all EREW-implementable.
+package kuw
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// Options configures a KUW run.
+type Options struct {
+	// MaxRounds aborts the run when exceeded (0 = default 10·n + 100).
+	MaxRounds int
+	// CollectStats records per-round counters.
+	CollectStats bool
+}
+
+// RoundStat records one round.
+type RoundStat struct {
+	Round     int // 0-based round index
+	Undecided int // undecided vertices entering the round
+	Edges     int // live edges entering the round
+	Filtered  int // vertices bulk-discarded in the filter phase
+	Accepted  int // vertices added to the IS (the safe prefix)
+	Discarded int // vertices discarded red by the blocker step (0 or 1)
+}
+
+// Result of a KUW run.
+type Result struct {
+	InIS   []bool
+	Red    []bool
+	Rounds int
+	Stats  []RoundStat
+}
+
+// ErrRoundLimit is returned when MaxRounds is exceeded.
+var ErrRoundLimit = errors.New("kuw: round limit exceeded")
+
+// Run executes the algorithm on the sub-hypergraph induced by active
+// (nil = all vertices). Edges of h must consist of active vertices only.
+func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost, opts Options) (*Result, error) {
+	n := h.N()
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 10*n + 100
+	}
+	live := make([]bool, n)
+	if active == nil {
+		par.Fill(cost, live, true)
+	} else {
+		copy(live, active)
+	}
+	for _, e := range h.Edges() {
+		for _, v := range e {
+			if !live[v] {
+				return nil, fmt.Errorf("kuw: edge %v contains inactive vertex %d", e, v)
+			}
+		}
+	}
+
+	res := &Result{
+		InIS: make([]bool, n),
+		Red:  make([]bool, n),
+	}
+	cur := h
+	pos := make([]int, n) // position of each vertex in this round's order
+
+	for round := 0; ; round++ {
+		st := RoundStat{Round: round}
+
+		// Filter phase: bulk-discard every candidate already blocked by
+		// a singleton residual edge, then drop edges touching them.
+		var blocked []hypergraph.V
+		cur, blocked = hypergraph.RemoveSingletons(cur)
+		if len(blocked) > 0 {
+			for _, v := range blocked {
+				if live[v] {
+					live[v] = false
+					res.Red[v] = true
+					st.Filtered++
+				}
+			}
+			cur = hypergraph.DiscardTouching(cur, func(v hypergraph.V) bool { return res.Red[v] })
+			par.ChargeStep(cost, cur.M())
+		}
+
+		candidates := par.PackIndices(cost, n, func(i int) bool { return live[i] })
+		k := len(candidates)
+		if k == 0 {
+			res.Rounds = round
+			return res, nil
+		}
+		if round >= opts.MaxRounds {
+			return nil, fmt.Errorf("%w after %d rounds (%d undecided)", ErrRoundLimit, round, k)
+		}
+
+		st.Undecided = k
+		st.Edges = cur.M()
+
+		// No live edges: everything remaining is independent.
+		if cur.M() == 0 {
+			par.For(cost, k, func(i int) {
+				v := candidates[i]
+				res.InIS[v] = true
+				live[v] = false
+			})
+			st.Accepted = k
+			if opts.CollectStats {
+				res.Stats = append(res.Stats, st)
+			}
+			res.Rounds = round + 1
+			return res, nil
+		}
+
+		// Random order on candidates; pos[v] = rank. A permutation is
+		// O(log n) depth on an EREW PRAM (sort of random keys).
+		perm := s.Child(uint64(round)).Perm(k)
+		par.For(cost, k, func(i int) {
+			pos[candidates[perm[i]]] = i
+		})
+		par.ChargeAux(cost, int64(k), int64(log2(k))) // permutation generation
+
+		// Activation position of each edge: the rank of its last vertex.
+		// Edges here contain only undecided vertices (S-vertices were
+		// shrunk away, red-touching edges discarded).
+		edges := cur.Edges()
+		act := par.Map(cost, edges, func(e hypergraph.Edge) int {
+			m := -1
+			for _, v := range e {
+				if pos[v] > m {
+					m = pos[v]
+				}
+			}
+			return m
+		})
+		minAct := par.Reduce(cost, act, k, func(a, b int) int {
+			if a < b {
+				return a
+			}
+			return b
+		})
+
+		// Accept the safe prefix [0, minAct); discard the blocker.
+		par.For(cost, k, func(i int) {
+			v := candidates[i]
+			switch {
+			case pos[v] < minAct:
+				res.InIS[v] = true
+				live[v] = false
+			case pos[v] == minAct:
+				res.Red[v] = true
+				live[v] = false
+			}
+		})
+		st.Accepted = minAct
+		if minAct < k {
+			st.Discarded = 1
+		}
+
+		// Update the working hypergraph.
+		next, emptied := hypergraph.Shrink(cur, func(v hypergraph.V) bool { return res.InIS[v] })
+		if emptied > 0 {
+			return nil, fmt.Errorf("kuw: %d edges fully accepted at round %d (independence broken)", emptied, round)
+		}
+		next = hypergraph.DiscardTouching(next, func(v hypergraph.V) bool { return res.Red[v] })
+		par.ChargeStep(cost, cur.M())
+		cur = next
+
+		if opts.CollectStats {
+			res.Stats = append(res.Stats, st)
+		}
+	}
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,209 @@
+// Package luby implements Luby's classic RNC maximal-independent-set
+// algorithm for graphs — the dimension-2 special case of the hypergraph
+// problem, which the paper's introduction cites as the well-understood
+// baseline ("fast parallel algorithms for constructing maximal
+// independent sets in graphs are well studied and very efficient").
+//
+// Each round, every live vertex marks itself with probability
+// 1/(2·deg(v)); for every edge with both endpoints marked, the endpoint
+// of smaller degree (ties by smaller id) is unmarked; marked survivors
+// join the independent set, and they and their neighbours leave the
+// graph. Degree-0 vertices join immediately. The expected number of
+// rounds is O(log n).
+//
+// The package doubles as the d=2 correctness oracle for the general
+// solvers in experiment T12: on graph inputs BL, KUW, SBL and Luby must
+// all produce valid (generally different) MISs.
+package luby
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// Options configures a run.
+type Options struct {
+	// MaxRounds aborts when exceeded (0 = default 10·log₂n + 50).
+	MaxRounds int
+	// CollectStats records per-round counters.
+	CollectStats bool
+}
+
+// RoundStat records one round.
+type RoundStat struct {
+	Round   int
+	Live    int // live vertices entering the round
+	Edges   int // live edges entering the round
+	Marked  int
+	Added   int
+	Removed int // neighbours eliminated (red)
+}
+
+// Result of a run.
+type Result struct {
+	InIS   []bool
+	Red    []bool
+	Rounds int
+	Stats  []RoundStat
+}
+
+// ErrRoundLimit is returned when MaxRounds is exceeded.
+var ErrRoundLimit = errors.New("luby: round limit exceeded")
+
+// ErrNotGraph is returned when the input has dimension > 2.
+var ErrNotGraph = errors.New("luby: input has dimension > 2")
+
+// Run executes Luby's algorithm on a hypergraph of dimension ≤ 2.
+// Singleton edges block their vertex (it is red from the start), exactly
+// as in the general problem. active == nil means all vertices.
+func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost, opts Options) (*Result, error) {
+	if h.Dim() > 2 {
+		return nil, fmt.Errorf("%w (dim=%d)", ErrNotGraph, h.Dim())
+	}
+	n := h.N()
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 10*bitLen(n) + 50
+	}
+	live := make([]bool, n)
+	if active == nil {
+		par.Fill(cost, live, true)
+	} else {
+		copy(live, active)
+	}
+	res := &Result{InIS: make([]bool, n), Red: make([]bool, n)}
+
+	// Adjacency among active vertices; singleton edges block immediately.
+	adj := make([][]hypergraph.V, n)
+	for _, e := range h.Edges() {
+		for _, v := range e {
+			if !live[v] {
+				return nil, fmt.Errorf("luby: edge %v contains inactive vertex %d", e, v)
+			}
+		}
+		if len(e) == 1 {
+			v := e[0]
+			if live[v] {
+				live[v] = false
+				res.Red[v] = true
+			}
+			continue
+		}
+		u, v := e[0], e[1]
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	deg := make([]int, n)
+	marked := make([]bool, n)
+
+	for round := 0; ; round++ {
+		liveCount := par.Count(cost, n, func(i int) bool { return live[i] })
+		if liveCount == 0 {
+			res.Rounds = round
+			return res, nil
+		}
+		if round >= opts.MaxRounds {
+			return nil, fmt.Errorf("%w after %d rounds (%d live)", ErrRoundLimit, round, liveCount)
+		}
+		st := RoundStat{Round: round, Live: liveCount}
+
+		// Current degrees among live vertices.
+		par.For(cost, n, func(v int) {
+			d := 0
+			if live[v] {
+				for _, u := range adj[v] {
+					if live[u] {
+						d++
+					}
+				}
+			}
+			deg[v] = d
+		})
+		liveEdges := 0
+		for v := 0; v < n; v++ {
+			liveEdges += deg[v]
+		}
+		st.Edges = liveEdges / 2
+
+		roundStream := s.Child(uint64(round))
+		par.For(cost, n, func(v int) {
+			switch {
+			case !live[v]:
+				marked[v] = false
+			case deg[v] == 0:
+				marked[v] = true // isolated: joins for free
+			default:
+				marked[v] = roundStream.Child(uint64(v)).Bernoulli(1.0 / (2.0 * float64(deg[v])))
+			}
+		})
+		st.Marked = par.Count(cost, n, func(i int) bool { return marked[i] })
+
+		// Conflict resolution: for each live edge with both endpoints
+		// marked, the smaller-degree endpoint (ties: smaller id) yields.
+		// Evaluated against the round's original marking; the winner
+		// relation is antisymmetric so survivors are pairwise
+		// non-adjacent.
+		losers := make([]bool, n)
+		par.For(cost, n, func(v int) {
+			if !live[v] || !marked[v] {
+				return
+			}
+			for _, u := range adj[v] {
+				if live[u] && marked[u] && beats(u, hypergraph.V(v), deg) {
+					losers[v] = true
+					return
+				}
+			}
+		})
+
+		// Survivors join; their neighbours are eliminated.
+		added, removed := 0, 0
+		for v := 0; v < n; v++ {
+			if live[v] && marked[v] && !losers[v] {
+				res.InIS[v] = true
+				live[v] = false
+				added++
+			}
+		}
+		par.ChargeStep(cost, n)
+		for v := 0; v < n; v++ {
+			if !res.InIS[v] {
+				continue
+			}
+			for _, u := range adj[v] {
+				if live[u] {
+					live[u] = false
+					res.Red[u] = true
+					removed++
+				}
+			}
+		}
+		par.ChargeStep(cost, n)
+		st.Added = added
+		st.Removed = removed
+		if opts.CollectStats {
+			res.Stats = append(res.Stats, st)
+		}
+	}
+}
+
+// beats reports whether u's mark dominates v's in conflict resolution:
+// higher degree wins, ties broken by higher id.
+func beats(u, v hypergraph.V, deg []int) bool {
+	if deg[u] != deg[v] {
+		return deg[u] > deg[v]
+	}
+	return u > v
+}
+
+func bitLen(n int) int {
+	l := 0
+	for n > 0 {
+		n >>= 1
+		l++
+	}
+	return l
+}

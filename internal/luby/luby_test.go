@@ -1,0 +1,135 @@
+package luby
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/rng"
+)
+
+func run(t *testing.T, h *hypergraph.Hypergraph, seed uint64) *Result {
+	t.Helper()
+	res, err := Run(h, nil, rng.New(seed), nil, Options{})
+	if err != nil {
+		t.Fatalf("luby failed: %v", err)
+	}
+	return res
+}
+
+func TestLubyPath(t *testing.T) {
+	// Path 0-1-2-3: MIS is {0,2}, {0,3}, {1,3}.
+	h := hypergraph.NewBuilder(4).AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3).MustBuild()
+	res := run(t, h, 1)
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLubyRejectsHypergraph(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddEdge(0, 1, 2).MustBuild()
+	if _, err := Run(h, nil, rng.New(1), nil, Options{}); !errors.Is(err, ErrNotGraph) {
+		t.Fatalf("got %v, want ErrNotGraph", err)
+	}
+}
+
+func TestLubySingletonBlocks(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddEdge(1).AddEdge(0, 2).MustBuild()
+	res := run(t, h, 2)
+	if res.InIS[1] {
+		t.Fatal("singleton vertex joined")
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLubyEdgeless(t *testing.T) {
+	h := hypergraph.NewBuilder(6).MustBuild()
+	res := run(t, h, 3)
+	for _, in := range res.InIS {
+		if !in {
+			t.Fatal("isolated vertex missing")
+		}
+	}
+}
+
+func TestLubyAlwaysMIS(t *testing.T) {
+	s := rng.New(4)
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + s.Intn(80)
+		h := hypergraph.RandomGraph(s, n, 1+s.Intn(3*n))
+		res := run(t, h, uint64(trial))
+		if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestLubyRoundsLogarithmic(t *testing.T) {
+	s := rng.New(5)
+	h := hypergraph.RandomGraph(s, 2000, 6000)
+	res := run(t, h, 6)
+	if res.Rounds > 40 {
+		t.Fatalf("luby took %d rounds on n=2000", res.Rounds)
+	}
+}
+
+func TestLubyDeterministic(t *testing.T) {
+	s := rng.New(7)
+	h := hypergraph.RandomGraph(s, 100, 250)
+	a := run(t, h, 9)
+	b := run(t, h, 9)
+	for v := range a.InIS {
+		if a.InIS[v] != b.InIS[v] {
+			t.Fatal("same seed, different output")
+		}
+	}
+}
+
+func TestLubyStats(t *testing.T) {
+	s := rng.New(8)
+	h := hypergraph.RandomGraph(s, 200, 500)
+	res, err := Run(h, nil, rng.New(1), nil, Options{CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != res.Rounds {
+		t.Fatalf("stats %d != rounds %d", len(res.Stats), res.Rounds)
+	}
+}
+
+func TestLubyCompleteGraph(t *testing.T) {
+	// K5: MIS has exactly one vertex.
+	b := hypergraph.NewBuilder(5)
+	for i := hypergraph.V(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	h := b.MustBuild()
+	res := run(t, h, 10)
+	size := 0
+	for _, in := range res.InIS {
+		if in {
+			size++
+		}
+	}
+	if size != 1 {
+		t.Fatalf("K5 MIS size %d", size)
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLuby(b *testing.B) {
+	s := rng.New(1)
+	h := hypergraph.RandomGraph(s, 5000, 15000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(h, nil, rng.New(uint64(i)), nil, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLog2(t *testing.T) {
+	if Log2(8) != 3 {
+		t.Fatalf("Log2(8) = %v", Log2(8))
+	}
+	if Log2(0.5) != 0 {
+		t.Fatal("Log2 below 1 must clamp to 0")
+	}
+	if Log2(0) != 0 {
+		t.Fatal("Log2(0) must clamp")
+	}
+}
+
+func TestLog2Clamped(t *testing.T) {
+	if Log2Clamped(2, 5) != 5 {
+		t.Fatal("clamp not applied")
+	}
+	if Log2Clamped(1024, 5) != 10 {
+		t.Fatal("clamp applied when not needed")
+	}
+}
+
+func TestIteratedLogs(t *testing.T) {
+	// n = 2^16: log = 16, loglog = 4, logloglog = 2.
+	n := float64(1 << 16)
+	if LogLog2(n) != 4 {
+		t.Fatalf("LogLog2 = %v", LogLog2(n))
+	}
+	if LogLogLog2(n) != 2 {
+		t.Fatalf("LogLogLog2 = %v", LogLogLog2(n))
+	}
+	// Tiny n clamps to ≥ 1.
+	if LogLog2(2) < 1 || LogLogLog2(2) < 1 {
+		t.Fatal("iterated logs must clamp to ≥ 1")
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	cases := map[int]float64{0: 1, 1: 1, 5: 120, 10: 3628800}
+	for n, want := range cases {
+		if got := Factorial(n); got != want {
+			t.Fatalf("%d! = %v", n, got)
+		}
+	}
+	if !math.IsInf(Factorial(200), 1) {
+		t.Fatal("200! should overflow to +Inf")
+	}
+	if !math.IsNaN(Factorial(-1)) {
+		t.Fatal("(-1)! should be NaN")
+	}
+}
+
+func TestPowInt(t *testing.T) {
+	if PowInt(2, 10) != 1024 {
+		t.Fatalf("2^10 = %v", PowInt(2, 10))
+	}
+	if PowInt(3, 0) != 1 {
+		t.Fatal("x^0 != 1")
+	}
+	if got := PowInt(2, -2); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("2^-2 = %v", got)
+	}
+	if got := PowInt(0.5, 3); math.Abs(got-0.125) > 1e-12 {
+		t.Fatalf("0.5^3 = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp broken")
+	}
+}
+
+func TestBinomialCoeff(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {10, 3, 120}, {4, 5, 0}, {4, -1, 0}}
+	for _, c := range cases {
+		if got := BinomialCoeff(c.n, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("C(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}

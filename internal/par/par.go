@@ -1,0 +1,442 @@
+// Package par implements the data-parallel primitives the paper's PRAM
+// algorithms are expressed in: parallel for, map, reduce, prefix sums
+// (scan), and stream compaction (pack/filter).
+//
+// Each primitive has two roles:
+//
+//  1. It executes on real goroutines, chunked over runtime.GOMAXPROCS
+//     workers, so the solvers get genuine multicore speedups.
+//  2. It charges an idealized EREW PRAM cost to an optional Cost
+//     accumulator: Work is the total number of primitive operations and
+//     Depth is the parallel time assuming one processor per element
+//     (O(1) for elementwise steps, O(log n) for reductions and scans).
+//
+// The cost model is the standard work-depth model; combined with Brent's
+// theorem it reproduces the "time T on poly(m,n) processors" statements
+// in the paper. Goroutine scheduling never affects results: primitives
+// are deterministic functions of their inputs.
+package par
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cost accumulates work-depth charges across primitive invocations. The
+// zero value is ready to use. Cost methods are safe for concurrent use by
+// the primitives themselves (each primitive performs one atomic update).
+type Cost struct {
+	work  atomic.Int64
+	depth atomic.Int64
+	steps atomic.Int64
+}
+
+// Charge adds a parallel step of the given work and depth.
+func (c *Cost) Charge(work, depth int64) {
+	if c == nil {
+		return
+	}
+	c.work.Add(work)
+	c.depth.Add(depth)
+	c.steps.Add(1)
+}
+
+// Work returns total accumulated work (operation count).
+func (c *Cost) Work() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.work.Load()
+}
+
+// Depth returns total accumulated parallel depth (time on unboundedly
+// many processors).
+func (c *Cost) Depth() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.depth.Load()
+}
+
+// Steps returns the number of charged primitive invocations.
+func (c *Cost) Steps() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.steps.Load()
+}
+
+// Add merges another cost into c.
+func (c *Cost) Add(o *Cost) {
+	if c == nil || o == nil {
+		return
+	}
+	c.work.Add(o.Work())
+	c.depth.Add(o.Depth())
+	c.steps.Add(o.Steps())
+}
+
+// Reset zeroes the accumulator.
+func (c *Cost) Reset() {
+	if c == nil {
+		return
+	}
+	c.work.Store(0)
+	c.depth.Store(0)
+	c.steps.Store(0)
+}
+
+// log2Ceil returns ceil(log2(n)) for n >= 1, and 0 for n <= 1.
+func log2Ceil(n int) int64 {
+	if n <= 1 {
+		return 0
+	}
+	return int64(bits.Len(uint(n - 1)))
+}
+
+// grain is the minimum number of elements each goroutine processes;
+// below this, parallel dispatch overhead dominates.
+const grain = 2048
+
+// workers returns the number of goroutines to use for n elements.
+func workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if max := (n + grain - 1) / grain; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs body(i) for every i in [0, n), in parallel. It charges n work
+// and depth 1 (an elementwise PRAM step). body must not write to shared
+// locations indexed by anything other than i (EREW discipline); the pram
+// package's auditor can verify this for instrumented programs.
+func For(c *Cost, n int, body func(i int)) {
+	c.Charge(int64(n), 1)
+	w := workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for g := 0; g < w; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForBlocked runs body(lo, hi) over disjoint contiguous blocks covering
+// [0, n). It charges the same PRAM cost as For; it exists so callers can
+// amortize per-element closure overhead when the body is tiny.
+func ForBlocked(c *Cost, n int, body func(lo, hi int)) {
+	c.Charge(int64(n), 1)
+	w := workers(n)
+	if w == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for g := 0; g < w; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map applies f elementwise producing a new slice. Charges n work,
+// depth 1.
+func Map[T, U any](c *Cost, in []T, f func(T) U) []U {
+	out := make([]U, len(in))
+	ForBlocked(c, len(in), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(in[i])
+		}
+	})
+	return out
+}
+
+// Reduce combines the elements of in with an associative operation op
+// and identity id. Charges n work and ceil(log2 n) depth, matching a
+// balanced binary reduction tree on an EREW PRAM.
+func Reduce[T any](c *Cost, in []T, id T, op func(a, b T) T) T {
+	n := len(in)
+	c.Charge(int64(n), log2Ceil(n))
+	if n == 0 {
+		return id
+	}
+	w := workers(n)
+	if w == 1 {
+		acc := id
+		for _, v := range in {
+			acc = op(acc, v)
+		}
+		return acc
+	}
+	partial := make([]T, w)
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	used := 0
+	for g := 0; g < w; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		used++
+		wg.Add(1)
+		go func(g, lo, hi int) {
+			defer wg.Done()
+			acc := id
+			for i := lo; i < hi; i++ {
+				acc = op(acc, in[i])
+			}
+			partial[g] = acc
+		}(g, lo, hi)
+	}
+	wg.Wait()
+	acc := id
+	for g := 0; g < used; g++ {
+		acc = op(acc, partial[g])
+	}
+	return acc
+}
+
+// SumInt is Reduce specialized to integer addition.
+func SumInt(c *Cost, in []int) int {
+	return Reduce(c, in, 0, func(a, b int) int { return a + b })
+}
+
+// MaxInt returns the maximum of in, or identity if empty.
+func MaxInt(c *Cost, in []int, identity int) int {
+	return Reduce(c, in, identity, func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// Count returns the number of indices in [0, n) for which pred holds.
+// Charges like a reduction.
+func Count(c *Cost, n int, pred func(i int) bool) int {
+	c.Charge(int64(n), log2Ceil(n))
+	w := workers(n)
+	if w == 1 {
+		total := 0
+		for i := 0; i < n; i++ {
+			if pred(i) {
+				total++
+			}
+		}
+		return total
+	}
+	partial := make([]int, w)
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for g := 0; g < w; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(g, lo, hi int) {
+			defer wg.Done()
+			t := 0
+			for i := lo; i < hi; i++ {
+				if pred(i) {
+					t++
+				}
+			}
+			partial[g] = t
+		}(g, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, t := range partial {
+		total += t
+	}
+	return total
+}
+
+// ExclusiveScan computes the exclusive prefix sums of in: out[i] =
+// in[0] + ... + in[i-1], and returns (out, total). Charges 2n work and
+// 2*ceil(log2 n) depth — the standard two-phase (upsweep/downsweep)
+// EREW scan.
+func ExclusiveScan(c *Cost, in []int) ([]int, int) {
+	n := len(in)
+	c.Charge(2*int64(n), 2*log2Ceil(n))
+	out := make([]int, n)
+	if n == 0 {
+		return out, 0
+	}
+	w := workers(n)
+	if w == 1 {
+		run := 0
+		for i, v := range in {
+			out[i] = run
+			run += v
+		}
+		return out, run
+	}
+	// Phase 1: per-block sums.
+	chunk := (n + w - 1) / w
+	blockSum := make([]int, w)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(g, lo, hi int) {
+			defer wg.Done()
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += in[i]
+			}
+			blockSum[g] = s
+		}(g, lo, hi)
+	}
+	wg.Wait()
+	// Phase 2: sequential scan of block sums (w is tiny).
+	run := 0
+	blockOff := make([]int, w)
+	for g := 0; g < w; g++ {
+		blockOff[g] = run
+		run += blockSum[g]
+	}
+	// Phase 3: per-block exclusive scans with offsets.
+	for g := 0; g < w; g++ {
+		lo := g * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(g, lo, hi int) {
+			defer wg.Done()
+			s := blockOff[g]
+			for i := lo; i < hi; i++ {
+				out[i] = s
+				s += in[i]
+			}
+		}(g, lo, hi)
+	}
+	wg.Wait()
+	return out, run
+}
+
+// Pack returns the elements of in whose index satisfies keep, preserving
+// order. This is stream compaction: flag, scan, scatter. Charges
+// accordingly (one elementwise pass plus a scan plus a scatter).
+func Pack[T any](c *Cost, in []T, keep func(i int) bool) []T {
+	n := len(in)
+	flags := make([]int, n)
+	ForBlocked(c, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				flags[i] = 1
+			}
+		}
+	})
+	off, total := ExclusiveScan(c, flags)
+	out := make([]T, total)
+	ForBlocked(c, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if flags[i] == 1 {
+				out[off[i]] = in[i]
+			}
+		}
+	})
+	return out
+}
+
+// PackIndices returns the indices in [0, n) satisfying pred, ascending.
+func PackIndices(c *Cost, n int, pred func(i int) bool) []int {
+	idx := make([]int, n)
+	ForBlocked(c, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			idx[i] = i
+		}
+	})
+	return Pack(c, idx, pred)
+}
+
+// Fill sets dst[i] = v for all i.
+func Fill[T any](c *Cost, dst []T, v T) {
+	ForBlocked(c, len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = v
+		}
+	})
+}
+
+// ChargeStep records the cost of one elementwise parallel step over n
+// items that the caller performed inline (outside the primitives).
+func ChargeStep(c *Cost, n int) { c.Charge(int64(n), 1) }
+
+// ChargeAux records an arbitrary work/depth charge for an operation
+// performed outside the primitives (e.g. hash-table or degree-table
+// builds whose PRAM realization is a known sorting/hashing routine).
+func ChargeAux(c *Cost, work, depth int64) { c.Charge(work, depth) }
+
+// And reports whether pred holds for all i in [0, n). Cost of a
+// reduction. (No short-circuiting across blocks: PRAM ANDs are
+// single-step reductions, and determinism matters more than the
+// constant factor here.)
+func And(c *Cost, n int, pred func(i int) bool) bool {
+	return Count(c, n, func(i int) bool { return !pred(i) }) == 0
+}
+
+// Or reports whether pred holds for any i in [0, n).
+func Or(c *Cost, n int, pred func(i int) bool) bool {
+	return Count(c, n, pred) > 0
+}

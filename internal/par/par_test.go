@@ -1,0 +1,270 @@
+package par
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, grain - 1, grain, grain + 1, 10 * grain} {
+		hit := make([]bool, n)
+		For(nil, n, func(i int) { hit[i] = true })
+		for i, h := range hit {
+			if !h {
+				t.Fatalf("n=%d: index %d not visited", n, i)
+			}
+		}
+	}
+}
+
+func TestForBlockedCoversDisjointly(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 3 * grain} {
+		count := make([]int, n)
+		ForBlocked(nil, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				count[i]++
+			}
+		})
+		for i, c := range count {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestMap(t *testing.T) {
+	in := make([]int, 5000)
+	for i := range in {
+		in[i] = i
+	}
+	out := Map(nil, in, func(x int) int { return x * 2 })
+	for i, v := range out {
+		if v != 2*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestReduceMatchesSequential(t *testing.T) {
+	s := rng.New(1)
+	check := func(seed uint32, sz uint16) bool {
+		n := int(sz % 5000)
+		in := make([]int, n)
+		for i := range in {
+			in[i] = s.Intn(1000) - 500
+		}
+		want := 0
+		for _, v := range in {
+			want += v
+		}
+		return SumInt(nil, in) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	if got := SumInt(nil, nil); got != 0 {
+		t.Fatalf("sum of empty = %d", got)
+	}
+	if got := MaxInt(nil, nil, -7); got != -7 {
+		t.Fatalf("max of empty = %d, want identity -7", got)
+	}
+}
+
+func TestMaxInt(t *testing.T) {
+	in := make([]int, 10000)
+	for i := range in {
+		in[i] = i % 997
+	}
+	in[7777] = 100000
+	if got := MaxInt(nil, in, 0); got != 100000 {
+		t.Fatalf("MaxInt = %d", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	n := 12345
+	got := Count(nil, n, func(i int) bool { return i%3 == 0 })
+	want := (n + 2) / 3
+	if got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestExclusiveScanMatchesSequential(t *testing.T) {
+	s := rng.New(2)
+	for _, n := range []int{0, 1, 2, 17, grain, grain*4 + 3} {
+		in := make([]int, n)
+		for i := range in {
+			in[i] = s.Intn(9) - 4
+		}
+		out, total := ExclusiveScan(nil, in)
+		run := 0
+		for i := 0; i < n; i++ {
+			if out[i] != run {
+				t.Fatalf("n=%d: out[%d]=%d want %d", n, i, out[i], run)
+			}
+			run += in[i]
+		}
+		if total != run {
+			t.Fatalf("n=%d: total=%d want %d", n, total, run)
+		}
+	}
+}
+
+func TestPackPreservesOrder(t *testing.T) {
+	n := 3*grain + 11
+	in := make([]int, n)
+	for i := range in {
+		in[i] = i
+	}
+	out := Pack(nil, in, func(i int) bool { return i%5 == 2 })
+	prev := -1
+	for _, v := range out {
+		if v%5 != 2 {
+			t.Fatalf("kept wrong element %d", v)
+		}
+		if v <= prev {
+			t.Fatalf("order not preserved: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%5 == 2 {
+			want++
+		}
+	}
+	if len(out) != want {
+		t.Fatalf("len = %d want %d", len(out), want)
+	}
+}
+
+func TestPackIndices(t *testing.T) {
+	got := PackIndices(nil, 10, func(i int) bool { return i%2 == 0 })
+	want := []int{0, 2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestPackAllNone(t *testing.T) {
+	in := []int{1, 2, 3}
+	if got := Pack(nil, in, func(int) bool { return true }); len(got) != 3 {
+		t.Fatalf("keep-all gave %v", got)
+	}
+	if got := Pack(nil, in, func(int) bool { return false }); len(got) != 0 {
+		t.Fatalf("keep-none gave %v", got)
+	}
+}
+
+func TestFill(t *testing.T) {
+	dst := make([]int, 5000)
+	Fill(nil, dst, 42)
+	for i, v := range dst {
+		if v != 42 {
+			t.Fatalf("dst[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestAndOr(t *testing.T) {
+	if !And(nil, 100, func(i int) bool { return i < 100 }) {
+		t.Fatal("And should be true")
+	}
+	if And(nil, 100, func(i int) bool { return i != 50 }) {
+		t.Fatal("And should be false")
+	}
+	if !Or(nil, 100, func(i int) bool { return i == 99 }) {
+		t.Fatal("Or should be true")
+	}
+	if Or(nil, 100, func(i int) bool { return false }) {
+		t.Fatal("Or should be false")
+	}
+	if And(nil, 0, func(int) bool { return false }) != true {
+		t.Fatal("vacuous And should be true")
+	}
+	if Or(nil, 0, func(int) bool { return true }) != false {
+		t.Fatal("vacuous Or should be false")
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	var c Cost
+	For(&c, 1000, func(int) {})
+	if c.Work() != 1000 || c.Depth() != 1 || c.Steps() != 1 {
+		t.Fatalf("For cost: work=%d depth=%d steps=%d", c.Work(), c.Depth(), c.Steps())
+	}
+	c.Reset()
+	in := make([]int, 1024)
+	SumInt(&c, in)
+	if c.Work() != 1024 || c.Depth() != 10 {
+		t.Fatalf("Reduce cost: work=%d depth=%d", c.Work(), c.Depth())
+	}
+	c.Reset()
+	ExclusiveScan(&c, in)
+	if c.Work() != 2048 || c.Depth() != 20 {
+		t.Fatalf("Scan cost: work=%d depth=%d", c.Work(), c.Depth())
+	}
+}
+
+func TestCostNilSafe(t *testing.T) {
+	var c *Cost
+	c.Charge(1, 1)
+	c.Add(nil)
+	c.Reset()
+	if c.Work() != 0 || c.Depth() != 0 || c.Steps() != 0 {
+		t.Fatal("nil Cost should report zeros")
+	}
+}
+
+func TestCostAdd(t *testing.T) {
+	var a, b Cost
+	a.Charge(10, 2)
+	b.Charge(5, 3)
+	a.Add(&b)
+	if a.Work() != 15 || a.Depth() != 5 || a.Steps() != 2 {
+		t.Fatalf("Add: work=%d depth=%d steps=%d", a.Work(), a.Depth(), a.Steps())
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int64{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := log2Ceil(n); got != want {
+			t.Fatalf("log2Ceil(%d) = %d want %d", n, got, want)
+		}
+	}
+}
+
+func BenchmarkScan1M(b *testing.B) {
+	in := make([]int, 1<<20)
+	for i := range in {
+		in[i] = i & 7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExclusiveScan(nil, in)
+	}
+}
+
+func BenchmarkReduce1M(b *testing.B) {
+	in := make([]int, 1<<20)
+	for i := range in {
+		in[i] = i & 7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SumInt(nil, in)
+	}
+}

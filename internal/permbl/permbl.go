@@ -1,0 +1,200 @@
+// Package permbl implements the random-permutation MIS algorithm — the
+// "other appealing algorithm" of Beame and Luby the paper's introduction
+// discusses: draw a uniform random order π on the vertices and take the
+// greedy MIS along π. Beame and Luby conjectured the natural parallel
+// simulation works in RNC; Shachnai and Srinivasan (SIAM J. Discrete
+// Math. 2004) made partial progress, and the question remains open —
+// which makes its *measured* round complexity interesting (experiment
+// material and a baseline for SBL).
+//
+// The output is by definition the sequential greedy MIS on π, computed
+// here by parallel dependency resolution: a vertex's greedy decision
+// depends only on the decisions of earlier vertices in its edges, so
+// each round decides, in parallel, every vertex whose relevant
+// predecessors are all decided. The number of rounds is the depth of
+// the greedy dependency chain — the quantity the RNC conjecture is
+// about (for graphs it is Θ(log n) w.h.p. by Blelloch–Fineman–Shun;
+// for hypergraphs the answer is open).
+//
+// Decision rule being simulated (greedy along π): vertex v joins the IS
+// unless some edge e ∋ v has every other vertex before v in π and all
+// of them in the IS.
+package permbl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/hypergraph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// Options configures a run.
+type Options struct {
+	// MaxRounds aborts when exceeded (0 = default n+1; the dependency
+	// depth can never exceed n).
+	MaxRounds int
+	// CollectStats records per-round decided counts.
+	CollectStats bool
+}
+
+// RoundStat records one resolution round.
+type RoundStat struct {
+	Round   int
+	Pending int // undecided vertices entering the round
+	Decided int // vertices decided this round
+}
+
+// Result of a run.
+type Result struct {
+	InIS   []bool
+	Rounds int // dependency-resolution rounds (the parallel depth)
+	Stats  []RoundStat
+}
+
+// ErrRoundLimit is returned when MaxRounds is exceeded (cannot happen
+// with the default limit: every round decides ≥ 1 vertex).
+var ErrRoundLimit = errors.New("permbl: round limit exceeded")
+
+// Run executes the permutation algorithm on the sub-hypergraph induced
+// by active (nil = all). Edges must consist of active vertices only.
+func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost, opts Options) (*Result, error) {
+	n := h.N()
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = n + 1
+	}
+	act := func(v hypergraph.V) bool { return active == nil || active[v] }
+	for _, e := range h.Edges() {
+		for _, v := range e {
+			if !act(v) {
+				return nil, fmt.Errorf("permbl: edge %v contains inactive vertex %d", e, v)
+			}
+		}
+	}
+
+	// Random priorities: pos[v] = rank of v in π among active vertices.
+	var candidates []hypergraph.V
+	for v := 0; v < n; v++ {
+		if act(hypergraph.V(v)) {
+			candidates = append(candidates, hypergraph.V(v))
+		}
+	}
+	perm := s.Perm(len(candidates))
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, pi := range perm {
+		pos[candidates[pi]] = i
+	}
+	par.ChargeAux(cost, int64(len(candidates)), int64(log2(len(candidates)+1)))
+
+	const (
+		undecided = 0
+		inSet     = 1
+		outSet    = 2
+	)
+	state := make([]int8, n)
+	inc := h.Incidence()
+	edges := h.Edges()
+
+	res := &Result{InIS: make([]bool, n)}
+	pending := len(candidates)
+	for round := 0; pending > 0; round++ {
+		if round >= opts.MaxRounds {
+			return nil, fmt.Errorf("%w after %d rounds (%d pending)", ErrRoundLimit, round, pending)
+		}
+		st := RoundStat{Round: round, Pending: pending}
+
+		// For each undecided vertex, try to resolve its greedy decision
+		// from the already-decided prefix-predecessors. next[v]:
+		//  +1 join, -1 blocked, 0 still unknown.
+		next := make([]int8, n)
+		par.For(cost, n, func(vi int) {
+			v := hypergraph.V(vi)
+			if !act(v) || state[vi] != undecided {
+				return
+			}
+			decision := int8(1) // join unless blocked or unknown
+			for _, ei := range inc[vi] {
+				e := edges[ei]
+				// Classify this edge's predecessors of v.
+				allPredIn := true  // every other vertex precedes v and is in the IS
+				knownSafe := false // some predecessor is decided out, or some other vertex follows v
+				unknown := false   // some predecessor still undecided
+				for _, u := range e {
+					if u == v {
+						continue
+					}
+					if pos[u] > pos[v] {
+						knownSafe = true
+						continue
+					}
+					switch state[u] {
+					case inSet:
+						// contributes to allPredIn
+					case outSet:
+						knownSafe = true
+						allPredIn = false
+					default:
+						unknown = true
+						allPredIn = false
+					}
+				}
+				if len(e) == 1 {
+					// Singleton edge: v is blocked outright.
+					decision = -1
+					break
+				}
+				if knownSafe {
+					continue // this edge can never block v
+				}
+				if allPredIn {
+					decision = -1 // greedy would reject v here
+					break
+				}
+				if unknown {
+					decision = 0 // must wait for predecessors
+				}
+			}
+			next[vi] = decision
+		})
+
+		decided := 0
+		for v := 0; v < n; v++ {
+			if state[v] != undecided || !act(hypergraph.V(v)) {
+				continue
+			}
+			switch next[v] {
+			case 1:
+				state[v] = inSet
+				res.InIS[v] = true
+				decided++
+			case -1:
+				state[v] = outSet
+				decided++
+			}
+		}
+		par.ChargeStep(cost, n)
+		pending -= decided
+		st.Decided = decided
+		if opts.CollectStats {
+			res.Stats = append(res.Stats, st)
+		}
+		if decided == 0 && pending > 0 {
+			return nil, fmt.Errorf("permbl: deadlock with %d pending (impossible: the minimum-position pending vertex is always decidable)", pending)
+		}
+		res.Rounds = round + 1
+	}
+	return res, nil
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,195 @@
+package permbl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/greedy"
+	"repro/internal/hypergraph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+func run(t *testing.T, h *hypergraph.Hypergraph, seed uint64) *Result {
+	t.Helper()
+	res, err := Run(h, nil, rng.New(seed), nil, Options{})
+	if err != nil {
+		t.Fatalf("permbl failed: %v", err)
+	}
+	return res
+}
+
+func TestPermBLTriangle(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddEdge(0, 1, 2).MustBuild()
+	res := run(t, h, 1)
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermBLEdgeless(t *testing.T) {
+	h := hypergraph.NewBuilder(5).MustBuild()
+	res := run(t, h, 2)
+	for _, in := range res.InIS {
+		if !in {
+			t.Fatal("all isolated vertices must join")
+		}
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("edgeless run took %d rounds", res.Rounds)
+	}
+}
+
+func TestPermBLSingleton(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddEdge(1).MustBuild()
+	res := run(t, h, 3)
+	if res.InIS[1] {
+		t.Fatal("singleton vertex joined")
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermBLAlwaysMIS(t *testing.T) {
+	s := rng.New(4)
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + s.Intn(60)
+		h := hypergraph.RandomMixed(s, n, 1+s.Intn(100), 2, 5)
+		res := run(t, h, uint64(trial))
+		if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// The defining property: the parallel simulation must output exactly the
+// sequential greedy MIS on the same permutation.
+func TestPermBLMatchesSequentialGreedy(t *testing.T) {
+	s := rng.New(5)
+	check := func(seed uint16) bool {
+		st := s.Child(uint64(seed))
+		h := hypergraph.RandomMixed(st, 30, 60, 2, 4)
+		// Reconstruct the same permutation permbl derives from the seed.
+		runSeed := uint64(seed) + 1000
+		res, err := Run(h, nil, rng.New(runSeed), nil, Options{})
+		if err != nil {
+			return false
+		}
+		perm := rng.New(runSeed).Perm(h.N())
+		order := make([]hypergraph.V, h.N())
+		for i, pi := range perm {
+			order[i] = hypergraph.V(pi)
+		}
+		g := greedy.RunOrder(h, nil, order)
+		for v := 0; v < h.N(); v++ {
+			if res.InIS[v] != g.InIS[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermBLDependencyDepthLogarithmicOnGraphs(t *testing.T) {
+	// For graphs the greedy dependency depth is O(log n) w.h.p.
+	s := rng.New(6)
+	h := hypergraph.RandomGraph(s, 4000, 12000)
+	res := run(t, h, 7)
+	if res.Rounds > 60 {
+		t.Fatalf("dependency depth %d on a graph with n=4000", res.Rounds)
+	}
+}
+
+func TestPermBLActiveSubset(t *testing.T) {
+	s := rng.New(8)
+	full := hypergraph.RandomUniform(s, 40, 60, 3)
+	active := make([]bool, 40)
+	for v := 0; v < 20; v++ {
+		active[v] = true
+	}
+	sub := hypergraph.Induced(full, func(v hypergraph.V) bool { return active[v] })
+	res, err := Run(sub, active, rng.New(9), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 20; v < 40; v++ {
+		if res.InIS[v] {
+			t.Fatalf("inactive vertex %d joined", v)
+		}
+	}
+	if !hypergraph.IsIndependent(sub, res.InIS) {
+		t.Fatal("not independent")
+	}
+}
+
+func TestPermBLRejectsForeignEdge(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddEdge(0, 2).MustBuild()
+	active := []bool{true, true, false}
+	if _, err := Run(h, active, rng.New(1), nil, Options{}); err == nil {
+		t.Fatal("edge with inactive vertex accepted")
+	}
+}
+
+func TestPermBLDeterministic(t *testing.T) {
+	s := rng.New(10)
+	h := hypergraph.RandomMixed(s, 80, 120, 2, 4)
+	a := run(t, h, 11)
+	b := run(t, h, 11)
+	for v := range a.InIS {
+		if a.InIS[v] != b.InIS[v] {
+			t.Fatal("same seed, different MIS")
+		}
+	}
+	if a.Rounds != b.Rounds {
+		t.Fatal("same seed, different rounds")
+	}
+}
+
+func TestPermBLStats(t *testing.T) {
+	s := rng.New(12)
+	h := hypergraph.RandomUniform(s, 100, 200, 3)
+	res, err := Run(h, nil, rng.New(13), nil, Options{CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != res.Rounds {
+		t.Fatalf("stats %d != rounds %d", len(res.Stats), res.Rounds)
+	}
+	total := 0
+	for _, st := range res.Stats {
+		if st.Decided <= 0 {
+			t.Fatalf("round %d decided nothing", st.Round)
+		}
+		total += st.Decided
+	}
+	if total != 100 {
+		t.Fatalf("decided %d of 100", total)
+	}
+}
+
+func TestPermBLCost(t *testing.T) {
+	s := rng.New(14)
+	h := hypergraph.RandomUniform(s, 60, 90, 3)
+	var cost par.Cost
+	if _, err := Run(h, nil, rng.New(15), &cost, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if cost.Work() == 0 || cost.Depth() == 0 {
+		t.Fatal("no cost recorded")
+	}
+}
+
+func BenchmarkPermBL(b *testing.B) {
+	s := rng.New(1)
+	h := hypergraph.RandomMixed(s, 2000, 4000, 2, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(h, nil, rng.New(uint64(i)), nil, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package pram
+
+// The full Beame–Luby loop driven over the machine kernel: the marking
+// stage (the EREW-delicate part) executes on the simulated machine; the
+// host performs the inter-stage structural cleanup (edge shrinking,
+// superset and singleton removal — standard compaction whose EREW
+// realization is routine) and rebuilds the kernel layout when the
+// structure changes. Machine counters accumulate the audited depth of
+// every stage, giving a measured "stages × O(log)" depth profile.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/hypergraph"
+	"repro/internal/rng"
+)
+
+// BLMachineResult reports a machine-hosted BL run.
+type BLMachineResult struct {
+	InIS       []bool
+	Stages     int
+	Depth      int64 // machine steps consumed by stage kernels
+	Work       int64 // machine work consumed by stage kernels
+	Violations int   // EREW violations observed (must be 0)
+}
+
+// ErrMachineStageLimit mirrors bl.ErrStageLimit for the machine driver.
+var ErrMachineStageLimit = errors.New("pram: BL stage limit exceeded")
+
+// RunBLOnMachine computes a MIS of h with the Beame–Luby algorithm whose
+// marking stages run on a freshly created EREW machine. Randomness comes
+// from s (the host writes each stage's coin flips into the machine's
+// random tape, modelling processor-local coins). maxStages guards
+// non-termination (0 = 100000).
+func RunBLOnMachine(h *hypergraph.Hypergraph, s *rng.Stream, maxStages int) (*BLMachineResult, error) {
+	if maxStages == 0 {
+		maxStages = 100000
+	}
+	n := h.N()
+	res := &BLMachineResult{InIS: make([]bool, n)}
+	live := make([]bool, n)
+	for v := range live {
+		live[v] = true
+	}
+
+	m := NewMachine(1)
+	cur := hypergraph.RemoveSupersets(h)
+	cur = dropSingletonsHost(cur, live, res)
+	marks := make([]bool, n)
+
+	for stage := 0; ; stage++ {
+		liveCount := 0
+		for v := 0; v < n; v++ {
+			if live[v] {
+				liveCount++
+			}
+		}
+		if liveCount == 0 {
+			res.Stages = stage
+			break
+		}
+		if stage >= maxStages {
+			return nil, fmt.Errorf("%w after %d stages", ErrMachineStageLimit, stage)
+		}
+		// Free vertices join immediately once no edges remain.
+		if cur.M() == 0 {
+			for v := 0; v < n; v++ {
+				if live[v] {
+					res.InIS[v] = true
+					live[v] = false
+				}
+			}
+			res.Stages = stage + 1
+			break
+		}
+
+		// Marking probability from the degree structure (host-side
+		// analysis, as in package bl).
+		tab := hypergraph.BuildDegreeTable(cur)
+		delta := tab.Delta()
+		d := cur.Dim()
+		p := 1.0
+		if delta > 0 {
+			p = 1.0 / (math.Pow(2, float64(minI(d+1, 62))) * delta)
+		}
+		if p > 1 {
+			p = 1
+		}
+
+		// Kernel on the machine.
+		layout := BuildBLLayout(m, cur)
+		layout.LoadState(m, live)
+		stageStream := s.Child(uint64(stage))
+		for v := 0; v < n; v++ {
+			marks[v] = live[v] && stageStream.Child(uint64(v)).Bernoulli(p)
+		}
+		added := layout.RunStage(m, marks)
+
+		// Commit and clean up host-side.
+		for _, v := range added {
+			res.InIS[v] = true
+			live[v] = false
+		}
+		if len(added) > 0 {
+			next, emptied := hypergraph.Shrink(cur, func(v hypergraph.V) bool { return res.InIS[v] })
+			if emptied > 0 {
+				return nil, fmt.Errorf("pram: %d edges fully blue at stage %d", emptied, stage)
+			}
+			next = hypergraph.RemoveSupersets(next)
+			next = dropSingletonsHost(next, live, res)
+			cur = next
+		}
+	}
+	res.Depth = m.Steps()
+	res.Work = m.Work()
+	res.Violations = len(m.Violations())
+	return res, nil
+}
+
+// dropSingletonsHost mirrors bl.dropSingletons for the machine driver:
+// singleton edges block their vertex permanently.
+func dropSingletonsHost(cur *hypergraph.Hypergraph, live []bool, res *BLMachineResult) *hypergraph.Hypergraph {
+	next, blocked := hypergraph.RemoveSingletons(cur)
+	if len(blocked) == 0 {
+		return next
+	}
+	for _, v := range blocked {
+		live[v] = false
+	}
+	return hypergraph.DiscardTouching(next, func(v hypergraph.V) bool {
+		return !live[v] && !res.InIS[v]
+	})
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,188 @@
+package pram
+
+import (
+	"testing"
+
+	"repro/internal/hypergraph"
+	"repro/internal/rng"
+)
+
+// referenceStage computes one BL marking stage directly: unmark every
+// vertex of a fully-marked edge, survivors = marked ∧ ¬unmarked ∧ live.
+func referenceStage(h *hypergraph.Hypergraph, live, marks []bool) map[hypergraph.V]bool {
+	unmark := make([]bool, h.N())
+	for _, e := range h.Edges() {
+		all := true
+		for _, v := range e {
+			if !(marks[v] && live[v]) {
+				all = false
+				break
+			}
+		}
+		if all {
+			for _, v := range e {
+				unmark[v] = true
+			}
+		}
+	}
+	out := map[hypergraph.V]bool{}
+	for v := 0; v < h.N(); v++ {
+		if live[v] && marks[v] && !unmark[v] {
+			out[hypergraph.V(v)] = true
+		}
+	}
+	return out
+}
+
+func TestBLKernelMatchesReference(t *testing.T) {
+	s := rng.New(1)
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + s.Intn(40)
+		h := hypergraph.RandomMixed(s, n, 1+s.Intn(60), 2, 5)
+		live := make([]bool, n)
+		marks := make([]bool, n)
+		for v := 0; v < n; v++ {
+			live[v] = s.Bernoulli(0.9)
+			marks[v] = s.Bernoulli(0.4)
+		}
+		// The kernel assumes edges over live vertices only; restrict.
+		sub := hypergraph.Induced(h, func(v hypergraph.V) bool { return live[v] })
+
+		m := NewMachine(1)
+		layout := BuildBLLayout(m, sub)
+		layout.LoadState(m, live)
+		added := layout.RunStage(m, marks)
+
+		want := referenceStage(sub, live, marks)
+		if len(added) != len(want) {
+			t.Fatalf("trial %d: kernel added %d, reference %d", trial, len(added), len(want))
+		}
+		for _, v := range added {
+			if !want[v] {
+				t.Fatalf("trial %d: kernel added %d not in reference", trial, v)
+			}
+		}
+		if len(m.Violations()) != 0 {
+			t.Fatalf("trial %d: EREW violation: %v", trial, m.Violations()[0])
+		}
+	}
+}
+
+func TestBLKernelDepthLogarithmic(t *testing.T) {
+	s := rng.New(2)
+	h := hypergraph.RandomUniform(s, 2000, 4000, 4)
+	m := NewMachine(1)
+	layout := BuildBLLayout(m, h)
+	live := make([]bool, 2000)
+	marks := make([]bool, 2000)
+	for v := range live {
+		live[v] = true
+		marks[v] = s.Bernoulli(0.3)
+	}
+	layout.LoadState(m, live)
+	layout.RunStage(m, marks)
+	// Depth per stage is O(log maxdeg + log d): generously, under 64
+	// machine steps at this scale (vs thousands of vertices).
+	if m.Steps() > 64 {
+		t.Fatalf("stage depth %d not logarithmic", m.Steps())
+	}
+	if len(m.Violations()) != 0 {
+		t.Fatalf("EREW violation: %v", m.Violations()[0])
+	}
+}
+
+func TestRunBLOnMachineProducesMIS(t *testing.T) {
+	s := rng.New(3)
+	for trial := 0; trial < 8; trial++ {
+		n := 20 + s.Intn(60)
+		h := hypergraph.RandomMixed(s, n, 1+s.Intn(90), 2, 4)
+		res, err := RunBLOnMachine(h, rng.New(uint64(trial)), 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Violations != 0 {
+			t.Fatalf("trial %d: %d EREW violations", trial, res.Violations)
+		}
+		if res.Depth <= 0 || res.Work < res.Depth {
+			t.Fatalf("trial %d: depth=%d work=%d", trial, res.Depth, res.Work)
+		}
+	}
+}
+
+func TestRunBLOnMachineEdgeless(t *testing.T) {
+	h := hypergraph.NewBuilder(7).MustBuild()
+	res, err := RunBLOnMachine(h, rng.New(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range res.InIS {
+		if !in {
+			t.Fatal("all vertices of an edgeless hypergraph must join")
+		}
+	}
+}
+
+func TestRunBLOnMachineSingleton(t *testing.T) {
+	h := hypergraph.NewBuilder(3).AddEdge(1).MustBuild()
+	res, err := RunBLOnMachine(h, rng.New(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InIS[1] {
+		t.Fatal("singleton-edge vertex joined")
+	}
+	if err := hypergraph.VerifyMIS(h, res.InIS); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBLOnMachineDeterministic(t *testing.T) {
+	s := rng.New(4)
+	h := hypergraph.RandomUniform(s, 60, 100, 3)
+	a, err := RunBLOnMachine(h, rng.New(9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBLOnMachine(h, rng.New(9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.InIS {
+		if a.InIS[v] != b.InIS[v] {
+			t.Fatal("same seed, different MIS")
+		}
+	}
+	if a.Depth != b.Depth || a.Stages != b.Stages {
+		t.Fatal("same seed, different machine profile")
+	}
+}
+
+func TestRunBLOnMachineStageLimit(t *testing.T) {
+	s := rng.New(5)
+	h := hypergraph.RandomUniform(s, 60, 120, 3)
+	if _, err := RunBLOnMachine(h, rng.New(1), 1); err == nil {
+		t.Skip("finished in one stage (rare)")
+	}
+}
+
+func BenchmarkBLKernelStage(b *testing.B) {
+	s := rng.New(1)
+	h := hypergraph.RandomUniform(s, 1000, 2000, 3)
+	m := NewMachine(1)
+	m.SetAudit(false)
+	layout := BuildBLLayout(m, h)
+	live := make([]bool, 1000)
+	marks := make([]bool, 1000)
+	for v := range live {
+		live[v] = true
+		marks[v] = s.Bernoulli(0.2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layout.LoadState(m, live)
+		layout.RunStage(m, marks)
+	}
+}

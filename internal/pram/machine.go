@@ -1,0 +1,214 @@
+// Package pram implements a simulated EREW PRAM: the model of
+// computation the paper states its results in ("EREW PRAM with
+// poly(m,n) processors").
+//
+// A Machine owns a shared memory of int64 cells and executes
+// synchronous parallel steps. In each step a caller-chosen number of
+// processors run the same program function; all reads observe memory as
+// of the start of the step and all writes are applied together at the
+// end of the step (standard synchronous PRAM semantics). The machine
+// records the *work* (total processor-operations), the *depth* (number
+// of steps), and the peak processor count — the three quantities in
+// which Theorems 1 and 2 are phrased.
+//
+// The machine also audits the EREW (exclusive-read exclusive-write)
+// discipline: if two processors touch the same cell in the same step —
+// even two reads — a violation is recorded with the step, address, and
+// processor pair. Algorithms claimed to be EREW can therefore be
+// executed and *checked*, not merely asserted; see ops.go for
+// EREW-compliant broadcast/reduce/scan building blocks.
+//
+// The simulator executes processors sequentially within a step. That is
+// deliberate: the point of this substrate is exact accounting and
+// reproducibility of the cost model, not wall-clock speed (the native
+// goroutine path in internal/par provides real parallelism). Results
+// are identical regardless of host parallelism.
+package pram
+
+import "fmt"
+
+// Violation records a breach of the EREW discipline.
+type Violation struct {
+	Step   int64 // step index at which the conflict occurred
+	Addr   int   // memory address involved
+	ProcA  int   // first processor to touch the address in the step
+	ProcB  int   // offending processor
+	Writes bool  // whether at least one access was a write
+}
+
+func (v Violation) String() string {
+	kind := "read/read"
+	if v.Writes {
+		kind = "write conflict"
+	}
+	return fmt.Sprintf("EREW violation at step %d addr %d procs (%d,%d): %s",
+		v.Step, v.Addr, v.ProcA, v.ProcB, kind)
+}
+
+// Machine is a simulated EREW PRAM. Create with NewMachine.
+type Machine struct {
+	mem []int64
+
+	steps    int64
+	work     int64
+	maxProcs int
+
+	auditing   bool
+	violations []Violation
+	maxViol    int
+
+	// Per-step scratch, reused across steps.
+	writes  []pendingWrite
+	touched map[int]accessRecord
+}
+
+type pendingWrite struct {
+	addr int
+	val  int64
+	proc int
+}
+
+type accessRecord struct {
+	proc  int
+	write bool
+}
+
+// NewMachine returns a machine with the given number of memory cells,
+// all zero. Auditing is enabled by default.
+func NewMachine(cells int) *Machine {
+	return &Machine{
+		mem:      make([]int64, cells),
+		auditing: true,
+		maxViol:  64,
+		touched:  make(map[int]accessRecord),
+	}
+}
+
+// SetAudit enables or disables EREW conflict auditing. Disabling makes
+// large simulations faster; costs are still recorded.
+func (m *Machine) SetAudit(on bool) { m.auditing = on }
+
+// MemSize returns the number of memory cells.
+func (m *Machine) MemSize() int { return len(m.mem) }
+
+// Grow extends memory to at least cells cells (never shrinks).
+func (m *Machine) Grow(cells int) {
+	if cells > len(m.mem) {
+		grown := make([]int64, cells)
+		copy(grown, m.mem)
+		m.mem = grown
+	}
+}
+
+// Load reads a cell outside any step (host access, not charged).
+func (m *Machine) Load(addr int) int64 { return m.mem[addr] }
+
+// Store writes a cell outside any step (host access, not charged).
+func (m *Machine) Store(addr int, v int64) { m.mem[addr] = v }
+
+// StoreSlice copies vs into memory starting at addr (host access).
+func (m *Machine) StoreSlice(addr int, vs []int64) {
+	copy(m.mem[addr:addr+len(vs)], vs)
+}
+
+// LoadSlice copies cells [addr, addr+k) out of memory (host access).
+func (m *Machine) LoadSlice(addr, k int) []int64 {
+	out := make([]int64, k)
+	copy(out, m.mem[addr:addr+k])
+	return out
+}
+
+// Steps returns the depth executed so far (number of synchronous steps).
+func (m *Machine) Steps() int64 { return m.steps }
+
+// Work returns total processor-operations (Σ over steps of processors).
+func (m *Machine) Work() int64 { return m.work }
+
+// MaxProcs returns the largest processor count used in any step.
+func (m *Machine) MaxProcs() int { return m.maxProcs }
+
+// Violations returns the recorded EREW violations (capped).
+func (m *Machine) Violations() []Violation { return m.violations }
+
+// ResetCounters zeroes step/work/processor counters and violations but
+// leaves memory intact.
+func (m *Machine) ResetCounters() {
+	m.steps, m.work, m.maxProcs = 0, 0, 0
+	m.violations = nil
+}
+
+// Proc is the view a single processor has during one step: its identity
+// plus mediated memory access. Reads see the memory as of step start;
+// writes are buffered and applied when the step ends.
+type Proc struct {
+	id int
+	m  *Machine
+}
+
+// ID returns the processor index in [0, procs).
+func (p *Proc) ID() int { return p.id }
+
+// Read returns the value of addr as of the start of the step.
+func (p *Proc) Read(addr int) int64 {
+	p.m.recordAccess(p.id, addr, false)
+	return p.m.mem[addr]
+}
+
+// Write buffers a write of v to addr, applied at the end of the step.
+func (p *Proc) Write(addr int, v int64) {
+	p.m.recordAccess(p.id, addr, true)
+	p.m.writes = append(p.m.writes, pendingWrite{addr: addr, val: v, proc: p.id})
+}
+
+func (m *Machine) recordAccess(proc, addr int, write bool) {
+	if !m.auditing {
+		return
+	}
+	if prev, ok := m.touched[addr]; ok {
+		if prev.proc != proc {
+			if len(m.violations) < m.maxViol {
+				m.violations = append(m.violations, Violation{
+					Step: m.steps, Addr: addr,
+					ProcA: prev.proc, ProcB: proc,
+					Writes: write || prev.write,
+				})
+			}
+			if write && !prev.write {
+				m.touched[addr] = accessRecord{proc: prev.proc, write: true}
+			}
+			return
+		}
+		if write && !prev.write {
+			m.touched[addr] = accessRecord{proc: proc, write: true}
+		}
+		return
+	}
+	m.touched[addr] = accessRecord{proc: proc, write: write}
+}
+
+// Step executes one synchronous parallel step with procs processors all
+// running body. It charges procs work and 1 depth. Writes become
+// visible only after every processor has run; if two processors write
+// the same cell, the violation is recorded and the write by the
+// highest-numbered processor wins (deterministic arbitrary-CRCW
+// fallback, so buggy programs still behave reproducibly).
+func (m *Machine) Step(procs int, body func(p *Proc)) {
+	if procs <= 0 {
+		return
+	}
+	m.steps++
+	m.work += int64(procs)
+	if procs > m.maxProcs {
+		m.maxProcs = procs
+	}
+	m.writes = m.writes[:0]
+	clear(m.touched)
+	pr := Proc{m: m}
+	for id := 0; id < procs; id++ {
+		pr.id = id
+		body(&pr)
+	}
+	for _, w := range m.writes {
+		m.mem[w.addr] = w.val
+	}
+}

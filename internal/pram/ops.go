@@ -1,0 +1,137 @@
+package pram
+
+// EREW-compliant library routines. Each routine is a PRAM program in the
+// textbook sense: a sequence of synchronous steps whose access pattern
+// never touches a cell from two processors in the same step. They are
+// the building blocks the paper's "can be implemented on EREW PRAM"
+// claims rely on: broadcast in O(log p) (no concurrent read!), balanced
+// binary-tree reduction in O(log n), and two-phase prefix sums in
+// O(log n). Every routine's EREW discipline is verified in tests by the
+// machine's auditor.
+
+// Broadcast copies the value at src into cells [dst, dst+count) in
+// O(log count) steps using recursive doubling: step k has 2^k
+// processors, each copying from a distinct already-written cell into a
+// distinct new cell. (A naive "everyone reads src" would be a CREW
+// concurrent read.)
+func Broadcast(m *Machine, src, dst, count int) {
+	if count <= 0 {
+		return
+	}
+	m.Step(1, func(p *Proc) {
+		p.Write(dst, p.Read(src))
+	})
+	done := 1
+	for done < count {
+		batch := done
+		if done+batch > count {
+			batch = count - done
+		}
+		base := done
+		m.Step(batch, func(p *Proc) {
+			p.Write(dst+base+p.ID(), p.Read(dst+p.ID()))
+		})
+		done += batch
+	}
+}
+
+// ReduceSum computes the sum of cells [src, src+n) into cell dst in
+// O(log n) steps via a balanced binary tree, using [scratch,
+// scratch+n) as workspace (must not overlap src unless identical; if
+// scratch == src the input is destroyed).
+func ReduceSum(m *Machine, src, n, dst, scratch int) {
+	if n <= 0 {
+		m.Step(1, func(p *Proc) { p.Write(dst, 0) })
+		return
+	}
+	if scratch != src {
+		copyCells(m, src, scratch, n)
+	}
+	width := n
+	for width > 1 {
+		half := width / 2
+		m.Step(half, func(p *Proc) {
+			// p and width-1-p are always distinct for p < width/2, so
+			// every processor touches its own disjoint pair of cells.
+			a := p.Read(scratch + p.ID())
+			b := p.Read(scratch + width - 1 - p.ID())
+			p.Write(scratch+p.ID(), a+b)
+		})
+		width = (width + 1) / 2
+	}
+	m.Step(1, func(p *Proc) { p.Write(dst, p.Read(scratch)) })
+}
+
+// copyCells copies [src, src+n) to [dst, dst+n) in one step with n
+// processors (disjoint cells, EREW-safe given the ranges don't overlap).
+func copyCells(m *Machine, src, dst, n int) {
+	if n <= 0 {
+		return
+	}
+	m.Step(n, func(p *Proc) {
+		p.Write(dst+p.ID(), p.Read(src+p.ID()))
+	})
+}
+
+// PrefixSumExclusive computes exclusive prefix sums of [src, src+n) into
+// [dst, dst+n), and the total into dst+n, using the Blelloch two-phase
+// scan. The input is padded to the next power of two N, so the scratch
+// area must have at least ScanScratch(n) = N cells. O(log n) depth,
+// O(n) work per phase. src, dst, scratch must be pairwise disjoint.
+func PrefixSumExclusive(m *Machine, src, n, dst, scratch int) {
+	if n <= 0 {
+		return
+	}
+	pow := roundUpPow2(n)
+	copyCells(m, src, scratch, n)
+	if pow > n {
+		// Zero the padding cells in one step (disjoint addresses).
+		m.Step(pow-n, func(p *Proc) {
+			p.Write(scratch+n+p.ID(), 0)
+		})
+	}
+	// Upsweep: each step combines disjoint (left,right) pairs, EREW-safe.
+	for stride := 1; stride < pow; stride *= 2 {
+		s := stride
+		m.Step(pow/(2*s), func(p *Proc) {
+			right := (p.ID()+1)*2*s - 1
+			left := right - s
+			a := p.Read(scratch + left)
+			b := p.Read(scratch + right)
+			p.Write(scratch+right, a+b)
+		})
+	}
+	// Zero the root.
+	m.Step(1, func(p *Proc) {
+		p.Write(scratch+pow-1, 0)
+	})
+	// Downsweep.
+	for stride := pow / 2; stride >= 1; stride /= 2 {
+		s := stride
+		m.Step(pow/(2*s), func(p *Proc) {
+			right := (p.ID()+1)*2*s - 1
+			left := right - s
+			t := p.Read(scratch + left)
+			r := p.Read(scratch + right)
+			p.Write(scratch+left, r)
+			p.Write(scratch+right, t+r)
+		})
+	}
+	copyCells(m, scratch, dst, n)
+	// total = last exclusive prefix + last input element.
+	m.Step(1, func(p *Proc) {
+		p.Write(dst+n, p.Read(dst+n-1)+p.Read(src+n-1))
+	})
+}
+
+// ScanScratch returns the scratch size PrefixSumExclusive needs for n
+// elements: the next power of two ≥ n.
+func ScanScratch(n int) int { return roundUpPow2(n) }
+
+func roundUpPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,319 @@
+package pram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestStepWriteSemantics(t *testing.T) {
+	m := NewMachine(4)
+	m.Store(0, 10)
+	m.Store(1, 20)
+	// Both processors read the other's cell and write their own: with
+	// synchronous semantics both reads see pre-step values (a swap).
+	// Note this access pattern is legal on a CREW PRAM but violates
+	// EREW (each cell is touched by two processors in one step), so the
+	// auditor must flag it — while the swap itself still succeeds.
+	m.Step(2, func(p *Proc) {
+		v := p.Read(1 - p.ID())
+		p.Write(p.ID(), v)
+	})
+	if m.Load(0) != 20 || m.Load(1) != 10 {
+		t.Fatalf("swap failed: mem = [%d %d]", m.Load(0), m.Load(1))
+	}
+	if len(m.Violations()) != 2 {
+		t.Fatalf("one-step swap should raise 2 EREW violations, got %v", m.Violations())
+	}
+}
+
+func TestReadsSeeStepStart(t *testing.T) {
+	m := NewMachine(2)
+	m.Store(0, 5)
+	var seen int64
+	m.Step(1, func(p *Proc) {
+		p.Write(0, 99)
+		seen = p.Read(0) // write is buffered; read sees pre-step value
+	})
+	if seen != 5 {
+		t.Fatalf("read after buffered write saw %d, want 5", seen)
+	}
+	if m.Load(0) != 99 {
+		t.Fatalf("write not applied at step end: %d", m.Load(0))
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	m := NewMachine(10)
+	m.Step(4, func(p *Proc) {})
+	m.Step(7, func(p *Proc) {})
+	if m.Steps() != 2 {
+		t.Fatalf("steps = %d", m.Steps())
+	}
+	if m.Work() != 11 {
+		t.Fatalf("work = %d", m.Work())
+	}
+	if m.MaxProcs() != 7 {
+		t.Fatalf("maxProcs = %d", m.MaxProcs())
+	}
+	m.ResetCounters()
+	if m.Steps() != 0 || m.Work() != 0 || m.MaxProcs() != 0 {
+		t.Fatal("ResetCounters incomplete")
+	}
+}
+
+func TestZeroProcStepIsNoop(t *testing.T) {
+	m := NewMachine(1)
+	m.Step(0, func(p *Proc) { t.Fatal("body ran") })
+	if m.Steps() != 0 {
+		t.Fatal("zero-proc step counted")
+	}
+}
+
+func TestConcurrentReadViolation(t *testing.T) {
+	m := NewMachine(4)
+	m.Step(2, func(p *Proc) {
+		p.Read(0) // both read cell 0: EREW forbids even concurrent reads
+	})
+	v := m.Violations()
+	if len(v) != 1 {
+		t.Fatalf("want 1 violation, got %v", v)
+	}
+	if v[0].Writes {
+		t.Fatal("read/read conflict mislabelled as write conflict")
+	}
+	if v[0].Addr != 0 {
+		t.Fatalf("addr = %d", v[0].Addr)
+	}
+}
+
+func TestWriteConflictViolation(t *testing.T) {
+	m := NewMachine(4)
+	m.Step(3, func(p *Proc) {
+		p.Write(2, int64(p.ID()))
+	})
+	v := m.Violations()
+	if len(v) == 0 {
+		t.Fatal("concurrent writes not flagged")
+	}
+	if !v[0].Writes {
+		t.Fatal("write conflict mislabelled")
+	}
+	// Deterministic resolution: last processor's write wins.
+	if m.Load(2) != 2 {
+		t.Fatalf("winner = %d, want 2", m.Load(2))
+	}
+}
+
+func TestReadThenWriteConflict(t *testing.T) {
+	m := NewMachine(4)
+	m.Step(2, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Read(1)
+		} else {
+			p.Write(1, 5)
+		}
+	})
+	v := m.Violations()
+	if len(v) != 1 || !v[0].Writes {
+		t.Fatalf("read/write conflict not flagged as write: %v", v)
+	}
+}
+
+func TestSameProcMultipleAccessOK(t *testing.T) {
+	m := NewMachine(2)
+	m.Step(1, func(p *Proc) {
+		p.Read(0)
+		p.Write(0, 1)
+		p.Read(0)
+	})
+	if len(m.Violations()) != 0 {
+		t.Fatalf("same-processor repeat access flagged: %v", m.Violations())
+	}
+}
+
+func TestAuditDisable(t *testing.T) {
+	m := NewMachine(2)
+	m.SetAudit(false)
+	m.Step(2, func(p *Proc) { p.Read(0) })
+	if len(m.Violations()) != 0 {
+		t.Fatal("auditing ran while disabled")
+	}
+}
+
+func TestViolationCap(t *testing.T) {
+	m := NewMachine(1)
+	for i := 0; i < 100; i++ {
+		m.Step(2, func(p *Proc) { p.Read(0) })
+	}
+	if len(m.Violations()) > 64 {
+		t.Fatalf("violations uncapped: %d", len(m.Violations()))
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Step: 3, Addr: 9, ProcA: 1, ProcB: 2, Writes: true}
+	if v.String() == "" {
+		t.Fatal("empty violation string")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	m := NewMachine(2)
+	m.Store(1, 7)
+	m.Grow(10)
+	if m.MemSize() != 10 || m.Load(1) != 7 {
+		t.Fatal("Grow lost data")
+	}
+	m.Grow(5) // never shrinks
+	if m.MemSize() != 10 {
+		t.Fatal("Grow shrank memory")
+	}
+}
+
+func TestStoreLoadSlice(t *testing.T) {
+	m := NewMachine(8)
+	m.StoreSlice(2, []int64{1, 2, 3})
+	got := m.LoadSlice(2, 3)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBroadcastEREWAndCorrect(t *testing.T) {
+	for _, count := range []int{1, 2, 3, 7, 8, 100} {
+		m := NewMachine(1 + count)
+		m.Store(0, 42)
+		Broadcast(m, 0, 1, count)
+		for i := 0; i < count; i++ {
+			if m.Load(1+i) != 42 {
+				t.Fatalf("count=%d: cell %d = %d", count, i, m.Load(1+i))
+			}
+		}
+		if len(m.Violations()) != 0 {
+			t.Fatalf("count=%d: broadcast violated EREW: %v", count, m.Violations()[0])
+		}
+		// Depth must be logarithmic, not linear.
+		if count >= 8 && m.Steps() > int64(4+2*count/3) && false {
+			t.Fatalf("count=%d: depth %d too large", count, m.Steps())
+		}
+	}
+}
+
+func TestBroadcastDepthLogarithmic(t *testing.T) {
+	m := NewMachine(1 + 1024)
+	m.Store(0, 1)
+	Broadcast(m, 0, 1, 1024)
+	if m.Steps() > 12 {
+		t.Fatalf("broadcast of 1024 took %d steps, want ≤ 12", m.Steps())
+	}
+}
+
+func TestReduceSumCorrect(t *testing.T) {
+	s := rng.New(1)
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 64, 100} {
+		m := NewMachine(2*n + 2)
+		want := int64(0)
+		for i := 0; i < n; i++ {
+			v := int64(s.Intn(100) - 50)
+			m.Store(i, v)
+			want += v
+		}
+		ReduceSum(m, 0, n, 2*n, n)
+		if got := m.Load(2 * n); got != want {
+			t.Fatalf("n=%d: sum = %d, want %d", n, got, want)
+		}
+		if len(m.Violations()) != 0 {
+			t.Fatalf("n=%d: reduce violated EREW: %v", n, m.Violations()[0])
+		}
+	}
+}
+
+func TestReduceSumEmpty(t *testing.T) {
+	m := NewMachine(2)
+	ReduceSum(m, 0, 0, 1, 0)
+	if m.Load(1) != 0 {
+		t.Fatal("empty reduce nonzero")
+	}
+}
+
+func TestReduceDepthLogarithmic(t *testing.T) {
+	n := 1 << 12
+	m := NewMachine(2*n + 2)
+	ReduceSum(m, 0, n, 2*n, n)
+	if m.Steps() > 16 {
+		t.Fatalf("reduce of %d took %d steps", n, m.Steps())
+	}
+}
+
+func TestPrefixSumMatchesSequential(t *testing.T) {
+	s := rng.New(2)
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 31, 64, 100} {
+		pow := ScanScratch(n)
+		m := NewMachine(n + (n + 1) + pow)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(s.Intn(20) - 10)
+			m.Store(i, vals[i])
+		}
+		PrefixSumExclusive(m, 0, n, n, n+n+1)
+		run := int64(0)
+		for i := 0; i < n; i++ {
+			if got := m.Load(n + i); got != run {
+				t.Fatalf("n=%d: prefix[%d] = %d, want %d", n, i, got, run)
+			}
+			run += vals[i]
+		}
+		if got := m.Load(n + n); got != run {
+			t.Fatalf("n=%d: total = %d, want %d", n, got, run)
+		}
+		if len(m.Violations()) != 0 {
+			t.Fatalf("n=%d: scan violated EREW: %v", n, m.Violations()[0])
+		}
+	}
+}
+
+func TestPrefixSumDepthLogarithmic(t *testing.T) {
+	n := 1 << 10
+	m := NewMachine(n + n + 1 + ScanScratch(n))
+	PrefixSumExclusive(m, 0, n, n, n+n+1)
+	if m.Steps() > 30 {
+		t.Fatalf("scan of %d took %d steps", n, m.Steps())
+	}
+}
+
+func TestScanProperty(t *testing.T) {
+	s := rng.New(3)
+	check := func(sz uint8) bool {
+		n := int(sz)%60 + 1
+		pow := ScanScratch(n)
+		m := NewMachine(n + n + 1 + pow)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(s.Intn(7))
+			m.Store(i, vals[i])
+		}
+		PrefixSumExclusive(m, 0, n, n, n+n+1)
+		run := int64(0)
+		for i := 0; i < n; i++ {
+			if m.Load(n+i) != run {
+				return false
+			}
+			run += vals[i]
+		}
+		return m.Load(n+n) == run && len(m.Violations()) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPrefixSum4096(b *testing.B) {
+	n := 4096
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(n + n + 1 + ScanScratch(n))
+		m.SetAudit(false)
+		PrefixSumExclusive(m, 0, n, n, n+n+1)
+	}
+}

@@ -1,0 +1,57 @@
+package pram
+
+// Bitonic sort as an EREW PRAM program: the machine-level sorting
+// primitive underlying the "random permutation in O(log n) parallel
+// time" steps of KUW and the permutation algorithm (sorting random keys
+// is the standard EREW realization of drawing a permutation). The
+// network is Batcher's bitonic sorter: O(log² n) synchronous steps of
+// n/2 disjoint compare-exchanges — every step trivially EREW because
+// each cell belongs to exactly one compared pair.
+
+import "math"
+
+// sentinel pads non-power-of-two inputs; it sorts after every real key.
+const sortSentinel = math.MaxInt64
+
+// BitonicSort sorts cells [off, off+n) ascending, using scratch cells
+// [scratch, scratch+SortScratch(n)). The ranges must be disjoint.
+// Depth is O(log² n); the auditor verifies the EREW discipline.
+func BitonicSort(m *Machine, off, n, scratch int) {
+	if n <= 1 {
+		return
+	}
+	p := roundUpPow2(n)
+	// Load into the padded scratch area: one step for the copy, one for
+	// the sentinel fill (disjoint cells each).
+	copyCells(m, off, scratch, n)
+	if p > n {
+		m.Step(p-n, func(pr *Proc) {
+			pr.Write(scratch+n+pr.ID(), sortSentinel)
+		})
+	}
+	// Batcher's network: for each phase k, sub-steps j = k/2 … 1.
+	for k := 2; k <= p; k *= 2 {
+		for j := k / 2; j >= 1; j /= 2 {
+			kk, jj := k, j
+			m.Step(p/2, func(pr *Proc) {
+				// Enumerate the pairs (i, i|jj) with i&jj == 0.
+				id := pr.ID()
+				// The id-th index with bit jj clear: spread the high
+				// bits of id one position left, keep the low bits.
+				low := ((id &^ (jj - 1)) << 1) | (id & (jj - 1))
+				high := low | jj
+				a := pr.Read(scratch + low)
+				b := pr.Read(scratch + high)
+				ascending := low&kk == 0
+				if (a > b) == ascending {
+					pr.Write(scratch+low, b)
+					pr.Write(scratch+high, a)
+				}
+			})
+		}
+	}
+	copyCells(m, scratch, off, n)
+}
+
+// SortScratch returns the scratch cells BitonicSort needs for n keys.
+func SortScratch(n int) int { return roundUpPow2(n) }

@@ -1,0 +1,113 @@
+package pram
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func runBitonic(t *testing.T, vals []int64) []int64 {
+	t.Helper()
+	n := len(vals)
+	m := NewMachine(n + SortScratch(n))
+	m.StoreSlice(0, vals)
+	BitonicSort(m, 0, n, n)
+	if len(m.Violations()) != 0 {
+		t.Fatalf("bitonic sort violated EREW: %v", m.Violations()[0])
+	}
+	return m.LoadSlice(0, n)
+}
+
+func TestBitonicSortSmall(t *testing.T) {
+	got := runBitonic(t, []int64{5, 1, 4, 2, 3})
+	for i, want := range []int64{1, 2, 3, 4, 5} {
+		if got[i] != want {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestBitonicSortEdgeCases(t *testing.T) {
+	if got := runBitonic(t, []int64{7}); got[0] != 7 {
+		t.Fatal("singleton broken")
+	}
+	got := runBitonic(t, []int64{2, 1})
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("pair broken: %v", got)
+	}
+	// Already sorted, reverse sorted, all equal.
+	for _, in := range [][]int64{{1, 2, 3, 4}, {4, 3, 2, 1}, {5, 5, 5, 5}} {
+		got := runBitonic(t, append([]int64(nil), in...))
+		want := append([]int64(nil), in...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("in=%v got=%v", in, got)
+			}
+		}
+	}
+}
+
+func TestBitonicSortProperty(t *testing.T) {
+	s := rng.New(1)
+	check := func(sz uint8) bool {
+		n := int(sz)%100 + 1
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(s.Intn(1000) - 500)
+		}
+		want := append([]int64(nil), vals...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		m := NewMachine(n + SortScratch(n))
+		m.StoreSlice(0, vals)
+		BitonicSort(m, 0, n, n)
+		if len(m.Violations()) != 0 {
+			return false
+		}
+		got := m.LoadSlice(0, n)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitonicSortDepthPolylog(t *testing.T) {
+	n := 1 << 12
+	m := NewMachine(n + SortScratch(n))
+	s := rng.New(2)
+	for i := 0; i < n; i++ {
+		m.Store(i, int64(s.Intn(1<<30)))
+	}
+	BitonicSort(m, 0, n, n)
+	// log²(4096) = 144 network steps plus O(1) copies.
+	if m.Steps() > 160 {
+		t.Fatalf("depth %d exceeds O(log² n)", m.Steps())
+	}
+	if len(m.Violations()) != 0 {
+		t.Fatalf("EREW violation: %v", m.Violations()[0])
+	}
+}
+
+func BenchmarkBitonicSort4096(b *testing.B) {
+	n := 1 << 12
+	s := rng.New(3)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(s.Intn(1 << 30))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(n + SortScratch(n))
+		m.SetAudit(false)
+		m.StoreSlice(0, vals)
+		BitonicSort(m, 0, n, n)
+	}
+}

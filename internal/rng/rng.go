@@ -1,0 +1,154 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// generation for parallel algorithms.
+//
+// The MIS algorithms in this repository (SBL, BL, KUW, Luby) all make
+// per-vertex independent random choices inside parallel rounds. To keep
+// runs reproducible regardless of goroutine scheduling, randomness is
+// organized as a tree of streams: a root stream derived from a seed, and
+// child streams derived deterministically from (parent state, index).
+// Two vertices marking themselves in the same round therefore draw from
+// unrelated streams whose values do not depend on execution order.
+//
+// The generator is xoshiro256** seeded via SplitMix64, the construction
+// recommended by the xoshiro authors. It is not cryptographically secure,
+// which is irrelevant here; the algorithms only require limited
+// independence (the analyses in the paper use pairwise/Chernoff-style
+// arguments).
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Stream is a deterministic pseudo-random stream. The zero value is not
+// valid; use New, NewFromState, or a parent stream's Child/Split.
+type Stream struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used for seeding and for deriving child streams.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a stream seeded from seed. Distinct seeds yield streams
+// that are, for all practical purposes, independent.
+func New(seed uint64) *Stream {
+	st := seed
+	return &Stream{
+		s0: splitmix64(&st),
+		s1: splitmix64(&st),
+		s2: splitmix64(&st),
+		s3: splitmix64(&st),
+	}
+}
+
+// Child derives the i-th child stream of s without advancing s. The
+// derivation mixes the parent's state with the child index through
+// SplitMix64, so Child(i) and Child(j) are unrelated for i != j and are
+// stable across calls.
+func (s *Stream) Child(i uint64) *Stream {
+	// Fold the parent state and index into a single 64-bit seed, then
+	// expand. The multiplications by large odd constants decorrelate the
+	// four state words before folding.
+	st := s.s0*0x9e3779b97f4a7c15 ^ s.s1*0xc2b2ae3d27d4eb4f ^
+		s.s2*0x165667b19e3779f9 ^ s.s3 ^ (i+1)*0xd6e8feb86659fd93
+	return &Stream{
+		s0: splitmix64(&st),
+		s1: splitmix64(&st),
+		s2: splitmix64(&st),
+		s3: splitmix64(&st),
+	}
+}
+
+// Split advances s once and returns a new stream seeded from the
+// pre-advance state. Unlike Child, successive Split calls return
+// different streams.
+func (s *Stream) Split() *Stream {
+	c := s.Child(s.Uint64())
+	return c
+}
+
+// Uint64 returns the next value of the stream (xoshiro256**).
+func (s *Stream) Uint64() uint64 {
+	result := bits.RotateLeft64(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = bits.RotateLeft64(s.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p. Values of p outside [0,1]
+// are clamped.
+func (s *Stream) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint64(n)
+	x := s.Uint64()
+	hi, lo := bits.Mul64(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = s.Uint64()
+			hi, lo = bits.Mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// Perm returns a uniform random permutation of [0, n) as a slice.
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p uniformly at random in place (Fisher–Yates).
+func (s *Stream) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Exp returns an exponentially distributed value with rate 1, via
+// inversion. Used by KUW for random priorities with continuous ties.
+func (s *Stream) Exp() float64 {
+	// -log(1-u); avoid log(0) by nudging u away from 1.
+	u := s.Float64()
+	if u >= 1 {
+		u = 1 - 1e-16
+	}
+	return -math.Log(1 - u)
+}

@@ -1,0 +1,266 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical outputs", same)
+	}
+}
+
+func TestChildStable(t *testing.T) {
+	s := New(7)
+	c1 := s.Child(5)
+	c2 := s.Child(5)
+	for i := 0; i < 50; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("Child(5) not stable at step %d", i)
+		}
+	}
+}
+
+func TestChildIndependentOfParentAdvance(t *testing.T) {
+	s := New(7)
+	before := s.Child(3)
+	s.Uint64() // advance parent
+	after := s.Child(3)
+	// Child derives from parent *state*, which changed; verify documented
+	// semantics: Child does not advance parent, but advancing the parent
+	// legitimately changes future Child derivations. What must hold is
+	// that calling Child twice with no intervening advance matches.
+	_ = after
+	s2 := New(7)
+	ref := s2.Child(3)
+	for i := 0; i < 20; i++ {
+		if before.Uint64() != ref.Uint64() {
+			t.Fatalf("Child(3) on fresh equal parents diverged at %d", i)
+		}
+	}
+}
+
+func TestChildrenDiffer(t *testing.T) {
+	s := New(99)
+	c0, c1 := s.Child(0), s.Child(1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c0.Uint64() == c1.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling child streams too correlated: %d matches", same)
+	}
+}
+
+func TestSplitAdvances(t *testing.T) {
+	s := New(11)
+	a := s.Split()
+	b := s.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("successive Split streams start identically")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := New(8)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if s.Bernoulli(p) {
+				hits++
+			}
+		}
+		freq := float64(hits) / n
+		if math.Abs(freq-p) > 0.01 {
+			t.Fatalf("Bernoulli(%v) frequency %v", p, freq)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(17)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(23)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	for v, c := range counts {
+		freq := float64(c) / trials
+		if math.Abs(freq-1.0/n) > 0.01 {
+			t.Fatalf("Intn(%d): value %d frequency %v", n, v, freq)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(31)
+	check := func(n uint8) bool {
+		m := int(n%50) + 1
+		p := s.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleUniformFirstElement(t *testing.T) {
+	s := New(37)
+	const n, trials = 5, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		p := s.Perm(n)
+		counts[p[0]]++
+	}
+	for v, c := range counts {
+		freq := float64(c) / trials
+		if math.Abs(freq-1.0/n) > 0.01 {
+			t.Fatalf("Perm(%d)[0]=%d frequency %v", n, v, freq)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(41)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exp()
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1.0) > 0.02 {
+		t.Fatalf("Exp mean %v too far from 1", mean)
+	}
+}
+
+// The vertex-stream construction used by the solvers: stream per (round,
+// vertex). Verify schedule independence: deriving children in any order
+// yields the same values.
+func TestChildOrderIndependence(t *testing.T) {
+	s := New(53)
+	round := s.Child(4)
+	forward := make([]uint64, 10)
+	for i := range forward {
+		forward[i] = round.Child(uint64(i)).Uint64()
+	}
+	backward := make([]uint64, 10)
+	for i := 9; i >= 0; i-- {
+		backward[i] = round.Child(uint64(i)).Uint64()
+	}
+	for i := range forward {
+		if forward[i] != backward[i] {
+			t.Fatalf("child %d depends on derivation order", i)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkChild(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Child(uint64(i))
+	}
+}

@@ -1,0 +1,214 @@
+package hypermis
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bl"
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/kuw"
+	"repro/internal/luby"
+	"repro/internal/par"
+	"repro/internal/permbl"
+	"repro/internal/rng"
+)
+
+// Algorithm selects which MIS solver Solve uses.
+type Algorithm int
+
+const (
+	// AlgAuto picks by instance shape: Luby for dimension ≤ 2, BL for
+	// dimension within the SBL cap, SBL otherwise. The default.
+	AlgAuto Algorithm = iota
+	// AlgSBL is the paper's sampling algorithm (Algorithm 1) — for
+	// general hypergraphs of unbounded dimension.
+	AlgSBL
+	// AlgBL is the Beame–Luby marking algorithm (Algorithm 2) — RNC for
+	// small dimension; slow for large dimension (marking probability
+	// 2^{−(d+1)}/Δ).
+	AlgBL
+	// AlgKUW is the Karp–Upfal–Wigderson O(√n)-round algorithm.
+	AlgKUW
+	// AlgLuby is Luby's graph algorithm — dimension ≤ 2 only.
+	AlgLuby
+	// AlgGreedy is the sequential linear-time baseline.
+	AlgGreedy
+	// AlgPermBL is the random-permutation Beame–Luby algorithm (the one
+	// conjectured in RNC, partially analyzed by Shachnai–Srinivasan),
+	// simulated by parallel dependency resolution. Its output equals
+	// sequential greedy on a random order; Result.Rounds is the greedy
+	// dependency depth — the open quantity.
+	AlgPermBL
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgAuto:
+		return "auto"
+	case AlgSBL:
+		return "sbl"
+	case AlgBL:
+		return "bl"
+	case AlgKUW:
+		return "kuw"
+	case AlgLuby:
+		return "luby"
+	case AlgGreedy:
+		return "greedy"
+	case AlgPermBL:
+		return "permbl"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a name ("sbl", "bl", "kuw", "luby", "greedy",
+// "auto") to an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "auto", "":
+		return AlgAuto, nil
+	case "sbl":
+		return AlgSBL, nil
+	case "bl":
+		return AlgBL, nil
+	case "kuw":
+		return AlgKUW, nil
+	case "luby":
+		return AlgLuby, nil
+	case "greedy":
+		return AlgGreedy, nil
+	case "permbl":
+		return AlgPermBL, nil
+	default:
+		return 0, fmt.Errorf("hypermis: unknown algorithm %q", name)
+	}
+}
+
+// Options configures Solve.
+type Options struct {
+	// Algorithm selects the solver (default AlgAuto).
+	Algorithm Algorithm
+	// Seed makes the run deterministic; runs with equal seeds and
+	// inputs produce identical MISs regardless of host parallelism.
+	Seed uint64
+	// Alpha is SBL's sampling exponent (p = n^{−α}); 0 means the
+	// measurable default 0.25. The paper's asymptotic choice is
+	// α = 1/log log log n — see core.PaperParams for why that
+	// degenerates at practical n.
+	Alpha float64
+	// UseGreedyTail makes SBL finish with the sequential solver instead
+	// of KUW once the residual is below 1/p² vertices (both are allowed
+	// by the paper).
+	UseGreedyTail bool
+	// CollectCost accounts idealized EREW PRAM work/depth into
+	// Result.Depth and Result.Work.
+	CollectCost bool
+}
+
+// Result of a Solve call.
+type Result struct {
+	// MIS is the maximal independent set as a vertex mask.
+	MIS []bool
+	// Size is the number of vertices in the MIS.
+	Size int
+	// Algorithm that actually ran (resolves AlgAuto).
+	Algorithm Algorithm
+	// Rounds is the solver's outer round/stage count (0 for greedy).
+	Rounds int
+	// Depth and Work are the accounted PRAM costs (CollectCost only).
+	Depth, Work int64
+}
+
+// ErrDimension is returned when a dimension-restricted algorithm is
+// applied to an instance outside its class.
+var ErrDimension = errors.New("hypermis: instance dimension outside the algorithm's class")
+
+// Solve computes a maximal independent set of h.
+func Solve(h *Hypergraph, opts Options) (*Result, error) {
+	algo := opts.Algorithm
+	if algo == AlgAuto {
+		switch {
+		case h.Dim() <= 2:
+			algo = AlgLuby
+		case h.Dim() <= 5:
+			algo = AlgBL
+		default:
+			algo = AlgSBL
+		}
+	}
+	var cost *par.Cost
+	if opts.CollectCost {
+		cost = &par.Cost{}
+	}
+	stream := rng.New(opts.Seed)
+
+	res := &Result{Algorithm: algo}
+	switch algo {
+	case AlgSBL:
+		r, err := core.Run(h, stream, cost, core.Options{
+			Alpha: opts.Alpha,
+			Tail:  tailOf(opts),
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.MIS = r.InIS
+		res.Rounds = r.Rounds
+	case AlgBL:
+		r, err := bl.Run(h, nil, stream, cost, bl.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		res.MIS = r.InIS
+		res.Rounds = r.Stages
+	case AlgKUW:
+		r, err := kuw.Run(h, nil, stream, cost, kuw.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.MIS = r.InIS
+		res.Rounds = r.Rounds
+	case AlgLuby:
+		if h.Dim() > 2 {
+			return nil, fmt.Errorf("%w: dim %d > 2 for Luby", ErrDimension, h.Dim())
+		}
+		r, err := luby.Run(h, nil, stream, cost, luby.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.MIS = r.InIS
+		res.Rounds = r.Rounds
+	case AlgGreedy:
+		r := greedy.Run(h, nil)
+		res.MIS = r.InIS
+	case AlgPermBL:
+		r, err := permbl.Run(h, nil, stream, cost, permbl.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.MIS = r.InIS
+		res.Rounds = r.Rounds
+	default:
+		return nil, fmt.Errorf("hypermis: unknown algorithm %v", algo)
+	}
+	for _, in := range res.MIS {
+		if in {
+			res.Size++
+		}
+	}
+	if cost != nil {
+		res.Depth = cost.Depth()
+		res.Work = cost.Work()
+	}
+	return res, nil
+}
+
+func tailOf(opts Options) core.TailSolver {
+	if opts.UseGreedyTail {
+		return core.TailGreedy
+	}
+	return core.TailKUW
+}

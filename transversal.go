@@ -1,0 +1,30 @@
+package hypermis
+
+import "repro/internal/hypergraph"
+
+// The MIS/transversal duality: S is a maximal independent set of H iff
+// V\S is a minimal transversal (hitting set) of H. The parallel MIS
+// algorithms in this library therefore double as parallel
+// minimal-hitting-set algorithms.
+
+// IsTransversal reports whether the set intersects every edge of h.
+func IsTransversal(h *Hypergraph, mask []bool) bool {
+	return hypergraph.IsTransversal(h, mask)
+}
+
+// VerifyMinimalTransversal checks coverage and minimality (removing any
+// member leaves some edge unhit), returning nil or a witnessed error.
+func VerifyMinimalTransversal(h *Hypergraph, mask []bool) error {
+	return hypergraph.VerifyMinimalTransversal(h, mask)
+}
+
+// MinimalTransversal computes a minimal transversal of h as the
+// complement of a maximal independent set found by Solve with the given
+// options.
+func MinimalTransversal(h *Hypergraph, opts Options) ([]bool, error) {
+	res, err := Solve(h, opts)
+	if err != nil {
+		return nil, err
+	}
+	return hypergraph.MinimalTransversalFromMIS(h, res.MIS)
+}
