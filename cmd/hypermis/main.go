@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	hypermis "repro"
 	"repro/internal/hgio"
@@ -56,7 +57,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: hypermis <generate|solve|verify|stats> [flags]
   generate -n N -m M [-min S] [-max S] [-d D] [-kind uniform|mixed|graph|linear|sunflower] [-seed S] [-bin]
-  solve    [-algo auto|sbl|bl|kuw|luby|greedy|permbl] [-seed S] [-alpha A] [-cost] [-transversal] [-bin]  < instance
+  solve    [-algo auto|sbl|bl|kuw|luby|greedy|permbl|help] [-seed S] [-alpha A] [-cost] [-transversal] [-bin]  < instance
   verify   -mis FILE [-transversal] [-bin]  < instance
   stats    [-bin]  < instance`)
 }
@@ -80,20 +81,11 @@ func cmdGenerate(args []string) error {
 	bin := fs.Bool("bin", false, "binary output format")
 	fs.Parse(args)
 
-	var h *hypermis.Hypergraph
-	switch *kind {
-	case "uniform":
-		h = hypermis.RandomUniform(*seed, *n, *m, *d)
-	case "mixed":
-		h = hypermis.RandomMixed(*seed, *n, *m, *minS, *maxS)
-	case "graph":
-		h = hypermis.RandomGraph(*seed, *n, *m)
-	case "linear":
-		h = hypermis.Linear(*seed, *n, *m, *d)
-	case "sunflower":
-		h = hypermis.Sunflower(*seed, *n, 2, *d, *m)
-	default:
-		return fmt.Errorf("unknown kind %q", *kind)
+	h, err := hypermis.Generate(hypermis.GenerateSpec{
+		Kind: *kind, Seed: *seed, N: *n, M: *m, D: *d, MinSize: *minS, MaxSize: *maxS,
+	})
+	if err != nil {
+		return err
 	}
 	if *bin {
 		return hgio.WriteBinary(os.Stdout, h)
@@ -111,6 +103,10 @@ func cmdSolve(args []string) error {
 	bin := fs.Bool("bin", false, "binary instance format")
 	fs.Parse(args)
 
+	if *algoName == "help" {
+		fmt.Println("algorithms:", strings.Join(hypermis.AlgorithmNames, " "))
+		return nil
+	}
 	algo, err := hypermis.ParseAlgorithm(*algoName)
 	if err != nil {
 		return err

@@ -1,0 +1,84 @@
+// Command hypermisd is the hypermis daemon: a long-lived HTTP service
+// that accepts, queues, and solves hypergraph MIS instances
+// concurrently, with an LRU result cache and latency/throughput
+// counters. The endpoints, formats, and cache semantics are documented
+// in the internal/service package; cmd/hypermisload is the matching
+// load generator.
+//
+// Usage:
+//
+//	hypermisd [-addr :8080] [-workers N] [-queue N] [-cache N] [-timeout 30s]
+//
+// Counters are also published through expvar under the key "hypermisd"
+// at GET /debug/vars. SIGINT/SIGTERM shut the daemon down gracefully:
+// in-flight requests finish (bounded by the per-job deadline) before
+// the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "job queue depth (0 = 4×workers)")
+	cache := flag.Int("cache", 0, "result cache entries (0 = 1024, negative disables)")
+	cacheBytes := flag.Int64("cachebytes", 0, "result cache byte budget (0 = 256 MiB, negative disables)")
+	timeout := flag.Duration("timeout", 0, "per-job deadline (0 = 30s, negative disables)")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+		CacheBytes: *cacheBytes,
+		JobTimeout: *timeout,
+	})
+	expvar.Publish("hypermisd", expvar.Func(func() any { return srv.Stats() }))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewHandler(srv))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	cfg := srv.Config()
+	log.Printf("hypermisd listening on %s (workers=%d queue=%d cache=%d timeout=%v)",
+		*addr, cfg.Workers, cfg.QueueDepth, cfg.CacheSize, cfg.JobTimeout)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("hypermisd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Print("hypermisd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "hypermisd: shutdown:", err)
+	}
+	srv.Close()
+}

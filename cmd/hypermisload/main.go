@@ -1,0 +1,322 @@
+// Command hypermisload is a closed-loop load generator for hypermisd:
+// a fixed number of workers fire a mixed generate/solve/verify workload
+// at the daemon and report throughput, client-side latency quantiles
+// per operation, and the server's own /v1/stats counters.
+//
+// Usage:
+//
+//	hypermisd -addr :8080 &
+//	hypermisload -addr http://127.0.0.1:8080 -n 1000 -c 8
+//
+// The instance pool is small and seeds repeat, so repeated (instance,
+// seed) solve pairs are guaranteed; the generator cross-checks that the
+// daemon's answers for such pairs are identical (the determinism
+// contract of hypermis.Solve) and that the advertised instance digests
+// match a local reconstruction. The exit status is non-zero on any
+// request error or contract violation — the end-to-end serving check.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hypermis "repro"
+	"repro/internal/hgio"
+	"repro/internal/service"
+)
+
+type config struct {
+	addr    string
+	total   int
+	workers int
+	pool    int
+	seeds   int
+	algo    string
+	n, m    int
+	seed    uint64
+}
+
+type instance struct {
+	text, bin []byte
+	digest    string
+	genQuery  string
+}
+
+type runner struct {
+	cfg       config
+	client    *http.Client
+	instances []instance
+
+	issued atomic.Int64 // global iteration counter (closed loop)
+	errs   atomic.Int64
+	cached atomic.Int64
+	sheds  atomic.Int64 // 503 queue-full responses, retried with backoff
+
+	genLat, solveLat, verifyLat service.Histogram
+	genOps, solveOps, verifyOps atomic.Int64
+
+	mu       sync.Mutex
+	answers  map[string]string // (spec,seed) -> MIS fingerprint
+	lastMIS  map[int][]int     // spec -> a previously served MIS
+	failures []string
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "daemon base URL")
+	flag.IntVar(&cfg.total, "n", 1000, "total requests to issue")
+	flag.IntVar(&cfg.workers, "c", 8, "concurrent workers (closed loop)")
+	flag.IntVar(&cfg.pool, "pool", 12, "distinct instances in the workload")
+	flag.IntVar(&cfg.seeds, "seeds", 3, "distinct solve seeds per instance")
+	flag.StringVar(&cfg.algo, "algo", "auto", "solve algorithm")
+	flag.IntVar(&cfg.n, "size", 400, "vertices per generated instance")
+	flag.IntVar(&cfg.m, "edges", 800, "edges per generated instance")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "base instance seed")
+	flag.Parse()
+
+	r := &runner{
+		cfg:     cfg,
+		client:  &http.Client{Timeout: 60 * time.Second},
+		answers: make(map[string]string),
+		lastMIS: make(map[int][]int),
+	}
+	r.buildPool()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := r.issued.Add(1) - 1
+				if i >= int64(cfg.total) {
+					return
+				}
+				r.step(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r.report(elapsed)
+	if r.errs.Load() > 0 || len(r.failures) > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildPool reconstructs, locally, exactly the instances the daemon's
+// /v1/generate produces for the pool's queries — same generator, same
+// seeds — so digests and solve bodies need no prior network round trip.
+func (r *runner) buildPool() {
+	r.instances = make([]instance, r.cfg.pool)
+	for i := range r.instances {
+		seed := r.cfg.seed + uint64(i)
+		h := hypermis.RandomMixed(seed, r.cfg.n, r.cfg.m, 2, 6)
+		var text, bin bytes.Buffer
+		if err := hgio.WriteText(&text, h); err != nil {
+			log.Fatal(err)
+		}
+		if err := hgio.WriteBinary(&bin, h); err != nil {
+			log.Fatal(err)
+		}
+		r.instances[i] = instance{
+			text:   text.Bytes(),
+			bin:    bin.Bytes(),
+			digest: hgio.Digest(h),
+			genQuery: fmt.Sprintf("kind=mixed&n=%d&m=%d&min=2&max=6&seed=%d",
+				r.cfg.n, r.cfg.m, seed),
+		}
+	}
+}
+
+// post issues one HTTP request, honouring the daemon's backpressure: a
+// 503 (queue full) is not an error but an instruction to back off and
+// retry, which is what a closed-loop client does.
+func (r *runner) post(url, contentType string, body []byte) (*http.Response, []byte, error) {
+	for attempt := 1; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		resp, err := r.client.Post(url, contentType, rd)
+		if err != nil {
+			return nil, nil, err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			r.sheds.Add(1)
+			backoff := time.Duration(attempt) * 25 * time.Millisecond
+			if backoff > time.Second {
+				backoff = time.Second
+			}
+			time.Sleep(backoff)
+			continue
+		}
+		return resp, raw, nil
+	}
+}
+
+func (r *runner) fail(format string, args ...any) {
+	r.errs.Add(1)
+	r.mu.Lock()
+	if len(r.failures) < 20 {
+		r.failures = append(r.failures, fmt.Sprintf(format, args...))
+	}
+	r.mu.Unlock()
+}
+
+// step issues request i of the closed loop: 20% generate, 70% solve,
+// 10% verify against a previously served MIS.
+func (r *runner) step(i int) {
+	spec := i % len(r.instances)
+	switch mode := i % 10; {
+	case mode < 2:
+		r.generate(spec)
+	case mode < 9:
+		r.solve(spec, uint64(i%r.cfg.seeds))
+	default:
+		r.verify(spec)
+	}
+}
+
+func (r *runner) generate(spec int) {
+	inst := &r.instances[spec]
+	start := time.Now()
+	resp, body, err := r.post(r.cfg.addr+"/v1/generate?"+inst.genQuery, "", nil)
+	if err != nil {
+		r.fail("generate %d: %v", spec, err)
+		return
+	}
+	r.genLat.Observe(time.Since(start))
+	r.genOps.Add(1)
+	if resp.StatusCode != http.StatusOK {
+		r.fail("generate %d: status %d: %s", spec, resp.StatusCode, body)
+		return
+	}
+	if d := resp.Header.Get("X-Instance-Digest"); d != inst.digest {
+		r.fail("generate %d: digest %s, local reconstruction %s", spec, d, inst.digest)
+	}
+}
+
+func (r *runner) solve(spec int, seed uint64) {
+	inst := &r.instances[spec]
+	body, contentType := inst.text, service.ContentTypeText
+	if spec%2 == 1 { // exercise the binary path on half the pool
+		body, contentType = inst.bin, service.ContentTypeBinary
+	}
+	url := fmt.Sprintf("%s/v1/solve?algo=%s&seed=%d", r.cfg.addr, r.cfg.algo, seed)
+	start := time.Now()
+	resp, raw, err := r.post(url, contentType, body)
+	if err != nil {
+		r.fail("solve %d/%d: %v", spec, seed, err)
+		return
+	}
+	r.solveLat.Observe(time.Since(start))
+	r.solveOps.Add(1)
+	if resp.StatusCode != http.StatusOK {
+		r.fail("solve %d/%d: status %d: %s", spec, seed, resp.StatusCode, raw)
+		return
+	}
+	var sr service.SolveResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		r.fail("solve %d/%d: bad JSON: %v", spec, seed, err)
+		return
+	}
+	if sr.Cached {
+		r.cached.Add(1)
+	}
+	fp := fmt.Sprint(sr.MIS)
+	key := fmt.Sprintf("%d/%d", spec, seed)
+	r.mu.Lock()
+	prev, seen := r.answers[key]
+	if !seen {
+		r.answers[key] = fp
+	}
+	r.lastMIS[spec] = sr.MIS
+	r.mu.Unlock()
+	if seen && prev != fp {
+		r.fail("solve %s: nondeterministic answer for equal (instance, seed)", key)
+	}
+}
+
+func (r *runner) verify(spec int) {
+	r.mu.Lock()
+	mis, ok := r.lastMIS[spec]
+	r.mu.Unlock()
+	if !ok {
+		// No solve of this spec has completed yet; solving counts as the
+		// iteration's request instead.
+		r.solve(spec, 0)
+		return
+	}
+	ids := make([]string, len(mis))
+	for i, v := range mis {
+		ids[i] = strconv.Itoa(v)
+	}
+	inst := &r.instances[spec]
+	url := r.cfg.addr + "/v1/verify?mis=" + strings.Join(ids, ",")
+	start := time.Now()
+	resp, raw, err := r.post(url, service.ContentTypeText, inst.text)
+	if err != nil {
+		r.fail("verify %d: %v", spec, err)
+		return
+	}
+	r.verifyLat.Observe(time.Since(start))
+	r.verifyOps.Add(1)
+	if resp.StatusCode != http.StatusOK {
+		r.fail("verify %d: status %d: %s", spec, resp.StatusCode, raw)
+	}
+}
+
+func (r *runner) report(elapsed time.Duration) {
+	fmt.Printf("hypermisload: %d requests in %v (%.1f req/s), %d errors, %d sheds retried\n",
+		r.cfg.total, elapsed.Round(time.Millisecond),
+		float64(r.cfg.total)/elapsed.Seconds(), r.errs.Load(), r.sheds.Load())
+	fmt.Printf("  workers=%d pool=%d seeds=%d algo=%s instance=(n=%d,m=%d)\n",
+		r.cfg.workers, r.cfg.pool, r.cfg.seeds, r.cfg.algo, r.cfg.n, r.cfg.m)
+	printHist := func(name string, ops int64, h *service.Histogram) {
+		if ops == 0 {
+			return
+		}
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		fmt.Printf("  %-8s %6d ops  p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
+			name, ops, ms(h.Quantile(0.5)), ms(h.Quantile(0.9)), ms(h.Quantile(0.99)), ms(h.Max()))
+	}
+	printHist("generate", r.genOps.Load(), &r.genLat)
+	printHist("solve", r.solveOps.Load(), &r.solveLat)
+	printHist("verify", r.verifyOps.Load(), &r.verifyLat)
+	fmt.Printf("  client-observed cache hits: %d of %d solves\n", r.cached.Load(), r.solveOps.Load())
+
+	if resp, err := r.client.Get(r.cfg.addr + "/v1/stats"); err == nil {
+		var st service.Stats
+		if json.NewDecoder(resp.Body).Decode(&st) == nil {
+			fmt.Printf("  server: solves=%d cache_hits=%d cache_misses=%d rejected=%d errors=%d p50=%.2fms p99=%.2fms\n",
+				st.Solves, st.CacheHits, st.CacheMisses, st.Rejected, st.Errors,
+				st.LatencyP50Ms, st.LatencyP99Ms)
+		}
+		resp.Body.Close()
+	}
+	for _, f := range r.failures {
+		fmt.Println("  FAIL:", f)
+	}
+	if r.cached.Load() == 0 && r.solveOps.Load() > int64(r.cfg.pool*r.cfg.seeds) {
+		// More solves than distinct keys yet zero hits: the cache is not
+		// doing its job. Flag it so the acceptance run catches it.
+		fmt.Println("  FAIL: no cache hits despite repeated (instance, seed) pairs")
+		r.errs.Add(1)
+	}
+}

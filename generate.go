@@ -1,9 +1,68 @@
 package hypermis
 
 import (
+	"fmt"
+
 	"repro/internal/hypergraph"
 	"repro/internal/rng"
 )
+
+// GenerateSpec names a random instance for Generate: a generator kind
+// plus its parameters. Unused parameters for a kind are ignored.
+type GenerateSpec struct {
+	// Kind is one of "uniform", "mixed" (the default for ""), "graph",
+	// "linear", "sunflower".
+	Kind string
+	Seed uint64
+	N    int // vertices
+	M    int // edges (petals for sunflower)
+	D    int // edge size (uniform, linear), petal size (sunflower)
+	// MinSize, MaxSize bound edge sizes for "mixed".
+	MinSize, MaxSize int
+}
+
+// Generate validates spec and dispatches to the matching generator,
+// returning an error — never panicking — on parameter combinations the
+// generators reject (d larger than n, a sunflower that needs more
+// vertices than it has, …). It is the shared front end of
+// `hypermis generate` and the daemon's /v1/generate.
+func Generate(spec GenerateSpec) (*Hypergraph, error) {
+	if spec.N <= 0 || spec.M < 0 {
+		return nil, fmt.Errorf("hypermis: generate needs n > 0 and m >= 0 (got n=%d m=%d)", spec.N, spec.M)
+	}
+	switch spec.Kind {
+	case "uniform":
+		if spec.D < 1 || spec.D > spec.N {
+			return nil, fmt.Errorf("hypermis: uniform needs 1 <= d <= n (got d=%d n=%d)", spec.D, spec.N)
+		}
+		return RandomUniform(spec.Seed, spec.N, spec.M, spec.D), nil
+	case "mixed", "":
+		if spec.MinSize < 1 || spec.MaxSize < spec.MinSize || spec.MaxSize > spec.N {
+			return nil, fmt.Errorf("hypermis: mixed needs 1 <= min <= max <= n (got min=%d max=%d n=%d)", spec.MinSize, spec.MaxSize, spec.N)
+		}
+		return RandomMixed(spec.Seed, spec.N, spec.M, spec.MinSize, spec.MaxSize), nil
+	case "graph":
+		if spec.N < 2 {
+			return nil, fmt.Errorf("hypermis: graph needs n >= 2 (got n=%d)", spec.N)
+		}
+		return RandomGraph(spec.Seed, spec.N, spec.M), nil
+	case "linear":
+		if spec.D < 1 || spec.D > spec.N {
+			return nil, fmt.Errorf("hypermis: linear needs 1 <= d <= n (got d=%d n=%d)", spec.D, spec.N)
+		}
+		return Linear(spec.Seed, spec.N, spec.M, spec.D), nil
+	case "sunflower":
+		if spec.D < 1 {
+			return nil, fmt.Errorf("hypermis: sunflower needs petal size d >= 1 (got d=%d)", spec.D)
+		}
+		if need := 2 + spec.M*spec.D; need > spec.N {
+			return nil, fmt.Errorf("hypermis: sunflower with %d petals of size %d needs %d vertices, have %d", spec.M, spec.D, need, spec.N)
+		}
+		return Sunflower(spec.Seed, spec.N, 2, spec.D, spec.M), nil
+	default:
+		return nil, fmt.Errorf("hypermis: unknown generator kind %q", spec.Kind)
+	}
+}
 
 // Instance generators re-exported for applications and benchmarks. All
 // take an explicit seed and are fully deterministic.

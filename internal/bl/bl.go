@@ -29,6 +29,7 @@
 package bl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -39,6 +40,11 @@ import (
 
 // Options configures a BL run.
 type Options struct {
+	// Ctx, if non-nil, is checked at the top of every stage; the run
+	// returns ctx.Err() as soon as the context is done. Completed stages
+	// are not rolled back — the partial coloring is simply discarded.
+	Ctx context.Context
+
 	// MaxStages aborts the run when exceeded (0 = default 1000000).
 	// Theorem 2 guarantees O((log n)^{(d+4)!}) stages w.h.p.; the cap
 	// exists to convert an analysis failure into an error instead of an
@@ -162,6 +168,11 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	p := 1.0
 
 	for stage := 0; ; stage++ {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		liveCount := par.Count(cost, n, func(i int) bool { return live[i] })
 		if liveCount == 0 {
 			res.Stages = stage

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -46,6 +47,11 @@ const (
 
 // Options configures an SBL run.
 type Options struct {
+	// Ctx, if non-nil, is checked at the top of every sampling round and
+	// propagated into the BL subroutine and the KUW tail; the run returns
+	// ctx.Err() as soon as the context is done.
+	Ctx context.Context
+
 	// Params overrides the algorithm parameters; the zero value derives
 	// them via DeriveParams(n, m, 0.25).
 	Params Params
@@ -134,6 +140,9 @@ func Run(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Options) 
 		blOpts = bl.DefaultOptions()
 		blOpts.CollectStats = opts.BL.CollectStats
 	}
+	if blOpts.Ctx == nil {
+		blOpts.Ctx = opts.Ctx
+	}
 
 	for attempt := 0; ; attempt++ {
 		res, err := runOnce(h, s.Child(uint64(attempt)), cost, opts, params, blOpts)
@@ -175,6 +184,11 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 
 	round := 0
 	for {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		remaining := par.Count(cost, n, func(i int) bool { return undecided[i] })
 		// Line 4: while |V| ≥ 1/p².
 		if remaining < params.MinVertices {
@@ -283,7 +297,7 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 		}
 		par.ChargeAux(cost, int64(res.TailSize), int64(res.TailSize))
 	default:
-		k, err := kuw.Run(cur, undecided, s.Child(2_000_003), cost, kuw.Options{})
+		k, err := kuw.Run(cur, undecided, s.Child(2_000_003), cost, kuw.Options{Ctx: opts.Ctx})
 		if err != nil {
 			return nil, fmt.Errorf("sbl: KUW tail: %w", err)
 		}

@@ -15,7 +15,9 @@ package hgio
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"strconv"
@@ -23,6 +25,17 @@ import (
 
 	"repro/internal/hypergraph"
 )
+
+// Digest returns the canonical instance digest: the hex SHA-256 of the
+// binary encoding. Hypergraphs are canonical by construction (sorted,
+// deduplicated edges), so two instances digest equal iff they have the
+// same vertex count and edge set — the property result caches key on.
+func Digest(h *hypergraph.Hypergraph) string {
+	hsh := sha256.New()
+	// WriteBinary to a hash never fails: sha256 Write cannot error.
+	_ = WriteBinary(hsh, h)
+	return hex.EncodeToString(hsh.Sum(nil))
+}
 
 // WriteText emits the text format.
 func WriteText(w io.Writer, h *hypergraph.Hypergraph) error {
@@ -62,6 +75,9 @@ func ReadText(r io.Reader) (*hypergraph.Hypergraph, error) {
 	var n, m int
 	if _, err := fmt.Sscanf(strings.TrimSpace(sc.Text()), "hypergraph %d %d", &n, &m); err != nil {
 		return nil, fmt.Errorf("hgio: bad header %q: %w", sc.Text(), err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("hgio: bad header %q: negative counts", sc.Text())
 	}
 	b := hypergraph.NewBuilder(n)
 	edges := 0
@@ -166,7 +182,10 @@ func ReadBinary(r io.Reader) (*hypergraph.Hypergraph, error) {
 		if k == 0 || k > n {
 			return nil, fmt.Errorf("hgio: edge %d has implausible size %d", i, k)
 		}
-		e := make(hypergraph.Edge, k)
+		// Grow the edge as bytes actually arrive instead of trusting the
+		// declared size k up front: a truncated stream with a huge k must
+		// fail on read, not allocate gigabytes first.
+		e := make(hypergraph.Edge, 0, min(k, 1<<16))
 		prev := uint64(0)
 		for j := uint64(0); j < k; j++ {
 			d, err := binary.ReadUvarint(br)
@@ -178,7 +197,7 @@ func ReadBinary(r io.Reader) (*hypergraph.Hypergraph, error) {
 			} else {
 				prev += d
 			}
-			e[j] = hypergraph.V(prev)
+			e = append(e, hypergraph.V(prev))
 		}
 		b.AddEdgeSlice(e)
 	}

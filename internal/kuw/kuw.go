@@ -32,6 +32,7 @@
 package kuw
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -42,6 +43,10 @@ import (
 
 // Options configures a KUW run.
 type Options struct {
+	// Ctx, if non-nil, is checked at the top of every round; the run
+	// returns ctx.Err() as soon as the context is done.
+	Ctx context.Context
+
 	// MaxRounds aborts the run when exceeded (0 = default 10·n + 100).
 	MaxRounds int
 	// CollectStats records per-round counters.
@@ -98,6 +103,11 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	pos := make([]int, n) // position of each vertex in this round's order
 
 	for round := 0; ; round++ {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		st := RoundStat{Round: round}
 
 		// Filter phase: bulk-discard every candidate already blocked by

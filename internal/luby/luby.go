@@ -17,6 +17,7 @@
 package luby
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -27,6 +28,10 @@ import (
 
 // Options configures a run.
 type Options struct {
+	// Ctx, if non-nil, is checked at the top of every round; the run
+	// returns ctx.Err() as soon as the context is done.
+	Ctx context.Context
+
 	// MaxRounds aborts when exceeded (0 = default 10·log₂n + 50).
 	MaxRounds int
 	// CollectStats records per-round counters.
@@ -100,6 +105,11 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	marked := make([]bool, n)
 
 	for round := 0; ; round++ {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		liveCount := par.Count(cost, n, func(i int) bool { return live[i] })
 		if liveCount == 0 {
 			res.Rounds = round

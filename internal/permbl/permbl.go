@@ -22,6 +22,7 @@
 package permbl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -32,6 +33,10 @@ import (
 
 // Options configures a run.
 type Options struct {
+	// Ctx, if non-nil, is checked at the top of every resolution round;
+	// the run returns ctx.Err() as soon as the context is done.
+	Ctx context.Context
+
 	// MaxRounds aborts when exceeded (0 = default n+1; the dependency
 	// depth can never exceed n).
 	MaxRounds int
@@ -102,6 +107,11 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	res := &Result{InIS: make([]bool, n)}
 	pending := len(candidates)
 	for round := 0; pending > 0; round++ {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if round >= opts.MaxRounds {
 			return nil, fmt.Errorf("%w after %d rounds (%d pending)", ErrRoundLimit, round, pending)
 		}

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	hypermis "repro"
+)
+
+// lruCache is a mutex-guarded LRU map from canonical job key to solve
+// result, bounded both by entry count and by an approximate byte
+// budget (a Result's dominant weight is its n-length MIS mask, so each
+// entry is charged len(MIS) bytes — without the budget, a cache of
+// maximal-size instances would hold entries × maxInstanceN bytes).
+// Results are immutable once computed (deterministic solves), so
+// entries are shared, never copied.
+type lruCache struct {
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	curBytes int64
+	ll       *list.List // front = most recently used
+	idx      map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	val  *hypermis.Result
+	cost int64
+}
+
+func newLRUCache(capacity int, maxBytes int64) *lruCache {
+	return &lruCache{
+		cap:      capacity,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		idx:      make(map[string]*list.Element, capacity),
+	}
+}
+
+func entryCost(val *hypermis.Result) int64 { return int64(len(val.MIS)) + 64 }
+
+// Get returns the cached result for key, refreshing its recency.
+func (c *lruCache) Get(key string) (*hypermis.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes key, evicting least recently used entries
+// while either bound (entry count, byte budget) is exceeded.
+func (c *lruCache) Put(key string, val *hypermis.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		ent := el.Value.(*lruEntry)
+		c.curBytes += entryCost(val) - ent.cost
+		ent.val = val
+		ent.cost = entryCost(val)
+		c.ll.MoveToFront(el)
+	} else {
+		ent := &lruEntry{key: key, val: val, cost: entryCost(val)}
+		c.idx[key] = c.ll.PushFront(ent)
+		c.curBytes += ent.cost
+	}
+	for c.ll.Len() > 1 && (c.ll.Len() > c.cap || (c.maxBytes > 0 && c.curBytes > c.maxBytes)) {
+		oldest := c.ll.Back()
+		ent := oldest.Value.(*lruEntry)
+		c.ll.Remove(oldest)
+		delete(c.idx, ent.key)
+		c.curBytes -= ent.cost
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes reports the approximate cached result weight.
+func (c *lruCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}

@@ -1,0 +1,145 @@
+package service
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets; bucket b
+// counts durations in [2^b, 2^{b+1}) microseconds, so the range spans
+// 1µs to ~2^40µs ≈ 13 days — beyond any per-job deadline.
+const histBuckets = 41
+
+// Histogram is a lock-free log₂-bucketed latency histogram. The zero
+// value is ready to use. Shared by the service metrics and the load
+// generator's client-side report.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	max    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	h.counts[b].Add(1)
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Max reports the largest observed duration.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear
+// interpolation inside the containing bucket, clamped to the exact
+// observed maximum (so sparse histograms never report a quantile above
+// their max). Zero observations yield 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if math.IsNaN(q) {
+		return 0
+	}
+	q = math.Max(0, math.Min(1, q))
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	for b := 0; b < histBuckets; b++ {
+		c := float64(h.counts[b].Load())
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			lo := float64(uint64(1) << uint(b)) // µs lower bound (bucket 0 starts at 0)
+			if b == 0 {
+				lo = 0
+			}
+			hi := float64(uint64(1) << uint(b+1))
+			frac := (rank - seen) / c
+			est := time.Duration((lo + frac*(hi-lo)) * float64(time.Microsecond))
+			if max := h.Max(); est > max {
+				est = max
+			}
+			return est
+		}
+		seen += c
+	}
+	return h.Max()
+}
+
+// Metrics is the scheduler's counter set. All fields are updated
+// atomically; read a consistent-enough view via snapshot.
+type Metrics struct {
+	Enqueued     atomic.Int64
+	Solves       atomic.Int64 // completed without error
+	Errors       atomic.Int64
+	Rejected     atomic.Int64 // queue-full sheds
+	CacheHits    atomic.Int64
+	CacheMisses  atomic.Int64
+	Verifies     atomic.Int64 // HTTP layer
+	Generates    atomic.Int64 // HTTP layer
+	SolveLatency Histogram
+}
+
+// Stats is a JSON-ready snapshot of the service state — the payload of
+// GET /v1/stats and of the daemon's expvar export.
+type Stats struct {
+	Workers      int     `json:"workers"`
+	QueueDepth   int     `json:"queue_depth"`
+	QueueCap     int     `json:"queue_cap"`
+	Enqueued     int64   `json:"enqueued"`
+	Solves       int64   `json:"solves"`
+	Errors       int64   `json:"errors"`
+	Rejected     int64   `json:"rejected"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheSize    int     `json:"cache_size"`
+	CacheCap     int     `json:"cache_cap"`
+	CacheBytes   int64   `json:"cache_bytes"`
+	Verifies     int64   `json:"verifies"`
+	Generates    int64   `json:"generates"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP90Ms float64 `json:"latency_p90_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	LatencyMaxMs float64 `json:"latency_max_ms"`
+}
+
+func (m *Metrics) snapshot() Stats {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return Stats{
+		Enqueued:     m.Enqueued.Load(),
+		Solves:       m.Solves.Load(),
+		Errors:       m.Errors.Load(),
+		Rejected:     m.Rejected.Load(),
+		CacheHits:    m.CacheHits.Load(),
+		CacheMisses:  m.CacheMisses.Load(),
+		Verifies:     m.Verifies.Load(),
+		Generates:    m.Generates.Load(),
+		LatencyP50Ms: ms(m.SolveLatency.Quantile(0.50)),
+		LatencyP90Ms: ms(m.SolveLatency.Quantile(0.90)),
+		LatencyP99Ms: ms(m.SolveLatency.Quantile(0.99)),
+		LatencyMaxMs: ms(m.SolveLatency.Max()),
+	}
+}

@@ -1,0 +1,297 @@
+// Package service turns the hypermis library into a long-lived,
+// multi-tenant MIS-solving service: a job scheduler with a bounded
+// queue and a fixed worker pool, per-job deadlines with cooperative
+// cancellation (via hypermis.SolveCtx), an LRU result cache, and
+// counters/latency quantiles for observability. Command hypermisd wraps
+// it in an HTTP daemon; command hypermisload drives that daemon.
+//
+// # Endpoints (see NewHandler)
+//
+//	POST /v1/solve     body = instance; query algo, seed, alpha,
+//	                   greedytail, cost. Returns a JSON SolveResponse.
+//	POST /v1/verify    body = instance; query mis = comma-separated
+//	                   vertex ids. 200 on a valid MIS, 422 otherwise.
+//	POST /v1/generate  query kind, n, m, d, min, max, seed, format.
+//	                   Returns an instance (text or binary).
+//	GET  /v1/stats     JSON Stats snapshot.
+//	GET  /healthz      liveness probe, always "ok".
+//
+// Instance bodies are the hgio text format by default; send
+// Content-Type application/x-hypergraph-binary (or octet-stream) for
+// the binary format. Responses to /v1/generate mirror the requested
+// format and carry the instance digest in an X-Instance-Digest header.
+//
+// # Scheduling
+//
+// Only solves are scheduled; generate and verify are answered inline
+// (both are linear-time). A solve is submitted to a bounded queue —
+// when the queue is full the job is rejected immediately with
+// ErrQueueFull (HTTP 503) rather than building an unbounded backlog.
+// Workers (Config.Workers, default GOMAXPROCS) pop jobs and run
+// hypermis.SolveCtx under the job's context capped by Config.JobTimeout,
+// so a cancelled client or an expired deadline stops the solver at the
+// next outer round instead of burning the pool.
+//
+// # Cache semantics
+//
+// Results are cached in a fixed-capacity LRU keyed by JobKey: the
+// canonical instance digest (hgio.Digest — hex SHA-256 of the binary
+// encoding) plus the canonicalized solve options. Canonicalization
+// resolves AlgAuto against the instance's dimension and normalizes
+// SBL's Alpha default, so e.g. an explicit "luby" request and an "auto"
+// request on the same graph share one entry. Solving is deterministic
+// for equal (instance, options) — cached results are exact, never
+// stale, and are returned without touching the queue. Concurrent
+// misses for the same key may each compute the result (no
+// single-flight); determinism makes the duplicates identical and the
+// last write wins.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	hypermis "repro"
+	"repro/internal/hgio"
+)
+
+// Config sizes the scheduler. The zero value of any field selects its
+// default.
+type Config struct {
+	// Workers is the worker-pool size (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// QueueDepth bounds the pending-job queue (default 4×Workers).
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries
+	// (default 1024). Negative disables caching.
+	CacheSize int
+	// CacheBytes bounds the approximate total weight of cached results
+	// (default 256 MiB; negative disables the byte bound). Entries are
+	// charged by their MIS mask length, so the cache cannot grow to
+	// CacheSize × maxInstanceN bytes on maximal-size instances.
+	CacheBytes int64
+	// JobTimeout is the per-job deadline applied on top of the
+	// submitter's context (default 30s; negative disables).
+	JobTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// ErrQueueFull is returned by Solve when the bounded queue is at
+// capacity; the caller should shed or retry later (HTTP 503).
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed is returned by Solve after Close.
+var ErrClosed = errors.New("service: server closed")
+
+type job struct {
+	ctx  context.Context
+	h    *hypermis.Hypergraph
+	opts hypermis.Options
+	key  string
+	done chan jobResult
+}
+
+type jobResult struct {
+	res *hypermis.Result
+	err error
+}
+
+// Server is the solving service: a worker pool draining a bounded job
+// queue, fronted by an LRU result cache. Create with New, release with
+// Close.
+type Server struct {
+	cfg     Config
+	queue   chan *job
+	cache   *lruCache
+	metrics Metrics
+
+	// closeMu serializes enqueues against Close: submissions hold the
+	// read side across the closed-check and the channel send, so once
+	// Close holds the write side and sets isClosed, no job can slip into
+	// the queue after the workers' final drain.
+	closeMu  sync.RWMutex
+	isClosed bool
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New starts a Server with cfg's worker pool running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		queue:  make(chan *job, cfg.QueueDepth),
+		closed: make(chan struct{}),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newLRUCache(cfg.CacheSize, cfg.CacheBytes)
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the workers after the queued jobs drain and fails any
+// subsequent Solve with ErrClosed. Safe to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.closeMu.Lock()
+		s.isClosed = true
+		s.closeMu.Unlock()
+		close(s.closed)
+	})
+	s.wg.Wait()
+}
+
+// Config reports the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// JobKey is the result-cache key for solving h under opts: the
+// canonical instance digest plus the canonicalized options. AlgAuto is
+// resolved against h and SBL's Alpha default is normalized, so
+// equivalent requests share one entry; fields that cannot influence the
+// result for the resolved algorithm are dropped.
+func JobKey(h *hypermis.Hypergraph, opts hypermis.Options) string {
+	algo := hypermis.ResolveAlgorithm(h, opts.Algorithm)
+	alpha := 0.0
+	greedyTail := false
+	if algo == hypermis.AlgSBL {
+		alpha = opts.Alpha
+		if alpha == 0 {
+			alpha = 0.25
+		}
+		greedyTail = opts.UseGreedyTail
+	}
+	return fmt.Sprintf("%s|algo=%s|seed=%d|alpha=%g|gtail=%t|cost=%t",
+		hgio.Digest(h), algo, opts.Seed, alpha, greedyTail, opts.CollectCost)
+}
+
+// Solve computes (or recalls) the MIS of h under opts. The boolean
+// reports a cache hit. Cache hits return without queueing; misses wait
+// for a worker for as long as ctx allows (the configured JobTimeout
+// starts only once a worker picks the job up, so queue time is bounded
+// by the submitter's own deadline). A full queue fails fast with
+// ErrQueueFull.
+func (s *Server) Solve(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options) (*hypermis.Result, bool, error) {
+	key := JobKey(h, opts)
+	if s.cache != nil {
+		if res, ok := s.cache.Get(key); ok {
+			s.metrics.CacheHits.Add(1)
+			return res, true, nil
+		}
+		s.metrics.CacheMisses.Add(1)
+	}
+	j := &job{ctx: ctx, h: h, opts: opts, key: key, done: make(chan jobResult, 1)}
+	if err := s.enqueue(j); err != nil {
+		return nil, false, err
+	}
+	select {
+	case r := <-j.done:
+		return r.res, false, r.err
+	case <-ctx.Done():
+		// The worker observes the same context and abandons the solve at
+		// its next round check; the buffered done channel lets it finish.
+		return nil, false, ctx.Err()
+	}
+}
+
+// enqueue submits j to the bounded queue, holding the read side of
+// closeMu across the closed-check and the send so the job cannot land
+// in the queue after the workers' final drain (which would strand the
+// submitter on a done channel nobody serves).
+func (s *Server) enqueue(j *job) error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.isClosed {
+		return ErrClosed
+	}
+	select {
+	case s.queue <- j:
+		s.metrics.Enqueued.Add(1)
+		return nil
+	default:
+		s.metrics.Rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Stats snapshots the scheduler's counters and latency quantiles.
+func (s *Server) Stats() Stats {
+	st := s.metrics.snapshot()
+	st.Workers = s.cfg.Workers
+	st.QueueCap = s.cfg.QueueDepth
+	st.QueueDepth = len(s.queue)
+	if s.cache != nil {
+		st.CacheSize = s.cache.Len()
+		st.CacheCap = s.cfg.CacheSize
+		st.CacheBytes = s.cache.Bytes()
+	}
+	return st
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.run(j)
+		case <-s.closed:
+			// Drain whatever was accepted before the close.
+			for {
+				select {
+				case j := <-s.queue:
+					s.run(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) run(j *job) {
+	start := time.Now()
+	ctx := j.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	res, err := hypermis.SolveCtx(ctx, j.h, j.opts)
+	if err != nil {
+		s.metrics.Errors.Add(1)
+	} else {
+		if s.cache != nil {
+			s.cache.Put(j.key, res)
+		}
+		s.metrics.Solves.Add(1)
+		s.metrics.SolveLatency.Observe(time.Since(start))
+	}
+	j.done <- jobResult{res, err}
+}

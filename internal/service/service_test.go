@@ -1,0 +1,293 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	hypermis "repro"
+)
+
+func testInstance(seed uint64) *hypermis.Hypergraph {
+	return hypermis.RandomMixed(seed, 300, 600, 2, 5)
+}
+
+func TestSolveCachesRepeats(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	h := testInstance(1)
+	opts := hypermis.Options{Algorithm: hypermis.AlgSBL, Seed: 7}
+
+	res1, cached, err := s.Solve(context.Background(), h, opts)
+	if err != nil || cached {
+		t.Fatalf("first solve: cached=%v err=%v", cached, err)
+	}
+	if err := hypermis.VerifyMIS(h, res1.MIS); err != nil {
+		t.Fatalf("invalid MIS: %v", err)
+	}
+	res2, cached, err := s.Solve(context.Background(), h, opts)
+	if err != nil || !cached {
+		t.Fatalf("second solve: cached=%v err=%v", cached, err)
+	}
+	if res2 != res1 {
+		t.Fatal("cache hit returned a different result object")
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.Solves != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 solve", st)
+	}
+}
+
+func TestJobKeyCanonicalization(t *testing.T) {
+	g := hypermis.RandomGraph(3, 100, 200) // dim 2: auto resolves to luby
+	auto := JobKey(g, hypermis.Options{Algorithm: hypermis.AlgAuto, Seed: 5})
+	luby := JobKey(g, hypermis.Options{Algorithm: hypermis.AlgLuby, Seed: 5})
+	if auto != luby {
+		t.Fatalf("auto and explicit luby key apart:\n%s\n%s", auto, luby)
+	}
+	if k := JobKey(g, hypermis.Options{Algorithm: hypermis.AlgLuby, Seed: 6}); k == luby {
+		t.Fatal("seed not part of the key")
+	}
+	if k := JobKey(g, hypermis.Options{Algorithm: hypermis.AlgGreedy, Seed: 5}); k == luby {
+		t.Fatal("algorithm not part of the key")
+	}
+	// Alpha and the tail choice only matter for SBL.
+	h := testInstance(2)
+	def := JobKey(h, hypermis.Options{Algorithm: hypermis.AlgSBL})
+	expl := JobKey(h, hypermis.Options{Algorithm: hypermis.AlgSBL, Alpha: 0.25})
+	if def != expl {
+		t.Fatal("alpha 0 and explicit default alpha key apart")
+	}
+	if k := JobKey(h, hypermis.Options{Algorithm: hypermis.AlgSBL, Alpha: 0.3}); k == def {
+		t.Fatal("alpha not part of the SBL key")
+	}
+	if k := JobKey(h, hypermis.Options{Algorithm: hypermis.AlgKUW}); k != JobKey(h, hypermis.Options{Algorithm: hypermis.AlgKUW, Alpha: 0.3, UseGreedyTail: true}) {
+		t.Fatal("irrelevant SBL fields leak into a non-SBL key")
+	}
+}
+
+func TestSolveDeterministicAcrossCacheSizes(t *testing.T) {
+	// With the cache disabled every solve recomputes; results must still
+	// be bit-identical for equal (instance, options).
+	s := New(Config{Workers: 4, CacheSize: -1})
+	defer s.Close()
+	h := testInstance(3)
+	opts := hypermis.Options{Algorithm: hypermis.AlgSBL, Seed: 11}
+	var first []bool
+	for i := 0; i < 3; i++ {
+		res, cached, err := s.Solve(context.Background(), h, opts)
+		if err != nil || cached {
+			t.Fatalf("solve %d: cached=%v err=%v", i, cached, err)
+		}
+		if first == nil {
+			first = res.MIS
+			continue
+		}
+		for v := range first {
+			if res.MIS[v] != first[v] {
+				t.Fatalf("solve %d differs at vertex %d", i, v)
+			}
+		}
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	// One worker, queue of one. Occupy the worker, then the queue slot,
+	// each step confirmed via Stats before moving on — the third submit
+	// must shed with ErrQueueFull deterministically.
+	s := New(Config{Workers: 1, QueueDepth: 1, CacheSize: -1, JobTimeout: -1})
+	defer s.Close()
+	// Big enough that the occupying solves cannot finish before the
+	// flood submit; they are cancelled, not run to completion.
+	big := hypermis.RandomMixed(9, 30000, 60000, 2, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	waitFor := func(what string, cond func(Stats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond(s.Stats()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s (stats %+v)", what, s.Stats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	done := make(chan error, 2)
+	submit := func(seed uint64) {
+		go func() {
+			_, _, err := s.Solve(ctx, big, hypermis.Options{Algorithm: hypermis.AlgPermBL, Seed: seed})
+			done <- err
+		}()
+	}
+	submit(0)
+	waitFor("worker pickup", func(st Stats) bool { return st.Enqueued == 1 && st.QueueDepth == 0 })
+	submit(1)
+	waitFor("queued job", func(st Stats) bool { return st.QueueDepth == 1 })
+
+	_, _, err := s.Solve(context.Background(), big, hypermis.Options{Algorithm: hypermis.AlgPermBL, Seed: 2})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("flood submit err = %v, want ErrQueueFull", err)
+	}
+	if s.Stats().Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", s.Stats().Rejected)
+	}
+
+	// Release the occupying jobs: the running one stops at its next
+	// round check, the queued one is abandoned by its submitter.
+	cancel()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("occupying job err = %v", err)
+		}
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	// A microscopic per-job deadline must cancel the solve via SolveCtx
+	// and surface context.DeadlineExceeded to the submitter.
+	s := New(Config{Workers: 1, CacheSize: -1, JobTimeout: time.Nanosecond})
+	defer s.Close()
+	h := testInstance(4)
+	_, _, err := s.Solve(context.Background(), h, hypermis.Options{Algorithm: hypermis.AlgSBL})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if s.Stats().Errors == 0 {
+		t.Fatal("error counter not incremented")
+	}
+}
+
+func TestSubmitterCancellation(t *testing.T) {
+	s := New(Config{Workers: 1, CacheSize: -1})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := s.Solve(ctx, testInstance(5), hypermis.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.Close()
+	_, _, err := s.Solve(context.Background(), testInstance(6), hypermis.Options{})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 64, CacheSize: 32})
+	defer s.Close()
+	var wg sync.WaitGroup
+	failures := make(chan error, 256)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				h := testInstance(uint64(i % 5))
+				res, _, err := s.Solve(context.Background(), h, hypermis.Options{Seed: uint64(i % 3)})
+				if err != nil {
+					if errors.Is(err, ErrQueueFull) {
+						continue // shedding is valid behaviour under load
+					}
+					failures <- err
+					return
+				}
+				if err := hypermis.VerifyMIS(h, res.MIS); err != nil {
+					failures <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(failures)
+	for err := range failures {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.CacheHits == 0 {
+		t.Fatalf("no cache hits across 160 solves of 15 distinct keys: %+v", st)
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2, 0)
+	r := &hypermis.Result{}
+	c.Put("a", r)
+	c.Put("b", r)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted early")
+	}
+	c.Put("c", r) // evicts b (a was refreshed)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a lost")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c lost")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestLRUCacheByteBudget(t *testing.T) {
+	heavy := &hypermis.Result{MIS: make([]bool, 1000)}
+	c := newLRUCache(100, 2500) // entry cost = 1000 + 64 overhead
+	c.Put("a", heavy)
+	c.Put("b", heavy)
+	c.Put("c", heavy) // over budget: evicts a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("byte budget not enforced")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if c.Len() != 2 || c.Bytes() > 2500 {
+		t.Fatalf("len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	// A single over-budget entry is still kept (never evict below 1).
+	c2 := newLRUCache(100, 10)
+	c2.Put("big", heavy)
+	if _, ok := c2.Get("big"); !ok || c2.Len() != 1 {
+		t.Fatal("sole entry should survive even over budget")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond) // all in the [512µs, 1024µs) … bucket of 1000µs
+	}
+	h.Observe(100 * time.Millisecond)
+	if got := h.Count(); got != 101 {
+		t.Fatalf("count = %d", got)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 512*time.Microsecond || p50 > 2*time.Millisecond {
+		t.Fatalf("p50 = %v, want ≈1ms", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 50*time.Millisecond {
+		t.Fatalf("p999 = %v, want to land in the outlier bucket", p999)
+	}
+	if q := h.Quantile(1.0); q < p999 {
+		t.Fatalf("quantiles not monotone: q1=%v < q0.999=%v", q, p999)
+	}
+}

@@ -1,6 +1,7 @@
 package hypermis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -64,8 +65,12 @@ func (a Algorithm) String() string {
 	}
 }
 
-// ParseAlgorithm converts a name ("sbl", "bl", "kuw", "luby", "greedy",
-// "auto") to an Algorithm.
+// AlgorithmNames lists every name ParseAlgorithm accepts, in menu
+// order ("" is also accepted as an alias for "auto").
+var AlgorithmNames = []string{"auto", "sbl", "bl", "kuw", "luby", "greedy", "permbl"}
+
+// ParseAlgorithm converts a name ("auto", "sbl", "bl", "kuw", "luby",
+// "greedy", "permbl") to an Algorithm.
 func ParseAlgorithm(name string) (Algorithm, error) {
 	switch name {
 	case "auto", "":
@@ -126,19 +131,39 @@ type Result struct {
 // applied to an instance outside its class.
 var ErrDimension = errors.New("hypermis: instance dimension outside the algorithm's class")
 
+// ResolveAlgorithm maps AlgAuto to the concrete solver Solve would use
+// for h (Luby for dimension ≤ 2, BL for dimension ≤ 5, SBL otherwise);
+// any other algorithm is returned unchanged.
+func ResolveAlgorithm(h *Hypergraph, algo Algorithm) Algorithm {
+	if algo != AlgAuto {
+		return algo
+	}
+	switch {
+	case h.Dim() <= 2:
+		return AlgLuby
+	case h.Dim() <= 5:
+		return AlgBL
+	default:
+		return AlgSBL
+	}
+}
+
 // Solve computes a maximal independent set of h.
 func Solve(h *Hypergraph, opts Options) (*Result, error) {
-	algo := opts.Algorithm
-	if algo == AlgAuto {
-		switch {
-		case h.Dim() <= 2:
-			algo = AlgLuby
-		case h.Dim() <= 5:
-			algo = AlgBL
-		default:
-			algo = AlgSBL
-		}
+	return SolveCtx(context.Background(), h, opts)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is
+// checked before dispatch and at the top of every outer round/stage of
+// the SBL, BL, KUW, Luby and PermBL solvers, and ctx.Err() is returned
+// as soon as it is done. Completed rounds are discarded, not rolled
+// back. The sequential greedy solver runs to completion once started
+// (it is linear time); an already-done context still fails fast.
+func SolveCtx(ctx context.Context, h *Hypergraph, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+	algo := ResolveAlgorithm(h, opts.Algorithm)
 	var cost *par.Cost
 	if opts.CollectCost {
 		cost = &par.Cost{}
@@ -149,6 +174,7 @@ func Solve(h *Hypergraph, opts Options) (*Result, error) {
 	switch algo {
 	case AlgSBL:
 		r, err := core.Run(h, stream, cost, core.Options{
+			Ctx:   ctx,
 			Alpha: opts.Alpha,
 			Tail:  tailOf(opts),
 		})
@@ -158,14 +184,16 @@ func Solve(h *Hypergraph, opts Options) (*Result, error) {
 		res.MIS = r.InIS
 		res.Rounds = r.Rounds
 	case AlgBL:
-		r, err := bl.Run(h, nil, stream, cost, bl.DefaultOptions())
+		blOpts := bl.DefaultOptions()
+		blOpts.Ctx = ctx
+		r, err := bl.Run(h, nil, stream, cost, blOpts)
 		if err != nil {
 			return nil, err
 		}
 		res.MIS = r.InIS
 		res.Rounds = r.Stages
 	case AlgKUW:
-		r, err := kuw.Run(h, nil, stream, cost, kuw.Options{})
+		r, err := kuw.Run(h, nil, stream, cost, kuw.Options{Ctx: ctx})
 		if err != nil {
 			return nil, err
 		}
@@ -175,7 +203,7 @@ func Solve(h *Hypergraph, opts Options) (*Result, error) {
 		if h.Dim() > 2 {
 			return nil, fmt.Errorf("%w: dim %d > 2 for Luby", ErrDimension, h.Dim())
 		}
-		r, err := luby.Run(h, nil, stream, cost, luby.Options{})
+		r, err := luby.Run(h, nil, stream, cost, luby.Options{Ctx: ctx})
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +213,7 @@ func Solve(h *Hypergraph, opts Options) (*Result, error) {
 		r := greedy.Run(h, nil)
 		res.MIS = r.InIS
 	case AlgPermBL:
-		r, err := permbl.Run(h, nil, stream, cost, permbl.Options{})
+		r, err := permbl.Run(h, nil, stream, cost, permbl.Options{Ctx: ctx})
 		if err != nil {
 			return nil, err
 		}

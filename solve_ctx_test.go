@@ -1,0 +1,64 @@
+package hypermis
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSolveCtxCancelled: an already-cancelled context returns promptly
+// with context.Canceled for every algorithm, including the sequential
+// greedy baseline.
+func TestSolveCtxCancelled(t *testing.T) {
+	algos := []Algorithm{AlgAuto, AlgSBL, AlgBL, AlgKUW, AlgLuby, AlgGreedy, AlgPermBL}
+	for _, algo := range algos {
+		t.Run(algo.String(), func(t *testing.T) {
+			h := RandomGraph(7, 200, 400) // dim 2: valid for every algorithm
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			start := time.Now()
+			res, err := SolveCtx(ctx, h, Options{Algorithm: algo, Seed: 1})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("SolveCtx(cancelled) = (%v, %v), want context.Canceled", res, err)
+			}
+			if elapsed := time.Since(start); elapsed > time.Second {
+				t.Errorf("cancelled solve took %v, want prompt return", elapsed)
+			}
+		})
+	}
+}
+
+// TestSolveCtxDeadline: a deadline that expires mid-run surfaces
+// context.DeadlineExceeded from inside the round loops.
+func TestSolveCtxDeadline(t *testing.T) {
+	h := RandomMixed(3, 3000, 6000, 2, 8)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // ensure the deadline has passed
+	if _, err := SolveCtx(ctx, h, Options{Algorithm: AlgSBL, Seed: 1}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SolveCtx(expired deadline) err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSolveCtxBackground: SolveCtx with a live context matches Solve
+// bit-for-bit (same seed, same instance).
+func TestSolveCtxBackground(t *testing.T) {
+	h := RandomMixed(11, 500, 1000, 2, 6)
+	a, err := Solve(h, Options{Algorithm: AlgSBL, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveCtx(context.Background(), h, Options{Algorithm: AlgSBL, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size != b.Size {
+		t.Fatalf("Solve size %d != SolveCtx size %d", a.Size, b.Size)
+	}
+	for v := range a.MIS {
+		if a.MIS[v] != b.MIS[v] {
+			t.Fatalf("MIS differs at vertex %d", v)
+		}
+	}
+}
