@@ -6,13 +6,16 @@
 // tables: `go run ./cmd/experiments`.
 //
 // Additional micro-benchmarks at the bottom measure the solvers
-// directly (ns/op per full solve) for the throughput-focused reader.
-package hypermis
+// directly (ns/op and allocs/op per full solve) for the
+// throughput-focused reader. Their workloads are declared once in
+// internal/benchdefs, shared with cmd/benchjson so the tracked
+// BENCH_solvers.json measures the same corpus.
+package hypermis_test
 
 import (
-	"io"
 	"testing"
 
+	"repro/internal/benchdefs"
 	"repro/internal/harness"
 
 	_ "repro/internal/experiments"
@@ -59,51 +62,26 @@ func BenchmarkF2_EdgeMigration(b *testing.B)         { benchExperiment(b, "f2") 
 
 // --- solver micro-benchmarks ---
 
-func benchSolve(b *testing.B, algo Algorithm, h *Hypergraph) {
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := Solve(h, Options{Algorithm: algo, Seed: uint64(i), Alpha: 0.3})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Size == 0 && h.N() > 0 {
-			b.Fatal("empty MIS")
-		}
+// benchSolve runs the named benchdefs case through the shared body.
+func benchSolve(b *testing.B, name string) {
+	c, ok := benchdefs.Find(name)
+	if !ok {
+		b.Fatalf("benchdefs case %s not declared", name)
 	}
+	benchdefs.RunCase(b, c)
 }
 
-func BenchmarkSolveSBL_n1000(b *testing.B) {
-	benchSolve(b, AlgSBL, RandomMixed(1, 1000, 2000, 2, 12))
-}
+func BenchmarkSolveSBL_n1000(b *testing.B)    { benchSolve(b, "SolveSBL_n1000") }
+func BenchmarkSolveBL_n1000_d3(b *testing.B)  { benchSolve(b, "SolveBL_n1000_d3") }
+func BenchmarkSolveKUW_n1000(b *testing.B)    { benchSolve(b, "SolveKUW_n1000") }
+func BenchmarkSolveLuby_n1000(b *testing.B)   { benchSolve(b, "SolveLuby_n1000") }
+func BenchmarkSolveGreedy_n1000(b *testing.B) { benchSolve(b, "SolveGreedy_n1000") }
 
-func BenchmarkSolveBL_n1000_d3(b *testing.B) {
-	benchSolve(b, AlgBL, RandomUniform(2, 1000, 2000, 3))
-}
+// Scale benchmarks: n=50k vertices, m=100k edges. At this size the CSR
+// edge scans cross the sharding threshold, so these exercise the
+// worker-pool paths the n=1000 instances run serially.
+func BenchmarkSolveSBL_n50000(b *testing.B)    { benchSolve(b, "SolveSBL_n50000") }
+func BenchmarkSolveGreedy_n50000(b *testing.B) { benchSolve(b, "SolveGreedy_n50000") }
+func BenchmarkSolveLuby_n50000(b *testing.B)   { benchSolve(b, "SolveLuby_n50000") }
 
-func BenchmarkSolveKUW_n1000(b *testing.B) {
-	benchSolve(b, AlgKUW, RandomMixed(3, 1000, 2000, 2, 12))
-}
-
-func BenchmarkSolveLuby_n1000(b *testing.B) {
-	benchSolve(b, AlgLuby, RandomGraph(4, 1000, 3000))
-}
-
-func BenchmarkSolveGreedy_n1000(b *testing.B) {
-	benchSolve(b, AlgGreedy, RandomMixed(5, 1000, 2000, 2, 12))
-}
-
-func BenchmarkVerifyMIS_n10000(b *testing.B) {
-	h := RandomMixed(6, 10000, 20000, 2, 6)
-	res, err := Solve(h, Options{Algorithm: AlgGreedy})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := VerifyMIS(h, res.MIS); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-var _ io.Writer // reserved for future bench log plumbing
+func BenchmarkVerifyMIS_n10000(b *testing.B) { benchdefs.RunVerify(b) }

@@ -1,0 +1,111 @@
+// Command benchjson runs the solver micro-benchmarks programmatically
+// (via testing.Benchmark, no `go test` subprocess) and emits the
+// results as JSON, one record per benchmark with ns/op, B/op and
+// allocs/op. It exists so the perf trajectory of the solvers is a
+// machine-readable artifact: the repository tracks its output as
+// BENCH_solvers.json.
+//
+// The workloads come from internal/benchdefs — the same declarations
+// the root bench_test.go runs — so the JSON always corresponds to
+// `go test -bench Solve`.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                     # writes BENCH_solvers.json
+//	go run ./cmd/benchjson -out -              # writes to stdout
+//	go run ./cmd/benchjson -benchtime 1x -out -  # CI smoke (one iteration per case)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/benchdefs"
+)
+
+// record is one benchmark result row.
+type record struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the emitted document.
+type report struct {
+	Tool       string   `json:"tool"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_solvers.json", "output path, or - for stdout")
+	benchtime := flag.String("benchtime", "", "per-benchmark budget forwarded to testing (e.g. 100ms or 5x); default 1s")
+	testing.Init()
+	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	type namedBench struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	var benches []namedBench
+	for _, c := range benchdefs.Solver() {
+		if !c.Tracked {
+			continue
+		}
+		benches = append(benches, namedBench{"Benchmark" + c.Name, func(b *testing.B) {
+			benchdefs.RunCase(b, c)
+		}})
+	}
+	benches = append(benches, namedBench{"BenchmarkVerifyMIS_n10000", benchdefs.RunVerify})
+
+	rep := report{
+		Tool:       "cmd/benchjson",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s failed (see log above)\n", bench.name)
+			os.Exit(1)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, record{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-28s %10d ns/op %10d B/op %8d allocs/op\n",
+			bench.name, int64(float64(r.T.Nanoseconds())/float64(r.N)),
+			r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,100 @@
+// Package benchdefs declares the solver micro-benchmark workloads in
+// one place, shared by the root bench_test.go and cmd/benchjson, so the
+// tracked BENCH_solvers.json always measures exactly the corpus that
+// `go test -bench Solve` runs.
+package benchdefs
+
+import (
+	"testing"
+
+	hypermis "repro"
+)
+
+// Case is one solver micro-benchmark: the Benchmark function's name
+// suffix, the algorithm, and the instance constructor (deterministic
+// seed — every call builds the identical instance).
+type Case struct {
+	Name string
+	Algo hypermis.Algorithm
+	New  func() *hypermis.Hypergraph
+	// Tracked cases are emitted into BENCH_solvers.json by
+	// cmd/benchjson; the large scale cases are benchmark-only.
+	Tracked bool
+}
+
+// Solver returns the solver benchmark corpus.
+func Solver() []Case {
+	return []Case{
+		{"SolveSBL_n1000", hypermis.AlgSBL,
+			func() *hypermis.Hypergraph { return hypermis.RandomMixed(1, 1000, 2000, 2, 12) }, true},
+		{"SolveBL_n1000_d3", hypermis.AlgBL,
+			func() *hypermis.Hypergraph { return hypermis.RandomUniform(2, 1000, 2000, 3) }, true},
+		{"SolveKUW_n1000", hypermis.AlgKUW,
+			func() *hypermis.Hypergraph { return hypermis.RandomMixed(3, 1000, 2000, 2, 12) }, true},
+		{"SolveLuby_n1000", hypermis.AlgLuby,
+			func() *hypermis.Hypergraph { return hypermis.RandomGraph(4, 1000, 3000) }, true},
+		{"SolveGreedy_n1000", hypermis.AlgGreedy,
+			func() *hypermis.Hypergraph { return hypermis.RandomMixed(5, 1000, 2000, 2, 12) }, true},
+		// Scale cases: n=50k/m=100k, above the sharded-scan thresholds.
+		{"SolveSBL_n50000", hypermis.AlgSBL,
+			func() *hypermis.Hypergraph { return hypermis.RandomMixed(7, 50000, 100000, 2, 12) }, false},
+		{"SolveGreedy_n50000", hypermis.AlgGreedy,
+			func() *hypermis.Hypergraph { return hypermis.RandomMixed(8, 50000, 100000, 2, 12) }, false},
+		{"SolveLuby_n50000", hypermis.AlgLuby,
+			func() *hypermis.Hypergraph { return hypermis.RandomGraph(9, 50000, 100000) }, false},
+	}
+}
+
+// Find returns the case with the given name.
+func Find(name string) (Case, bool) {
+	for _, c := range Solver() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Case{}, false
+}
+
+// VerifyInstance returns the VerifyMIS benchmark workload: a mixed
+// instance with a greedy-computed MIS mask.
+func VerifyInstance() (*hypermis.Hypergraph, []bool, error) {
+	h := hypermis.RandomMixed(6, 10000, 20000, 2, 6)
+	res, err := hypermis.Solve(h, hypermis.Options{Algorithm: hypermis.AlgGreedy})
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, res.MIS, nil
+}
+
+// RunCase is the measured benchmark body for a solver case — the one
+// loop both `go test -bench Solve` and cmd/benchjson time, so the
+// tracked numbers cannot drift from the test benchmarks.
+func RunCase(b *testing.B, c Case) {
+	h := c.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hypermis.Solve(h, hypermis.Options{Algorithm: c.Algo, Seed: uint64(i), Alpha: 0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Size == 0 && h.N() > 0 {
+			b.Fatal("empty MIS")
+		}
+	}
+}
+
+// RunVerify is the measured body of the VerifyMIS benchmark.
+func RunVerify(b *testing.B) {
+	h, mis, err := VerifyInstance()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := hypermis.VerifyMIS(h, mis); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

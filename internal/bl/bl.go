@@ -70,6 +70,13 @@ type Options struct {
 	// CollectStats enables the per-stage instrumentation (degree
 	// vectors, migration matrices).
 	CollectStats bool
+
+	// Scratch, if non-nil, provides the reusable CSR arenas for the
+	// per-stage fused shrink. Callers that invoke BL repeatedly (SBL's
+	// sampling rounds) pass one scratch so stages stop allocating
+	// across calls; it must not be shared with a concurrent run. nil =
+	// a fresh scratch per run.
+	Scratch *hypergraph.RoundScratch
 }
 
 // DefaultOptions is the configuration used by SBL and the experiments.
@@ -158,6 +165,14 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 
 	marked := make([]bool, n)
 	unmark := make([]bool, n)
+	// Scratch arenas for the fused per-stage shrink; the result is
+	// consumed (copied) by RemoveSupersets before the next stage writes
+	// the buffers again, so reuse across runs is safe.
+	scratch := opts.Scratch
+	if scratch == nil {
+		scratch = &hypergraph.RoundScratch{}
+	}
+	noRed := func(hypergraph.V) bool { return false }
 
 	// Cached degree structure; rebuilt only after stages that changed
 	// the hypergraph.
@@ -256,10 +271,11 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 
 		// Step 1: independent marking. Randomness is drawn from a
 		// per-(stage, vertex) child stream so results are independent of
-		// iteration order.
+		// iteration order; BernoulliAt derives the per-vertex child on
+		// the stack, so a stage constructs one heap stream, not n.
 		stageStream := s.Child(uint64(stage))
 		par.For(cost, n, func(i int) {
-			marked[i] = live[i] && stageStream.Child(uint64(i)).Bernoulli(p)
+			marked[i] = live[i] && stageStream.BernoulliAt(uint64(i), p)
 			unmark[i] = false
 		})
 		st.Marked = par.Count(cost, n, func(i int) bool { return marked[i] })
@@ -324,9 +340,9 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 			}
 			st.Migration = migration
 		}
-		next, emptied := hypergraph.Shrink(cur, func(v hypergraph.V) bool {
+		next, emptied := hypergraph.NextRound(cur, noRed, func(v hypergraph.V) bool {
 			return marked[v] && !unmark[v]
-		})
+		}, scratch)
 		st.Emptied = emptied
 		if emptied > 0 {
 			return nil, fmt.Errorf("bl: %d edges became fully blue at stage %d (independence broken)", emptied, stage)

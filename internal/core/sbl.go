@@ -139,13 +139,23 @@ func Run(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Options) 
 	if blOpts.MaxStages == 0 {
 		blOpts = bl.DefaultOptions()
 		blOpts.CollectStats = opts.BL.CollectStats
+		blOpts.Scratch = opts.BL.Scratch
 	}
 	if blOpts.Ctx == nil {
 		blOpts.Ctx = opts.Ctx
 	}
+	if blOpts.Scratch == nil {
+		// One persistent scratch for every BL subcall (distinct from the
+		// SBL round scratch, whose buffers are live across bl.Run).
+		blOpts.Scratch = &hypergraph.RoundScratch{}
+	}
 
+	// The round scratch double-buffers the residual hypergraph's CSR
+	// arenas across rounds (and across RestartAll attempts), so a round
+	// costs no allocations once the buffers are warm.
+	scratch := &hypergraph.RoundScratch{}
 	for attempt := 0; ; attempt++ {
-		res, err := runOnce(h, s.Child(uint64(attempt)), cost, opts, params, blOpts)
+		res, err := runOnce(h, s.Child(uint64(attempt)), cost, opts, params, blOpts, scratch)
 		if err == nil {
 			res.Restarts = attempt
 			return res, nil
@@ -157,7 +167,7 @@ func Run(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Options) 
 	}
 }
 
-func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Options, params Params, blOpts bl.Options) (*Result, error) {
+func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Options, params Params, blOpts bl.Options, scratch *hypergraph.RoundScratch) (*Result, error) {
 	n := h.N()
 	res := &Result{
 		InIS:   make([]bool, n),
@@ -206,12 +216,15 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 		var sampledCount int
 		try := 0
 		for {
+			// One RNG stream per try; the per-vertex coin flips draw
+			// through BernoulliAt, which derives the per-index child on
+			// the stack — no per-vertex stream construction.
 			tryStream := roundStream.Child(uint64(try))
 			par.For(cost, n, func(i int) {
-				sampled[i] = undecided[i] && tryStream.Child(uint64(i)).Bernoulli(params.P)
+				sampled[i] = undecided[i] && tryStream.BernoulliAt(uint64(i), params.P)
 			})
 			sampledCount = par.Count(cost, n, func(i int) bool { return sampled[i] })
-			sub = hypergraph.Induced(cur, func(v hypergraph.V) bool { return sampled[v] })
+			sub = hypergraph.InduceInto(cur, func(v hypergraph.V) bool { return sampled[v] }, scratch)
 			par.ChargeStep(cost, cur.M())
 			if sub.Dim() <= params.D {
 				break
@@ -261,11 +274,13 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 		st.Red = red
 		st.EventA = float64(sampledCount) < params.P*float64(remaining)/2
 
-		// Lines 13–17: drop edges meeting a red vertex.
+		// Lines 13–20, fused: drop edges meeting a red vertex and shrink
+		// the survivors by I' in one pass into the scratch's other
+		// buffer (NextRound is edge-set-identical to
+		// DiscardTouching → Shrink; property-tested).
 		isRed := func(v hypergraph.V) bool { return sampled[v] && !blRes.InIS[v] }
-		next := hypergraph.DiscardTouching(cur, isRed)
-		// Lines 18–20: shrink surviving edges by I'.
-		next, emptied := hypergraph.Shrink(next, func(v hypergraph.V) bool { return blRes.InIS[v] })
+		isBlue := func(v hypergraph.V) bool { return blRes.InIS[v] }
+		next, emptied := hypergraph.NextRound(cur, isRed, isBlue, scratch)
 		if emptied > 0 {
 			return nil, fmt.Errorf("sbl: %d edges became fully blue at round %d (independence broken)", emptied, round)
 		}

@@ -69,12 +69,18 @@ func RunOrder(h *hypergraph.Hypergraph, active []bool, order []hypergraph.V) *Re
 	edges := h.Edges()
 	chosen := make([]int32, len(edges))
 	completable := make([]bool, len(edges))
-	for i, e := range edges {
-		completable[i] = true
-		for _, v := range e {
-			if !isActive(v) {
-				completable[i] = false
-				break
+	if active == nil {
+		for i := range completable {
+			completable[i] = true
+		}
+	} else {
+		for i, e := range edges {
+			completable[i] = true
+			for _, v := range e {
+				if !active[v] {
+					completable[i] = false
+					break
+				}
 			}
 		}
 	}

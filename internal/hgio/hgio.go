@@ -22,19 +22,76 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/hypergraph"
 )
+
+// encodeBufs pools the binary-encoding chunk buffers Digest and
+// WriteBinary use, so the service's per-request cache-key and response
+// encodings stop allocating once warm. Encoding is chunked (flushed
+// every encodeChunk bytes), so buffers stay small regardless of
+// instance size; maxPooledEncodeBuf is a backstop against pathological
+// single-edge encodings pinning large buffers in the pool.
+var encodeBufs = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+const (
+	encodeChunk        = 1 << 15
+	maxPooledEncodeBuf = 1 << 20
+)
+
+func putEncodeBuf(bp *[]byte) {
+	if cap(*bp) <= maxPooledEncodeBuf {
+		encodeBufs.Put(bp)
+	}
+}
 
 // Digest returns the canonical instance digest: the hex SHA-256 of the
 // binary encoding. Hypergraphs are canonical by construction (sorted,
 // deduplicated edges), so two instances digest equal iff they have the
 // same vertex count and edge set — the property result caches key on.
+// The encoding streams through a pooled chunk buffer, never
+// materializing more than encodeChunk bytes at once.
 func Digest(h *hypergraph.Hypergraph) string {
-	hsh := sha256.New()
-	// WriteBinary to a hash never fails: sha256 Write cannot error.
-	_ = WriteBinary(hsh, h)
-	return hex.EncodeToString(hsh.Sum(nil))
+	d := sha256.New()
+	bp := encodeBufs.Get().(*[]byte)
+	b := appendHeader((*bp)[:0], h)
+	for _, e := range h.Edges() {
+		if len(b) >= encodeChunk {
+			d.Write(b)
+			b = b[:0]
+		}
+		b = appendEdge(b, e)
+	}
+	d.Write(b)
+	*bp = b[:0]
+	putEncodeBuf(bp)
+	return hex.EncodeToString(d.Sum(nil))
+}
+
+// appendHeader appends the encoding header: magic, n, m.
+func appendHeader(b []byte, h *hypergraph.Hypergraph) []byte {
+	b = append(b, binaryMagic...)
+	b = binary.AppendUvarint(b, uint64(h.N()))
+	return binary.AppendUvarint(b, uint64(h.M()))
+}
+
+// appendEdge appends one edge as a length-prefixed vertex list with
+// delta encoding (sortedness makes the first vertex absolute and the
+// rest gaps ≥ 1).
+func appendEdge(b []byte, e hypergraph.Edge) []byte {
+	b = binary.AppendUvarint(b, uint64(len(e)))
+	prev := uint64(0)
+	for i, v := range e {
+		cur := uint64(v)
+		if i == 0 {
+			b = binary.AppendUvarint(b, cur)
+		} else {
+			b = binary.AppendUvarint(b, cur-prev)
+		}
+		prev = cur
+	}
+	return b
 }
 
 // WriteText emits the text format.
@@ -110,46 +167,27 @@ func ReadText(r io.Reader) (*hypergraph.Hypergraph, error) {
 // binaryMagic identifies the binary format, versioned.
 const binaryMagic = "HGB1"
 
-// WriteBinary emits the compact varint format.
+// WriteBinary emits the compact varint format through a pooled chunk
+// buffer (the encoder — appendHeader/appendEdge — is shared with
+// Digest so the two cannot drift).
 func WriteBinary(w io.Writer, h *hypergraph.Hypergraph) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
-		return err
-	}
-	var buf [binary.MaxVarintLen64]byte
-	putUvarint := func(x uint64) error {
-		k := binary.PutUvarint(buf[:], x)
-		_, err := bw.Write(buf[:k])
-		return err
-	}
-	if err := putUvarint(uint64(h.N())); err != nil {
-		return err
-	}
-	if err := putUvarint(uint64(h.M())); err != nil {
-		return err
-	}
+	bp := encodeBufs.Get().(*[]byte)
+	b := appendHeader((*bp)[:0], h)
+	defer func() {
+		*bp = b[:0]
+		putEncodeBuf(bp)
+	}()
 	for _, e := range h.Edges() {
-		if err := putUvarint(uint64(len(e))); err != nil {
-			return err
-		}
-		prev := uint64(0)
-		for i, v := range e {
-			// Delta encoding exploits sortedness: first vertex absolute,
-			// the rest as gaps ≥ 1.
-			cur := uint64(v)
-			if i == 0 {
-				if err := putUvarint(cur); err != nil {
-					return err
-				}
-			} else {
-				if err := putUvarint(cur - prev); err != nil {
-					return err
-				}
+		if len(b) >= encodeChunk {
+			if _, err := w.Write(b); err != nil {
+				return err
 			}
-			prev = cur
+			b = b[:0]
 		}
+		b = appendEdge(b, e)
 	}
-	return bw.Flush()
+	_, err := w.Write(b)
+	return err
 }
 
 // ReadBinary parses the binary format.

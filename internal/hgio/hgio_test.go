@@ -2,6 +2,8 @@ package hgio
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -176,5 +178,24 @@ func TestReadVertexSetErrors(t *testing.T) {
 	got, err := ReadVertexSet(strings.NewReader("# only a comment\n"), 3)
 	if err != nil || got[0] || got[1] || got[2] {
 		t.Fatal("comment-only set should be empty")
+	}
+}
+
+func TestDigestMatchesWriteBinary(t *testing.T) {
+	for _, h := range []*hypergraph.Hypergraph{
+		hypergraph.NewBuilder(5).MustBuild(),
+		hypergraph.NewBuilder(6).AddEdge(0, 3, 5).AddEdge(1, 2).AddEdge(4).MustBuild(),
+		hypergraph.RandomMixed(rng.New(3), 200, 400, 2, 7),
+		// Large enough that the chunked writers flush mid-encoding.
+		hypergraph.RandomMixed(rng.New(4), 5000, 12000, 2, 8),
+	} {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, h); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		if got, want := Digest(h), hex.EncodeToString(sum[:]); got != want {
+			t.Fatalf("Digest = %s, want sha256 of WriteBinary output %s", got, want)
+		}
 	}
 }

@@ -3,6 +3,8 @@ package hypergraph
 import (
 	"encoding/binary"
 	"math"
+
+	"repro/internal/par"
 )
 
 // This file computes the degree structures from Section 3 of the paper.
@@ -23,7 +25,10 @@ import (
 // this, 2^d blows up and the degree table refuses to build.
 const maxEnumerableDim = 22
 
-// subsetKey canonically encodes a sorted vertex set.
+// subsetKey canonically encodes a sorted vertex set. It survives only
+// as the key of the brute-force reference DeltaDirect; the production
+// structures (DegreeTable, Working, RemoveSupersets) key on hashEdge
+// instead, which does not allocate.
 func subsetKey(x Edge) string {
 	buf := make([]byte, 4*len(x))
 	for i, v := range x {
@@ -35,24 +40,69 @@ func subsetKey(x Edge) string {
 // DegreeTable holds, for every vertex subset x contained in some edge,
 // the counts |N_j(x,H)| for each j ≥ 1. It answers the Δ queries used by
 // the BL marking probability p = 1/(2^{d+1}·Δ(H)).
+//
+// Entries live in flat struct-of-arrays storage: subsets are spans of
+// one []V arena, count rows are spans of one []int32 arena, and the
+// shared edgeIndex chains hash-colliding entries. Iteration over all
+// entries is therefore a linear arena walk, not a map traversal.
 type DegreeTable struct {
 	dim int
-	// counts[key][j] = |N_j(x,H)| where key encodes x; index 0 unused.
-	counts map[string][]int32
+	ix  edgeIndex // hashEdge(x) → chain of entry ids
+	// Per-entry arenas, indexed by entry id:
+	xoff   []int32 // len entries+1; entry i's subset is xs[xoff[i]:xoff[i+1]]
+	xs     []V     // subset vertex arena
+	counts []int32 // row i is counts[i*(dim+1):(i+1)*(dim+1)]; index 0 unused
+	zeros  []int32 // dim+1 zeros, appended to counts on insert
 }
 
-// BuildDegreeTable enumerates all edge subsets. It panics if the
-// dimension exceeds maxEnumerableDim (callers control dimension: BL is
-// only invoked on small-dimension hypergraphs, by construction in SBL).
-func BuildDegreeTable(h *Hypergraph) *DegreeTable {
-	if h.Dim() > maxEnumerableDim {
-		panic("hypergraph: dimension too large for degree enumeration")
+func newDegreeTable(dim int, capHint int) *DegreeTable {
+	return &DegreeTable{
+		dim:   dim,
+		ix:    newEdgeIndex(capHint),
+		xoff:  append(make([]int32, 0, capHint+1), 0),
+		zeros: make([]int32, dim+1),
 	}
-	t := &DegreeTable{dim: h.Dim(), counts: make(map[string][]int32)}
+}
+
+// entries returns the number of distinct subsets recorded.
+func (t *DegreeTable) entries() int { return t.ix.size() }
+
+// subset returns entry i's vertex set (a view into the arena).
+func (t *DegreeTable) subset(i int32) Edge { return t.xs[t.xoff[i]:t.xoff[i+1]] }
+
+// row returns entry i's count vector (index j = |N_j(x,H)|).
+func (t *DegreeTable) row(i int32) []int32 {
+	w := t.dim + 1
+	return t.counts[int(i)*w : (int(i)+1)*w]
+}
+
+// lookup returns the entry id for subset x, or -1.
+func (t *DegreeTable) lookup(x Edge) int32 {
+	return t.ix.find(hashEdge(x), func(id int32) bool { return equalEdge(t.subset(id), x) })
+}
+
+// getOrAdd returns the entry id for subset x under the given hash,
+// inserting a fresh zero-count entry if absent. The hash is a parameter
+// (rather than computed here) so callers that already have it avoid
+// rehashing and tests can force collision chains.
+func (t *DegreeTable) getOrAdd(hash uint64, x Edge) int32 {
+	if id := t.ix.find(hash, func(id int32) bool { return equalEdge(t.subset(id), x) }); id >= 0 {
+		return id
+	}
+	id := int32(t.ix.size())
+	t.xs = append(t.xs, x...)
+	t.xoff = append(t.xoff, int32(len(t.xs)))
+	t.counts = append(t.counts, t.zeros...)
+	t.ix.add(hash, id)
+	return id
+}
+
+// scan enumerates the proper nonempty subsets of edges [lo, hi) and
+// accumulates their counts.
+func (t *DegreeTable) scan(h *Hypergraph, lo, hi int) {
 	var scratch Edge
-	for _, e := range h.edges {
+	for _, e := range h.edges[lo:hi] {
 		k := len(e)
-		// Enumerate nonempty proper subsets x of e by bitmask.
 		full := uint32(1)<<uint(k) - 1
 		for mask := uint32(1); mask < full; mask++ {
 			scratch = scratch[:0]
@@ -62,14 +112,62 @@ func BuildDegreeTable(h *Hypergraph) *DegreeTable {
 				}
 			}
 			j := k - len(scratch)
-			key := subsetKey(scratch)
-			row := t.counts[key]
-			if row == nil {
-				row = make([]int32, t.dim+1)
-				t.counts[key] = row
-			}
-			row[j]++
+			t.row(t.getOrAdd(hashEdge(scratch), scratch))[j]++
 		}
+	}
+}
+
+// merge folds other's entries into t.
+func (t *DegreeTable) merge(other *DegreeTable) {
+	for i := 0; i < other.entries(); i++ {
+		x := other.subset(int32(i))
+		dst := t.row(t.getOrAdd(hashEdge(x), x))
+		for j, c := range other.row(int32(i)) {
+			dst[j] += c
+		}
+	}
+}
+
+// buildShardThreshold is the subset-enumeration work (m·2^d) below
+// which a sharded build is not worth the merge cost.
+const buildShardThreshold = 1 << 15
+
+// BuildDegreeTable enumerates all edge subsets, sharding the scan over
+// a worker pool (per-shard tables merged at the end) when the 2^d-work
+// is large enough to pay for it. It panics if the dimension exceeds
+// maxEnumerableDim (callers control dimension: BL is only invoked on
+// small-dimension hypergraphs, by construction in SBL).
+func BuildDegreeTable(h *Hypergraph) *DegreeTable {
+	if h.Dim() > maxEnumerableDim {
+		panic("hypergraph: dimension too large for degree enumeration")
+	}
+	m := len(h.edges)
+	work := m << uint(h.Dim()) // Dim ≤ maxEnumerableDim, checked above
+	shards := par.NumShards(m)
+	if shards <= 1 || work < buildShardThreshold {
+		t := newDegreeTable(h.Dim(), m)
+		t.scan(h, 0, m)
+		return t
+	}
+	locals := make([]*DegreeTable, shards)
+	par.ForShards(nil, m, shards, func(s, lo, hi int) {
+		lt := newDegreeTable(h.Dim(), hi-lo)
+		lt.scan(h, lo, hi)
+		locals[s] = lt
+	})
+	var t *DegreeTable
+	for _, lt := range locals {
+		if lt == nil {
+			continue
+		}
+		if t == nil {
+			t = lt
+			continue
+		}
+		t.merge(lt)
+	}
+	if t == nil {
+		t = newDegreeTable(h.Dim(), 0)
 	}
 	return t
 }
@@ -79,11 +177,11 @@ func (t *DegreeTable) NCount(x Edge, j int) int {
 	if j < 1 || j > t.dim {
 		return 0
 	}
-	row := t.counts[subsetKey(x)]
-	if row == nil {
+	id := t.lookup(x)
+	if id < 0 {
 		return 0
 	}
-	return int(row[j])
+	return int(t.row(id)[j])
 }
 
 // NormDegree returns d_j(x,H) = |N_j(x,H)|^{1/j}.
@@ -103,13 +201,17 @@ func (t *DegreeTable) DeltaI(i int) float64 {
 		return 0
 	}
 	best := 0.0
-	for key, row := range t.counts {
-		xlen := len(key) / 4
+	for id := 0; id < t.entries(); id++ {
+		xlen := int(t.xoff[id+1] - t.xoff[id])
 		j := i - xlen
-		if j < 1 || j > t.dim || row[j] == 0 {
+		if j < 1 || j > t.dim {
 			continue
 		}
-		d := math.Pow(float64(row[j]), 1/float64(j))
+		c := t.row(int32(id))[j]
+		if c == 0 {
+			continue
+		}
+		d := math.Pow(float64(c), 1/float64(j))
 		if d > best {
 			best = d
 		}
@@ -117,24 +219,13 @@ func (t *DegreeTable) DeltaI(i int) float64 {
 	return best
 }
 
-// Delta returns Δ(H) = max_{2 ≤ i ≤ d} Δ_i(H). For an edgeless
-// hypergraph it returns 0.
+// Delta returns Δ(H) = max_{2 ≤ i ≤ d} Δ_i(H) — the maximum entry of
+// AllDeltas. For an edgeless hypergraph it returns 0.
 func (t *DegreeTable) Delta() float64 {
 	best := 0.0
-	for key, row := range t.counts {
-		xlen := len(key) / 4
-		for j := 1; j <= t.dim-0; j++ {
-			if j >= len(row) || row[j] == 0 {
-				continue
-			}
-			i := xlen + j
-			if i < 2 || i > t.dim {
-				continue
-			}
-			d := math.Pow(float64(row[j]), 1/float64(j))
-			if d > best {
-				best = d
-			}
+	for _, d := range t.AllDeltas() {
+		if d > best {
+			best = d
 		}
 	}
 	return best
@@ -144,8 +235,9 @@ func (t *DegreeTable) Delta() float64 {
 // (index < 2 unused). Computed in one pass over the table.
 func (t *DegreeTable) AllDeltas() []float64 {
 	deltas := make([]float64, t.dim+1)
-	for key, row := range t.counts {
-		xlen := len(key) / 4
+	for id := 0; id < t.entries(); id++ {
+		xlen := int(t.xoff[id+1] - t.xoff[id])
+		row := t.row(int32(id))
 		for j := 1; j < len(row); j++ {
 			if row[j] == 0 {
 				continue
@@ -167,25 +259,18 @@ func (t *DegreeTable) AllDeltas() []float64 {
 // threshold, or nil if none exists. Used by the degree-collapse
 // experiment (T6) to locate high-degree witnesses.
 func (t *DegreeTable) MaxDegreeSet(threshold float64) (Edge, int) {
-	for key, row := range t.counts {
+	for id := 0; id < t.entries(); id++ {
+		row := t.row(int32(id))
 		for j := 1; j < len(row); j++ {
 			if row[j] == 0 {
 				continue
 			}
 			if math.Pow(float64(row[j]), 1/float64(j)) >= threshold {
-				return decodeKey(key), j
+				return append(Edge(nil), t.subset(int32(id))...), j
 			}
 		}
 	}
 	return nil, 0
-}
-
-func decodeKey(key string) Edge {
-	x := make(Edge, len(key)/4)
-	for i := range x {
-		x[i] = V(binary.BigEndian.Uint32([]byte(key[4*i : 4*i+4])))
-	}
-	return x
 }
 
 // NjDirect computes |N_j(x,H)| by scanning all edges — the reference
@@ -201,7 +286,8 @@ func NjDirect(h *Hypergraph, x Edge, j int) int {
 }
 
 // DeltaDirect computes Δ(H) by brute force over all subsets of all
-// edges, independently of DegreeTable; reference for property tests.
+// edges, independently of DegreeTable (including its hashing);
+// reference for property tests.
 func DeltaDirect(h *Hypergraph) float64 {
 	if h.Dim() > maxEnumerableDim {
 		panic("hypergraph: dimension too large")

@@ -20,16 +20,35 @@ func sampleDistinct(s *rng.Stream, n, k int) Edge {
 	}
 	// For small k relative to n, rejection sampling is fast.
 	if k*4 <= n {
-		seen := make(map[V]bool, k)
 		e := make(Edge, 0, k)
-		for len(e) < k {
-			v := V(s.Intn(n))
-			if !seen[v] {
-				seen[v] = true
-				e = append(e, v)
+		if k <= 16 {
+			// Duplicate check by linear scan of the partial edge: for the
+			// small edge sizes the generators draw, this beats a map and
+			// allocates nothing beyond the edge itself.
+			for len(e) < k {
+				v := V(s.Intn(n))
+				dup := false
+				for _, u := range e {
+					if u == v {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					e = append(e, v)
+				}
+			}
+		} else {
+			seen := make(map[V]bool, k)
+			for len(e) < k {
+				v := V(s.Intn(n))
+				if !seen[v] {
+					seen[v] = true
+					e = append(e, v)
+				}
 			}
 		}
-		sort.Slice(e, func(i, j int) bool { return e[i] < e[j] })
+		sortEdge(e)
 		return e
 	}
 	// Otherwise partial Fisher–Yates over the universe.
@@ -38,7 +57,7 @@ func sampleDistinct(s *rng.Stream, n, k int) Edge {
 	for i := 0; i < k; i++ {
 		e[i] = V(perm[i])
 	}
-	sort.Slice(e, func(i, j int) bool { return e[i] < e[j] })
+	sortEdge(e)
 	return e
 }
 

@@ -11,6 +11,30 @@
 // maximum edge size. A vertex set is independent if it contains no edge,
 // and a maximal independent set (MIS) is an independent set contained in
 // no larger one.
+//
+// # Representation
+//
+// A Hypergraph stores its edges in flat CSR (compressed sparse row)
+// form: one contiguous vertex arena and an offsets array, with the
+// public Edge values served as subslices of the arena:
+//
+//	verts []V      one arena holding every edge's vertices back to back
+//	off   []int32  len M()+1; edge i is verts[off[i]:off[i+1]]
+//	edges []Edge   cached three-index subslice headers into verts
+//
+// Edges are kept in canonical order (lexicographically sorted,
+// deduplicated, each edge internally sorted and strictly increasing),
+// so edge i < edge i+1 under lessEdge and binary search over the edge
+// list is valid.
+//
+// Ownership rules: a Hypergraph and everything reachable from Edges()
+// is immutable after construction — callers must never write through
+// the returned slices, and the package never does. The pure
+// transformations in ops.go always copy surviving vertices into a
+// fresh arena, so their results share no storage with their inputs.
+// The scratch-based round pipeline in round.go is the one exception:
+// it recycles caller-owned arenas (see RoundScratch for its aliasing
+// contract).
 package hypergraph
 
 import (
@@ -25,12 +49,43 @@ type V = int32
 type Edge []V
 
 // Hypergraph is an immutable hypergraph on the vertex set {0, …, N-1}.
-// Edges are deduplicated, sorted slices. Construct via Builder or the
-// generator functions; algorithms never mutate a Hypergraph in place.
+// Edges are deduplicated, sorted subslices of one flat CSR vertex arena
+// (see the package comment for the layout). Construct via Builder or
+// the generator functions; algorithms never mutate a Hypergraph in
+// place.
 type Hypergraph struct {
 	n     int
-	edges []Edge
 	dim   int
+	verts []V     // CSR arena: all edges' vertices, back to back
+	off   []int32 // len(edges)+1; edge i is verts[off[i]:off[i+1]]
+	edges []Edge  // cached headers into verts, canonical order
+}
+
+// packCanon copies an already-canonical edge list (each edge sorted and
+// strictly increasing, list lex-sorted and deduplicated) into a fresh
+// CSR arena. The input edges are only read.
+func packCanon(n int, canon []Edge) *Hypergraph {
+	total, dim := 0, 0
+	for _, e := range canon {
+		total += len(e)
+		if len(e) > dim {
+			dim = len(e)
+		}
+	}
+	verts := make([]V, total)
+	off := make([]int32, len(canon)+1)
+	edges := make([]Edge, len(canon))
+	pos := 0
+	for i, e := range canon {
+		off[i] = int32(pos)
+		copy(verts[pos:], e)
+		pos += len(e)
+	}
+	off[len(canon)] = int32(total)
+	for i := range edges {
+		edges[i] = verts[off[i]:off[i+1]:off[i+1]]
+	}
+	return &Hypergraph{n: n, dim: dim, verts: verts, off: off, edges: edges}
 }
 
 // NewBuilder returns a builder for a hypergraph on n vertices.
@@ -73,7 +128,7 @@ func (b *Builder) Build() (*Hypergraph, error) {
 			return nil, fmt.Errorf("hypergraph: empty edge (no independent set can exist)")
 		}
 		c := append(Edge(nil), e...)
-		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		sortEdge(c)
 		// Remove duplicate vertices within the edge.
 		w := 1
 		for i := 1; i < len(c); i++ {
@@ -90,14 +145,26 @@ func (b *Builder) Build() (*Hypergraph, error) {
 		}
 		canon = append(canon, c)
 	}
-	canon = dedupEdges(canon)
-	dim := 0
-	for _, e := range canon {
-		if len(e) > dim {
-			dim = len(e)
+	return packCanon(b.n, dedupEdges(canon)), nil
+}
+
+// sortEdge sorts a vertex slice ascending. Small edges (the common
+// case: dimension is polylogarithmic) use insertion sort, which does
+// not allocate; sort.Slice is kept for pathological sizes.
+func sortEdge(e Edge) {
+	if len(e) <= 32 {
+		for i := 1; i < len(e); i++ {
+			v := e[i]
+			j := i - 1
+			for j >= 0 && e[j] > v {
+				e[j+1] = e[j]
+				j--
+			}
+			e[j+1] = v
 		}
+		return
 	}
-	return &Hypergraph{n: b.n, edges: canon, dim: dim}, nil
+	sort.Slice(e, func(i, j int) bool { return e[i] < e[j] })
 }
 
 // MustBuild is Build that panics on error; for tests and generators
@@ -169,33 +236,38 @@ func (h *Hypergraph) Edges() []Edge { return h.edges }
 func (h *Hypergraph) Edge(i int) Edge { return h.edges[i] }
 
 // HasEdge reports whether the exact edge (as a vertex set) is present.
+// The canonical edge list is lex-sorted, so this is a binary search:
+// O(d·log m) rather than a scan of every edge.
 func (h *Hypergraph) HasEdge(vs ...V) bool {
 	e := append(Edge(nil), vs...)
-	sort.Slice(e, func(i, j int) bool { return e[i] < e[j] })
-	for _, f := range h.edges {
-		if equalEdge(e, f) {
-			return true
-		}
-	}
-	return false
+	sortEdge(e)
+	i := sort.Search(len(h.edges), func(i int) bool { return !lessEdge(h.edges[i], e) })
+	return i < len(h.edges) && equalEdge(h.edges[i], e)
 }
 
-// Incidence returns, for each vertex, the indices of edges containing it.
+// Incidence returns, for each vertex, the indices of edges containing
+// it. The per-vertex rows are subslices of one flat backing array (CSR
+// over vertices), so the whole structure costs three allocations.
 func (h *Hypergraph) Incidence() [][]int32 {
 	inc := make([][]int32, h.n)
-	deg := make([]int32, h.n)
-	for _, e := range h.edges {
+	deg := make([]int32, h.n+1)
+	for _, v := range h.verts {
+		deg[v+1]++
+	}
+	for v := 1; v <= h.n; v++ {
+		deg[v] += deg[v-1]
+	}
+	flat := make([]int32, len(h.verts))
+	for i, e := range h.edges {
 		for _, v := range e {
+			flat[deg[v]] = int32(i)
 			deg[v]++
 		}
 	}
-	for v := range inc {
-		inc[v] = make([]int32, 0, deg[v])
-	}
-	for i, e := range h.edges {
-		for _, v := range e {
-			inc[v] = append(inc[v], int32(i))
-		}
+	start := int32(0)
+	for v := 0; v < h.n; v++ {
+		inc[v] = flat[start:deg[v]:deg[v]]
+		start = deg[v]
 	}
 	return inc
 }
@@ -229,11 +301,13 @@ func (h *Hypergraph) String() string {
 // Clone returns a deep copy. Useful when callers need to hold onto a
 // hypergraph across mutating pipelines built from raw edge slices.
 func (h *Hypergraph) Clone() *Hypergraph {
+	verts := append([]V(nil), h.verts...)
+	off := append([]int32(nil), h.off...)
 	edges := make([]Edge, len(h.edges))
-	for i, e := range h.edges {
-		edges[i] = append(Edge(nil), e...)
+	for i := range edges {
+		edges[i] = verts[off[i]:off[i+1]:off[i+1]]
 	}
-	return &Hypergraph{n: h.n, edges: edges, dim: h.dim}
+	return &Hypergraph{n: h.n, dim: h.dim, verts: verts, off: off, edges: edges}
 }
 
 // ContainsSorted reports whether sorted edge e contains sorted subset x.

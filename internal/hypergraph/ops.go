@@ -2,19 +2,16 @@ package hypergraph
 
 // This file implements the structural transformations the SBL and BL
 // loops apply between rounds. All of them preserve canonical form
-// (sorted, deduplicated edges) without re-running the Builder.
+// (sorted, deduplicated edges) without re-running the Builder, and all
+// of them copy surviving edges into a fresh CSR arena — outputs never
+// alias their inputs. The scratch-based, allocation-free variants the
+// solver round loops use live in round.go.
 
 // fromCanon assembles a hypergraph from edges that are already sorted
-// internally; it deduplicates the edge list and recomputes the dimension.
+// internally; it deduplicates the edge list, recomputes the dimension,
+// and packs the result into a fresh CSR arena.
 func fromCanon(n int, edges []Edge) *Hypergraph {
-	edges = dedupEdges(edges)
-	dim := 0
-	for _, e := range edges {
-		if len(e) > dim {
-			dim = len(e)
-		}
-	}
-	return &Hypergraph{n: n, edges: edges, dim: dim}
+	return packCanon(n, dedupEdges(edges))
 }
 
 // Induced returns the hypergraph H' = (V', E') of the paper's SBL round:
@@ -22,23 +19,18 @@ func fromCanon(n int, edges []Edge) *Hypergraph {
 // {v : in(v)}. (Vertices outside the set simply have no incident edges;
 // identity of vertex IDs is preserved so colorings transfer back.)
 func Induced(h *Hypergraph, in func(V) bool) *Hypergraph {
-	kept := make([]Edge, 0, len(h.edges))
-	for _, e := range h.edges {
-		inside := true
+	return FilterEdges(h, func(e Edge) bool {
 		for _, v := range e {
 			if !in(v) {
-				inside = false
-				break
+				return false
 			}
 		}
-		if inside {
-			kept = append(kept, e)
-		}
-	}
-	return fromCanon(h.n, kept)
+		return true
+	})
 }
 
-// FilterEdges keeps only edges satisfying keep.
+// FilterEdges keeps only edges satisfying keep. A subset of a canonical
+// edge list is itself canonical, so the survivors are packed directly.
 func FilterEdges(h *Hypergraph, keep func(Edge) bool) *Hypergraph {
 	kept := make([]Edge, 0, len(h.edges))
 	for _, e := range h.edges {
@@ -46,7 +38,7 @@ func FilterEdges(h *Hypergraph, keep func(Edge) bool) *Hypergraph {
 			kept = append(kept, e)
 		}
 	}
-	return fromCanon(h.n, kept)
+	return packCanon(h.n, kept)
 }
 
 // DiscardTouching removes every edge containing at least one vertex with
@@ -70,20 +62,24 @@ func DiscardTouching(h *Hypergraph, touch func(V) bool) *Hypergraph {
 // would contradict independence), so callers treat emptied > 0 as an
 // invariant violation.
 func Shrink(h *Hypergraph, drop func(V) bool) (*Hypergraph, int) {
+	// Stage shrunk edges into one arena; removing vertices can break the
+	// lexicographic edge order and create duplicates, so fromCanon
+	// re-canonicalizes the staged headers.
+	arena := make([]V, 0, len(h.verts))
 	kept := make([]Edge, 0, len(h.edges))
 	emptied := 0
 	for _, e := range h.edges {
-		out := make(Edge, 0, len(e))
+		start := len(arena)
 		for _, v := range e {
 			if !drop(v) {
-				out = append(out, v)
+				arena = append(arena, v)
 			}
 		}
-		if len(out) == 0 {
+		if len(arena) == start {
 			emptied++
 			continue
 		}
-		kept = append(kept, out)
+		kept = append(kept, arena[start:len(arena):len(arena)])
 	}
 	return fromCanon(h.n, kept), emptied
 }
@@ -98,9 +94,12 @@ func Shrink(h *Hypergraph, drop func(V) bool) (*Hypergraph, int) {
 // used instead.
 func RemoveSupersets(h *Hypergraph) *Hypergraph {
 	if h.Dim() <= maxEnumerableDim {
-		present := make(map[string]bool, len(h.edges))
-		for _, e := range h.edges {
-			present[subsetKey(e)] = true
+		present := newEdgeIndex(len(h.edges))
+		for i, e := range h.edges {
+			present.add(hashEdge(e), int32(i))
+		}
+		lookup := func(x Edge) bool {
+			return present.find(hashEdge(x), func(id int32) bool { return equalEdge(h.edges[id], x) }) >= 0
 		}
 		var scratch Edge
 		kept := make([]Edge, 0, len(h.edges))
@@ -115,7 +114,7 @@ func RemoveSupersets(h *Hypergraph) *Hypergraph {
 						scratch = append(scratch, e[b])
 					}
 				}
-				if present[subsetKey(scratch)] {
+				if lookup(scratch) {
 					dominated = true
 				}
 			}
@@ -123,7 +122,7 @@ func RemoveSupersets(h *Hypergraph) *Hypergraph {
 				kept = append(kept, e)
 			}
 		}
-		return fromCanon(h.n, kept)
+		return packCanon(h.n, kept)
 	}
 	// Pairwise fallback for very large dimension.
 	kept := make([]Edge, 0, len(h.edges))
@@ -142,7 +141,7 @@ func RemoveSupersets(h *Hypergraph) *Hypergraph {
 			kept = append(kept, e)
 		}
 	}
-	return fromCanon(h.n, kept)
+	return packCanon(h.n, kept)
 }
 
 // RemoveSingletons drops every singleton edge {v} and returns the
@@ -167,7 +166,7 @@ func RemoveSingletons(h *Hypergraph) (*Hypergraph, []V) {
 	// removed from V'. We keep such edges (they are harmless: the
 	// blocked vertex is never marked again), matching the pseudocode,
 	// which only deletes the singleton edges themselves.
-	return fromCanon(h.n, kept), blocked
+	return packCanon(h.n, kept), blocked
 }
 
 // Restrict removes all edges incident to any vertex with gone(v) true.
@@ -179,10 +178,8 @@ func Restrict(h *Hypergraph, gone func(V) bool) *Hypergraph {
 // UsedVertices returns a mask of vertices appearing in at least one edge.
 func (h *Hypergraph) UsedVertices() []bool {
 	used := make([]bool, h.n)
-	for _, e := range h.edges {
-		for _, v := range e {
-			used[v] = true
-		}
+	for _, v := range h.verts {
+		used[v] = true
 	}
 	return used
 }

@@ -1,0 +1,327 @@
+package hypergraph
+
+import (
+	"sort"
+
+	"repro/internal/par"
+)
+
+// This file implements the allocation-free round pipeline: the
+// per-round hypergraph transforms of the SBL/BL/KUW loops, fused into
+// single passes over the flat CSR arenas and double-buffered through a
+// caller-owned RoundScratch so that a round costs zero heap allocations
+// once the buffers are warm. Results are edge-set-identical to the pure
+// pipeline in ops.go (property-tested in round_test.go).
+
+// parallelScanThreshold is the arena size above which the per-edge
+// classification and scatter passes are sharded over the worker pool.
+// Below it the sequential loop wins (and allocates nothing at all).
+const parallelScanThreshold = 1 << 14
+
+// csrBuf is one reusable CSR arena plus the Hypergraph header served
+// from it.
+type csrBuf struct {
+	verts []V
+	off   []int32
+	edges []Edge
+	hg    Hypergraph
+}
+
+// grow reslices the buffer's arrays to the requested sizes, reallocating
+// only when capacity is insufficient.
+func (b *csrBuf) grow(nVerts, nEdges int) {
+	if cap(b.verts) < nVerts {
+		b.verts = make([]V, nVerts)
+	} else {
+		b.verts = b.verts[:nVerts]
+	}
+	if cap(b.off) < nEdges+1 {
+		b.off = make([]int32, nEdges+1)
+	} else {
+		b.off = b.off[:nEdges+1]
+	}
+	if cap(b.edges) < nEdges {
+		b.edges = make([]Edge, nEdges)
+	} else {
+		b.edges = b.edges[:nEdges]
+	}
+}
+
+// finish rebuilds the edge headers from off/verts and installs the
+// Hypergraph header.
+func (b *csrBuf) finish(n, dim int) *Hypergraph {
+	for i := range b.edges {
+		b.edges[i] = b.verts[b.off[i]:b.off[i+1]:b.off[i+1]]
+	}
+	b.hg = Hypergraph{n: n, dim: dim, verts: b.verts, off: b.off, edges: b.edges}
+	return &b.hg
+}
+
+// RoundScratch holds the reusable arenas of the fused round pipeline.
+// NextRound double-buffers through ring: each call writes the buffer
+// the input does not occupy, so the result of call k is valid exactly
+// until call k+2 — callers thread `cur = NextRound(cur, …)` and must
+// not retain older rounds (Clone what must survive). InduceInto has a
+// dedicated buffer, overwritten by the next InduceInto only, so an
+// induced sub-hypergraph stays valid across interleaved NextRound
+// calls. The zero value is ready to use; a RoundScratch must not be
+// shared between concurrent solvers.
+type RoundScratch struct {
+	ring    [2]csrBuf
+	ringIdx int
+	sample  csrBuf
+	keep    []int32 // per input edge: output edge index, or -1 dropped
+	pos     []int32 // per input edge: output arena offset
+	spill   []V     // reorder arena for the rare out-of-order repack
+	stage   edgeSorter
+}
+
+// edgeSorter sorts edge headers lexicographically; kept in the scratch
+// so sort.Sort receives a persistent interface value (no allocation).
+type edgeSorter struct{ edges []Edge }
+
+func (s *edgeSorter) Len() int           { return len(s.edges) }
+func (s *edgeSorter) Less(i, j int) bool { return lessEdge(s.edges[i], s.edges[j]) }
+func (s *edgeSorter) Swap(i, j int)      { s.edges[i], s.edges[j] = s.edges[j], s.edges[i] }
+
+// target returns the ring buffer NextRound may write: the one cur does
+// not occupy.
+func (scr *RoundScratch) target(cur *Hypergraph) *csrBuf {
+	idx := scr.ringIdx
+	if cur == &scr.ring[idx].hg {
+		idx = 1 - idx
+	}
+	scr.ringIdx = idx
+	return &scr.ring[idx]
+}
+
+func (scr *RoundScratch) growClassify(m int) {
+	if cap(scr.keep) < m {
+		scr.keep = make([]int32, m)
+		scr.pos = make([]int32, m)
+	} else {
+		scr.keep = scr.keep[:m]
+		scr.pos = scr.pos[:m]
+	}
+}
+
+// InduceInto is Induced on scratch storage: it returns the
+// sub-hypergraph of h restricted to edges fully inside {v : in(v)},
+// built in the scratch's dedicated sample buffer. The result is valid
+// until the next InduceInto call on the same scratch and must not be
+// retained beyond it. h must not itself be the previous InduceInto
+// result.
+func InduceInto(h *Hypergraph, in func(V) bool, scr *RoundScratch) *Hypergraph {
+	m := len(h.edges)
+	scr.growClassify(m)
+	keep, pos := scr.keep, scr.pos
+	if len(h.verts) >= parallelScanThreshold {
+		par.ForBlocked(nil, m, func(lo, hi int) { induceClassify(h, in, keep, lo, hi) })
+	} else {
+		induceClassify(h, in, keep, 0, m)
+	}
+	// Exclusive scan: assign output slots. Kept edges preserve canonical
+	// order, so no re-sort is needed.
+	outEdges, outVerts, dim := 0, 0, 0
+	for i := 0; i < m; i++ {
+		if keep[i] < 0 {
+			continue
+		}
+		keep[i] = int32(outEdges)
+		pos[i] = int32(outVerts)
+		outEdges++
+		k := len(h.edges[i])
+		outVerts += k
+		if k > dim {
+			dim = k
+		}
+	}
+	dst := &scr.sample
+	dst.grow(outVerts, outEdges)
+	if outVerts >= parallelScanThreshold {
+		par.ForBlocked(nil, m, func(lo, hi int) { induceScatter(h, keep, pos, dst, lo, hi) })
+	} else {
+		induceScatter(h, keep, pos, dst, 0, m)
+	}
+	dst.off[outEdges] = int32(outVerts)
+	return dst.finish(h.n, dim)
+}
+
+// induceClassify marks edges [lo, hi): keep[i] = 1 if edge i lies fully
+// inside the induced set, else -1.
+func induceClassify(h *Hypergraph, in func(V) bool, keep []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		keep[i] = 1
+		for _, v := range h.edges[i] {
+			if !in(v) {
+				keep[i] = -1
+				break
+			}
+		}
+	}
+}
+
+// induceScatter copies surviving edges of [lo, hi) into their assigned
+// arena slots.
+func induceScatter(h *Hypergraph, keep, pos []int32, dst *csrBuf, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if keep[i] < 0 {
+			continue
+		}
+		dst.off[keep[i]] = pos[i]
+		copy(dst.verts[pos[i]:], h.edges[i])
+	}
+}
+
+// NextRound applies one fused solver round to cur: edges touching a red
+// vertex die (DiscardTouching), surviving edges shrink by the blue
+// vertices (Shrink), and the result is re-canonicalized — all in single
+// passes over the CSR arena into the scratch's other ring buffer. The
+// second return value counts edges that became empty (fully blue), an
+// independence violation for a correct pipeline.
+//
+// The returned hypergraph occupies scratch storage: it is valid until
+// the next-but-one NextRound call on the same scratch (double
+// buffering), so callers thread it as the next round's cur and never
+// retain older rounds. isRed and isBlue must be disjoint.
+func NextRound(cur *Hypergraph, isRed, isBlue func(V) bool, scr *RoundScratch) (*Hypergraph, int) {
+	m := len(cur.edges)
+	scr.growClassify(m)
+	keep, pos := scr.keep, scr.pos
+	// Pass 1: classify every edge — dead on a red vertex, else its
+	// post-shrink size (0 = emptied).
+	if len(cur.verts) >= parallelScanThreshold {
+		par.ForBlocked(nil, m, func(lo, hi int) { roundClassify(cur, isRed, isBlue, keep, lo, hi) })
+	} else {
+		roundClassify(cur, isRed, isBlue, keep, 0, m)
+	}
+	// Scan: slot assignment plus the emptied count and dimension.
+	outEdges, outVerts, dim, emptied := 0, 0, 0, 0
+	for i := 0; i < m; i++ {
+		switch {
+		case keep[i] < 0:
+			continue
+		case keep[i] == 0:
+			emptied++
+			keep[i] = -1
+			continue
+		}
+		k := int(keep[i])
+		keep[i] = int32(outEdges)
+		pos[i] = int32(outVerts)
+		outEdges++
+		outVerts += k
+		if k > dim {
+			dim = k
+		}
+	}
+	dst := scr.target(cur)
+	dst.grow(outVerts, outEdges)
+	// Pass 2: scatter surviving vertices.
+	if outVerts >= parallelScanThreshold {
+		par.ForBlocked(nil, m, func(lo, hi int) { roundScatter(cur, isBlue, keep, pos, dst, lo, hi) })
+	} else {
+		roundScatter(cur, isBlue, keep, pos, dst, 0, m)
+	}
+	dst.off[outEdges] = int32(outVerts)
+	next := dst.finish(cur.n, dim)
+	// Shrinking can break the lexicographic edge order and create
+	// duplicate edges; detect in one comparison pass and
+	// re-canonicalize only then (blue-free rounds skip this entirely).
+	sorted := true
+	for i := 1; i < outEdges; i++ {
+		if !lessEdge(next.edges[i-1], next.edges[i]) {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		scr.recanonicalize(dst)
+		next = &dst.hg
+	}
+	return next, emptied
+}
+
+// roundClassify computes, for each edge of [lo, hi), -1 if it touches a
+// red vertex, else its post-shrink size (0 = would become empty).
+func roundClassify(cur *Hypergraph, isRed, isBlue func(V) bool, keep []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		size := int32(0)
+		for _, v := range cur.edges[i] {
+			if isRed(v) {
+				size = -1
+				break
+			}
+			if !isBlue(v) {
+				size++
+			}
+		}
+		keep[i] = size
+	}
+}
+
+// roundScatter writes the non-blue vertices of surviving edges of
+// [lo, hi) into their assigned arena slots.
+func roundScatter(cur *Hypergraph, isBlue func(V) bool, keep, pos []int32, dst *csrBuf, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if keep[i] < 0 {
+			continue
+		}
+		dst.off[keep[i]] = pos[i]
+		w := pos[i]
+		for _, v := range cur.edges[i] {
+			if !isBlue(v) {
+				dst.verts[w] = v
+				w++
+			}
+		}
+	}
+}
+
+// recanonicalize restores canonical edge order in dst: sort the
+// headers, drop duplicates, then repack the arena in sorted order via
+// the spill buffer (swapped back in — no allocation once warm).
+func (scr *RoundScratch) recanonicalize(dst *csrBuf) {
+	scr.stage.edges = dst.edges
+	sort.Sort(&scr.stage)
+	edges := dst.edges
+	w := 0
+	for i := range edges {
+		if i == 0 || !equalEdge(edges[i], edges[i-1]) {
+			edges[w] = edges[i]
+			w++
+		}
+	}
+	edges = edges[:w]
+	total := 0
+	for _, e := range edges {
+		total += len(e)
+	}
+	if cap(scr.spill) < total {
+		scr.spill = make([]V, total)
+	} else {
+		scr.spill = scr.spill[:total]
+	}
+	if cap(dst.off) < w+1 {
+		dst.off = make([]int32, w+1)
+	} else {
+		dst.off = dst.off[:w+1]
+	}
+	pos := 0
+	for i, e := range edges {
+		dst.off[i] = int32(pos)
+		copy(scr.spill[pos:], e)
+		pos += len(e)
+	}
+	dst.off[w] = int32(total)
+	// Swap arenas: the spill becomes the buffer's arena and the old
+	// arena becomes the next spill.
+	dst.verts, scr.spill = scr.spill, dst.verts
+	dst.edges = dst.edges[:w]
+	for i := range dst.edges {
+		dst.edges[i] = dst.verts[dst.off[i]:dst.off[i+1]:dst.off[i+1]]
+	}
+	dst.hg.verts = dst.verts
+	dst.hg.off = dst.off
+	dst.hg.edges = dst.edges
+}

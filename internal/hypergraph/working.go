@@ -8,7 +8,9 @@ import "sort"
 // blue vertices (edges shrink), committing red vertices (edges die),
 // and deleting singleton edges. Each mutation costs time proportional
 // to the structures touched rather than a full rebuild, via incidence
-// lists and a canonical-key index.
+// lists and a hashed canonical index (64-bit hashEdge keys with
+// collision chains verified against the stored vertex sets — no string
+// keys, no per-lookup allocation).
 //
 // Semantics are *identical* to the pure pipeline
 // DiscardTouching → Shrink → RemoveSupersets → RemoveSingletons on the
@@ -18,10 +20,16 @@ import "sort"
 // on large instances with local updates.
 type Working struct {
 	n     int
-	verts [][]V   // edge id → sorted vertices (nil = dead)
-	inc   [][]int // vertex → edge ids ever incident (may be stale)
-	index map[string]int
+	verts [][]V     // edge id → sorted vertices (nil = dead)
+	inc   [][]int   // vertex → edge ids ever incident (may be stale)
+	ix    edgeIndex // hashEdge → chain of live edge ids
 	alive int
+
+	// Commit scratch, reused across calls so a round allocates nothing
+	// once warm.
+	touched  map[int]struct{}
+	blueMark []bool // length n; reset after each Commit
+	ids      []int
 }
 
 // NewWorking initializes from h, normalizing to the antichain form
@@ -29,9 +37,11 @@ type Working struct {
 func NewWorking(h *Hypergraph) *Working {
 	norm := RemoveSupersets(h)
 	w := &Working{
-		n:     h.N(),
-		inc:   make([][]int, h.N()),
-		index: make(map[string]int, norm.M()),
+		n:        h.N(),
+		inc:      make([][]int, h.N()),
+		ix:       newEdgeIndex(norm.M()),
+		touched:  make(map[int]struct{}),
+		blueMark: make([]bool, h.N()),
 	}
 	for _, e := range norm.Edges() {
 		w.insert(append(Edge(nil), e...))
@@ -39,12 +49,19 @@ func NewWorking(h *Hypergraph) *Working {
 	return w
 }
 
+// find returns the live edge id whose vertex set equals e, or -1. The
+// hash is only a bucket selector: equality against the stored vertex
+// set decides.
+func (w *Working) find(e Edge) int32 {
+	return w.ix.find(hashEdge(e), func(id int32) bool { return equalEdge(w.verts[id], e) })
+}
+
 // insert registers a live edge (assumed sorted, not present, not
 // dominated — callers maintain the invariant).
 func (w *Working) insert(e Edge) int {
 	id := len(w.verts)
 	w.verts = append(w.verts, e)
-	w.index[subsetKey(e)] = id
+	w.ix.add(hashEdge(e), int32(id))
 	for _, v := range e {
 		w.inc[v] = append(w.inc[v], id)
 	}
@@ -57,7 +74,7 @@ func (w *Working) kill(id int) {
 	if w.verts[id] == nil {
 		return
 	}
-	delete(w.index, subsetKey(w.verts[id]))
+	w.ix.unlink(hashEdge(w.verts[id]), int32(id))
 	w.verts[id] = nil
 	w.alive--
 }
@@ -84,7 +101,7 @@ func (w *Working) Snapshot() *Hypergraph {
 	edges := make([]Edge, 0, w.alive)
 	for _, e := range w.verts {
 		if e != nil {
-			edges = append(edges, append(Edge(nil), e...))
+			edges = append(edges, e)
 		}
 	}
 	return fromCanon(w.n, edges)
@@ -117,25 +134,31 @@ func (w *Working) Commit(blue, red []V) (emptied int) {
 			w.kill(id)
 		}
 	}
-	// Phase 2: collect the edges to shrink (dedup ids).
-	touched := map[int]bool{}
+	// Phase 2: collect the edges to shrink (dedup ids). The touched set
+	// and blue mask are scratch state owned by w, reset before return.
+	clear(w.touched)
 	for _, v := range blue {
 		for _, id := range w.liveEdgesWith(v) {
-			touched[id] = true
+			w.touched[id] = struct{}{}
 		}
 	}
-	if len(touched) == 0 {
+	if len(w.touched) == 0 {
 		return 0
 	}
-	blueSet := make(map[V]bool, len(blue))
 	for _, v := range blue {
-		blueSet[v] = true
+		w.blueMark[v] = true
 	}
+	defer func() {
+		for _, v := range blue {
+			w.blueMark[v] = false
+		}
+	}()
 	// Phase 3: shrink each touched edge and restore the antichain.
-	ids := make([]int, 0, len(touched))
-	for id := range touched {
+	ids := w.ids[:0]
+	for id := range w.touched {
 		ids = append(ids, id)
 	}
+	w.ids = ids
 	sort.Ints(ids) // deterministic processing order
 	for _, id := range ids {
 		old := w.verts[id]
@@ -144,7 +167,7 @@ func (w *Working) Commit(blue, red []V) (emptied int) {
 		}
 		shrunk := make(Edge, 0, len(old))
 		for _, v := range old {
-			if !blueSet[v] {
+			if !w.blueMark[v] {
 				shrunk = append(shrunk, v)
 			}
 		}
@@ -165,7 +188,7 @@ func (w *Working) Commit(blue, red []V) (emptied int) {
 // drop it if a duplicate or a live subset exists; otherwise kill every
 // live proper superset, then insert.
 func (w *Working) integrate(e Edge) {
-	if _, dup := w.index[subsetKey(e)]; dup {
+	if w.find(e) >= 0 {
 		return
 	}
 	// A live subset of e dominates it. Only subsets of e can be edges;
@@ -180,7 +203,7 @@ func (w *Working) integrate(e Edge) {
 					scratch = append(scratch, e[b])
 				}
 			}
-			if _, ok := w.index[subsetKey(scratch)]; ok {
+			if w.find(scratch) >= 0 {
 				return // dominated
 			}
 		}

@@ -101,6 +101,8 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	}
 	cur := h
 	pos := make([]int, n) // position of each vertex in this round's order
+	// Double-buffered CSR arenas for the fused end-of-round update.
+	scratch := &hypergraph.RoundScratch{}
 
 	for round := 0; ; round++ {
 		if opts.Ctx != nil {
@@ -199,12 +201,17 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 			st.Discarded = 1
 		}
 
-		// Update the working hypergraph.
-		next, emptied := hypergraph.Shrink(cur, func(v hypergraph.V) bool { return res.InIS[v] })
+		// Update the working hypergraph: discard red-touching edges and
+		// shrink the survivors by the accepted prefix, fused into one
+		// scratch-buffered pass. (A fully-accepted edge cannot touch a
+		// red vertex — each vertex gets one color — so the emptied count
+		// matches the unfused Shrink→DiscardTouching order.)
+		next, emptied := hypergraph.NextRound(cur,
+			func(v hypergraph.V) bool { return res.Red[v] },
+			func(v hypergraph.V) bool { return res.InIS[v] }, scratch)
 		if emptied > 0 {
 			return nil, fmt.Errorf("kuw: %d edges fully accepted at round %d (independence broken)", emptied, round)
 		}
-		next = hypergraph.DiscardTouching(next, func(v hypergraph.V) bool { return res.Red[v] })
 		par.ChargeStep(cost, cur.M())
 		cur = next
 

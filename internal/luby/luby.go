@@ -81,8 +81,11 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	}
 	res := &Result{InIS: make([]bool, n), Red: make([]bool, n)}
 
-	// Adjacency among active vertices; singleton edges block immediately.
+	// Adjacency among active vertices, in CSR form (per-vertex rows are
+	// subslices of one flat backing array); singleton edges block
+	// immediately.
 	adj := make([][]hypergraph.V, n)
+	cnt := make([]int32, n+1)
 	for _, e := range h.Edges() {
 		for _, v := range e {
 			if !live[v] {
@@ -97,12 +100,31 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 			}
 			continue
 		}
+		cnt[e[0]+1]++
+		cnt[e[1]+1]++
+	}
+	for v := 1; v <= n; v++ {
+		cnt[v] += cnt[v-1]
+	}
+	flat := make([]hypergraph.V, cnt[n])
+	for _, e := range h.Edges() {
+		if len(e) != 2 {
+			continue
+		}
 		u, v := e[0], e[1]
-		adj[u] = append(adj[u], v)
-		adj[v] = append(adj[v], u)
+		flat[cnt[u]] = v
+		cnt[u]++
+		flat[cnt[v]] = u
+		cnt[v]++
+	}
+	start := int32(0)
+	for v := 0; v < n; v++ {
+		adj[v] = flat[start:cnt[v]:cnt[v]]
+		start = cnt[v]
 	}
 	deg := make([]int, n)
 	marked := make([]bool, n)
+	losers := make([]bool, n)
 
 	for round := 0; ; round++ {
 		if opts.Ctx != nil {
@@ -140,13 +162,14 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 
 		roundStream := s.Child(uint64(round))
 		par.For(cost, n, func(v int) {
+			losers[v] = false
 			switch {
 			case !live[v]:
 				marked[v] = false
 			case deg[v] == 0:
 				marked[v] = true // isolated: joins for free
 			default:
-				marked[v] = roundStream.Child(uint64(v)).Bernoulli(1.0 / (2.0 * float64(deg[v])))
+				marked[v] = roundStream.BernoulliAt(uint64(v), 1.0/(2.0*float64(deg[v])))
 			}
 		})
 		st.Marked = par.Count(cost, n, func(i int) bool { return marked[i] })
@@ -155,8 +178,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		// marked, the smaller-degree endpoint (ties: smaller id) yields.
 		// Evaluated against the round's original marking; the winner
 		// relation is antisymmetric so survivors are pairwise
-		// non-adjacent.
-		losers := make([]bool, n)
+		// non-adjacent. (losers was reset in the marking pass.)
 		par.For(cost, n, func(v int) {
 			if !live[v] || !marked[v] {
 				return

@@ -149,12 +149,34 @@ func For(c *Cost, n int, body func(i int)) {
 
 // ForBlocked runs body(lo, hi) over disjoint contiguous blocks covering
 // [0, n). It charges the same PRAM cost as For; it exists so callers can
-// amortize per-element closure overhead when the body is tiny.
+// amortize per-element closure overhead when the body is tiny. The
+// block partitioner is ForShards with the shard index dropped.
 func ForBlocked(c *Cost, n int, body func(lo, hi int)) {
+	ForShards(c, n, workers(n), func(_, lo, hi int) { body(lo, hi) })
+}
+
+// NumShards returns the recommended number of blocks for ForShards
+// over n elements — the same worker count the other primitives use.
+// Callers size their per-shard accumulator slices with it and pass the
+// same value to ForShards.
+func NumShards(n int) int { return workers(n) }
+
+// ForShards runs body(shard, lo, hi) over disjoint contiguous blocks
+// covering [0, n), one goroutine per block, passing the block index so
+// callers can write to per-shard accumulators without synchronization.
+// At most shards blocks are used and every invoked shard index is in
+// [0, shards) — the explicit parameter (normally NumShards(n)) makes
+// that bound independent of GOMAXPROCS changing between the caller's
+// sizing and the run. Trailing shards may be empty and are then not
+// invoked. Charges like an elementwise step.
+func ForShards(c *Cost, n, shards int, body func(shard, lo, hi int)) {
 	c.Charge(int64(n), 1)
 	w := workers(n)
-	if w == 1 {
-		body(0, n)
+	if w > shards {
+		w = shards
+	}
+	if w <= 1 {
+		body(0, 0, n)
 		return
 	}
 	var wg sync.WaitGroup
@@ -169,10 +191,10 @@ func ForBlocked(c *Cost, n int, body func(lo, hi int)) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(g, lo, hi int) {
 			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+			body(g, lo, hi)
+		}(g, lo, hi)
 	}
 	wg.Wait()
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -266,5 +267,54 @@ func BenchmarkReduce1M(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		SumInt(nil, in)
+	}
+}
+
+func TestForShardsCoversDisjointly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, grain, 10 * grain} {
+		seen := make([]int32, n)
+		shards := NumShards(n)
+		hit := make([]bool, shards)
+		ForShards(nil, n, shards, func(s, lo, hi int) {
+			if s < 0 || s >= shards {
+				t.Errorf("shard index %d out of [0,%d)", s, shards)
+			}
+			hit[s] = true
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, c)
+			}
+		}
+		if n > 0 && !hit[0] {
+			t.Fatalf("n=%d: shard 0 never ran", n)
+		}
+	}
+}
+
+func TestForShardsRespectsShardBound(t *testing.T) {
+	// The explicit shards parameter must bound the indices even when the
+	// worker count at run time exceeds the caller's sizing (the
+	// GOMAXPROCS-raced case the parameter exists for).
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	n := 10 * grain
+	const shards = 2
+	seen := make([]int32, n)
+	ForShards(nil, n, shards, func(s, lo, hi int) {
+		if s < 0 || s >= shards {
+			t.Errorf("shard index %d out of [0,%d)", s, shards)
+		}
+		for i := lo; i < hi; i++ {
+			seen[i]++
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
 	}
 }

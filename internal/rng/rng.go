@@ -49,22 +49,51 @@ func New(seed uint64) *Stream {
 	}
 }
 
-// Child derives the i-th child stream of s without advancing s. The
-// derivation mixes the parent's state with the child index through
-// SplitMix64, so Child(i) and Child(j) are unrelated for i != j and are
-// stable across calls.
-func (s *Stream) Child(i uint64) *Stream {
+// At returns the i-th child stream of s by value: the same stream
+// Child(i) returns, but stack-allocatable, for callers that draw one
+// value per index inside a hot loop (see Float64At, BernoulliAt).
+func (s *Stream) At(i uint64) Stream {
 	// Fold the parent state and index into a single 64-bit seed, then
 	// expand. The multiplications by large odd constants decorrelate the
 	// four state words before folding.
 	st := s.s0*0x9e3779b97f4a7c15 ^ s.s1*0xc2b2ae3d27d4eb4f ^
 		s.s2*0x165667b19e3779f9 ^ s.s3 ^ (i+1)*0xd6e8feb86659fd93
-	return &Stream{
+	return Stream{
 		s0: splitmix64(&st),
 		s1: splitmix64(&st),
 		s2: splitmix64(&st),
 		s3: splitmix64(&st),
 	}
+}
+
+// Child derives the i-th child stream of s without advancing s. The
+// derivation mixes the parent's state with the child index through
+// SplitMix64, so Child(i) and Child(j) are unrelated for i != j and are
+// stable across calls.
+func (s *Stream) Child(i uint64) *Stream {
+	c := s.At(i)
+	return &c
+}
+
+// Float64At returns exactly the value Child(i).Float64() would return,
+// without allocating a child stream. The per-vertex coin flips of the
+// parallel rounds draw through this: one stream construction per round
+// on the stack instead of n on the heap.
+func (s *Stream) Float64At(i uint64) float64 {
+	c := s.At(i)
+	return c.Float64()
+}
+
+// BernoulliAt reports exactly what Child(i).Bernoulli(p) would, without
+// allocating a child stream.
+func (s *Stream) BernoulliAt(i uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64At(i) < p
 }
 
 // Split advances s once and returns a new stream seeded from the

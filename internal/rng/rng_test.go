@@ -264,3 +264,57 @@ func BenchmarkChild(b *testing.B) {
 		_ = s.Child(uint64(i))
 	}
 }
+
+func TestAtMatchesChild(t *testing.T) {
+	s := New(99)
+	for i := uint64(0); i < 200; i++ {
+		c := s.Child(i)
+		a := s.At(i)
+		for k := 0; k < 4; k++ {
+			if got, want := a.Uint64(), c.Uint64(); got != want {
+				t.Fatalf("At(%d) draw %d = %d, want Child value %d", i, k, got, want)
+			}
+		}
+	}
+}
+
+func TestFloat64AtMatchesChild(t *testing.T) {
+	s := New(7).Child(3)
+	for i := uint64(0); i < 500; i++ {
+		if got, want := s.Float64At(i), s.Child(i).Float64(); got != want {
+			t.Fatalf("Float64At(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestBernoulliAtMatchesChild(t *testing.T) {
+	s := New(11)
+	ps := []float64{-0.5, 0, 1e-9, 0.25, 0.5, 0.999999, 1, 2}
+	for _, p := range ps {
+		for i := uint64(0); i < 300; i++ {
+			if got, want := s.BernoulliAt(i, p), s.Child(i).Bernoulli(p); got != want {
+				t.Fatalf("BernoulliAt(%d, %v) = %v, want %v", i, p, got, want)
+			}
+		}
+	}
+}
+
+func TestBernoulliAtDoesNotAllocate(t *testing.T) {
+	s := New(13)
+	i := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.BernoulliAt(i, 0.5)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("BernoulliAt allocated %v times per call, want 0", allocs)
+	}
+}
+
+func BenchmarkBernoulliAt(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.BernoulliAt(uint64(i), 0.3)
+	}
+}
