@@ -5,6 +5,13 @@
 // machine-readable artifact: the repository tracks its output as
 // BENCH_solvers.json.
 //
+// Each benchmark is measured across a GOMAXPROCS sweep (default
+// 1/2/4/NumCPU, deduplicated) and the record carries the per-procs
+// timings plus a parallel_speedup field: ns/op at GOMAXPROCS=1 divided
+// by ns/op at the sweep's widest setting. The top-level legacy fields
+// (ns_per_op etc.) are the GOMAXPROCS=1 numbers, so the single-core
+// trajectory stays comparable across revisions.
+//
 // The workloads come from internal/benchdefs — the same declarations
 // the root bench_test.go runs — so the JSON always corresponds to
 // `go test -bench Solve`.
@@ -13,6 +20,7 @@
 //
 //	go run ./cmd/benchjson                     # writes BENCH_solvers.json
 //	go run ./cmd/benchjson -out -              # writes to stdout
+//	go run ./cmd/benchjson -procs 1,8 -out -   # custom sweep
 //	go run ./cmd/benchjson -benchtime 1x -out -  # CI smoke (one iteration per case)
 package main
 
@@ -22,31 +30,84 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/benchdefs"
 )
 
-// record is one benchmark result row.
-type record struct {
-	Name        string  `json:"name"`
+// procRecord is one benchmark × GOMAXPROCS measurement.
+type procRecord struct {
+	Procs       int     `json:"procs"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// record is one benchmark result row. The top-level numbers are the
+// GOMAXPROCS=1 measurement; Sweep holds every point and
+// ParallelSpeedup is ns/op(1) / ns/op(widest).
+type record struct {
+	Name            string       `json:"name"`
+	Iterations      int          `json:"iterations"`
+	NsPerOp         float64      `json:"ns_per_op"`
+	BytesPerOp      int64        `json:"bytes_per_op"`
+	AllocsPerOp     int64        `json:"allocs_per_op"`
+	Sweep           []procRecord `json:"procs_sweep"`
+	ParallelSpeedup float64      `json:"parallel_speedup"`
+}
+
 // report is the emitted document.
 type report struct {
 	Tool       string   `json:"tool"`
 	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
+	HostCPUs   int      `json:"host_cpus"`
+	ProcsSweep []int    `json:"procs_sweep"`
 	Benchmarks []record `json:"benchmarks"`
+}
+
+// parseProcs parses "1,2,4" into a sorted, deduplicated, positive list.
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	seen := map[int]bool{}
+	for _, f := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad procs entry %q", f)
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty procs list")
+	}
+	return out, nil
+}
+
+func defaultProcs() string {
+	procs := []int{1, 2, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	var parts []string
+	sort.Ints(procs)
+	for _, p := range procs {
+		if !seen[p] {
+			seen[p] = true
+			parts = append(parts, strconv.Itoa(p))
+		}
+	}
+	return strings.Join(parts, ",")
 }
 
 func main() {
 	out := flag.String("out", "BENCH_solvers.json", "output path, or - for stdout")
 	benchtime := flag.String("benchtime", "", "per-benchmark budget forwarded to testing (e.g. 100ms or 5x); default 1s")
+	procsFlag := flag.String("procs", defaultProcs(), "comma-separated GOMAXPROCS sweep")
 	testing.Init()
 	flag.Parse()
 	if *benchtime != "" {
@@ -54,6 +115,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+	}
+	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
 	}
 
 	type namedBench struct {
@@ -74,24 +140,42 @@ func main() {
 	rep := report{
 		Tool:       "cmd/benchjson",
 		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		HostCPUs:   runtime.NumCPU(),
+		ProcsSweep: procs,
 	}
+	origProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(origProcs)
 	for _, bench := range benches {
-		r := testing.Benchmark(bench.fn)
-		if r.N == 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %s failed (see log above)\n", bench.name)
-			os.Exit(1)
+		rec := record{Name: bench.name}
+		for _, p := range procs {
+			runtime.GOMAXPROCS(p)
+			r := testing.Benchmark(bench.fn)
+			if r.N == 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: %s failed at GOMAXPROCS=%d (see log above)\n", bench.name, p)
+				os.Exit(1)
+			}
+			pr := procRecord{
+				Procs:       p,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			rec.Sweep = append(rec.Sweep, pr)
+			fmt.Fprintf(os.Stderr, "%-28s p=%-3d %10d ns/op %10d B/op %8d allocs/op\n",
+				bench.name, p, int64(pr.NsPerOp), pr.BytesPerOp, pr.AllocsPerOp)
 		}
-		rep.Benchmarks = append(rep.Benchmarks, record{
-			Name:        bench.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		})
-		fmt.Fprintf(os.Stderr, "%-28s %10d ns/op %10d B/op %8d allocs/op\n",
-			bench.name, int64(float64(r.T.Nanoseconds())/float64(r.N)),
-			r.AllocedBytesPerOp(), r.AllocsPerOp())
+		runtime.GOMAXPROCS(origProcs)
+		base := rec.Sweep[0] // procs sorted ascending; [0] is the narrowest
+		rec.Iterations = base.Iterations
+		rec.NsPerOp = base.NsPerOp
+		rec.BytesPerOp = base.BytesPerOp
+		rec.AllocsPerOp = base.AllocsPerOp
+		widest := rec.Sweep[len(rec.Sweep)-1]
+		if widest.NsPerOp > 0 {
+			rec.ParallelSpeedup = base.NsPerOp / widest.NsPerOp
+		}
+		rep.Benchmarks = append(rep.Benchmarks, rec)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

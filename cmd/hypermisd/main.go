@@ -38,14 +38,16 @@ func main() {
 	cache := flag.Int("cache", 0, "result cache entries (0 = 1024, negative disables)")
 	cacheBytes := flag.Int64("cachebytes", 0, "result cache byte budget (0 = 256 MiB, negative disables)")
 	timeout := flag.Duration("timeout", 0, "per-job deadline (0 = 30s, negative disables)")
+	maxPar := flag.Int("maxpar", 0, "per-job parallelism cap (0 = GOMAXPROCS, negative pins jobs to 1 core)")
 	flag.Parse()
 
 	srv := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cache,
-		CacheBytes: *cacheBytes,
-		JobTimeout: *timeout,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheSize:         *cache,
+		CacheBytes:        *cacheBytes,
+		JobTimeout:        *timeout,
+		MaxJobParallelism: *maxPar,
 	})
 	expvar.Publish("hypermisd", expvar.Func(func() any { return srv.Stats() }))
 

@@ -20,19 +20,25 @@
 // by the paper's Corollary 4), mark/unmark counts, and survival
 // statistics for Lemma 2 (Pr[E_X | C_X] < 1/2).
 //
-// Implementation note: stages in which no vertex joins the set leave the
-// hypergraph untouched, so the degree structures are cached and only
-// recomputed after stages that made progress. This changes nothing
-// observable (the stage sequence and randomness are identical) but
-// removes the dominant cost in the small-p regime, where most stages are
-// empty coin-flip rounds.
+// Implementation notes: stages in which no vertex joins the set leave
+// the hypergraph untouched, so the degree structures are cached and only
+// recomputed after stages that made progress. The live/marked/unmarked
+// vertex sets are packed bitsets — the marking pass skips dead words
+// and counts are popcounts — and every structural pass (degree table,
+// superset removal, the fused shrink) shards over Options.Par's worker
+// pool. Neither changes anything observable: the stage sequence and the
+// per-vertex randomness (index-addressed rng.At draws) are identical
+// for any engine, so a fixed seed produces bit-identical output at any
+// parallelism degree.
 package bl
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 
+	"repro/internal/bitset"
 	"repro/internal/hypergraph"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -44,6 +50,10 @@ type Options struct {
 	// returns ctx.Err() as soon as the context is done. Completed stages
 	// are not rolled back — the partial coloring is simply discarded.
 	Ctx context.Context
+
+	// Par bounds the worker parallelism of the per-stage passes (zero
+	// value = whole machine). Output is identical for any engine.
+	Par par.Engine
 
 	// MaxStages aborts the run when exceeded (0 = default 1000000).
 	// Theorem 2 guarantees O((log n)^{(d+4)!}) stages w.h.p.; the cap
@@ -75,7 +85,8 @@ type Options struct {
 	// per-stage fused shrink. Callers that invoke BL repeatedly (SBL's
 	// sampling rounds) pass one scratch so stages stop allocating
 	// across calls; it must not be shared with a concurrent run. nil =
-	// a fresh scratch per run.
+	// a fresh scratch per run. The run installs Par as the scratch's
+	// engine.
 	Scratch *hypergraph.RoundScratch
 }
 
@@ -120,6 +131,11 @@ type Result struct {
 // ErrStageLimit is returned when MaxStages is exceeded.
 var ErrStageLimit = errors.New("bl: stage limit exceeded")
 
+// unmarkShardThreshold is the arena size (total edge-list vertices)
+// above which the fully-marked-edge pass fans out over per-shard unmark
+// bitsets merged by a word-parallel OR.
+const unmarkShardThreshold = 1 << 14
+
 // Run executes BL on the sub-hypergraph of h induced by the active
 // vertices. Every edge of h must consist solely of active vertices
 // (callers pass the already-induced hypergraph; SBL does). On return
@@ -130,20 +146,25 @@ var ErrStageLimit = errors.New("bl: stage limit exceeded")
 // EREW-implementable staging of the algorithm.
 func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost, opts Options) (*Result, error) {
 	n := h.N()
+	eng := opts.Par
 	if opts.MaxStages == 0 {
 		opts.MaxStages = 1000000
 	}
+	live := bitset.New(n)
 	if active == nil {
-		active = make([]bool, n)
-		par.Fill(cost, active, true)
+		live.SetAll(n)
+		par.ChargeStep(cost, n)
 	} else {
-		a := make([]bool, n)
-		copy(a, active)
-		active = a
+		for i, a := range active {
+			if a {
+				live.Add(i)
+			}
+		}
+		par.ChargeStep(cost, n)
 	}
 	for _, e := range h.Edges() {
 		for _, v := range e {
-			if !active[v] {
+			if !live.Has(int(v)) {
 				return nil, fmt.Errorf("bl: edge %v contains inactive vertex %d", e, v)
 			}
 		}
@@ -153,18 +174,18 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		InIS: make([]bool, n),
 		Red:  make([]bool, n),
 	}
-	live := make([]bool, n)
-	copy(live, active)
 
 	// Normalize the input once: discard supersets, then delete singleton
 	// edges (their vertices are red) and edges touching those vertices.
 	// The per-stage cleanup maintains this normal form thereafter.
-	cur := hypergraph.RemoveSupersets(h)
-	cur, _ = dropSingletons(cur, live, res)
+	cur := hypergraph.RemoveSupersetsOn(h, eng)
+	cur, _ = dropSingletons(cur, live, res, eng)
 	par.ChargeAux(cost, int64(h.M())<<uint(minInt(h.Dim(), 30)), 1)
 
-	marked := make([]bool, n)
-	unmark := make([]bool, n)
+	marked := bitset.New(n)
+	unmark := bitset.New(n)
+	blue := bitset.New(n)
+	words := len(live)
 	// Scratch arenas for the fused per-stage shrink; the result is
 	// consumed (copied) by RemoveSupersets before the next stage writes
 	// the buffers again, so reuse across runs is safe.
@@ -172,14 +193,16 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	if scratch == nil {
 		scratch = &hypergraph.RoundScratch{}
 	}
-	noRed := func(hypergraph.V) bool { return false }
+	scratch.Eng = eng
+	// Per-shard unmark sets for the parallel fully-marked-edge pass.
+	var shardUnmark []bitset.Set
 
 	// Cached degree structure; rebuilt only after stages that changed
 	// the hypergraph.
 	dirty := true
 	var cachedDelta float64
 	var cachedDeltas []float64
-	var usedMask []bool
+	var usedBits bitset.Set
 	p := 1.0
 
 	for stage := 0; ; stage++ {
@@ -188,7 +211,8 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 				return nil, err
 			}
 		}
-		liveCount := par.Count(cost, n, func(i int) bool { return live[i] })
+		liveCount := live.Count()
+		par.ChargeReduce(cost, n)
 		if liveCount == 0 {
 			res.Stages = stage
 			return res, nil
@@ -206,12 +230,9 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 
 		// Fast path: if no edges remain, every live vertex is free.
 		if cur.M() == 0 {
-			par.For(cost, n, func(i int) {
-				if live[i] {
-					res.InIS[i] = true
-					live[i] = false
-				}
-			})
+			live.ForEach(func(v int) { res.InIS[v] = true })
+			live.Reset()
+			par.ChargeStep(cost, n)
 			st.Added = liveCount
 			st.Isolated = liveCount
 			if opts.CollectStats {
@@ -224,16 +245,21 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		// Optional isolated-vertex fast path. The isolated set can only
 		// change when the edge set changed.
 		if opts.AddIsolatedImmediately {
-			if dirty || usedMask == nil {
-				usedMask = cur.UsedVertices()
+			if dirty || usedBits == nil {
+				usedBits = cur.UsedVerticesInto(usedBits)
 			}
 			iso := 0
-			for v := 0; v < n; v++ {
-				if live[v] && !usedMask[v] {
-					res.InIS[v] = true
-					live[v] = false
-					iso++
+			for wi := 0; wi < words; wi++ {
+				cand := live[wi] &^ usedBits[wi]
+				if cand == 0 {
+					continue
 				}
+				iso += bits.OnesCount64(cand)
+				base := wi << 6
+				for w := cand; w != 0; w &= w - 1 {
+					res.InIS[base+bits.TrailingZeros64(w)] = true
+				}
+				live[wi] &^= cand
 			}
 			par.ChargeStep(cost, n)
 			st.Isolated = iso
@@ -244,7 +270,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		// current hypergraph; otherwise the stage-0 values persist,
 		// matching Algorithm 2's pseudocode.
 		if dirty && (opts.RecomputeDelta || stage == 0 || opts.CollectStats) {
-			tab := hypergraph.BuildDegreeTable(cur)
+			tab := hypergraph.BuildDegreeTableOn(cur, eng)
 			cachedDelta = tab.Delta()
 			cachedDeltas = tab.AllDeltas()
 			if opts.RecomputeDelta || stage == 0 {
@@ -272,42 +298,60 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		// Step 1: independent marking. Randomness is drawn from a
 		// per-(stage, vertex) child stream so results are independent of
 		// iteration order; BernoulliAt derives the per-vertex child on
-		// the stack, so a stage constructs one heap stream, not n.
+		// the stack, so a stage constructs one heap stream, not n. Only
+		// live vertices draw (dead words are skipped), exactly the draws
+		// the mask-based staging performed. Workers own disjoint word
+		// ranges, so the parallel pass is write-race-free and the marks
+		// are identical for any engine.
 		stageStream := s.Child(uint64(stage))
-		par.For(cost, n, func(i int) {
-			marked[i] = live[i] && stageStream.BernoulliAt(uint64(i), p)
-			unmark[i] = false
+		eng.ForBlocked(nil, words, func(lo, hi int) {
+			for wi := lo; wi < hi; wi++ {
+				lw := live[wi]
+				var mw uint64
+				base := wi << 6
+				for w := lw; w != 0; w &= w - 1 {
+					b := bits.TrailingZeros64(w)
+					if stageStream.BernoulliAt(uint64(base+b), p) {
+						mw |= 1 << uint(b)
+					}
+				}
+				marked[wi] = mw
+			}
 		})
-		st.Marked = par.Count(cost, n, func(i int) bool { return marked[i] })
+		par.ChargeStep(cost, n)
+		st.Marked = marked.Count()
+		par.ChargeReduce(cost, n)
 
 		// Step 2: unmark every vertex of every fully-marked edge,
 		// evaluated against the original marking (parallel semantics:
 		// E_v is a function of the C_u's).
 		edges := cur.Edges()
+		unmark.Reset()
 		if st.Marked > 0 {
-			par.For(cost, len(edges), func(ei int) {
-				e := edges[ei]
-				for _, v := range e {
-					if !marked[v] {
-						return
-					}
-				}
-				for _, v := range e {
-					unmark[v] = true
-				}
+			m := len(edges)
+			shards := eng.NumShards(m)
+			if cur.ArenaLen() < unmarkShardThreshold {
+				shards = 1
+			}
+			// Per-shard scratch sets, OR-merged word-parallel (the union
+			// is order-independent, so the result is identical to the
+			// sequential pass); shards==1 writes unmark directly.
+			bitset.UnionShards(eng, unmark, n, m, shards, &shardUnmark, func(local bitset.Set, lo, hi int) {
+				markFullEdges(edges[lo:hi], marked, local)
 			})
-			st.Unmarked = par.Count(cost, n, func(i int) bool { return marked[i] && unmark[i] })
+			par.ChargeStep(cost, len(edges))
+			st.Unmarked = bitset.AndCount(marked, unmark)
+			par.ChargeReduce(cost, n)
 		}
 
 		// Step 3: survivors join the IS.
-		added := 0
-		for v := 0; v < n; v++ {
-			if marked[v] && !unmark[v] {
-				res.InIS[v] = true
-				live[v] = false
-				added++
-			}
-		}
+		blue.Copy(marked)
+		blue.AndNot(unmark)
+		added := blue.Count()
+		blue.ForEach(func(v int) {
+			res.InIS[v] = true
+		})
+		live.AndNot(blue)
 		par.ChargeStep(cost, n)
 		st.Added += added
 
@@ -330,7 +374,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 				k := len(e)
 				j := 0
 				for _, v := range e {
-					if !(marked[v] && !unmark[v]) {
+					if !blue.Has(int(v)) {
 						j++
 					}
 				}
@@ -340,9 +384,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 			}
 			st.Migration = migration
 		}
-		next, emptied := hypergraph.NextRound(cur, noRed, func(v hypergraph.V) bool {
-			return marked[v] && !unmark[v]
-		}, scratch)
+		next, emptied := hypergraph.NextRoundBits(cur, nil, blue, scratch)
 		st.Emptied = emptied
 		if emptied > 0 {
 			return nil, fmt.Errorf("bl: %d edges became fully blue at stage %d (independence broken)", emptied, stage)
@@ -351,12 +393,12 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		// Cleanup: discard supersets, then delete singleton edges and
 		// their vertices (red).
 		mBefore := next.M()
-		next = hypergraph.RemoveSupersets(next)
+		next = hypergraph.RemoveSupersetsOn(next, eng)
 		st.Supersets = mBefore - next.M()
 		par.ChargeAux(cost, int64(mBefore)<<uint(minInt(next.Dim(), 30)), 1)
 
 		var newlyRed int
-		next, newlyRed = dropSingletons(next, live, res)
+		next, newlyRed = dropSingletons(next, live, res, eng)
 		st.Singletons = newlyRed
 		par.ChargeStep(cost, next.M())
 
@@ -368,24 +410,43 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	}
 }
 
+// markFullEdges sets, in unmark, every vertex of every fully-marked
+// edge of the slice.
+func markFullEdges(edges []hypergraph.Edge, marked, unmark bitset.Set) {
+	for _, e := range edges {
+		full := true
+		for _, v := range e {
+			if !marked.Has(int(v)) {
+				full = false
+				break
+			}
+		}
+		if full {
+			for _, v := range e {
+				unmark.Add(int(v))
+			}
+		}
+	}
+}
+
 // dropSingletons removes singleton edges, colors their vertices red
 // (removing them from live), and discards edges touching those vertices
 // (BL lines 21–24: V' ← V' \ {v}).
-func dropSingletons(cur *hypergraph.Hypergraph, live []bool, res *Result) (*hypergraph.Hypergraph, int) {
+func dropSingletons(cur *hypergraph.Hypergraph, live bitset.Set, res *Result, eng par.Engine) (*hypergraph.Hypergraph, int) {
 	next, blocked := hypergraph.RemoveSingletons(cur)
 	if len(blocked) == 0 {
 		return next, 0
 	}
 	newlyRed := 0
 	for _, v := range blocked {
-		if live[v] {
-			live[v] = false
+		if live.Has(int(v)) {
+			live.Del(int(v))
 			res.Red[v] = true
 			newlyRed++
 		}
 	}
 	return hypergraph.DiscardTouching(next, func(v hypergraph.V) bool {
-		return !live[v] && !res.InIS[v]
+		return !live.Has(int(v)) && !res.InIS[v]
 	}), newlyRed
 }
 

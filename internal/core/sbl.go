@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 
+	"repro/internal/bitset"
 	"repro/internal/bl"
 	"repro/internal/greedy"
 	"repro/internal/hypergraph"
@@ -51,6 +53,11 @@ type Options struct {
 	// propagated into the BL subroutine and the KUW tail; the run returns
 	// ctx.Err() as soon as the context is done.
 	Ctx context.Context
+
+	// Par bounds the worker parallelism of the per-round passes and is
+	// propagated into the BL subroutine and the KUW tail (zero value =
+	// whole machine). Output is identical for any engine.
+	Par par.Engine
 
 	// Params overrides the algorithm parameters; the zero value derives
 	// them via DeriveParams(n, m, 0.25).
@@ -144,6 +151,7 @@ func Run(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Options) 
 	if blOpts.Ctx == nil {
 		blOpts.Ctx = opts.Ctx
 	}
+	blOpts.Par = opts.Par
 	if blOpts.Scratch == nil {
 		// One persistent scratch for every BL subcall (distinct from the
 		// SBL round scratch, whose buffers are live across bl.Run).
@@ -153,7 +161,7 @@ func Run(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Options) 
 	// The round scratch double-buffers the residual hypergraph's CSR
 	// arenas across rounds (and across RestartAll attempts), so a round
 	// costs no allocations once the buffers are warm.
-	scratch := &hypergraph.RoundScratch{}
+	scratch := &hypergraph.RoundScratch{Eng: opts.Par}
 	for attempt := 0; ; attempt++ {
 		res, err := runOnce(h, s.Child(uint64(attempt)), cost, opts, params, blOpts, scratch)
 		if err == nil {
@@ -187,10 +195,18 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 		return res, nil
 	}
 
-	undecided := make([]bool, n)
-	par.Fill(cost, undecided, true)
+	eng := opts.Par
+	undecided := bitset.New(n)
+	undecided.SetAll(n)
+	par.ChargeStep(cost, n)
 	cur := h
-	sampled := make([]bool, n)
+	// sampled is kept both packed (for the induce/commit word passes)
+	// and as a mask (the BL subroutine's active-set contract).
+	sampled := bitset.New(n)
+	sampledMask := make([]bool, n)
+	blueBits := bitset.New(n)
+	redBits := bitset.New(n)
+	words := len(undecided)
 
 	round := 0
 	for {
@@ -199,7 +215,8 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 				return nil, err
 			}
 		}
-		remaining := par.Count(cost, n, func(i int) bool { return undecided[i] })
+		remaining := undecided.Count()
+		par.ChargeReduce(cost, n)
 		// Line 4: while |V| ≥ 1/p².
 		if remaining < params.MinVertices {
 			break
@@ -218,13 +235,38 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 		for {
 			// One RNG stream per try; the per-vertex coin flips draw
 			// through BernoulliAt, which derives the per-index child on
-			// the stack — no per-vertex stream construction.
+			// the stack — no per-vertex stream construction. Only
+			// undecided vertices draw (dead words are skipped): the same
+			// index-addressed draws for any engine, so the sample is
+			// deterministic at any parallelism degree. Each worker owns
+			// a disjoint word range of the packed set and the [64·lo,
+			// 64·hi) range of the mask — no write overlap.
 			tryStream := roundStream.Child(uint64(try))
-			par.For(cost, n, func(i int) {
-				sampled[i] = undecided[i] && tryStream.BernoulliAt(uint64(i), params.P)
+			eng.ForBlocked(nil, words, func(lo, hi int) {
+				for wi := lo; wi < hi; wi++ {
+					uw := undecided[wi]
+					var sw uint64
+					base := wi << 6
+					for w := uw; w != 0; w &= w - 1 {
+						b := bits.TrailingZeros64(w)
+						if tryStream.BernoulliAt(uint64(base+b), params.P) {
+							sw |= 1 << uint(b)
+						}
+					}
+					sampled[wi] = sw
+					end := base + 64
+					if end > n {
+						end = n
+					}
+					for v := base; v < end; v++ {
+						sampledMask[v] = sw&(1<<uint(v-base)) != 0
+					}
+				}
 			})
-			sampledCount = par.Count(cost, n, func(i int) bool { return sampled[i] })
-			sub = hypergraph.InduceInto(cur, func(v hypergraph.V) bool { return sampled[v] }, scratch)
+			par.ChargeStep(cost, n)
+			sampledCount = sampled.Count()
+			par.ChargeReduce(cost, n)
+			sub = hypergraph.InduceIntoBits(cur, sampled, scratch)
 			par.ChargeStep(cost, cur.M())
 			if sub.Dim() <= params.D {
 				break
@@ -249,26 +291,28 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 
 		// Line 11: run BL on H'. Every sampled vertex comes back colored
 		// blue (in I') or red.
-		blRes, err := bl.Run(sub, sampled, roundStream.Child(1_000_003), cost, blOpts)
+		blRes, err := bl.Run(sub, sampledMask, roundStream.Child(1_000_003), cost, blOpts)
 		if err != nil {
 			return nil, fmt.Errorf("sbl: BL at round %d: %w", round, err)
 		}
 		st.BLStages = blRes.Stages
 
-		// Line 12: commit. I ∪= I'; V \= V'.
+		// Line 12: commit. I ∪= I'; V \= V'. The packed blue/red sets
+		// feed the fused round transform below.
+		blueBits.Reset()
+		redBits.Reset()
 		blue, red := 0, 0
-		for v := 0; v < n; v++ {
-			if !sampled[v] {
-				continue
-			}
-			undecided[v] = false
+		sampled.ForEach(func(v int) {
 			if blRes.InIS[v] {
 				res.InIS[v] = true
+				blueBits.Add(v)
 				blue++
 			} else {
+				redBits.Add(v)
 				red++
 			}
-		}
+		})
+		undecided.AndNot(sampled)
 		par.ChargeStep(cost, n)
 		st.Blue = blue
 		st.Red = red
@@ -276,11 +320,9 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 
 		// Lines 13–20, fused: drop edges meeting a red vertex and shrink
 		// the survivors by I' in one pass into the scratch's other
-		// buffer (NextRound is edge-set-identical to
+		// buffer (NextRoundBits is edge-set-identical to
 		// DiscardTouching → Shrink; property-tested).
-		isRed := func(v hypergraph.V) bool { return sampled[v] && !blRes.InIS[v] }
-		isBlue := func(v hypergraph.V) bool { return blRes.InIS[v] }
-		next, emptied := hypergraph.NextRound(cur, isRed, isBlue, scratch)
+		next, emptied := hypergraph.NextRoundBits(cur, redBits, blueBits, scratch)
 		if emptied > 0 {
 			return nil, fmt.Errorf("sbl: %d edges became fully blue at round %d (independence broken)", emptied, round)
 		}
@@ -300,11 +342,14 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 	res.Rounds = round
 
 	// Lines 23–24: tail solver on the residual instance.
-	res.TailSize = par.Count(cost, n, func(i int) bool { return undecided[i] })
+	res.TailSize = undecided.Count()
+	par.ChargeReduce(cost, n)
 	res.TailUsed = opts.Tail
+	undecidedMask := sampledMask // recycle: the sampling buffer is dead now
+	undecided.WriteBools(undecidedMask)
 	switch opts.Tail {
 	case TailGreedy:
-		g := greedy.Run(cur, undecided)
+		g := greedy.Run(cur, undecidedMask)
 		for v := 0; v < n; v++ {
 			if g.InIS[v] {
 				res.InIS[v] = true
@@ -312,7 +357,7 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 		}
 		par.ChargeAux(cost, int64(res.TailSize), int64(res.TailSize))
 	default:
-		k, err := kuw.Run(cur, undecided, s.Child(2_000_003), cost, kuw.Options{Ctx: opts.Ctx})
+		k, err := kuw.Run(cur, undecidedMask, s.Child(2_000_003), cost, kuw.Options{Ctx: opts.Ctx, Par: eng})
 		if err != nil {
 			return nil, fmt.Errorf("sbl: KUW tail: %w", err)
 		}

@@ -132,40 +132,66 @@ func (t *DegreeTable) merge(other *DegreeTable) {
 // which a sharded build is not worth the merge cost.
 const buildShardThreshold = 1 << 15
 
-// BuildDegreeTable enumerates all edge subsets, sharding the scan over
-// a worker pool (per-shard tables merged at the end) when the 2^d-work
-// is large enough to pay for it. It panics if the dimension exceeds
-// maxEnumerableDim (callers control dimension: BL is only invoked on
-// small-dimension hypergraphs, by construction in SBL).
+// BuildDegreeTable enumerates all edge subsets on the whole machine;
+// BuildDegreeTableOn takes an explicit engine. It panics if the
+// dimension exceeds maxEnumerableDim (callers control dimension: BL is
+// only invoked on small-dimension hypergraphs, by construction in SBL).
 func BuildDegreeTable(h *Hypergraph) *DegreeTable {
+	return BuildDegreeTableOn(h, par.Engine{})
+}
+
+// BuildDegreeTableOn builds the degree table on an explicit engine,
+// sharding the subset scan when the m·2^d work is large enough to pay
+// for it (the shard count scales with the per-edge 2^d work, so small
+// edge lists of large dimension still fan out). Per-shard tables are
+// combined by parallel pairwise merging — ceil(log2 shards) rounds —
+// since counts are additive. The table's query results (counts, Δ
+// vectors) are identical for any engine; only entry iteration order
+// can differ between shard counts.
+func BuildDegreeTableOn(h *Hypergraph, eng par.Engine) *DegreeTable {
 	if h.Dim() > maxEnumerableDim {
 		panic("hypergraph: dimension too large for degree enumeration")
 	}
 	m := len(h.edges)
-	work := m << uint(h.Dim()) // Dim ≤ maxEnumerableDim, checked above
-	shards := par.NumShards(m)
+	perItem := 1 << uint(h.Dim()) // Dim ≤ maxEnumerableDim, checked above
+	work := m * perItem
+	shards := eng.ShardsFor(m, perItem)
 	if shards <= 1 || work < buildShardThreshold {
 		t := newDegreeTable(h.Dim(), m)
 		t.scan(h, 0, m)
 		return t
 	}
 	locals := make([]*DegreeTable, shards)
-	par.ForShards(nil, m, shards, func(s, lo, hi int) {
+	eng.ForShardsWork(nil, m, perItem, shards, func(s, lo, hi int) {
 		lt := newDegreeTable(h.Dim(), hi-lo)
 		lt.scan(h, lo, hi)
 		locals[s] = lt
 	})
-	var t *DegreeTable
-	for _, lt := range locals {
-		if lt == nil {
-			continue
+	// Parallel pairwise merge: in round k, table i absorbs table i+2^k.
+	// Each pair merges independently, so the round fans out over the
+	// engine; the fold order is fixed by the index arithmetic, not by
+	// scheduling.
+	for step := 1; step < shards; step <<= 1 {
+		pairs := 0
+		for i := 0; i+step < shards; i += 2 * step {
+			pairs++
 		}
-		if t == nil {
-			t = lt
-			continue
-		}
-		t.merge(lt)
+		eng.ForShardsWork(nil, pairs, perItem*(m/max(pairs, 1)+1), pairs, func(_, lo, hi int) {
+			for p := lo; p < hi; p++ {
+				i := p * 2 * step
+				a, b := locals[i], locals[i+step]
+				switch {
+				case a == nil:
+					locals[i] = b
+				case b == nil:
+					// nothing to fold
+				default:
+					a.merge(b)
+				}
+			}
+		})
 	}
+	t := locals[0]
 	if t == nil {
 		t = newDegreeTable(h.Dim(), 0)
 	}

@@ -232,6 +232,11 @@ func (h *Hypergraph) Dim() int { return h.dim }
 // Edges returns the canonical edge list. Callers must not mutate it.
 func (h *Hypergraph) Edges() []Edge { return h.edges }
 
+// ArenaLen returns the total number of vertex slots over all edges (the
+// CSR arena length) — the cost of one full edge-list pass, which the
+// solvers use to decide whether a pass is worth sharding.
+func (h *Hypergraph) ArenaLen() int { return len(h.verts) }
+
 // Edge returns the i-th canonical edge. Callers must not mutate it.
 func (h *Hypergraph) Edge(i int) Edge { return h.edges[i] }
 

@@ -1,5 +1,10 @@
 package hypergraph
 
+import (
+	"repro/internal/bitset"
+	"repro/internal/par"
+)
+
 // This file implements the structural transformations the SBL and BL
 // loops apply between rounds. All of them preserve canonical form
 // (sorted, deduplicated edges) without re-running the Builder, and all
@@ -86,39 +91,57 @@ func Shrink(h *Hypergraph, drop func(V) bool) (*Hypergraph, int) {
 
 // RemoveSupersets discards every edge that strictly contains another
 // edge (BL line 16–20). Such supersets are redundant: any set containing
-// the smaller edge already fails independence.
+// the smaller edge already fails independence. It runs on the whole
+// machine; RemoveSupersetsOn takes an explicit engine.
 //
 // For enumerable dimensions the check is: e survives iff no proper
 // nonempty subset of e is an edge. That costs m·2^d set lookups, which
 // is the regime BL runs in. Beyond maxEnumerableDim a pairwise check is
 // used instead.
 func RemoveSupersets(h *Hypergraph) *Hypergraph {
+	return RemoveSupersetsOn(h, par.Engine{})
+}
+
+// RemoveSupersetsOn is RemoveSupersets on an explicit engine: the
+// m·2^d dominated-edge checks shard over the engine's workers (the
+// hashed edge index they probe is built once and read-only). The
+// result is identical for any engine.
+func RemoveSupersetsOn(h *Hypergraph, eng par.Engine) *Hypergraph {
 	if h.Dim() <= maxEnumerableDim {
-		present := newEdgeIndex(len(h.edges))
+		m := len(h.edges)
+		present := newEdgeIndex(m)
 		for i, e := range h.edges {
 			present.add(hashEdge(e), int32(i))
 		}
 		lookup := func(x Edge) bool {
 			return present.find(hashEdge(x), func(id int32) bool { return equalEdge(h.edges[id], x) }) >= 0
 		}
-		var scratch Edge
-		kept := make([]Edge, 0, len(h.edges))
-		for _, e := range h.edges {
-			k := len(e)
-			full := uint32(1)<<uint(k) - 1
-			dominated := false
-			for mask := uint32(1); mask < full && !dominated; mask++ {
-				scratch = scratch[:0]
-				for b := 0; b < k; b++ {
-					if mask&(1<<uint(b)) != 0 {
-						scratch = append(scratch, e[b])
+		dominated := make([]bool, m)
+		perItem := 1 << uint(min(h.Dim(), 30))
+		shards := eng.ShardsFor(m, perItem)
+		eng.ForShardsWork(nil, m, perItem, shards, func(_, lo, hi int) {
+			var scratch Edge
+			for i := lo; i < hi; i++ {
+				e := h.edges[i]
+				k := len(e)
+				full := uint32(1)<<uint(k) - 1
+				for mask := uint32(1); mask < full; mask++ {
+					scratch = scratch[:0]
+					for b := 0; b < k; b++ {
+						if mask&(1<<uint(b)) != 0 {
+							scratch = append(scratch, e[b])
+						}
+					}
+					if lookup(scratch) {
+						dominated[i] = true
+						break
 					}
 				}
-				if lookup(scratch) {
-					dominated = true
-				}
 			}
-			if !dominated {
+		})
+		kept := make([]Edge, 0, m)
+		for i, e := range h.edges {
+			if !dominated[i] {
 				kept = append(kept, e)
 			}
 		}
@@ -182,4 +205,15 @@ func (h *Hypergraph) UsedVertices() []bool {
 		used[v] = true
 	}
 	return used
+}
+
+// UsedVerticesInto writes the set of vertices appearing in at least one
+// edge into dst (regrown to n bits), for callers that recycle the set
+// across rounds.
+func (h *Hypergraph) UsedVerticesInto(dst bitset.Set) bitset.Set {
+	dst = dst.Grow(h.n)
+	for _, v := range h.verts {
+		dst.Add(int(v))
+	}
+	return dst
 }

@@ -3,6 +3,7 @@ package hypergraph
 import (
 	"sort"
 
+	"repro/internal/bitset"
 	"repro/internal/par"
 )
 
@@ -12,6 +13,13 @@ import (
 // caller-owned RoundScratch so that a round costs zero heap allocations
 // once the buffers are warm. Results are edge-set-identical to the pure
 // pipeline in ops.go (property-tested in round_test.go).
+//
+// Every pass is sharded over the scratch's engine when the arena is
+// large enough to pay for dispatch: classification and scatter split
+// the edge list into blocks, and slot assignment runs as per-shard
+// tallies + an exact prefix sum over the shards, so the assigned slots
+// — and therefore the output arenas — are bit-identical to the
+// sequential scan for any worker count.
 
 // parallelScanThreshold is the arena size above which the per-edge
 // classification and scatter passes are sharded over the worker pool.
@@ -66,7 +74,14 @@ func (b *csrBuf) finish(n, dim int) *Hypergraph {
 // induced sub-hypergraph stays valid across interleaved NextRound
 // calls. The zero value is ready to use; a RoundScratch must not be
 // shared between concurrent solvers.
+//
+// Eng bounds the parallelism of the sharded passes (zero value = whole
+// machine); outputs are bit-identical for any engine, so Eng is purely
+// a scheduling knob — the service sets it to the degree the job was
+// granted.
 type RoundScratch struct {
+	Eng par.Engine
+
 	ring    [2]csrBuf
 	ringIdx int
 	sample  csrBuf
@@ -74,6 +89,9 @@ type RoundScratch struct {
 	pos     []int32 // per input edge: output arena offset
 	spill   []V     // reorder arena for the rare out-of-order repack
 	stage   edgeSorter
+
+	// Per-shard slot-assignment tallies (edges, verts, dim, emptied).
+	tallyE, tallyV, tallyD, tallyZ []int32
 }
 
 // edgeSorter sorts edge headers lexicographically; kept in the scratch
@@ -105,6 +123,109 @@ func (scr *RoundScratch) growClassify(m int) {
 	}
 }
 
+// growTallies sizes and zeroes the per-shard tally slots. Zeroing
+// matters: trailing shards whose block is empty are never invoked by
+// ForShards, and the prefix sum reads every slot — a recycled slot
+// must not leak a previous round's counts.
+func (scr *RoundScratch) growTallies(shards int) {
+	if cap(scr.tallyE) < shards {
+		scr.tallyE = make([]int32, shards)
+		scr.tallyV = make([]int32, shards)
+		scr.tallyD = make([]int32, shards)
+		scr.tallyZ = make([]int32, shards)
+		return
+	}
+	scr.tallyE = scr.tallyE[:shards]
+	scr.tallyV = scr.tallyV[:shards]
+	scr.tallyD = scr.tallyD[:shards]
+	scr.tallyZ = scr.tallyZ[:shards]
+	for i := 0; i < shards; i++ {
+		scr.tallyE[i], scr.tallyV[i], scr.tallyD[i], scr.tallyZ[i] = 0, 0, 0, 0
+	}
+}
+
+// assignSlots turns the classify pass's keep array (−1 = dead, else
+// post-transform size; 0 counts as emptied and is demoted to −1) into
+// output slot assignments: keep[i] becomes the output edge index and
+// pos[i] the output arena offset for every surviving edge. It returns
+// the output shape. Large edge lists run as per-shard tallies plus an
+// exact prefix sum over the shards, which assigns the same slots as
+// the sequential scan for any worker count.
+func (scr *RoundScratch) assignSlots(m int) (outEdges, outVerts, dim, emptied int) {
+	keep, pos := scr.keep, scr.pos
+	shards := scr.Eng.NumShards(m)
+	if m < parallelScanThreshold || shards <= 1 {
+		for i := 0; i < m; i++ {
+			k := keep[i]
+			switch {
+			case k < 0:
+				continue
+			case k == 0:
+				emptied++
+				keep[i] = -1
+				continue
+			}
+			keep[i] = int32(outEdges)
+			pos[i] = int32(outVerts)
+			outEdges++
+			outVerts += int(k)
+			if int(k) > dim {
+				dim = int(k)
+			}
+		}
+		return
+	}
+	scr.growTallies(shards)
+	tE, tV, tD, tZ := scr.tallyE, scr.tallyV, scr.tallyD, scr.tallyZ
+	scr.Eng.ForShards(nil, m, shards, func(s, lo, hi int) {
+		var e, v, d, z int32
+		for i := lo; i < hi; i++ {
+			k := keep[i]
+			switch {
+			case k < 0:
+				continue
+			case k == 0:
+				z++
+				keep[i] = -1
+				continue
+			}
+			e++
+			v += k
+			if k > d {
+				d = k
+			}
+		}
+		tE[s], tV[s], tD[s], tZ[s] = e, v, d, z
+	})
+	// Exact exclusive prefix over the shard tallies (shards are few).
+	var baseE, baseV int32
+	for s := 0; s < shards; s++ {
+		e, v := tE[s], tV[s]
+		tE[s], tV[s] = baseE, baseV
+		baseE += e
+		baseV += v
+		if int(tD[s]) > dim {
+			dim = int(tD[s])
+		}
+		emptied += int(tZ[s])
+	}
+	outEdges, outVerts = int(baseE), int(baseV)
+	scr.Eng.ForShards(nil, m, shards, func(s, lo, hi int) {
+		e, v := tE[s], tV[s]
+		for i := lo; i < hi; i++ {
+			k := keep[i]
+			if k < 0 {
+				continue
+			}
+			keep[i] = e
+			pos[i] = v
+			e++
+			v += k
+		}
+	})
+	return
+}
+
 // InduceInto is Induced on scratch storage: it returns the
 // sub-hypergraph of h restricted to edges fully inside {v : in(v)},
 // built in the scratch's dedicated sample buffer. The result is valid
@@ -114,32 +235,40 @@ func (scr *RoundScratch) growClassify(m int) {
 func InduceInto(h *Hypergraph, in func(V) bool, scr *RoundScratch) *Hypergraph {
 	m := len(h.edges)
 	scr.growClassify(m)
-	keep, pos := scr.keep, scr.pos
+	keep := scr.keep
 	if len(h.verts) >= parallelScanThreshold {
-		par.ForBlocked(nil, m, func(lo, hi int) { induceClassify(h, in, keep, lo, hi) })
+		scr.Eng.ForBlocked(nil, m, func(lo, hi int) { induceClassify(h, in, keep, lo, hi) })
 	} else {
 		induceClassify(h, in, keep, 0, m)
 	}
-	// Exclusive scan: assign output slots. Kept edges preserve canonical
-	// order, so no re-sort is needed.
-	outEdges, outVerts, dim := 0, 0, 0
-	for i := 0; i < m; i++ {
-		if keep[i] < 0 {
-			continue
-		}
-		keep[i] = int32(outEdges)
-		pos[i] = int32(outVerts)
-		outEdges++
-		k := len(h.edges[i])
-		outVerts += k
-		if k > dim {
-			dim = k
-		}
+	return scr.induceFinish(h)
+}
+
+// InduceIntoBits is InduceInto with the induced set given as a bitset:
+// the classification pass tests membership with branch-free word
+// probes instead of an indirect call per vertex.
+func InduceIntoBits(h *Hypergraph, in bitset.Set, scr *RoundScratch) *Hypergraph {
+	m := len(h.edges)
+	scr.growClassify(m)
+	keep := scr.keep
+	if len(h.verts) >= parallelScanThreshold {
+		scr.Eng.ForBlocked(nil, m, func(lo, hi int) { induceClassifyBits(h, in, keep, lo, hi) })
+	} else {
+		induceClassifyBits(h, in, keep, 0, m)
 	}
+	return scr.induceFinish(h)
+}
+
+// induceFinish runs the shared slot-assignment and scatter phases of
+// InduceInto/InduceIntoBits.
+func (scr *RoundScratch) induceFinish(h *Hypergraph) *Hypergraph {
+	m := len(h.edges)
+	outEdges, outVerts, dim, _ := scr.assignSlots(m)
 	dst := &scr.sample
 	dst.grow(outVerts, outEdges)
+	keep, pos := scr.keep, scr.pos
 	if outVerts >= parallelScanThreshold {
-		par.ForBlocked(nil, m, func(lo, hi int) { induceScatter(h, keep, pos, dst, lo, hi) })
+		scr.Eng.ForBlocked(nil, m, func(lo, hi int) { induceScatter(h, keep, pos, dst, lo, hi) })
 	} else {
 		induceScatter(h, keep, pos, dst, 0, m)
 	}
@@ -147,13 +276,28 @@ func InduceInto(h *Hypergraph, in func(V) bool, scr *RoundScratch) *Hypergraph {
 	return dst.finish(h.n, dim)
 }
 
-// induceClassify marks edges [lo, hi): keep[i] = 1 if edge i lies fully
-// inside the induced set, else -1.
+// induceClassify marks edges [lo, hi): keep[i] = the edge's size if it
+// lies fully inside the induced set, else -1.
 func induceClassify(h *Hypergraph, in func(V) bool, keep []int32, lo, hi int) {
 	for i := lo; i < hi; i++ {
-		keep[i] = 1
-		for _, v := range h.edges[i] {
+		e := h.edges[i]
+		keep[i] = int32(len(e))
+		for _, v := range e {
 			if !in(v) {
+				keep[i] = -1
+				break
+			}
+		}
+	}
+}
+
+// induceClassifyBits is induceClassify against a bitset.
+func induceClassifyBits(h *Hypergraph, in bitset.Set, keep []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e := h.edges[i]
+		keep[i] = int32(len(e))
+		for _, v := range e {
+			if !in.Has(int(v)) {
 				keep[i] = -1
 				break
 			}
@@ -187,40 +331,53 @@ func induceScatter(h *Hypergraph, keep, pos []int32, dst *csrBuf, lo, hi int) {
 func NextRound(cur *Hypergraph, isRed, isBlue func(V) bool, scr *RoundScratch) (*Hypergraph, int) {
 	m := len(cur.edges)
 	scr.growClassify(m)
-	keep, pos := scr.keep, scr.pos
+	keep := scr.keep
 	// Pass 1: classify every edge — dead on a red vertex, else its
 	// post-shrink size (0 = emptied).
 	if len(cur.verts) >= parallelScanThreshold {
-		par.ForBlocked(nil, m, func(lo, hi int) { roundClassify(cur, isRed, isBlue, keep, lo, hi) })
+		scr.Eng.ForBlocked(nil, m, func(lo, hi int) { roundClassify(cur, isRed, isBlue, keep, lo, hi) })
 	} else {
 		roundClassify(cur, isRed, isBlue, keep, 0, m)
 	}
-	// Scan: slot assignment plus the emptied count and dimension.
-	outEdges, outVerts, dim, emptied := 0, 0, 0, 0
-	for i := 0; i < m; i++ {
-		switch {
-		case keep[i] < 0:
-			continue
-		case keep[i] == 0:
-			emptied++
-			keep[i] = -1
-			continue
-		}
-		k := int(keep[i])
-		keep[i] = int32(outEdges)
-		pos[i] = int32(outVerts)
-		outEdges++
-		outVerts += k
-		if k > dim {
-			dim = k
-		}
+	return scr.roundFinish(cur, isBlue, nil)
+}
+
+// NextRoundBits is NextRound with the red and blue sets given as
+// bitsets; a nil red set means no vertex is red (the BL stages), blue
+// must be non-nil. The classification and scatter passes test
+// membership with word probes.
+func NextRoundBits(cur *Hypergraph, red, blue bitset.Set, scr *RoundScratch) (*Hypergraph, int) {
+	m := len(cur.edges)
+	scr.growClassify(m)
+	keep := scr.keep
+	if len(cur.verts) >= parallelScanThreshold {
+		scr.Eng.ForBlocked(nil, m, func(lo, hi int) { roundClassifyBits(cur, red, blue, keep, lo, hi) })
+	} else {
+		roundClassifyBits(cur, red, blue, keep, 0, m)
 	}
+	return scr.roundFinish(cur, nil, blue)
+}
+
+// roundFinish runs the shared slot-assignment, scatter and
+// re-canonicalization phases of NextRound/NextRoundBits. Exactly one of
+// isBlue and blue is non-nil and selects the scatter flavor; the
+// sequential path calls the scatter loops directly so a warm round
+// allocates nothing.
+func (scr *RoundScratch) roundFinish(cur *Hypergraph, isBlue func(V) bool, blue bitset.Set) (*Hypergraph, int) {
+	m := len(cur.edges)
+	outEdges, outVerts, dim, emptied := scr.assignSlots(m)
 	dst := scr.target(cur)
 	dst.grow(outVerts, outEdges)
+	keep, pos := scr.keep, scr.pos
 	// Pass 2: scatter surviving vertices.
-	if outVerts >= parallelScanThreshold {
-		par.ForBlocked(nil, m, func(lo, hi int) { roundScatter(cur, isBlue, keep, pos, dst, lo, hi) })
-	} else {
+	switch {
+	case outVerts >= parallelScanThreshold && blue != nil:
+		scr.Eng.ForBlocked(nil, m, func(lo, hi int) { roundScatterBits(cur, blue, keep, pos, dst, lo, hi) })
+	case outVerts >= parallelScanThreshold:
+		scr.Eng.ForBlocked(nil, m, func(lo, hi int) { roundScatter(cur, isBlue, keep, pos, dst, lo, hi) })
+	case blue != nil:
+		roundScatterBits(cur, blue, keep, pos, dst, 0, m)
+	default:
 		roundScatter(cur, isBlue, keep, pos, dst, 0, m)
 	}
 	dst.off[outEdges] = int32(outVerts)
@@ -260,6 +417,36 @@ func roundClassify(cur *Hypergraph, isRed, isBlue func(V) bool, keep []int32, lo
 	}
 }
 
+// roundClassifyBits is roundClassify against bitsets; a nil red set
+// skips the red test entirely.
+func roundClassifyBits(cur *Hypergraph, red, blue bitset.Set, keep []int32, lo, hi int) {
+	if red == nil {
+		for i := lo; i < hi; i++ {
+			size := int32(0)
+			for _, v := range cur.edges[i] {
+				if !blue.Has(int(v)) {
+					size++
+				}
+			}
+			keep[i] = size
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		size := int32(0)
+		for _, v := range cur.edges[i] {
+			if red.Has(int(v)) {
+				size = -1
+				break
+			}
+			if !blue.Has(int(v)) {
+				size++
+			}
+		}
+		keep[i] = size
+	}
+}
+
 // roundScatter writes the non-blue vertices of surviving edges of
 // [lo, hi) into their assigned arena slots.
 func roundScatter(cur *Hypergraph, isBlue func(V) bool, keep, pos []int32, dst *csrBuf, lo, hi int) {
@@ -271,6 +458,23 @@ func roundScatter(cur *Hypergraph, isBlue func(V) bool, keep, pos []int32, dst *
 		w := pos[i]
 		for _, v := range cur.edges[i] {
 			if !isBlue(v) {
+				dst.verts[w] = v
+				w++
+			}
+		}
+	}
+}
+
+// roundScatterBits is roundScatter against a blue bitset.
+func roundScatterBits(cur *Hypergraph, blue bitset.Set, keep, pos []int32, dst *csrBuf, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if keep[i] < 0 {
+			continue
+		}
+		dst.off[keep[i]] = pos[i]
+		w := pos[i]
+		for _, v := range cur.edges[i] {
+			if !blue.Has(int(v)) {
 				dst.verts[w] = v
 				w++
 			}

@@ -1,0 +1,147 @@
+package hypergraph
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/par"
+)
+
+// These tests pin the sequential/sharded switchover exactly at the
+// parallelScanThreshold boundary: instances whose CSR arena holds
+// threshold−1, threshold, and threshold+1 vertices take different code
+// paths (the classify/scatter passes shard at ≥ threshold), and the
+// outputs must be identical on both sides, for the func- and
+// bitset-flavoured transforms, at every engine degree.
+
+// boundaryInstance builds a hypergraph whose arena holds exactly
+// arenaLen vertices: size-2 edges over a large vertex universe, plus
+// one size-3 edge when arenaLen is odd.
+func boundaryInstance(arenaLen int) *Hypergraph {
+	n := arenaLen + 8
+	b := NewBuilder(n)
+	used := 0
+	v := V(0)
+	if arenaLen%2 == 1 {
+		b.AddEdge(v, v+1, v+2)
+		v += 3
+		used += 3
+	}
+	for ; used < arenaLen; used += 2 {
+		b.AddEdge(v, v+1)
+		v += 2
+	}
+	h := b.MustBuild()
+	if h.ArenaLen() != arenaLen {
+		panic(fmt.Sprintf("boundaryInstance(%d) built arena %d", arenaLen, h.ArenaLen()))
+	}
+	return h
+}
+
+// boundaryColors deterministically colors a sprinkling of vertices red
+// and blue (disjoint).
+func boundaryColors(n int) (red, blue bitset.Set) {
+	red, blue = bitset.New(n), bitset.New(n)
+	for v := 0; v < n; v++ {
+		switch v % 17 {
+		case 3:
+			red.Add(v)
+		case 5, 11:
+			blue.Add(v)
+		}
+	}
+	return
+}
+
+func sameEdges(t *testing.T, label string, a, b *Hypergraph) {
+	t.Helper()
+	if a.M() != b.M() {
+		t.Fatalf("%s: %d edges vs %d", label, a.M(), b.M())
+	}
+	for i := range a.Edges() {
+		if !equalEdge(a.Edge(i), b.Edge(i)) {
+			t.Fatalf("%s: edge %d: %v vs %v", label, i, a.Edge(i), b.Edge(i))
+		}
+	}
+}
+
+// TestNextRoundParityAtScanThreshold compares the fused round transform
+// against the pure DiscardTouching→Shrink pipeline at arena sizes
+// threshold−1 / threshold / threshold+1, where the implementation
+// switches from the sequential loops to the sharded passes, across
+// engine degrees 1, 2 and 8.
+func TestNextRoundParityAtScanThreshold(t *testing.T) {
+	for _, arena := range []int{parallelScanThreshold - 1, parallelScanThreshold, parallelScanThreshold + 1} {
+		h := boundaryInstance(arena)
+		red, blue := boundaryColors(h.N())
+		isRed := func(v V) bool { return red.Has(int(v)) }
+		isBlue := func(v V) bool { return blue.Has(int(v)) }
+
+		// Pure-pipeline reference.
+		ref, refEmptied := Shrink(DiscardTouching(h, isRed), isBlue)
+
+		for _, p := range []int{1, 2, 8} {
+			label := fmt.Sprintf("arena=%d P=%d", arena, p)
+
+			scr := &RoundScratch{Eng: par.Engine{P: p}}
+			got, emptied := NextRound(h, isRed, isBlue, scr)
+			if emptied != refEmptied {
+				t.Fatalf("%s: NextRound emptied %d want %d", label, emptied, refEmptied)
+			}
+			sameEdges(t, label+" func", ref, got)
+
+			scrB := &RoundScratch{Eng: par.Engine{P: p}}
+			gotB, emptiedB := NextRoundBits(h, red, blue, scrB)
+			if emptiedB != refEmptied {
+				t.Fatalf("%s: NextRoundBits emptied %d want %d", label, emptiedB, refEmptied)
+			}
+			sameEdges(t, label+" bits", ref, gotB)
+		}
+	}
+}
+
+// TestInduceParityAtScanThreshold does the same for the induce
+// transform against the pure Induced.
+func TestInduceParityAtScanThreshold(t *testing.T) {
+	for _, arena := range []int{parallelScanThreshold - 1, parallelScanThreshold, parallelScanThreshold + 1} {
+		h := boundaryInstance(arena)
+		in := bitset.New(h.N())
+		for v := 0; v < h.N(); v++ {
+			if v%3 != 1 {
+				in.Add(v)
+			}
+		}
+		pred := func(v V) bool { return in.Has(int(v)) }
+		ref := Induced(h, pred)
+
+		for _, p := range []int{1, 2, 8} {
+			label := fmt.Sprintf("arena=%d P=%d", arena, p)
+			scr := &RoundScratch{Eng: par.Engine{P: p}}
+			sameEdges(t, label+" func", ref, InduceInto(h, pred, scr))
+			scrB := &RoundScratch{Eng: par.Engine{P: p}}
+			sameEdges(t, label+" bits", ref, InduceIntoBits(h, in, scrB))
+		}
+	}
+}
+
+// TestAssignSlotsParityAtEdgeCountThreshold targets the slot-assignment
+// scan's own switchover, which triggers on edge count rather than arena
+// size: m = threshold ± 1 edges, verified against the pure pipeline at
+// several degrees.
+func TestAssignSlotsParityAtEdgeCountThreshold(t *testing.T) {
+	for _, m := range []int{parallelScanThreshold - 1, parallelScanThreshold, parallelScanThreshold + 1} {
+		h := boundaryInstance(2 * m) // m size-2 edges
+		if h.M() != m {
+			t.Fatalf("instance has %d edges, want %d", h.M(), m)
+		}
+		red, blue := boundaryColors(h.N())
+		ref, _ := Shrink(DiscardTouching(h, func(v V) bool { return red.Has(int(v)) }),
+			func(v V) bool { return blue.Has(int(v)) })
+		for _, p := range []int{1, 3, 8} {
+			scr := &RoundScratch{Eng: par.Engine{P: p}}
+			got, _ := NextRoundBits(h, red, blue, scr)
+			sameEdges(t, fmt.Sprintf("m=%d P=%d", m, p), ref, got)
+		}
+	}
+}

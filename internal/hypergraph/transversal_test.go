@@ -1,6 +1,7 @@
 package hypergraph
 
 import (
+	"repro/internal/par"
 	"testing"
 	"testing/quick"
 
@@ -58,7 +59,7 @@ func TestMISTransversalDuality(t *testing.T) {
 		in := make([]bool, h.N())
 		for v := 0; v < h.N(); v++ {
 			in[v] = true
-			if firstContainedEdge(h, in) != -1 {
+			if firstContainedEdge(h, in, par.Engine{}) != -1 {
 				in[v] = false
 			}
 		}

@@ -1,26 +1,64 @@
 package hypergraph
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/par"
+)
+
+// verifyParThreshold is the scan work (total arena vertices) above
+// which the verification passes shard over the engine; below it the
+// sequential loops win.
+const verifyParThreshold = 1 << 14
 
 // IsIndependent reports whether the vertex set {v : in[v]} contains no
 // edge of h. in must have length h.N().
 func IsIndependent(h *Hypergraph, in []bool) bool {
-	return firstContainedEdge(h, in) == -1
+	return firstContainedEdge(h, in, par.Engine{}) == -1
 }
 
-// firstContainedEdge returns the index of an edge fully inside the set,
-// or -1.
-func firstContainedEdge(h *Hypergraph, in []bool) int {
-	for i, e := range h.edges {
-		inside := true
+// firstContainedEdge returns the smallest index of an edge fully inside
+// the set, or -1. Large instances shard the scan; the smallest matching
+// index across shards is returned, so the witness is identical for any
+// engine.
+func firstContainedEdge(h *Hypergraph, in []bool, eng par.Engine) int {
+	m := len(h.edges)
+	contained := func(e Edge) bool {
 		for _, v := range e {
 			if !in[v] {
-				inside = false
-				break
+				return false
 			}
 		}
-		if inside {
-			return i
+		return true
+	}
+	shards := eng.NumShards(m)
+	if len(h.verts) < verifyParThreshold || shards <= 1 {
+		for i, e := range h.edges {
+			if contained(e) {
+				return i
+			}
+		}
+		return -1
+	}
+	firsts := make([]int, shards)
+	// Pre-fill with the no-witness sentinel: shards whose block is
+	// empty are never invoked, and a zero there would read as "edge #0
+	// fully contained".
+	for s := range firsts {
+		firsts[s] = -1
+	}
+	eng.ForShards(nil, m, shards, func(s, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if contained(h.edges[i]) {
+				firsts[s] = i
+				return
+			}
+		}
+	})
+	for _, f := range firsts {
+		if f >= 0 {
+			return f
 		}
 	}
 	return -1
@@ -35,36 +73,54 @@ func IsMaximalIndependent(h *Hypergraph, in []bool) bool {
 
 // VerifyMIS checks independence and maximality and returns a descriptive
 // error naming the violated invariant and a witness, or nil if the set
-// is a maximal independent set of h.
+// is a maximal independent set of h. It runs on the whole machine;
+// VerifyMISOn takes an explicit engine.
 func VerifyMIS(h *Hypergraph, in []bool) error {
+	return VerifyMISOn(h, in, par.Engine{})
+}
+
+// VerifyMISOn is VerifyMIS on an explicit engine. Large instances shard
+// both passes: the independence scan reduces to the smallest witness
+// index, and the maximality pass accumulates per-shard "completable"
+// bitsets that are OR-merged word-parallel — so the verdict and the
+// reported witness are identical for any engine.
+func VerifyMISOn(h *Hypergraph, in []bool, eng par.Engine) error {
 	if len(in) != h.n {
 		return fmt.Errorf("verify: set has length %d, hypergraph has %d vertices", len(in), h.n)
 	}
-	if i := firstContainedEdge(h, in); i != -1 {
+	if i := firstContainedEdge(h, in, eng); i != -1 {
 		return fmt.Errorf("verify: not independent: edge #%d %v fully contained", i, h.edges[i])
 	}
 	// Maximality: for each vertex u not in the set, adding u must make
 	// some edge fully contained; equivalently some edge e ∋ u has all
 	// other vertices in the set.
-	completes := make([]bool, h.n)
-	for _, e := range h.edges {
-		missing := -1
-		count := 0
-		for _, v := range e {
-			if !in[v] {
-				count++
-				missing = int(v)
-				if count > 1 {
-					break
+	m := len(h.edges)
+	markCompletes := func(completes bitset.Set, lo, hi int) {
+		for _, e := range h.edges[lo:hi] {
+			missing := -1
+			count := 0
+			for _, v := range e {
+				if !in[v] {
+					count++
+					missing = int(v)
+					if count > 1 {
+						break
+					}
 				}
 			}
-		}
-		if count == 1 {
-			completes[missing] = true
+			if count == 1 {
+				completes.Add(missing)
+			}
 		}
 	}
+	completes := bitset.New(h.n)
+	shards := eng.NumShards(m)
+	if len(h.verts) < verifyParThreshold {
+		shards = 1
+	}
+	bitset.UnionShards(eng, completes, h.n, m, shards, nil, markCompletes)
 	for v := 0; v < h.n; v++ {
-		if !in[v] && !completes[v] {
+		if !in[v] && !completes.Has(v) {
 			return fmt.Errorf("verify: not maximal: vertex %d can be added without creating a contained edge", v)
 		}
 	}

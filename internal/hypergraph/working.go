@@ -1,6 +1,10 @@
 package hypergraph
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/bitset"
+)
 
 // Working is a mutable hypergraph maintaining the normal form the BL
 // and SBL loops need — an antichain of nonempty edges (no edge contains
@@ -26,9 +30,11 @@ type Working struct {
 	alive int
 
 	// Commit scratch, reused across calls so a round allocates nothing
-	// once warm.
-	touched  map[int]struct{}
-	blueMark []bool // length n; reset after each Commit
+	// once warm. Both sets are packed bitsets: touched covers edge ids
+	// (regrown as the id space extends), blueMark covers vertices and is
+	// cleared bit-by-bit after each Commit.
+	touched  bitset.Set
+	blueMark bitset.Set
 	ids      []int
 }
 
@@ -40,8 +46,7 @@ func NewWorking(h *Hypergraph) *Working {
 		n:        h.N(),
 		inc:      make([][]int, h.N()),
 		ix:       newEdgeIndex(norm.M()),
-		touched:  make(map[int]struct{}),
-		blueMark: make([]bool, h.N()),
+		blueMark: bitset.New(h.N()),
 	}
 	for _, e := range norm.Edges() {
 		w.insert(append(Edge(nil), e...))
@@ -134,31 +139,32 @@ func (w *Working) Commit(blue, red []V) (emptied int) {
 			w.kill(id)
 		}
 	}
-	// Phase 2: collect the edges to shrink (dedup ids). The touched set
-	// and blue mask are scratch state owned by w, reset before return.
-	clear(w.touched)
+	// Phase 2: collect the edges to shrink (dedup ids via the touched
+	// bitset). The touched set and blue mask are scratch state owned by
+	// w, reset before return.
+	w.touched = w.touched.Grow(len(w.verts))
+	ids := w.ids[:0]
 	for _, v := range blue {
 		for _, id := range w.liveEdgesWith(v) {
-			w.touched[id] = struct{}{}
+			if !w.touched.Has(id) {
+				w.touched.Add(id)
+				ids = append(ids, id)
+			}
 		}
 	}
-	if len(w.touched) == 0 {
+	w.ids = ids
+	if len(ids) == 0 {
 		return 0
 	}
 	for _, v := range blue {
-		w.blueMark[v] = true
+		w.blueMark.Add(int(v))
 	}
 	defer func() {
 		for _, v := range blue {
-			w.blueMark[v] = false
+			w.blueMark.Del(int(v))
 		}
 	}()
 	// Phase 3: shrink each touched edge and restore the antichain.
-	ids := w.ids[:0]
-	for id := range w.touched {
-		ids = append(ids, id)
-	}
-	w.ids = ids
 	sort.Ints(ids) // deterministic processing order
 	for _, id := range ids {
 		old := w.verts[id]
@@ -167,7 +173,7 @@ func (w *Working) Commit(blue, red []V) (emptied int) {
 		}
 		shrunk := make(Edge, 0, len(old))
 		for _, v := range old {
-			if !w.blueMark[v] {
+			if !w.blueMark.Has(int(v)) {
 				shrunk = append(shrunk, v)
 			}
 		}

@@ -35,7 +35,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 
+	"repro/internal/bitset"
 	"repro/internal/hypergraph"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -46,6 +48,10 @@ type Options struct {
 	// Ctx, if non-nil, is checked at the top of every round; the run
 	// returns ctx.Err() as soon as the context is done.
 	Ctx context.Context
+
+	// Par bounds the worker parallelism of the per-round passes (zero
+	// value = whole machine). Output is identical for any engine.
+	Par par.Engine
 
 	// MaxRounds aborts the run when exceeded (0 = default 10·n + 100).
 	MaxRounds int
@@ -78,18 +84,24 @@ var ErrRoundLimit = errors.New("kuw: round limit exceeded")
 // (nil = all vertices). Edges of h must consist of active vertices only.
 func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost, opts Options) (*Result, error) {
 	n := h.N()
+	eng := opts.Par
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 10*n + 100
 	}
-	live := make([]bool, n)
+	live := bitset.New(n)
 	if active == nil {
-		par.Fill(cost, live, true)
+		live.SetAll(n)
 	} else {
-		copy(live, active)
+		for i, a := range active {
+			if a {
+				live.Add(i)
+			}
+		}
 	}
+	par.ChargeStep(cost, n)
 	for _, e := range h.Edges() {
 		for _, v := range e {
-			if !live[v] {
+			if !live.Has(int(v)) {
 				return nil, fmt.Errorf("kuw: edge %v contains inactive vertex %d", e, v)
 			}
 		}
@@ -99,10 +111,16 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		InIS: make([]bool, n),
 		Red:  make([]bool, n),
 	}
+	// Cumulative colorings, packed: the fused end-of-round transform
+	// tests membership by word probe.
+	inISBits := bitset.New(n)
+	redBits := bitset.New(n)
+	words := len(live)
 	cur := h
-	pos := make([]int, n) // position of each vertex in this round's order
+	pos := make([]int, n)         // position of each vertex in this round's order
+	var candidates []hypergraph.V // reused across rounds
 	// Double-buffered CSR arenas for the fused end-of-round update.
-	scratch := &hypergraph.RoundScratch{}
+	scratch := &hypergraph.RoundScratch{Eng: eng}
 
 	for round := 0; ; round++ {
 		if opts.Ctx != nil {
@@ -118,9 +136,10 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		cur, blocked = hypergraph.RemoveSingletons(cur)
 		if len(blocked) > 0 {
 			for _, v := range blocked {
-				if live[v] {
-					live[v] = false
+				if live.Has(int(v)) {
+					live.Del(int(v))
 					res.Red[v] = true
+					redBits.Add(int(v))
 					st.Filtered++
 				}
 			}
@@ -128,7 +147,10 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 			par.ChargeStep(cost, cur.M())
 		}
 
-		candidates := par.PackIndices(cost, n, func(i int) bool { return live[i] })
+		// Candidate list: the live set, ascending (stream compaction).
+		candidates = candidates[:0]
+		live.ForEach(func(v int) { candidates = append(candidates, hypergraph.V(v)) })
+		par.ChargeReduce(cost, n) // flag+scan+scatter compaction
 		k := len(candidates)
 		if k == 0 {
 			res.Rounds = round
@@ -143,11 +165,11 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 
 		// No live edges: everything remaining is independent.
 		if cur.M() == 0 {
-			par.For(cost, k, func(i int) {
-				v := candidates[i]
+			for _, v := range candidates {
 				res.InIS[v] = true
-				live[v] = false
-			})
+			}
+			live.Reset()
+			par.ChargeStep(cost, k)
 			st.Accepted = k
 			if opts.CollectStats {
 				res.Stats = append(res.Stats, st)
@@ -159,7 +181,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		// Random order on candidates; pos[v] = rank. A permutation is
 		// O(log n) depth on an EREW PRAM (sort of random keys).
 		perm := s.Child(uint64(round)).Perm(k)
-		par.For(cost, k, func(i int) {
+		eng.For(cost, k, func(i int) {
 			pos[candidates[perm[i]]] = i
 		})
 		par.ChargeAux(cost, int64(k), int64(log2(k))) // permutation generation
@@ -168,7 +190,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		// Edges here contain only undecided vertices (S-vertices were
 		// shrunk away, red-touching edges discarded).
 		edges := cur.Edges()
-		act := par.Map(cost, edges, func(e hypergraph.Edge) int {
+		act := par.MapOn(eng, cost, edges, func(e hypergraph.Edge) int {
 			m := -1
 			for _, v := range e {
 				if pos[v] > m {
@@ -177,25 +199,36 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 			}
 			return m
 		})
-		minAct := par.Reduce(cost, act, k, func(a, b int) int {
+		minAct := par.ReduceOn(eng, cost, act, k, func(a, b int) int {
 			if a < b {
 				return a
 			}
 			return b
 		})
 
-		// Accept the safe prefix [0, minAct); discard the blocker.
-		par.For(cost, k, func(i int) {
-			v := candidates[i]
-			switch {
-			case pos[v] < minAct:
-				res.InIS[v] = true
-				live[v] = false
-			case pos[v] == minAct:
-				res.Red[v] = true
-				live[v] = false
+		// Accept the safe prefix [0, minAct); discard the blocker. Each
+		// worker owns a disjoint word range of every vertex-indexed set,
+		// so the parallel pass is write-race-free and deterministic.
+		eng.ForBlocked(nil, words, func(lo, hi int) {
+			for wi := lo; wi < hi; wi++ {
+				lw := live[wi]
+				base := wi << 6
+				for w := lw; w != 0; w &= w - 1 {
+					v := base + bits.TrailingZeros64(w)
+					switch {
+					case pos[v] < minAct:
+						res.InIS[v] = true
+						inISBits.Add(v)
+						live.Del(v)
+					case pos[v] == minAct:
+						res.Red[v] = true
+						redBits.Add(v)
+						live.Del(v)
+					}
+				}
 			}
 		})
+		par.ChargeStep(cost, k)
 		st.Accepted = minAct
 		if minAct < k {
 			st.Discarded = 1
@@ -206,9 +239,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		// scratch-buffered pass. (A fully-accepted edge cannot touch a
 		// red vertex — each vertex gets one color — so the emptied count
 		// matches the unfused Shrink→DiscardTouching order.)
-		next, emptied := hypergraph.NextRound(cur,
-			func(v hypergraph.V) bool { return res.Red[v] },
-			func(v hypergraph.V) bool { return res.InIS[v] }, scratch)
+		next, emptied := hypergraph.NextRoundBits(cur, redBits, inISBits, scratch)
 		if emptied > 0 {
 			return nil, fmt.Errorf("kuw: %d edges fully accepted at round %d (independence broken)", emptied, round)
 		}

@@ -20,7 +20,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 
+	"repro/internal/bitset"
 	"repro/internal/hypergraph"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -31,6 +33,10 @@ type Options struct {
 	// Ctx, if non-nil, is checked at the top of every round; the run
 	// returns ctx.Err() as soon as the context is done.
 	Ctx context.Context
+
+	// Par bounds the worker parallelism of the per-round passes (zero
+	// value = whole machine). Output is identical for any engine.
+	Par par.Engine
 
 	// MaxRounds aborts when exceeded (0 = default 10·log₂n + 50).
 	MaxRounds int
@@ -70,15 +76,21 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		return nil, fmt.Errorf("%w (dim=%d)", ErrNotGraph, h.Dim())
 	}
 	n := h.N()
+	eng := opts.Par
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 10*bitLen(n) + 50
 	}
-	live := make([]bool, n)
+	live := bitset.New(n)
 	if active == nil {
-		par.Fill(cost, live, true)
+		live.SetAll(n)
 	} else {
-		copy(live, active)
+		for i, a := range active {
+			if a {
+				live.Add(i)
+			}
+		}
 	}
+	par.ChargeStep(cost, n)
 	res := &Result{InIS: make([]bool, n), Red: make([]bool, n)}
 
 	// Adjacency among active vertices, in CSR form (per-vertex rows are
@@ -88,14 +100,14 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	cnt := make([]int32, n+1)
 	for _, e := range h.Edges() {
 		for _, v := range e {
-			if !live[v] {
+			if !live.Has(int(v)) {
 				return nil, fmt.Errorf("luby: edge %v contains inactive vertex %d", e, v)
 			}
 		}
 		if len(e) == 1 {
 			v := e[0]
-			if live[v] {
-				live[v] = false
+			if live.Has(int(v)) {
+				live.Del(int(v))
 				res.Red[v] = true
 			}
 			continue
@@ -123,8 +135,10 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		start = cnt[v]
 	}
 	deg := make([]int, n)
-	marked := make([]bool, n)
-	losers := make([]bool, n)
+	marked := bitset.New(n)
+	losers := bitset.New(n)
+	words := len(live)
+	var addedList []hypergraph.V // this round's new IS vertices, reused
 
 	for round := 0; ; round++ {
 		if opts.Ctx != nil {
@@ -132,7 +146,8 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 				return nil, err
 			}
 		}
-		liveCount := par.Count(cost, n, func(i int) bool { return live[i] })
+		liveCount := live.Count()
+		par.ChargeReduce(cost, n)
 		if liveCount == 0 {
 			res.Rounds = round
 			return res, nil
@@ -142,72 +157,94 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		}
 		st := RoundStat{Round: round, Live: liveCount}
 
-		// Current degrees among live vertices.
-		par.For(cost, n, func(v int) {
-			d := 0
-			if live[v] {
-				for _, u := range adj[v] {
-					if live[u] {
-						d++
+		// Current degrees among live vertices; the neighbour tests are
+		// bitset word probes. Workers own disjoint vertex ranges.
+		eng.ForBlocked(nil, n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				d := 0
+				if live.Has(v) {
+					for _, u := range adj[v] {
+						if live.Has(int(u)) {
+							d++
+						}
 					}
 				}
+				deg[v] = d
 			}
-			deg[v] = d
 		})
+		par.ChargeStep(cost, n)
 		liveEdges := 0
 		for v := 0; v < n; v++ {
 			liveEdges += deg[v]
 		}
 		st.Edges = liveEdges / 2
 
+		// Marking: only live vertices draw (isolated ones join for
+		// free), through index-addressed per-vertex streams — the same
+		// draws for any engine. Each worker owns a word range of the
+		// marked set, so the parallel pass is write-race-free.
 		roundStream := s.Child(uint64(round))
-		par.For(cost, n, func(v int) {
-			losers[v] = false
-			switch {
-			case !live[v]:
-				marked[v] = false
-			case deg[v] == 0:
-				marked[v] = true // isolated: joins for free
-			default:
-				marked[v] = roundStream.BernoulliAt(uint64(v), 1.0/(2.0*float64(deg[v])))
+		eng.ForBlocked(nil, words, func(lo, hi int) {
+			for wi := lo; wi < hi; wi++ {
+				lw := live[wi]
+				var mw uint64
+				base := wi << 6
+				for w := lw; w != 0; w &= w - 1 {
+					b := bits.TrailingZeros64(w)
+					v := base + b
+					if deg[v] == 0 || roundStream.BernoulliAt(uint64(v), 1.0/(2.0*float64(deg[v]))) {
+						mw |= 1 << uint(b)
+					}
+				}
+				marked[wi] = mw
 			}
 		})
-		st.Marked = par.Count(cost, n, func(i int) bool { return marked[i] })
+		losers.Reset()
+		par.ChargeStep(cost, n)
+		st.Marked = marked.Count()
+		par.ChargeReduce(cost, n)
 
 		// Conflict resolution: for each live edge with both endpoints
 		// marked, the smaller-degree endpoint (ties: smaller id) yields.
 		// Evaluated against the round's original marking; the winner
 		// relation is antisymmetric so survivors are pairwise
-		// non-adjacent. (losers was reset in the marking pass.)
-		par.For(cost, n, func(v int) {
-			if !live[v] || !marked[v] {
-				return
-			}
-			for _, u := range adj[v] {
-				if live[u] && marked[u] && beats(u, hypergraph.V(v), deg) {
-					losers[v] = true
-					return
+		// non-adjacent. Workers own disjoint word ranges of losers.
+		eng.ForBlocked(nil, words, func(lo, hi int) {
+			for wi := lo; wi < hi; wi++ {
+				mw := live[wi] & marked[wi]
+				base := wi << 6
+				for w := mw; w != 0; w &= w - 1 {
+					v := base + bits.TrailingZeros64(w)
+					for _, u := range adj[v] {
+						if live.Has(int(u)) && marked.Has(int(u)) && beats(u, hypergraph.V(v), deg) {
+							losers.Add(v)
+							break
+						}
+					}
 				}
 			}
 		})
+		par.ChargeStep(cost, n)
 
 		// Survivors join; their neighbours are eliminated.
 		added, removed := 0, 0
-		for v := 0; v < n; v++ {
-			if live[v] && marked[v] && !losers[v] {
+		addedList = addedList[:0]
+		for wi := 0; wi < words; wi++ {
+			sw := live[wi] & marked[wi] &^ losers[wi]
+			base := wi << 6
+			for w := sw; w != 0; w &= w - 1 {
+				v := base + bits.TrailingZeros64(w)
 				res.InIS[v] = true
-				live[v] = false
+				addedList = append(addedList, hypergraph.V(v))
 				added++
 			}
+			live[wi] &^= sw
 		}
 		par.ChargeStep(cost, n)
-		for v := 0; v < n; v++ {
-			if !res.InIS[v] {
-				continue
-			}
+		for _, v := range addedList {
 			for _, u := range adj[v] {
-				if live[u] {
-					live[u] = false
+				if live.Has(int(u)) {
+					live.Del(int(u))
 					res.Red[u] = true
 					removed++
 				}

@@ -2,6 +2,7 @@ package par
 
 import (
 	"runtime"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -315,6 +316,116 @@ func TestForShardsRespectsShardBound(t *testing.T) {
 	for i, c := range seen {
 		if c != 1 {
 			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+// --- Engine tests -----------------------------------------------------
+
+func TestEngineProcsBound(t *testing.T) {
+	if got := (Engine{P: 3}).Procs(); got != 3 {
+		t.Fatalf("Procs=%d want 3", got)
+	}
+	if got := (Engine{}).Procs(); got < 1 {
+		t.Fatalf("default Procs=%d", got)
+	}
+	if got := (Engine{P: -2}).Procs(); got < 1 {
+		t.Fatalf("negative P Procs=%d", got)
+	}
+}
+
+// TestEngineDeterminism: every primitive must return bit-identical
+// results for any worker bound.
+func TestEngineDeterminism(t *testing.T) {
+	const n = 100_000
+	in := make([]int, n)
+	for i := range in {
+		in[i] = (i*2654435761 + 12345) % 1000
+	}
+	ref := ReduceOn(Engine{P: 1}, nil, in, 0, func(a, b int) int { return a + b })
+	refScan, refTotal := ExclusiveScanOn(Engine{P: 1}, nil, in)
+	refPack := PackIndicesOn(Engine{P: 1}, nil, n, func(i int) bool { return in[i]%7 == 0 })
+	for _, p := range []int{2, 3, 8, 64} {
+		e := Engine{P: p}
+		if got := ReduceOn(e, nil, in, 0, func(a, b int) int { return a + b }); got != ref {
+			t.Fatalf("P=%d: reduce %d want %d", p, got, ref)
+		}
+		scan, total := ExclusiveScanOn(e, nil, in)
+		if total != refTotal {
+			t.Fatalf("P=%d: scan total %d want %d", p, total, refTotal)
+		}
+		for i := range scan {
+			if scan[i] != refScan[i] {
+				t.Fatalf("P=%d: scan[%d]=%d want %d", p, i, scan[i], refScan[i])
+			}
+		}
+		pack := PackIndicesOn(e, nil, n, func(i int) bool { return in[i]%7 == 0 })
+		if len(pack) != len(refPack) {
+			t.Fatalf("P=%d: pack len %d want %d", p, len(pack), len(refPack))
+		}
+		for i := range pack {
+			if pack[i] != refPack[i] {
+				t.Fatalf("P=%d: pack[%d]=%d want %d", p, i, pack[i], refPack[i])
+			}
+		}
+		if got := e.Count(nil, n, func(i int) bool { return in[i] < 500 }); got != (Engine{P: 1}).Count(nil, n, func(i int) bool { return in[i] < 500 }) {
+			t.Fatalf("P=%d: count mismatch", p)
+		}
+	}
+}
+
+// TestEngineP1Inline: a degree-1 engine must never spawn goroutines —
+// bodies observe a single contiguous block.
+func TestEngineP1Inline(t *testing.T) {
+	e := Engine{P: 1}
+	calls := 0
+	e.ForBlocked(nil, 1_000_000, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 1_000_000 {
+			t.Fatalf("P=1 block [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("P=1 invoked %d blocks", calls)
+	}
+	shards := e.NumShards(1 << 20)
+	if shards != 1 {
+		t.Fatalf("P=1 NumShards=%d", shards)
+	}
+}
+
+// TestShardsForWorkHint: expensive items shard even when n is small.
+func TestShardsForWorkHint(t *testing.T) {
+	e := Engine{P: 8}
+	if got := e.NumShards(100); got != 1 {
+		t.Fatalf("NumShards(100)=%d want 1 (below grain)", got)
+	}
+	if got := e.ShardsFor(100, 1<<12); got != 8 {
+		t.Fatalf("ShardsFor(100, 4096)=%d want 8", got)
+	}
+	// ForShardsWork must respect the shard bound and cover the range.
+	var mu sync.Mutex
+	seen := make([]bool, 100)
+	maxShard := 0
+	e.ForShardsWork(nil, 100, 1<<12, 8, func(s, lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if s > maxShard {
+			maxShard = s
+		}
+		for i := lo; i < hi; i++ {
+			if seen[i] {
+				t.Errorf("index %d covered twice", i)
+			}
+			seen[i] = true
+		}
+	})
+	if maxShard >= 8 {
+		t.Fatalf("shard index %d out of bound", maxShard)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d not covered", i)
 		}
 	}
 }

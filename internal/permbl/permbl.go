@@ -37,6 +37,10 @@ type Options struct {
 	// the run returns ctx.Err() as soon as the context is done.
 	Ctx context.Context
 
+	// Par bounds the worker parallelism of the resolution rounds (zero
+	// value = whole machine). Output is identical for any engine.
+	Par par.Engine
+
 	// MaxRounds aborts when exceeded (0 = default n+1; the dependency
 	// depth can never exceed n).
 	MaxRounds int
@@ -105,6 +109,8 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	edges := h.Edges()
 
 	res := &Result{InIS: make([]bool, n)}
+	eng := opts.Par
+	next := make([]int8, n) // per-round decisions, reused across rounds
 	pending := len(candidates)
 	for round := 0; pending > 0; round++ {
 		if opts.Ctx != nil {
@@ -120,8 +126,8 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		// For each undecided vertex, try to resolve its greedy decision
 		// from the already-decided prefix-predecessors. next[v]:
 		//  +1 join, -1 blocked, 0 still unknown.
-		next := make([]int8, n)
-		par.For(cost, n, func(vi int) {
+		eng.For(cost, n, func(vi int) {
+			next[vi] = 0
 			v := hypergraph.V(vi)
 			if !act(v) || state[vi] != undecided {
 				return

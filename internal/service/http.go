@@ -128,6 +128,15 @@ func parseSolveOptions(r *http.Request) (hypermis.Options, error) {
 	}
 	opts.UseGreedyTail = q.Get("greedytail") == "1" || q.Get("greedytail") == "true"
 	opts.CollectCost = q.Get("cost") == "1" || q.Get("cost") == "true"
+	if v := q.Get("par"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p < 0 || p > 4096 {
+			return opts, fmt.Errorf("bad par %q (want 0..4096)", v)
+		}
+		// The requested degree; the scheduler caps it by
+		// MaxJobParallelism and the free-token count at grant time.
+		opts.Parallelism = p
+	}
 	return opts, nil
 }
 

@@ -100,30 +100,42 @@ type Metrics struct {
 	CacheMisses  atomic.Int64
 	Verifies     atomic.Int64 // HTTP layer
 	Generates    atomic.Int64 // HTTP layer
+	WideJobs     atomic.Int64 // jobs granted parallelism degree > 1
+	ParGranted   atomic.Int64 // sum of granted degrees across jobs
 	SolveLatency Histogram
 }
 
 // Stats is a JSON-ready snapshot of the service state — the payload of
 // GET /v1/stats and of the daemon's expvar export.
 type Stats struct {
-	Workers      int     `json:"workers"`
-	QueueDepth   int     `json:"queue_depth"`
-	QueueCap     int     `json:"queue_cap"`
-	Enqueued     int64   `json:"enqueued"`
-	Solves       int64   `json:"solves"`
-	Errors       int64   `json:"errors"`
-	Rejected     int64   `json:"rejected"`
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheSize    int     `json:"cache_size"`
-	CacheCap     int     `json:"cache_cap"`
-	CacheBytes   int64   `json:"cache_bytes"`
-	Verifies     int64   `json:"verifies"`
-	Generates    int64   `json:"generates"`
-	LatencyP50Ms float64 `json:"latency_p50_ms"`
-	LatencyP90Ms float64 `json:"latency_p90_ms"`
-	LatencyP99Ms float64 `json:"latency_p99_ms"`
-	LatencyMaxMs float64 `json:"latency_max_ms"`
+	Workers     int   `json:"workers"`
+	QueueDepth  int   `json:"queue_depth"`
+	QueueCap    int   `json:"queue_cap"`
+	Enqueued    int64 `json:"enqueued"`
+	Solves      int64 `json:"solves"`
+	Errors      int64 `json:"errors"`
+	Rejected    int64 `json:"rejected"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheSize   int   `json:"cache_size"`
+	CacheCap    int   `json:"cache_cap"`
+	CacheBytes  int64 `json:"cache_bytes"`
+	Verifies    int64 `json:"verifies"`
+	Generates   int64 `json:"generates"`
+	// Per-job parallelism: the token-pool capacity (the aggregate
+	// degree bound), how many tokens running jobs hold right now, the
+	// per-job degree cap, the number of jobs granted degree > 1, and
+	// the sum of granted degrees (par_granted_total / solves ≈ mean
+	// degree).
+	ParCap            int     `json:"par_cap"`
+	ParInUse          int     `json:"par_in_use"`
+	MaxJobParallelism int     `json:"max_job_parallelism"`
+	WideJobs          int64   `json:"jobs_wide"`
+	ParGranted        int64   `json:"par_granted_total"`
+	LatencyP50Ms      float64 `json:"latency_p50_ms"`
+	LatencyP90Ms      float64 `json:"latency_p90_ms"`
+	LatencyP99Ms      float64 `json:"latency_p99_ms"`
+	LatencyMaxMs      float64 `json:"latency_max_ms"`
 }
 
 func (m *Metrics) snapshot() Stats {
@@ -137,6 +149,8 @@ func (m *Metrics) snapshot() Stats {
 		CacheMisses:  m.CacheMisses.Load(),
 		Verifies:     m.Verifies.Load(),
 		Generates:    m.Generates.Load(),
+		WideJobs:     m.WideJobs.Load(),
+		ParGranted:   m.ParGranted.Load(),
 		LatencyP50Ms: ms(m.SolveLatency.Quantile(0.50)),
 		LatencyP90Ms: ms(m.SolveLatency.Quantile(0.90)),
 		LatencyP99Ms: ms(m.SolveLatency.Quantile(0.99)),

@@ -8,7 +8,8 @@
 // # Endpoints (see NewHandler)
 //
 //	POST /v1/solve     body = instance; query algo, seed, alpha,
-//	                   greedytail, cost. Returns a JSON SolveResponse.
+//	                   greedytail, cost, par (requested parallelism
+//	                   degree). Returns a JSON SolveResponse.
 //	POST /v1/verify    body = instance; query mis = comma-separated
 //	                   vertex ids. 200 on a valid MIS, 422 otherwise.
 //	POST /v1/generate  query kind, n, m, d, min, max, seed, format.
@@ -31,6 +32,23 @@
 // hypermis.SolveCtx under the job's context capped by Config.JobTimeout,
 // so a cancelled client or an expired deadline stops the solver at the
 // next outer round instead of burning the pool.
+//
+// # Per-job parallelism
+//
+// A job may request a multicore solve (query par=N → Options.
+// Parallelism); the solvers' round passes then shard over that many
+// worker goroutines. Wide degrees are opt-in — a job that does not ask
+// runs at degree 1. The scheduler grants degrees from a fixed token
+// pool sized max(GOMAXPROCS, Workers): every running job holds one
+// token, and a wide job opportunistically takes up to min(N,
+// Config.MaxJobParallelism)−1 extra tokens if they are free right now,
+// returning everything when it finishes. Aggregate parallelism across
+// concurrent jobs therefore never exceeds the pool — a single large
+// job can use the whole machine when the service is idle, and under
+// load degrees collapse to 1 instead of oversubscribing. Solving is
+// deterministic for any degree (see hypermis.Options.Parallelism), so
+// the granted degree never affects results — which is also why JobKey
+// excludes it: par=1 and par=8 requests share one cache entry.
 //
 // # Cache semantics
 //
@@ -77,6 +95,11 @@ type Config struct {
 	// JobTimeout is the per-job deadline applied on top of the
 	// submitter's context (default 30s; negative disables).
 	JobTimeout time.Duration
+	// MaxJobParallelism caps the worker goroutines any single job may
+	// be granted (default GOMAXPROCS; negative pins every job to
+	// degree 1). The aggregate across concurrent jobs is additionally
+	// capped by the token pool — see the package comment.
+	MaxJobParallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +117,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobTimeout == 0 {
 		c.JobTimeout = 30 * time.Second
+	}
+	if c.MaxJobParallelism == 0 {
+		c.MaxJobParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxJobParallelism < 1 {
+		c.MaxJobParallelism = 1
 	}
 	return c
 }
@@ -127,6 +156,12 @@ type Server struct {
 	cache   *lruCache
 	metrics Metrics
 
+	// parTokens is the machine-wide parallelism budget: every running
+	// job holds one token, wide jobs hold extras. Capacity is
+	// max(GOMAXPROCS, Workers) so degree-1 scheduling is never blocked
+	// by the pool, and the aggregate granted degree can never exceed it.
+	parTokens chan struct{}
+
 	// closeMu serializes enqueues against Close: submissions hold the
 	// read side across the closed-check and the channel send, so once
 	// Close holds the write side and sets isClosed, no job can slip into
@@ -142,10 +177,18 @@ type Server struct {
 // New starts a Server with cfg's worker pool running.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	poolSize := runtime.GOMAXPROCS(0)
+	if cfg.Workers > poolSize {
+		poolSize = cfg.Workers
+	}
 	s := &Server{
-		cfg:    cfg,
-		queue:  make(chan *job, cfg.QueueDepth),
-		closed: make(chan struct{}),
+		cfg:       cfg,
+		queue:     make(chan *job, cfg.QueueDepth),
+		parTokens: make(chan struct{}, poolSize),
+		closed:    make(chan struct{}),
+	}
+	for i := 0; i < poolSize; i++ {
+		s.parTokens <- struct{}{}
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newLRUCache(cfg.CacheSize, cfg.CacheBytes)
@@ -176,7 +219,9 @@ func (s *Server) Config() Config { return s.cfg }
 // canonical instance digest plus the canonicalized options. AlgAuto is
 // resolved against h and SBL's Alpha default is normalized, so
 // equivalent requests share one entry; fields that cannot influence the
-// result for the resolved algorithm are dropped.
+// result for the resolved algorithm are dropped. Options.Parallelism is
+// deliberately excluded: solving is deterministic for any degree, so a
+// par=8 request is satisfied by a cached par=1 result and vice versa.
 func JobKey(h *hypermis.Hypergraph, opts hypermis.Options) string {
 	algo := hypermis.ResolveAlgorithm(h, opts.Algorithm)
 	alpha := 0.0
@@ -247,6 +292,9 @@ func (s *Server) Stats() Stats {
 	st.Workers = s.cfg.Workers
 	st.QueueCap = s.cfg.QueueDepth
 	st.QueueDepth = len(s.queue)
+	st.ParCap = cap(s.parTokens)
+	st.ParInUse = cap(s.parTokens) - len(s.parTokens)
+	st.MaxJobParallelism = s.cfg.MaxJobParallelism
 	if s.cache != nil {
 		st.CacheSize = s.cache.Len()
 		st.CacheCap = s.cfg.CacheSize
@@ -275,7 +323,53 @@ func (s *Server) worker() {
 	}
 }
 
+// grantParallelism acquires this job's share of the token pool: one
+// token always (blocking — a running job is one unit of parallelism by
+// definition), plus up to want−1 extra tokens if they are free right
+// now. It returns the granted degree; releaseParallelism must be called
+// with the same value when the job finishes.
+//
+// Wide degrees are opt-in: a job that did not ask (want ≤ 0) runs at
+// degree 1. Defaulting to MaxJobParallelism instead would let one
+// ordinary request drain the pool and block every other worker's
+// mandatory 1-token acquire, serializing the pool.
+func (s *Server) grantParallelism(want int) int {
+	if want <= 0 {
+		want = 1
+	}
+	if want > s.cfg.MaxJobParallelism {
+		want = s.cfg.MaxJobParallelism
+	}
+	<-s.parTokens
+	grant := 1
+	for grant < want {
+		select {
+		case <-s.parTokens:
+			grant++
+		default:
+			return grant
+		}
+	}
+	return grant
+}
+
+func (s *Server) releaseParallelism(grant int) {
+	for i := 0; i < grant; i++ {
+		s.parTokens <- struct{}{}
+	}
+}
+
 func (s *Server) run(j *job) {
+	// Acquire the parallelism grant before the per-job deadline starts
+	// ticking: waiting for a token is queueing, not solving. Tokens are
+	// returned before the done-channel send below, so a submitter that
+	// observed its result never sees the job still holding the pool.
+	grant := s.grantParallelism(j.opts.Parallelism)
+	j.opts.Parallelism = grant
+	s.metrics.ParGranted.Add(int64(grant))
+	if grant > 1 {
+		s.metrics.WideJobs.Add(1)
+	}
 	start := time.Now()
 	ctx := j.ctx
 	if s.cfg.JobTimeout > 0 {
@@ -284,6 +378,7 @@ func (s *Server) run(j *job) {
 		defer cancel()
 	}
 	res, err := hypermis.SolveCtx(ctx, j.h, j.opts)
+	s.releaseParallelism(grant)
 	if err != nil {
 		s.metrics.Errors.Add(1)
 	} else {

@@ -291,3 +291,95 @@ func TestHistogramQuantiles(t *testing.T) {
 		t.Fatalf("quantiles not monotone: q1=%v < q0.999=%v", q, p999)
 	}
 }
+
+// TestParallelismGrantIdle: an idle server grants a wide job as many
+// tokens as the pool holds, capped by MaxJobParallelism, and returns
+// them all afterwards.
+func TestParallelismGrantIdle(t *testing.T) {
+	s := New(Config{Workers: 2, MaxJobParallelism: 4})
+	defer s.Close()
+	st := s.Stats()
+	if st.ParCap < 2 {
+		t.Fatalf("par_cap=%d want >=2 (Workers=2)", st.ParCap)
+	}
+	h := testInstance(31)
+	opts := hypermis.Options{Algorithm: hypermis.AlgKUW, Seed: 3, Parallelism: 4}
+	if _, _, err := s.Solve(context.Background(), h, opts); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	st = s.Stats()
+	// The pool was idle, so the single job got min(pool, request, cap)
+	// tokens: with Workers=2 that is at least 2 — a wide grant.
+	wantGrant := int64(st.ParCap)
+	if wantGrant > 4 {
+		wantGrant = 4
+	}
+	if st.ParGranted != wantGrant {
+		t.Fatalf("par_granted_total=%d want %d (pool=%d)", st.ParGranted, wantGrant, st.ParCap)
+	}
+	if st.WideJobs != 1 {
+		t.Fatalf("jobs_wide=%d want 1", st.WideJobs)
+	}
+	if st.ParInUse != 0 {
+		t.Fatalf("par_in_use=%d after drain, want 0", st.ParInUse)
+	}
+}
+
+// TestParallelismAggregateCap: concurrent wide jobs can never hold more
+// tokens than the pool, and every token comes back.
+func TestParallelismAggregateCap(t *testing.T) {
+	s := New(Config{Workers: 3, MaxJobParallelism: 8})
+	defer s.Close()
+	cap := s.Stats().ParCap
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h := testInstance(uint64(40 + i)) // distinct instances: no cache hits
+			_, _, err := s.Solve(context.Background(), h,
+				hypermis.Options{Algorithm: hypermis.AlgKUW, Seed: uint64(i), Parallelism: 8})
+			if err != nil && !errors.Is(err, ErrQueueFull) {
+				t.Errorf("solve %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.ParInUse != 0 {
+		t.Fatalf("par_in_use=%d after drain, want 0 (leaked tokens)", st.ParInUse)
+	}
+	if st.Solves > 0 && st.ParGranted > int64(st.Solves)*int64(cap) {
+		t.Fatalf("granted %d tokens across %d solves with pool %d: aggregate cap violated",
+			st.ParGranted, st.Solves, cap)
+	}
+	if st.MaxJobParallelism != 8 {
+		t.Fatalf("max_job_parallelism=%d want 8", st.MaxJobParallelism)
+	}
+}
+
+// TestCacheIgnoresParallelism: par is a scheduling knob, not an input —
+// a wide request must be satisfied by a cached narrow result.
+func TestCacheIgnoresParallelism(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	h := testInstance(9)
+	narrow := hypermis.Options{Algorithm: hypermis.AlgKUW, Seed: 5, Parallelism: 1}
+	wide := hypermis.Options{Algorithm: hypermis.AlgKUW, Seed: 5, Parallelism: 8}
+	if JobKey(h, narrow) != JobKey(h, wide) {
+		t.Fatal("JobKey depends on Parallelism")
+	}
+	res1, cached, err := s.Solve(context.Background(), h, narrow)
+	if err != nil || cached {
+		t.Fatalf("narrow solve: cached=%v err=%v", cached, err)
+	}
+	res2, cached, err := s.Solve(context.Background(), h, wide)
+	if err != nil || !cached {
+		t.Fatalf("wide solve: cached=%v err=%v (want cache hit)", cached, err)
+	}
+	for i := range res1.MIS {
+		if res1.MIS[i] != res2.MIS[i] {
+			t.Fatalf("cached result differs at vertex %d", i)
+		}
+	}
+}

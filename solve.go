@@ -99,6 +99,14 @@ type Options struct {
 	// Seed makes the run deterministic; runs with equal seeds and
 	// inputs produce identical MISs regardless of host parallelism.
 	Seed uint64
+	// Parallelism caps the number of worker goroutines the solver's
+	// sharded round passes may use (0 = runtime.GOMAXPROCS, i.e. the
+	// whole machine; 1 = fully sequential). The result is bit-identical
+	// for any value — per-vertex randomness is index-addressed and every
+	// parallel reduction is exact — so this is purely a scheduling
+	// knob: the service scheduler sets it per job to keep concurrent
+	// jobs from oversubscribing the host.
+	Parallelism int
 	// Alpha is SBL's sampling exponent (p = n^{−α}); 0 means the
 	// measurable default 0.25. The paper's asymptotic choice is
 	// α = 1/log log log n — see core.PaperParams for why that
@@ -169,12 +177,14 @@ func SolveCtx(ctx context.Context, h *Hypergraph, opts Options) (*Result, error)
 		cost = &par.Cost{}
 	}
 	stream := rng.New(opts.Seed)
+	eng := par.Engine{P: opts.Parallelism}
 
 	res := &Result{Algorithm: algo}
 	switch algo {
 	case AlgSBL:
 		r, err := core.Run(h, stream, cost, core.Options{
 			Ctx:   ctx,
+			Par:   eng,
 			Alpha: opts.Alpha,
 			Tail:  tailOf(opts),
 		})
@@ -186,6 +196,7 @@ func SolveCtx(ctx context.Context, h *Hypergraph, opts Options) (*Result, error)
 	case AlgBL:
 		blOpts := bl.DefaultOptions()
 		blOpts.Ctx = ctx
+		blOpts.Par = eng
 		r, err := bl.Run(h, nil, stream, cost, blOpts)
 		if err != nil {
 			return nil, err
@@ -193,7 +204,7 @@ func SolveCtx(ctx context.Context, h *Hypergraph, opts Options) (*Result, error)
 		res.MIS = r.InIS
 		res.Rounds = r.Stages
 	case AlgKUW:
-		r, err := kuw.Run(h, nil, stream, cost, kuw.Options{Ctx: ctx})
+		r, err := kuw.Run(h, nil, stream, cost, kuw.Options{Ctx: ctx, Par: eng})
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +214,7 @@ func SolveCtx(ctx context.Context, h *Hypergraph, opts Options) (*Result, error)
 		if h.Dim() > 2 {
 			return nil, fmt.Errorf("%w: dim %d > 2 for Luby", ErrDimension, h.Dim())
 		}
-		r, err := luby.Run(h, nil, stream, cost, luby.Options{Ctx: ctx})
+		r, err := luby.Run(h, nil, stream, cost, luby.Options{Ctx: ctx, Par: eng})
 		if err != nil {
 			return nil, err
 		}
@@ -213,7 +224,7 @@ func SolveCtx(ctx context.Context, h *Hypergraph, opts Options) (*Result, error)
 		r := greedy.Run(h, nil)
 		res.MIS = r.InIS
 	case AlgPermBL:
-		r, err := permbl.Run(h, nil, stream, cost, permbl.Options{Ctx: ctx})
+		r, err := permbl.Run(h, nil, stream, cost, permbl.Options{Ctx: ctx, Par: eng})
 		if err != nil {
 			return nil, err
 		}
