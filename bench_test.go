@@ -77,6 +77,40 @@ func BenchmarkSolveKUW_n1000(b *testing.B)    { benchSolve(b, "SolveKUW_n1000") 
 func BenchmarkSolveLuby_n1000(b *testing.B)   { benchSolve(b, "SolveLuby_n1000") }
 func BenchmarkSolveGreedy_n1000(b *testing.B) { benchSolve(b, "SolveGreedy_n1000") }
 
+// Pooled-workspace variants: the same workloads through one reused
+// hypermis.Workspace, i.e. the steady state of a pooled service job.
+// Comparing the *_ws allocs/op against the fresh-buffer benchmarks
+// above measures what the solver-runtime workspace saves per solve.
+func benchSolveWs(b *testing.B, name string) {
+	c, ok := benchdefs.Find(name)
+	if !ok {
+		b.Fatalf("benchdefs case %s not declared", name)
+	}
+	benchdefs.RunCaseWs(b, c)
+}
+
+func BenchmarkSolveSBL_n1000_ws(b *testing.B)    { benchSolveWs(b, "SolveSBL_n1000") }
+func BenchmarkSolveBL_n1000_d3_ws(b *testing.B)  { benchSolveWs(b, "SolveBL_n1000_d3") }
+func BenchmarkSolveKUW_n1000_ws(b *testing.B)    { benchSolveWs(b, "SolveKUW_n1000") }
+func BenchmarkSolveLuby_n1000_ws(b *testing.B)   { benchSolveWs(b, "SolveLuby_n1000") }
+func BenchmarkSolveGreedy_n1000_ws(b *testing.B) { benchSolveWs(b, "SolveGreedy_n1000") }
+
+// Service-level benchmark: one uncached solve job end to end (queue,
+// parallelism grant, pooled workspace, round observer, no cache).
+func benchServiceSolve(b *testing.B, name string) {
+	c, ok := benchdefs.Find(name)
+	if !ok {
+		b.Fatalf("benchdefs case %s not declared", name)
+	}
+	benchdefs.RunServiceSolve(b, c)
+}
+
+func BenchmarkServiceSolveSBL_n1000(b *testing.B)    { benchServiceSolve(b, "SolveSBL_n1000") }
+func BenchmarkServiceSolveBL_n1000_d3(b *testing.B)  { benchServiceSolve(b, "SolveBL_n1000_d3") }
+func BenchmarkServiceSolveKUW_n1000(b *testing.B)    { benchServiceSolve(b, "SolveKUW_n1000") }
+func BenchmarkServiceSolveLuby_n1000(b *testing.B)   { benchServiceSolve(b, "SolveLuby_n1000") }
+func BenchmarkServiceSolveGreedy_n1000(b *testing.B) { benchServiceSolve(b, "SolveGreedy_n1000") }
+
 // Scale benchmarks: n=50k vertices, m=100k edges. At this size the CSR
 // edge scans cross the sharding threshold, so these exercise the
 // worker-pool paths the n=1000 instances run serially.

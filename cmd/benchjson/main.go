@@ -135,6 +135,26 @@ func main() {
 			benchdefs.RunCase(b, c)
 		}})
 	}
+	// Pooled-workspace and service-level variants of the tracked cases:
+	// the _ws rows measure the steady-state allocs of a reused
+	// hypermis.Workspace, the Service rows the full uncached job path
+	// through the scheduler's workspace pool.
+	for _, c := range benchdefs.Solver() {
+		if !c.Tracked {
+			continue
+		}
+		benches = append(benches, namedBench{"Benchmark" + c.Name + "_ws", func(b *testing.B) {
+			benchdefs.RunCaseWs(b, c)
+		}})
+	}
+	for _, c := range benchdefs.Solver() {
+		if !c.Tracked {
+			continue
+		}
+		benches = append(benches, namedBench{"BenchmarkService" + c.Name, func(b *testing.B) {
+			benchdefs.RunServiceSolve(b, c)
+		}})
+	}
 	benches = append(benches, namedBench{"BenchmarkVerifyMIS_n10000", benchdefs.RunVerify})
 
 	rep := report{

@@ -57,7 +57,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: hypermis <generate|solve|verify|stats> [flags]
   generate -n N -m M [-min S] [-max S] [-d D] [-kind uniform|mixed|graph|linear|sunflower] [-seed S] [-bin]
-  solve    [-algo auto|sbl|bl|kuw|luby|greedy|permbl|help] [-seed S] [-alpha A] [-cost] [-transversal] [-bin]  < instance
+  solve    [-algo auto|sbl|bl|kuw|luby|greedy|permbl|help] [-seed S] [-alpha A] [-cost] [-trace] [-transversal] [-bin]  < instance
   verify   -mis FILE [-transversal] [-bin]  < instance
   stats    [-bin]  < instance`)
 }
@@ -99,6 +99,7 @@ func cmdSolve(args []string) error {
 	seed := fs.Uint64("seed", 1, "seed")
 	alpha := fs.Float64("alpha", 0, "SBL sampling exponent (0 = default)")
 	cost := fs.Bool("cost", false, "print PRAM depth/work to stderr")
+	trace := fs.Bool("trace", false, "print per-round telemetry (residual shape, decided, wall time) to stderr")
 	transversal := fs.Bool("transversal", false, "output the dual minimal transversal instead of the MIS")
 	bin := fs.Bool("bin", false, "binary instance format")
 	fs.Parse(args)
@@ -116,10 +117,14 @@ func cmdSolve(args []string) error {
 		return err
 	}
 	res, err := hypermis.Solve(h, hypermis.Options{
-		Algorithm: algo, Seed: *seed, Alpha: *alpha, CollectCost: *cost,
+		Algorithm: algo, Seed: *seed, Alpha: *alpha, CollectCost: *cost, Trace: *trace,
 	})
 	if err != nil {
 		return err
+	}
+	for _, r := range res.Trace {
+		fmt.Fprintf(os.Stderr, "round=%d n=%d m=%d dim=%d decided=%d elapsed=%s\n",
+			r.Round, r.N, r.M, r.Dim, r.Decided, r.Elapsed)
 	}
 	if err := hypermis.VerifyMIS(h, res.MIS); err != nil {
 		return fmt.Errorf("internal verification failed: %w", err)

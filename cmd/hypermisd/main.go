@@ -1,9 +1,12 @@
 // Command hypermisd is the hypermis daemon: a long-lived HTTP service
 // that accepts, queues, and solves hypergraph MIS instances
 // concurrently, with an LRU result cache and latency/throughput
-// counters. The endpoints, formats, and cache semantics are documented
-// in the internal/service package; cmd/hypermisload is the matching
-// load generator.
+// counters. Jobs solve on pooled solver workspaces (see the
+// internal/solver runtime), and POST /v1/solve?trace=1 returns
+// per-round telemetry alongside the MIS; aggregate round counters are
+// in GET /v1/stats. The endpoints, formats, and cache semantics are
+// documented in the internal/service package; cmd/hypermisload is the
+// matching load generator.
 //
 // Usage:
 //

@@ -219,6 +219,10 @@ func (r *runner) solve(spec int, seed uint64) {
 		body, contentType = inst.bin, service.ContentTypeBinary
 	}
 	url := fmt.Sprintf("%s/v1/solve?algo=%s&seed=%d", r.cfg.addr, r.cfg.algo, seed)
+	wantTrace := spec%4 == 0 // exercise the telemetry path on part of the pool
+	if wantTrace {
+		url += "&trace=1"
+	}
 	start := time.Now()
 	resp, raw, err := r.post(url, contentType, body)
 	if err != nil {
@@ -238,6 +242,9 @@ func (r *runner) solve(spec int, seed uint64) {
 	}
 	if sr.Cached {
 		r.cached.Add(1)
+	}
+	if wantTrace && len(sr.Trace) != sr.Rounds {
+		r.fail("solve %d/%d: trace has %d records for %d rounds", spec, seed, len(sr.Trace), sr.Rounds)
 	}
 	fp := fmt.Sprint(sr.MIS)
 	key := fmt.Sprintf("%d/%d", spec, seed)

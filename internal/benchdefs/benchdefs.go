@@ -2,12 +2,20 @@
 // one place, shared by the root bench_test.go and cmd/benchjson, so the
 // tracked BENCH_solvers.json always measures exactly the corpus that
 // `go test -bench Solve` runs.
+//
+// Three measured bodies share each workload: RunCase (fresh buffers
+// per solve — the historical baseline), RunCaseWs (one reused
+// hypermis.Workspace — the steady state a pooled service job reaches),
+// and RunServiceSolve (the full uncached service job path: queue,
+// scheduler grant, pooled workspace, observer).
 package benchdefs
 
 import (
+	"context"
 	"testing"
 
 	hypermis "repro"
+	"repro/internal/service"
 )
 
 // Case is one solver micro-benchmark: the Benchmark function's name
@@ -77,6 +85,54 @@ func RunCase(b *testing.B, c Case) {
 		res, err := hypermis.Solve(h, hypermis.Options{Algorithm: c.Algo, Seed: uint64(i), Alpha: 0.3})
 		if err != nil {
 			b.Fatal(err)
+		}
+		if res.Size == 0 && h.N() > 0 {
+			b.Fatal("empty MIS")
+		}
+	}
+}
+
+// RunCaseWs is RunCase solving through one reused Workspace — the
+// steady-state allocation profile of a pooled service job. The delta
+// against RunCase is exactly what workspace pooling saves.
+func RunCaseWs(b *testing.B, c Case) {
+	h := c.New()
+	ws := hypermis.NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hypermis.Solve(h, hypermis.Options{
+			Algorithm: c.Algo, Seed: uint64(i), Alpha: 0.3, Workspace: ws,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Size == 0 && h.N() > 0 {
+			b.Fatal("empty MIS")
+		}
+	}
+}
+
+// RunServiceSolve is the measured body of the service-level benchmark:
+// every iteration is one uncached solve job through the scheduler
+// (cache disabled, distinct seeds would miss anyway), so allocs/op is
+// the end-to-end cost of a cache-miss request minus HTTP decoding.
+func RunServiceSolve(b *testing.B, c Case) {
+	h := c.New()
+	srv := service.New(service.Config{Workers: 1, CacheSize: -1})
+	defer srv.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, cached, err := srv.Solve(ctx, h, hypermis.Options{
+			Algorithm: c.Algo, Seed: uint64(i), Alpha: 0.3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cached {
+			b.Fatal("unexpected cache hit with caching disabled")
 		}
 		if res.Size == 0 && h.N() > 0 {
 			b.Fatal("empty MIS")

@@ -30,6 +30,12 @@
 // per-vertex randomness (index-addressed rng.At draws) are identical
 // for any engine, so a fixed seed produces bit-identical output at any
 // parallelism degree.
+//
+// The stage loop runs on the shared solver runtime: context checks,
+// the stage budget and per-stage telemetry go through solver.Loop, and
+// every buffer (masks, shard sets, CSR round arenas) is drawn from a
+// solver.Workspace so repeated runs — SBL's per-round subcalls, pooled
+// service jobs — allocate nothing once the buffers are warm.
 package bl
 
 import (
@@ -42,6 +48,7 @@ import (
 	"repro/internal/hypergraph"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // Options configures a BL run.
@@ -81,13 +88,17 @@ type Options struct {
 	// vectors, migration matrices).
 	CollectStats bool
 
-	// Scratch, if non-nil, provides the reusable CSR arenas for the
-	// per-stage fused shrink. Callers that invoke BL repeatedly (SBL's
-	// sampling rounds) pass one scratch so stages stop allocating
-	// across calls; it must not be shared with a concurrent run. nil =
-	// a fresh scratch per run. The run installs Par as the scratch's
-	// engine.
-	Scratch *hypergraph.RoundScratch
+	// Ws, if non-nil, supplies every reusable buffer of the run — the
+	// stage masks, the per-shard unmark sets and the CSR round arenas.
+	// Callers that invoke BL repeatedly (SBL's sampling rounds, pooled
+	// service jobs) pass one workspace so stages stop allocating across
+	// calls; it must not be shared with a concurrent run. nil = a fresh
+	// workspace per run.
+	Ws *solver.Workspace
+
+	// Observer, if non-nil, receives one telemetry record per stage
+	// (residual shape, decided count, stage wall time).
+	Observer solver.RoundObserver
 }
 
 // DefaultOptions is the configuration used by SBL and the experiments.
@@ -136,6 +147,26 @@ var ErrStageLimit = errors.New("bl: stage limit exceeded")
 // bitsets merged by a word-parallel OR.
 const unmarkShardThreshold = 1 << 14
 
+func init() {
+	solver.Register(solver.Descriptor{
+		Algo:       solver.BL,
+		Name:       "bl",
+		AutoMaxDim: 5,
+		Solve: func(req solver.Request) (solver.Outcome, error) {
+			opts := DefaultOptions()
+			opts.Ctx = req.Ctx
+			opts.Par = req.Par
+			opts.Ws = req.Ws
+			opts.Observer = req.Observer
+			r, err := Run(req.H, nil, req.Stream, req.Cost, opts)
+			if err != nil {
+				return solver.Outcome{}, err
+			}
+			return solver.Outcome{InIS: r.InIS, Rounds: r.Stages}, nil
+		},
+	})
+}
+
 // Run executes BL on the sub-hypergraph of h induced by the active
 // vertices. Every edge of h must consist solely of active vertices
 // (callers pass the already-induced hypergraph; SBL does). On return
@@ -150,7 +181,12 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	if opts.MaxStages == 0 {
 		opts.MaxStages = 1000000
 	}
-	live := bitset.New(n)
+	ws := opts.Ws
+	if ws == nil {
+		ws = solver.NewWorkspace()
+	}
+	ws.Reset(n, eng)
+	live := ws.Bits(0)
 	if active == nil {
 		live.SetAll(n)
 		par.ChargeStep(cost, n)
@@ -180,46 +216,49 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	// The per-stage cleanup maintains this normal form thereafter.
 	cur := hypergraph.RemoveSupersetsOn(h, eng)
 	cur, _ = dropSingletons(cur, live, res, eng)
-	par.ChargeAux(cost, int64(h.M())<<uint(minInt(h.Dim(), 30)), 1)
+	par.ChargeAux(cost, int64(h.M())<<uint(min(h.Dim(), 30)), 1)
 
-	marked := bitset.New(n)
-	unmark := bitset.New(n)
-	blue := bitset.New(n)
+	marked := ws.Bits(1)
+	unmark := ws.Bits(2)
+	blue := ws.Bits(3)
 	words := len(live)
 	// Scratch arenas for the fused per-stage shrink; the result is
 	// consumed (copied) by RemoveSupersets before the next stage writes
 	// the buffers again, so reuse across runs is safe.
-	scratch := opts.Scratch
-	if scratch == nil {
-		scratch = &hypergraph.RoundScratch{}
-	}
-	scratch.Eng = eng
+	scratch := &ws.Scratch
 	// Per-shard unmark sets for the parallel fully-marked-edge pass.
-	var shardUnmark []bitset.Set
+	shardUnmark := ws.ShardSets()
 
 	// Cached degree structure; rebuilt only after stages that changed
 	// the hypergraph.
 	dirty := true
 	var cachedDelta float64
 	var cachedDeltas []float64
-	var usedBits bitset.Set
+	usedBits := ws.Bits(4)
 	p := 1.0
 
-	for stage := 0; ; stage++ {
-		if opts.Ctx != nil {
-			if err := opts.Ctx.Err(); err != nil {
-				return nil, err
-			}
+	lp := &solver.Loop{
+		Ctx:       opts.Ctx,
+		Cost:      cost,
+		MaxRounds: opts.MaxStages,
+		LimitErr:  ErrStageLimit,
+		Unit:      "stage",
+		Observer:  opts.Observer,
+	}
+	for {
+		if err := lp.Check(); err != nil {
+			return nil, err
 		}
 		liveCount := live.Count()
 		par.ChargeReduce(cost, n)
 		if liveCount == 0 {
-			res.Stages = stage
+			res.Stages = lp.Rounds()
 			return res, nil
 		}
-		if stage >= opts.MaxStages {
-			return nil, fmt.Errorf("%w after %d stages (%d vertices live)", ErrStageLimit, stage, liveCount)
+		if err := lp.Begin(liveCount, cur.M(), cur.Dim()); err != nil {
+			return nil, err
 		}
+		stage := lp.Rounds()
 
 		st := StageStat{
 			Stage:      stage,
@@ -238,14 +277,15 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 			if opts.CollectStats {
 				res.Stats = append(res.Stats, st)
 			}
-			res.Stages = stage + 1
+			lp.End(liveCount)
+			res.Stages = lp.Rounds()
 			return res, nil
 		}
 
 		// Optional isolated-vertex fast path. The isolated set can only
 		// change when the edge set changed.
 		if opts.AddIsolatedImmediately {
-			if dirty || usedBits == nil {
+			if dirty {
 				usedBits = cur.UsedVerticesInto(usedBits)
 			}
 			iso := 0
@@ -277,7 +317,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 				d := cur.Dim()
 				p = 1.0
 				if cachedDelta > 0 {
-					a := float64(int64(1) << uint(minInt(d+1, 62)))
+					a := float64(int64(1) << uint(min(d+1, 62)))
 					p = 1.0 / (a * cachedDelta)
 				}
 				if p > 1 {
@@ -286,7 +326,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 			}
 			// Charge the degree-table build: O(m·2^d) work, O(log) depth
 			// on a PRAM (per-subset counting via sorting/hashing).
-			par.ChargeAux(cost, int64(cur.M())<<uint(minInt(cur.Dim(), 30)), 1)
+			par.ChargeAux(cost, int64(cur.M())<<uint(min(cur.Dim(), 30)), 1)
 		}
 		dirty = false
 		st.Delta = cachedDelta
@@ -336,7 +376,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 			// Per-shard scratch sets, OR-merged word-parallel (the union
 			// is order-independent, so the result is identical to the
 			// sequential pass); shards==1 writes unmark directly.
-			bitset.UnionShards(eng, unmark, n, m, shards, &shardUnmark, func(local bitset.Set, lo, hi int) {
+			bitset.UnionShards(eng, unmark, n, m, shards, shardUnmark, func(local bitset.Set, lo, hi int) {
 				markFullEdges(edges[lo:hi], marked, local)
 			})
 			par.ChargeStep(cost, len(edges))
@@ -361,6 +401,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 			if opts.CollectStats {
 				res.Stats = append(res.Stats, st)
 			}
+			lp.End(st.Isolated)
 			continue
 		}
 
@@ -395,7 +436,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		mBefore := next.M()
 		next = hypergraph.RemoveSupersetsOn(next, eng)
 		st.Supersets = mBefore - next.M()
-		par.ChargeAux(cost, int64(mBefore)<<uint(minInt(next.Dim(), 30)), 1)
+		par.ChargeAux(cost, int64(mBefore)<<uint(min(next.Dim(), 30)), 1)
 
 		var newlyRed int
 		next, newlyRed = dropSingletons(next, live, res, eng)
@@ -407,6 +448,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		if opts.CollectStats {
 			res.Stats = append(res.Stats, st)
 		}
+		lp.End(st.Isolated + added + newlyRed)
 	}
 }
 
@@ -448,11 +490,4 @@ func dropSingletons(cur *hypergraph.Hypergraph, live bitset.Set, res *Result, en
 	return hypergraph.DiscardTouching(next, func(v hypergraph.V) bool {
 		return !live.Has(int(v)) && !res.InIS[v]
 	}), newlyRed
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -6,13 +6,13 @@ import (
 	"fmt"
 	"math/bits"
 
-	"repro/internal/bitset"
 	"repro/internal/bl"
 	"repro/internal/greedy"
 	"repro/internal/hypergraph"
 	"repro/internal/kuw"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // TailSolver selects the algorithm SBL finishes with once the residual
@@ -82,6 +82,16 @@ type Options struct {
 	// set is independent in the *original* hypergraph) after every
 	// round. O(m·d) per round; meant for tests.
 	VerifyEachRound bool
+
+	// Ws, if non-nil, supplies the run's reusable buffers: the sampling
+	// masks, the round arenas, and — through Ws.Sub() — the BL
+	// subroutine's and the KUW tail's buffers (nil = a fresh workspace).
+	// Must not be shared with a concurrent run.
+	Ws *solver.Workspace
+
+	// Observer, if non-nil, receives one telemetry record per sampling
+	// round (the BL subroutine's stages are not observed).
+	Observer solver.RoundObserver
 }
 
 // RoundStat records one sampling round.
@@ -123,6 +133,32 @@ var ErrRoundLimit = errors.New("sbl: round limit exceeded")
 // ErrRetryLimit is returned when event-B retries/restarts are exhausted.
 var ErrRetryLimit = errors.New("sbl: retry limit exceeded")
 
+func init() {
+	solver.Register(solver.Descriptor{
+		Algo:        solver.SBL,
+		Name:        "sbl",
+		AutoDefault: true,
+		Solve: func(req solver.Request) (solver.Outcome, error) {
+			tail := TailKUW
+			if req.GreedyTail {
+				tail = TailGreedy
+			}
+			r, err := Run(req.H, req.Stream, req.Cost, Options{
+				Ctx:      req.Ctx,
+				Par:      req.Par,
+				Alpha:    req.Alpha,
+				Tail:     tail,
+				Ws:       req.Ws,
+				Observer: req.Observer,
+			})
+			if err != nil {
+				return solver.Outcome{}, err
+			}
+			return solver.Outcome{InIS: r.InIS, Rounds: r.Rounds}, nil
+		},
+	})
+}
+
 // Run executes Algorithm 1 on h. All randomness comes from s; cost, if
 // non-nil, accumulates work-depth charges across SBL and its
 // subroutines.
@@ -142,28 +178,33 @@ func Run(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Options) 
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = int(4*ExpectedRounds(n, params.P)) + 64
 	}
+	ws := opts.Ws
+	if ws == nil {
+		ws = solver.NewWorkspace()
+	}
+	// The workspace round scratch double-buffers the residual
+	// hypergraph's CSR arenas across rounds (and across RestartAll
+	// attempts), so a round costs no allocations once the buffers are
+	// warm. The BL subroutine and the KUW tail run on the sub-workspace
+	// — their buffers are distinct from the sampling masks and arenas,
+	// which stay live across the subcalls.
+	ws.Reset(n, opts.Par)
 	blOpts := opts.BL
 	if blOpts.MaxStages == 0 {
 		blOpts = bl.DefaultOptions()
 		blOpts.CollectStats = opts.BL.CollectStats
-		blOpts.Scratch = opts.BL.Scratch
+		blOpts.Ws = opts.BL.Ws
 	}
 	if blOpts.Ctx == nil {
 		blOpts.Ctx = opts.Ctx
 	}
 	blOpts.Par = opts.Par
-	if blOpts.Scratch == nil {
-		// One persistent scratch for every BL subcall (distinct from the
-		// SBL round scratch, whose buffers are live across bl.Run).
-		blOpts.Scratch = &hypergraph.RoundScratch{}
+	if blOpts.Ws == nil {
+		blOpts.Ws = ws.Sub()
 	}
 
-	// The round scratch double-buffers the residual hypergraph's CSR
-	// arenas across rounds (and across RestartAll attempts), so a round
-	// costs no allocations once the buffers are warm.
-	scratch := &hypergraph.RoundScratch{Eng: opts.Par}
 	for attempt := 0; ; attempt++ {
-		res, err := runOnce(h, s.Child(uint64(attempt)), cost, opts, params, blOpts, scratch)
+		res, err := runOnce(h, s.Child(uint64(attempt)), cost, opts, params, blOpts, ws)
 		if err == nil {
 			res.Restarts = attempt
 			return res, nil
@@ -175,7 +216,7 @@ func Run(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Options) 
 	}
 }
 
-func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Options, params Params, blOpts bl.Options, scratch *hypergraph.RoundScratch) (*Result, error) {
+func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Options, params Params, blOpts bl.Options, ws *solver.Workspace) (*Result, error) {
 	n := h.N()
 	res := &Result{
 		InIS:   make([]bool, n),
@@ -196,24 +237,30 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 	}
 
 	eng := opts.Par
-	undecided := bitset.New(n)
+	scratch := &ws.Scratch
+	undecided := ws.Bits(0)
 	undecided.SetAll(n)
 	par.ChargeStep(cost, n)
 	cur := h
 	// sampled is kept both packed (for the induce/commit word passes)
 	// and as a mask (the BL subroutine's active-set contract).
-	sampled := bitset.New(n)
-	sampledMask := make([]bool, n)
-	blueBits := bitset.New(n)
-	redBits := bitset.New(n)
+	sampled := ws.Bits(1)
+	sampledMask := ws.Bools(0, n)
+	blueBits := ws.Bits(2)
+	redBits := ws.Bits(3)
 	words := len(undecided)
 
-	round := 0
+	lp := &solver.Loop{
+		Ctx:       opts.Ctx,
+		Cost:      cost,
+		MaxRounds: opts.MaxRounds,
+		LimitErr:  ErrRoundLimit,
+		Unit:      "round",
+		Observer:  opts.Observer,
+	}
 	for {
-		if opts.Ctx != nil {
-			if err := opts.Ctx.Err(); err != nil {
-				return nil, err
-			}
+		if err := lp.Check(); err != nil {
+			return nil, err
 		}
 		remaining := undecided.Count()
 		par.ChargeReduce(cost, n)
@@ -221,9 +268,10 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 		if remaining < params.MinVertices {
 			break
 		}
-		if round >= opts.MaxRounds {
-			return nil, fmt.Errorf("%w after %d rounds (%d undecided)", ErrRoundLimit, round, remaining)
+		if err := lp.Begin(remaining, cur.M(), cur.Dim()); err != nil {
+			return nil, err
 		}
+		round := lp.Rounds()
 
 		st := RoundStat{Round: round, Undecided: remaining, Edges: cur.M(), P: params.P}
 
@@ -337,9 +385,9 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 		if opts.CollectStats {
 			res.Stats = append(res.Stats, st)
 		}
-		round++
+		lp.End(blue + red)
 	}
-	res.Rounds = round
+	res.Rounds = lp.Rounds()
 
 	// Lines 23–24: tail solver on the residual instance.
 	res.TailSize = undecided.Count()
@@ -349,7 +397,7 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 	undecided.WriteBools(undecidedMask)
 	switch opts.Tail {
 	case TailGreedy:
-		g := greedy.Run(cur, undecidedMask)
+		g := greedy.RunIn(cur, undecidedMask, ws.Sub())
 		for v := 0; v < n; v++ {
 			if g.InIS[v] {
 				res.InIS[v] = true
@@ -357,7 +405,7 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 		}
 		par.ChargeAux(cost, int64(res.TailSize), int64(res.TailSize))
 	default:
-		k, err := kuw.Run(cur, undecidedMask, s.Child(2_000_003), cost, kuw.Options{Ctx: opts.Ctx, Par: eng})
+		k, err := kuw.Run(cur, undecidedMask, s.Child(2_000_003), cost, kuw.Options{Ctx: opts.Ctx, Par: eng, Ws: ws.Sub()})
 		if err != nil {
 			return nil, fmt.Errorf("sbl: KUW tail: %w", err)
 		}

@@ -14,7 +14,9 @@ package greedy
 
 import (
 	"repro/internal/hypergraph"
+	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // Result reports the constructed MIS and basic counters.
@@ -24,19 +26,44 @@ type Result struct {
 	Rejected int    // vertices that would have completed an edge
 }
 
+func init() {
+	solver.Register(solver.Descriptor{
+		Algo: solver.Greedy,
+		Name: "greedy",
+		Solve: func(req solver.Request) (solver.Outcome, error) {
+			r := RunIn(req.H, nil, req.Ws)
+			return solver.Outcome{InIS: r.InIS}, nil
+		},
+	})
+}
+
 // Run computes a MIS of h restricted to the active vertices, scanning in
 // increasing vertex order. Inactive vertices are ignored entirely (not
 // in the set, not blocking). active == nil means all vertices active.
 // Edges containing inactive vertices can never be completed and are
 // skipped via the same counting logic.
 func Run(h *hypergraph.Hypergraph, active []bool) *Result {
-	order := make([]hypergraph.V, 0, h.N())
+	return RunIn(h, active, nil)
+}
+
+// RunIn is Run drawing its scan-order and per-edge counting buffers
+// from a workspace (nil = fresh buffers), so repeated solves — SBL's
+// greedy tail, pooled service jobs — allocate only the returned mask.
+// Greedy is sequential by definition, so the workspace is reset to the
+// inline engine rather than inheriting whatever degree the workspace's
+// previous job ran at.
+func RunIn(h *hypergraph.Hypergraph, active []bool, ws *solver.Workspace) *Result {
+	if ws == nil {
+		ws = solver.NewWorkspace()
+	}
+	ws.Reset(h.N(), par.Engine{P: 1})
+	order := ws.Verts(0, h.N())[:0]
 	for v := 0; v < h.N(); v++ {
 		if active == nil || active[v] {
 			order = append(order, hypergraph.V(v))
 		}
 	}
-	return RunOrder(h, active, order)
+	return runOrder(h, active, order, ws)
 }
 
 // RunPerm computes a MIS scanning active vertices in a uniformly random
@@ -60,6 +87,11 @@ func RunPerm(h *hypergraph.Hypergraph, active []bool, s *rng.Stream) *Result {
 // vertex in order must be active; vertices outside order are treated as
 // permanently out of the set. The scan costs O(Σ|e| + n).
 func RunOrder(h *hypergraph.Hypergraph, active []bool, order []hypergraph.V) *Result {
+	return runOrder(h, active, order, solver.NewWorkspace())
+}
+
+// runOrder is RunOrder over workspace-supplied counting buffers.
+func runOrder(h *hypergraph.Hypergraph, active []bool, order []hypergraph.V, ws *solver.Workspace) *Result {
 	n := h.N()
 	inIS := make([]bool, n)
 	isActive := func(v hypergraph.V) bool { return active == nil || active[v] }
@@ -67,8 +99,8 @@ func RunOrder(h *hypergraph.Hypergraph, active []bool, order []hypergraph.V) *Re
 	// chosen[e] counts vertices of edge e already in the IS. An edge can
 	// only ever be completed if all its vertices are active.
 	edges := h.Edges()
-	chosen := make([]int32, len(edges))
-	completable := make([]bool, len(edges))
+	chosen := ws.Int32s(0, len(edges))
+	completable := ws.Bools(0, len(edges))
 	if active == nil {
 		for i := range completable {
 			completable[i] = true

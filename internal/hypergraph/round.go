@@ -94,6 +94,42 @@ type RoundScratch struct {
 	tallyE, tallyV, tallyD, tallyZ []int32
 }
 
+// Poison overwrites every arena the scratch has ever grown with
+// garbage. The round pipeline fully rewrites whatever it reads back
+// (classify writes every keep/pos slot, grow+scatter+finish write
+// every arena cell of the output shape), so a poisoned scratch must
+// still produce identical rounds — the workspace-pooling property
+// tests call this between jobs to prove no stale state leaks through.
+// Hypergraphs previously served from the scratch are invalidated.
+func (scr *RoundScratch) Poison() {
+	bufs := []*csrBuf{&scr.ring[0], &scr.ring[1], &scr.sample}
+	for _, b := range bufs {
+		for i := range b.verts {
+			b.verts[i] = V(-1)
+		}
+		for i := range b.off {
+			b.off[i] = -1
+		}
+		for i := range b.edges {
+			b.edges[i] = nil
+		}
+	}
+	for i := range scr.keep {
+		scr.keep[i] = -7
+	}
+	for i := range scr.pos {
+		scr.pos[i] = -7
+	}
+	for i := range scr.spill {
+		scr.spill[i] = V(-1)
+	}
+	for _, t := range [][]int32{scr.tallyE, scr.tallyV, scr.tallyD, scr.tallyZ} {
+		for i := range t {
+			t[i] = -7
+		}
+	}
+}
+
 // edgeSorter sorts edge headers lexicographically; kept in the scratch
 // so sort.Sort receives a persistent interface value (no allocation).
 type edgeSorter struct{ edges []Edge }

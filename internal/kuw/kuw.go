@@ -29,6 +29,12 @@
 // q live edges, giving the O(√n·polylog) round behaviour measured in
 // experiment F1. Per-round depth is O(log n + log m): a permutation, a
 // per-edge max, and a min-reduction, all EREW-implementable.
+//
+// The round loop runs on the shared solver runtime: context checks,
+// the round budget and per-round telemetry go through solver.Loop, and
+// every buffer — colorings, the order/activation arrays, the CSR round
+// arenas — is drawn from a solver.Workspace, so pooled service jobs
+// and SBL's tail calls stop paying per-run arena allocations.
 package kuw
 
 import (
@@ -37,10 +43,11 @@ import (
 	"fmt"
 	"math/bits"
 
-	"repro/internal/bitset"
 	"repro/internal/hypergraph"
+	"repro/internal/mathx"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // Options configures a KUW run.
@@ -57,6 +64,13 @@ type Options struct {
 	MaxRounds int
 	// CollectStats records per-round counters.
 	CollectStats bool
+
+	// Ws, if non-nil, supplies the run's reusable buffers (nil = a
+	// fresh workspace). Must not be shared with a concurrent run.
+	Ws *solver.Workspace
+
+	// Observer, if non-nil, receives one telemetry record per round.
+	Observer solver.RoundObserver
 }
 
 // RoundStat records one round.
@@ -80,6 +94,22 @@ type Result struct {
 // ErrRoundLimit is returned when MaxRounds is exceeded.
 var ErrRoundLimit = errors.New("kuw: round limit exceeded")
 
+func init() {
+	solver.Register(solver.Descriptor{
+		Algo: solver.KUW,
+		Name: "kuw",
+		Solve: func(req solver.Request) (solver.Outcome, error) {
+			r, err := Run(req.H, nil, req.Stream, req.Cost, Options{
+				Ctx: req.Ctx, Par: req.Par, Ws: req.Ws, Observer: req.Observer,
+			})
+			if err != nil {
+				return solver.Outcome{}, err
+			}
+			return solver.Outcome{InIS: r.InIS, Rounds: r.Rounds}, nil
+		},
+	})
+}
+
 // Run executes the algorithm on the sub-hypergraph induced by active
 // (nil = all vertices). Edges of h must consist of active vertices only.
 func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost, opts Options) (*Result, error) {
@@ -88,7 +118,12 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 10*n + 100
 	}
-	live := bitset.New(n)
+	ws := opts.Ws
+	if ws == nil {
+		ws = solver.NewWorkspace()
+	}
+	ws.Reset(n, eng)
+	live := ws.Bits(0)
 	if active == nil {
 		live.SetAll(n)
 	} else {
@@ -113,22 +148,28 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	}
 	// Cumulative colorings, packed: the fused end-of-round transform
 	// tests membership by word probe.
-	inISBits := bitset.New(n)
-	redBits := bitset.New(n)
+	inISBits := ws.Bits(1)
+	redBits := ws.Bits(2)
 	words := len(live)
 	cur := h
-	pos := make([]int, n)         // position of each vertex in this round's order
-	var candidates []hypergraph.V // reused across rounds
+	pos := ws.Ints(0, n)             // position of each vertex in this round's order
+	candidates := ws.Verts(0, n)[:0] // reused across rounds; cap n, so appends never grow it
 	// Double-buffered CSR arenas for the fused end-of-round update.
-	scratch := &hypergraph.RoundScratch{Eng: eng}
+	scratch := &ws.Scratch
 
-	for round := 0; ; round++ {
-		if opts.Ctx != nil {
-			if err := opts.Ctx.Err(); err != nil {
-				return nil, err
-			}
+	lp := &solver.Loop{
+		Ctx:       opts.Ctx,
+		Cost:      cost,
+		MaxRounds: opts.MaxRounds,
+		LimitErr:  ErrRoundLimit,
+		Unit:      "round",
+		Observer:  opts.Observer,
+	}
+	for {
+		if err := lp.Check(); err != nil {
+			return nil, err
 		}
-		st := RoundStat{Round: round}
+		st := RoundStat{Round: lp.Rounds()}
 
 		// Filter phase: bulk-discard every candidate already blocked by
 		// a singleton residual edge, then drop edges touching them.
@@ -153,11 +194,11 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		par.ChargeReduce(cost, n) // flag+scan+scatter compaction
 		k := len(candidates)
 		if k == 0 {
-			res.Rounds = round
+			res.Rounds = lp.Rounds()
 			return res, nil
 		}
-		if round >= opts.MaxRounds {
-			return nil, fmt.Errorf("%w after %d rounds (%d undecided)", ErrRoundLimit, round, k)
+		if err := lp.Begin(k, cur.M(), cur.Dim()); err != nil {
+			return nil, err
 		}
 
 		st.Undecided = k
@@ -174,30 +215,40 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 			if opts.CollectStats {
 				res.Stats = append(res.Stats, st)
 			}
-			res.Rounds = round + 1
+			lp.End(st.Filtered + k)
+			res.Rounds = lp.Rounds()
 			return res, nil
 		}
 
 		// Random order on candidates; pos[v] = rank. A permutation is
-		// O(log n) depth on an EREW PRAM (sort of random keys).
-		perm := s.Child(uint64(round)).Perm(k)
+		// O(log n) depth on an EREW PRAM (sort of random keys). The
+		// identity-fill + Fisher–Yates pass below draws exactly what
+		// Stream.Perm would, into a workspace buffer.
+		perm := ws.Ints(1, k)
+		for i := range perm {
+			perm[i] = i
+		}
+		s.Child(uint64(st.Round)).Shuffle(perm)
 		eng.For(cost, k, func(i int) {
 			pos[candidates[perm[i]]] = i
 		})
-		par.ChargeAux(cost, int64(k), int64(log2(k))) // permutation generation
+		par.ChargeAux(cost, int64(k), int64(mathx.ILog2(k))) // permutation generation
 
 		// Activation position of each edge: the rank of its last vertex.
 		// Edges here contain only undecided vertices (S-vertices were
 		// shrunk away, red-touching edges discarded).
 		edges := cur.Edges()
-		act := par.MapOn(eng, cost, edges, func(e hypergraph.Edge) int {
-			m := -1
-			for _, v := range e {
-				if pos[v] > m {
-					m = pos[v]
+		act := ws.Ints(2, len(edges))
+		eng.ForBlocked(cost, len(edges), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				m := -1
+				for _, v := range edges[i] {
+					if pos[v] > m {
+						m = pos[v]
+					}
 				}
+				act[i] = m
 			}
-			return m
 		})
 		minAct := par.ReduceOn(eng, cost, act, k, func(a, b int) int {
 			if a < b {
@@ -241,7 +292,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		// matches the unfused Shrink→DiscardTouching order.)
 		next, emptied := hypergraph.NextRoundBits(cur, redBits, inISBits, scratch)
 		if emptied > 0 {
-			return nil, fmt.Errorf("kuw: %d edges fully accepted at round %d (independence broken)", emptied, round)
+			return nil, fmt.Errorf("kuw: %d edges fully accepted at round %d (independence broken)", emptied, st.Round)
 		}
 		par.ChargeStep(cost, cur.M())
 		cur = next
@@ -249,14 +300,6 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		if opts.CollectStats {
 			res.Stats = append(res.Stats, st)
 		}
+		lp.End(st.Filtered + st.Accepted + st.Discarded)
 	}
-}
-
-func log2(n int) int {
-	l := 0
-	for n > 1 {
-		n >>= 1
-		l++
-	}
-	return l
 }

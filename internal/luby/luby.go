@@ -14,6 +14,12 @@
 // The package doubles as the d=2 correctness oracle for the general
 // solvers in experiment T12: on graph inputs BL, KUW, SBL and Luby must
 // all produce valid (generally different) MISs.
+//
+// The round loop runs on the shared solver runtime: context checks,
+// the round budget and per-round telemetry go through solver.Loop, and
+// the adjacency arena, degree array and round masks are drawn from a
+// solver.Workspace, so pooled service jobs stop paying the per-run
+// adjacency allocations.
 package luby
 
 import (
@@ -22,10 +28,11 @@ import (
 	"fmt"
 	"math/bits"
 
-	"repro/internal/bitset"
 	"repro/internal/hypergraph"
+	"repro/internal/mathx"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // Options configures a run.
@@ -42,6 +49,13 @@ type Options struct {
 	MaxRounds int
 	// CollectStats records per-round counters.
 	CollectStats bool
+
+	// Ws, if non-nil, supplies the run's reusable buffers (nil = a
+	// fresh workspace). Must not be shared with a concurrent run.
+	Ws *solver.Workspace
+
+	// Observer, if non-nil, receives one telemetry record per round.
+	Observer solver.RoundObserver
 }
 
 // RoundStat records one round.
@@ -68,6 +82,24 @@ var ErrRoundLimit = errors.New("luby: round limit exceeded")
 // ErrNotGraph is returned when the input has dimension > 2.
 var ErrNotGraph = errors.New("luby: input has dimension > 2")
 
+func init() {
+	solver.Register(solver.Descriptor{
+		Algo:       solver.Luby,
+		Name:       "luby",
+		MaxDim:     2,
+		AutoMaxDim: 2,
+		Solve: func(req solver.Request) (solver.Outcome, error) {
+			r, err := Run(req.H, nil, req.Stream, req.Cost, Options{
+				Ctx: req.Ctx, Par: req.Par, Ws: req.Ws, Observer: req.Observer,
+			})
+			if err != nil {
+				return solver.Outcome{}, err
+			}
+			return solver.Outcome{InIS: r.InIS, Rounds: r.Rounds}, nil
+		},
+	})
+}
+
 // Run executes Luby's algorithm on a hypergraph of dimension ≤ 2.
 // Singleton edges block their vertex (it is red from the start), exactly
 // as in the general problem. active == nil means all vertices.
@@ -78,9 +110,14 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	n := h.N()
 	eng := opts.Par
 	if opts.MaxRounds == 0 {
-		opts.MaxRounds = 10*bitLen(n) + 50
+		opts.MaxRounds = 10*mathx.BitLen(n) + 50
 	}
-	live := bitset.New(n)
+	ws := opts.Ws
+	if ws == nil {
+		ws = solver.NewWorkspace()
+	}
+	ws.Reset(n, eng)
+	live := ws.Bits(0)
 	if active == nil {
 		live.SetAll(n)
 	} else {
@@ -94,10 +131,10 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	res := &Result{InIS: make([]bool, n), Red: make([]bool, n)}
 
 	// Adjacency among active vertices, in CSR form (per-vertex rows are
-	// subslices of one flat backing array); singleton edges block
+	// subslices of one flat workspace arena); singleton edges block
 	// immediately.
-	adj := make([][]hypergraph.V, n)
-	cnt := make([]int32, n+1)
+	adj := ws.AdjRows(n)
+	cnt := ws.Int32s(0, n+1)
 	for _, e := range h.Edges() {
 		for _, v := range e {
 			if !live.Has(int(v)) {
@@ -118,7 +155,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	for v := 1; v <= n; v++ {
 		cnt[v] += cnt[v-1]
 	}
-	flat := make([]hypergraph.V, cnt[n])
+	flat := ws.Verts(0, int(cnt[n]))
 	for _, e := range h.Edges() {
 		if len(e) != 2 {
 			continue
@@ -134,27 +171,34 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		adj[v] = flat[start:cnt[v]:cnt[v]]
 		start = cnt[v]
 	}
-	deg := make([]int, n)
-	marked := bitset.New(n)
-	losers := bitset.New(n)
+	deg := ws.Ints(0, n)
+	marked := ws.Bits(1)
+	losers := ws.Bits(2)
 	words := len(live)
-	var addedList []hypergraph.V // this round's new IS vertices, reused
+	addedList := ws.Verts(1, n)[:0] // this round's new IS vertices, reused
 
-	for round := 0; ; round++ {
-		if opts.Ctx != nil {
-			if err := opts.Ctx.Err(); err != nil {
-				return nil, err
-			}
+	lp := &solver.Loop{
+		Ctx:       opts.Ctx,
+		Cost:      cost,
+		MaxRounds: opts.MaxRounds,
+		LimitErr:  ErrRoundLimit,
+		Unit:      "round",
+		Observer:  opts.Observer,
+	}
+	for {
+		if err := lp.Check(); err != nil {
+			return nil, err
 		}
 		liveCount := live.Count()
 		par.ChargeReduce(cost, n)
 		if liveCount == 0 {
-			res.Rounds = round
+			res.Rounds = lp.Rounds()
 			return res, nil
 		}
-		if round >= opts.MaxRounds {
-			return nil, fmt.Errorf("%w after %d rounds (%d live)", ErrRoundLimit, round, liveCount)
+		if err := lp.Begin(liveCount, 0, 2); err != nil {
+			return nil, err
 		}
+		round := lp.Rounds()
 		st := RoundStat{Round: round, Live: liveCount}
 
 		// Current degrees among live vertices; the neighbour tests are
@@ -178,6 +222,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 			liveEdges += deg[v]
 		}
 		st.Edges = liveEdges / 2
+		lp.Note(st.Edges, 2)
 
 		// Marking: only live vertices draw (isolated ones join for
 		// free), through index-addressed per-vertex streams — the same
@@ -256,6 +301,7 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		if opts.CollectStats {
 			res.Stats = append(res.Stats, st)
 		}
+		lp.End(added + removed)
 	}
 }
 
@@ -266,13 +312,4 @@ func beats(u, v hypergraph.V, deg []int) bool {
 		return deg[u] > deg[v]
 	}
 	return u > v
-}
-
-func bitLen(n int) int {
-	l := 0
-	for n > 0 {
-		n >>= 1
-		l++
-	}
-	return l
 }

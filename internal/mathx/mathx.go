@@ -10,7 +10,31 @@
 // convention that makes log(2) 2^16 = 4 exact.
 package mathx
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
+
+// ILog2 returns floor(log₂ n) for n ≥ 1 and 0 for n ≤ 1 — the integer
+// logarithm the round-budget and PRAM-depth charges use (a permutation
+// of k keys costs ~log₂ k depth).
+func ILog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n)) - 1
+}
+
+// BitLen returns the number of bits needed to represent n (0 for
+// n ≤ 0): BitLen(n) = ILog2(n)+1 for n ≥ 1. Round-count defaults of
+// the form c·log₂ n use it so that BitLen(1) = 1 keeps tiny instances
+// from degenerating to a zero budget.
+func BitLen(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return bits.Len(uint(n))
+}
 
 // Log2 returns log₂(x), clamped to a minimum argument of 1 (so the
 // result is never negative or NaN for the sizes used here).

@@ -5,6 +5,36 @@ import (
 	"testing"
 )
 
+func TestILog2(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1023, 9}, {1024, 10}, {1025, 10}, {1 << 30, 30}, {1<<30 + 1, 30},
+	}
+	for _, c := range cases {
+		if got := ILog2(c.n); got != c.want {
+			t.Errorf("ILog2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{-1, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {1 << 20, 21},
+	}
+	for _, c := range cases {
+		if got := BitLen(c.n); got != c.want {
+			t.Errorf("BitLen(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Invariant the round budgets rely on: BitLen(n) = ILog2(n)+1 for n ≥ 1.
+	for n := 1; n < 10000; n++ {
+		if BitLen(n) != ILog2(n)+1 {
+			t.Fatalf("BitLen(%d) != ILog2(%d)+1", n, n)
+		}
+	}
+}
+
 func TestLog2(t *testing.T) {
 	if Log2(8) != 3 {
 		t.Fatalf("Log2(8) = %v", Log2(8))

@@ -19,6 +19,11 @@
 // Decision rule being simulated (greedy along π): vertex v joins the IS
 // unless some edge e ∋ v has every other vertex before v in π and all
 // of them in the IS.
+//
+// The resolution loop runs on the shared solver runtime: context
+// checks, the round budget and per-round telemetry go through
+// solver.Loop, and the order/state arrays are drawn from a
+// solver.Workspace.
 package permbl
 
 import (
@@ -27,8 +32,10 @@ import (
 	"fmt"
 
 	"repro/internal/hypergraph"
+	"repro/internal/mathx"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/solver"
 )
 
 // Options configures a run.
@@ -46,6 +53,13 @@ type Options struct {
 	MaxRounds int
 	// CollectStats records per-round decided counts.
 	CollectStats bool
+
+	// Ws, if non-nil, supplies the run's reusable buffers (nil = a
+	// fresh workspace). Must not be shared with a concurrent run.
+	Ws *solver.Workspace
+
+	// Observer, if non-nil, receives one telemetry record per round.
+	Observer solver.RoundObserver
 }
 
 // RoundStat records one resolution round.
@@ -66,6 +80,22 @@ type Result struct {
 // with the default limit: every round decides ≥ 1 vertex).
 var ErrRoundLimit = errors.New("permbl: round limit exceeded")
 
+func init() {
+	solver.Register(solver.Descriptor{
+		Algo: solver.PermBL,
+		Name: "permbl",
+		Solve: func(req solver.Request) (solver.Outcome, error) {
+			r, err := Run(req.H, nil, req.Stream, req.Cost, Options{
+				Ctx: req.Ctx, Par: req.Par, Ws: req.Ws, Observer: req.Observer,
+			})
+			if err != nil {
+				return solver.Outcome{}, err
+			}
+			return solver.Outcome{InIS: r.InIS, Rounds: r.Rounds}, nil
+		},
+	})
+}
+
 // Run executes the permutation algorithm on the sub-hypergraph induced
 // by active (nil = all). Edges must consist of active vertices only.
 func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost, opts Options) (*Result, error) {
@@ -73,6 +103,11 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = n + 1
 	}
+	ws := opts.Ws
+	if ws == nil {
+		ws = solver.NewWorkspace()
+	}
+	ws.Reset(n, opts.Par)
 	act := func(v hypergraph.V) bool { return active == nil || active[v] }
 	for _, e := range h.Edges() {
 		for _, v := range e {
@@ -83,44 +118,52 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 	}
 
 	// Random priorities: pos[v] = rank of v in π among active vertices.
-	var candidates []hypergraph.V
+	candidates := ws.Verts(0, n)[:0]
 	for v := 0; v < n; v++ {
 		if act(hypergraph.V(v)) {
 			candidates = append(candidates, hypergraph.V(v))
 		}
 	}
-	perm := s.Perm(len(candidates))
-	pos := make([]int, n)
+	perm := ws.Ints(1, len(candidates))
+	for i := range perm {
+		perm[i] = i
+	}
+	s.Shuffle(perm)
+	pos := ws.Ints(0, n)
 	for i := range pos {
 		pos[i] = -1
 	}
 	for i, pi := range perm {
 		pos[candidates[pi]] = i
 	}
-	par.ChargeAux(cost, int64(len(candidates)), int64(log2(len(candidates)+1)))
+	par.ChargeAux(cost, int64(len(candidates)), int64(mathx.ILog2(len(candidates)+1)))
 
 	const (
 		undecided = 0
 		inSet     = 1
 		outSet    = 2
 	)
-	state := make([]int8, n)
+	state := ws.Int8s(0, n)
 	inc := h.Incidence()
 	edges := h.Edges()
 
 	res := &Result{InIS: make([]bool, n)}
 	eng := opts.Par
-	next := make([]int8, n) // per-round decisions, reused across rounds
+	next := ws.Int8s(1, n) // per-round decisions, reused across rounds
 	pending := len(candidates)
-	for round := 0; pending > 0; round++ {
-		if opts.Ctx != nil {
-			if err := opts.Ctx.Err(); err != nil {
-				return nil, err
-			}
+	lp := &solver.Loop{
+		Ctx:       opts.Ctx,
+		Cost:      cost,
+		MaxRounds: opts.MaxRounds,
+		LimitErr:  ErrRoundLimit,
+		Unit:      "round",
+		Observer:  opts.Observer,
+	}
+	for pending > 0 {
+		if err := lp.Begin(pending, h.M(), h.Dim()); err != nil {
+			return nil, err
 		}
-		if round >= opts.MaxRounds {
-			return nil, fmt.Errorf("%w after %d rounds (%d pending)", ErrRoundLimit, round, pending)
-		}
+		round := lp.Rounds()
 		st := RoundStat{Round: round, Pending: pending}
 
 		// For each undecided vertex, try to resolve its greedy decision
@@ -198,19 +241,11 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 		if opts.CollectStats {
 			res.Stats = append(res.Stats, st)
 		}
+		lp.End(decided)
 		if decided == 0 && pending > 0 {
 			return nil, fmt.Errorf("permbl: deadlock with %d pending (impossible: the minimum-position pending vertex is always decidable)", pending)
 		}
-		res.Rounds = round + 1
 	}
+	res.Rounds = lp.Rounds()
 	return res, nil
-}
-
-func log2(n int) int {
-	l := 0
-	for n > 1 {
-		n >>= 1
-		l++
-	}
-	return l
 }

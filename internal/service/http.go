@@ -32,18 +32,22 @@ const maxBodyBytes = 64 << 20
 // declaring billions of vertices is a memory-exhaustion attack.
 const maxInstanceN = 4 << 20
 
-// SolveResponse is the JSON body of POST /v1/solve.
+// SolveResponse is the JSON body of POST /v1/solve. Trace is present
+// only on ?trace=1 requests: one record per outer solver round with the
+// residual shape (n, m, dim), the vertices decided, and the round's
+// wall time in nanoseconds.
 type SolveResponse struct {
-	Algorithm string  `json:"algorithm"`
-	N         int     `json:"n"`
-	M         int     `json:"m"`
-	Size      int     `json:"size"`
-	Rounds    int     `json:"rounds"`
-	Cached    bool    `json:"cached"`
-	ElapsedMs float64 `json:"elapsed_ms"`
-	Depth     int64   `json:"depth,omitempty"`
-	Work      int64   `json:"work,omitempty"`
-	MIS       []int   `json:"mis"`
+	Algorithm string                `json:"algorithm"`
+	N         int                   `json:"n"`
+	M         int                   `json:"m"`
+	Size      int                   `json:"size"`
+	Rounds    int                   `json:"rounds"`
+	Cached    bool                  `json:"cached"`
+	ElapsedMs float64               `json:"elapsed_ms"`
+	Depth     int64                 `json:"depth,omitempty"`
+	Work      int64                 `json:"work,omitempty"`
+	Trace     []hypermis.RoundTrace `json:"trace,omitempty"`
+	MIS       []int                 `json:"mis"`
 }
 
 // VerifyResponse is the JSON body of POST /v1/verify.
@@ -128,6 +132,7 @@ func parseSolveOptions(r *http.Request) (hypermis.Options, error) {
 	}
 	opts.UseGreedyTail = q.Get("greedytail") == "1" || q.Get("greedytail") == "true"
 	opts.CollectCost = q.Get("cost") == "1" || q.Get("cost") == "true"
+	opts.Trace = q.Get("trace") == "1" || q.Get("trace") == "true"
 	if v := q.Get("par"); v != "" {
 		p, err := strconv.Atoi(v)
 		if err != nil || p < 0 || p > 4096 {
@@ -189,6 +194,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
 		Depth:     res.Depth,
 		Work:      res.Work,
+		Trace:     res.Trace,
 		MIS:       mis,
 	})
 }

@@ -90,6 +90,51 @@ func intsToV(xs []int) []hypermis.V {
 	return vs
 }
 
+func TestHTTPSolveTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	h := hypermis.RandomMixed(6, 300, 600, 2, 8)
+	body := instanceText(t, h)
+
+	plain, _ := postSolve(t, ts, "algo=kuw&seed=3", body, ContentTypeText)
+	if len(plain.Trace) != 0 {
+		t.Fatalf("traceless solve returned %d trace records", len(plain.Trace))
+	}
+	traced, _ := postSolve(t, ts, "algo=kuw&seed=3&trace=1", body, ContentTypeText)
+	if traced.Cached {
+		t.Fatal("trace request served from the traceless cache entry")
+	}
+	if len(traced.Trace) != traced.Rounds || traced.Rounds == 0 {
+		t.Fatalf("trace has %d records for %d rounds", len(traced.Trace), traced.Rounds)
+	}
+	for i, r := range traced.Trace {
+		if r.Round != i || r.N <= 0 {
+			t.Fatalf("trace[%d] = %+v", i, r)
+		}
+	}
+	if traced.Size != plain.Size {
+		t.Fatalf("trace changed the MIS: size %d vs %d", traced.Size, plain.Size)
+	}
+	// Same-options trace requests hit their own cache entry, trace intact.
+	again, _ := postSolve(t, ts, "algo=kuw&seed=3&trace=1", body, ContentTypeText)
+	if !again.Cached || len(again.Trace) != len(traced.Trace) {
+		t.Fatalf("cached trace solve: cached=%v records=%d", again.Cached, len(again.Trace))
+	}
+
+	// Aggregate round counters surfaced in stats.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SolverRounds <= 0 || st.SolverRoundDecided <= 0 {
+		t.Fatalf("stats rounds=%d decided=%d, want > 0", st.SolverRounds, st.SolverRoundDecided)
+	}
+}
+
 func TestHTTPSolveDeterministic(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 2, CacheSize: -1})
 	h := hypermis.RandomMixed(2, 150, 300, 2, 4)

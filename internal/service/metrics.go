@@ -103,6 +103,12 @@ type Metrics struct {
 	WideJobs     atomic.Int64 // jobs granted parallelism degree > 1
 	ParGranted   atomic.Int64 // sum of granted degrees across jobs
 	SolveLatency Histogram
+	// Aggregate per-round solver telemetry, fed by the per-job
+	// RoundObserver: outer rounds executed across all jobs, vertices
+	// decided in those rounds, and total in-round wall time.
+	SolverRounds       atomic.Int64
+	SolverRoundDecided atomic.Int64
+	SolverRoundNs      atomic.Int64
 }
 
 // Stats is a JSON-ready snapshot of the service state — the payload of
@@ -127,33 +133,43 @@ type Stats struct {
 	// per-job degree cap, the number of jobs granted degree > 1, and
 	// the sum of granted degrees (par_granted_total / solves ≈ mean
 	// degree).
-	ParCap            int     `json:"par_cap"`
-	ParInUse          int     `json:"par_in_use"`
-	MaxJobParallelism int     `json:"max_job_parallelism"`
-	WideJobs          int64   `json:"jobs_wide"`
-	ParGranted        int64   `json:"par_granted_total"`
-	LatencyP50Ms      float64 `json:"latency_p50_ms"`
-	LatencyP90Ms      float64 `json:"latency_p90_ms"`
-	LatencyP99Ms      float64 `json:"latency_p99_ms"`
-	LatencyMaxMs      float64 `json:"latency_max_ms"`
+	ParCap            int   `json:"par_cap"`
+	ParInUse          int   `json:"par_in_use"`
+	MaxJobParallelism int   `json:"max_job_parallelism"`
+	WideJobs          int64 `json:"jobs_wide"`
+	ParGranted        int64 `json:"par_granted_total"`
+	// Aggregate solver-round telemetry: total outer rounds across all
+	// solves, vertices decided inside them, and the summed in-round
+	// wall time (solver_round_ms_total / solver_rounds_total ≈ mean
+	// round latency).
+	SolverRounds       int64   `json:"solver_rounds_total"`
+	SolverRoundDecided int64   `json:"solver_round_decided_total"`
+	SolverRoundMs      float64 `json:"solver_round_ms_total"`
+	LatencyP50Ms       float64 `json:"latency_p50_ms"`
+	LatencyP90Ms       float64 `json:"latency_p90_ms"`
+	LatencyP99Ms       float64 `json:"latency_p99_ms"`
+	LatencyMaxMs       float64 `json:"latency_max_ms"`
 }
 
 func (m *Metrics) snapshot() Stats {
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	return Stats{
-		Enqueued:     m.Enqueued.Load(),
-		Solves:       m.Solves.Load(),
-		Errors:       m.Errors.Load(),
-		Rejected:     m.Rejected.Load(),
-		CacheHits:    m.CacheHits.Load(),
-		CacheMisses:  m.CacheMisses.Load(),
-		Verifies:     m.Verifies.Load(),
-		Generates:    m.Generates.Load(),
-		WideJobs:     m.WideJobs.Load(),
-		ParGranted:   m.ParGranted.Load(),
-		LatencyP50Ms: ms(m.SolveLatency.Quantile(0.50)),
-		LatencyP90Ms: ms(m.SolveLatency.Quantile(0.90)),
-		LatencyP99Ms: ms(m.SolveLatency.Quantile(0.99)),
-		LatencyMaxMs: ms(m.SolveLatency.Max()),
+		Enqueued:           m.Enqueued.Load(),
+		Solves:             m.Solves.Load(),
+		Errors:             m.Errors.Load(),
+		Rejected:           m.Rejected.Load(),
+		CacheHits:          m.CacheHits.Load(),
+		CacheMisses:        m.CacheMisses.Load(),
+		Verifies:           m.Verifies.Load(),
+		Generates:          m.Generates.Load(),
+		WideJobs:           m.WideJobs.Load(),
+		ParGranted:         m.ParGranted.Load(),
+		SolverRounds:       m.SolverRounds.Load(),
+		SolverRoundDecided: m.SolverRoundDecided.Load(),
+		SolverRoundMs:      float64(m.SolverRoundNs.Load()) / float64(time.Millisecond),
+		LatencyP50Ms:       ms(m.SolveLatency.Quantile(0.50)),
+		LatencyP90Ms:       ms(m.SolveLatency.Quantile(0.90)),
+		LatencyP99Ms:       ms(m.SolveLatency.Quantile(0.99)),
+		LatencyMaxMs:       ms(m.SolveLatency.Max()),
 	}
 }

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	hypermis "repro"
+	"repro/internal/solver"
+)
+
+// poolCases is one instance per solver, small enough to keep the -race
+// runs fast but large enough that every solver executes several rounds.
+func poolCases() []struct {
+	name string
+	algo hypermis.Algorithm
+	h    *hypermis.Hypergraph
+} {
+	return []struct {
+		name string
+		algo hypermis.Algorithm
+		h    *hypermis.Hypergraph
+	}{
+		{"sbl", hypermis.AlgSBL, hypermis.RandomMixed(21, 600, 1200, 2, 12)},
+		{"bl", hypermis.AlgBL, hypermis.RandomUniform(22, 400, 800, 3)},
+		{"kuw", hypermis.AlgKUW, hypermis.RandomMixed(23, 600, 1200, 2, 8)},
+		{"luby", hypermis.AlgLuby, hypermis.RandomGraph(24, 600, 1800)},
+		{"permbl", hypermis.AlgPermBL, hypermis.RandomMixed(25, 400, 800, 2, 6)},
+	}
+}
+
+func sameMIS(t *testing.T, label string, ref, got *hypermis.Result) {
+	t.Helper()
+	if ref.Rounds != got.Rounds || ref.Size != got.Size {
+		t.Fatalf("%s: rounds/size %d/%d != %d/%d", label, got.Rounds, got.Size, ref.Rounds, ref.Size)
+	}
+	for v := range ref.MIS {
+		if ref.MIS[v] != got.MIS[v] {
+			t.Fatalf("%s: MIS differs at vertex %d", label, v)
+		}
+	}
+}
+
+// TestPooledWorkspacesBitIdenticalWithPoison drives every solver
+// through a deliberately tiny workspace pool, poisoning each workspace
+// between checkouts, and asserts results bit-identical to
+// fresh-workspace runs. Poisoning makes any read of a stale buffer —
+// cross-job mask or arena contamination — flip the output (or crash),
+// so a pass proves solvers fully re-initialize everything they borrow.
+func TestPooledWorkspacesBitIdenticalWithPoison(t *testing.T) {
+	pool := solver.NewPool(2)
+	for round := 0; round < 3; round++ {
+		for _, c := range poolCases() {
+			for seed := uint64(0); seed < 2; seed++ {
+				ref, err := hypermis.Solve(c.h, hypermis.Options{Algorithm: c.algo, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s fresh: %v", c.name, err)
+				}
+				ws := pool.Get()
+				ws.Poison()
+				got, err := hypermis.Solve(c.h, hypermis.Options{Algorithm: c.algo, Seed: seed, Workspace: ws})
+				pool.Put(ws)
+				if err != nil {
+					t.Fatalf("%s pooled: %v", c.name, err)
+				}
+				sameMIS(t, fmt.Sprintf("%s seed=%d round=%d", c.name, seed, round), ref, got)
+			}
+		}
+	}
+}
+
+// TestConcurrentServiceJobsSharePoolSafely floods a small-pool server
+// with concurrent jobs across all five solvers and verifies every
+// result against an uncached fresh-workspace reference. Run under
+// -race (CI does) this is the cross-job contamination property test at
+// the service level: workers concurrently check workspaces in and out
+// of the shared pool while solving.
+func TestConcurrentServiceJobsSharePoolSafely(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 256, CacheSize: -1})
+	defer s.Close()
+
+	type ref struct {
+		algo hypermis.Algorithm
+		h    *hypermis.Hypergraph
+		seed uint64
+		want *hypermis.Result
+	}
+	var refs []ref
+	for _, c := range poolCases() {
+		for seed := uint64(0); seed < 3; seed++ {
+			want, err := hypermis.Solve(c.h, hypermis.Options{Algorithm: c.algo, Seed: seed})
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			refs = append(refs, ref{c.algo, c.h, seed, want})
+		}
+	}
+
+	const repeats = 2
+	var wg sync.WaitGroup
+	errs := make(chan error, len(refs)*repeats)
+	for rep := 0; rep < repeats; rep++ {
+		for _, r := range refs {
+			wg.Add(1)
+			go func(r ref) {
+				defer wg.Done()
+				got, _, err := s.Solve(context.Background(), r.h, hypermis.Options{Algorithm: r.algo, Seed: r.seed})
+				if err != nil {
+					errs <- fmt.Errorf("algo=%v seed=%d: %v", r.algo, r.seed, err)
+					return
+				}
+				if got.Size != r.want.Size || got.Rounds != r.want.Rounds {
+					errs <- fmt.Errorf("algo=%v seed=%d: size/rounds %d/%d want %d/%d",
+						r.algo, r.seed, got.Size, got.Rounds, r.want.Size, r.want.Rounds)
+					return
+				}
+				for v := range r.want.MIS {
+					if got.MIS[v] != r.want.MIS[v] {
+						errs <- fmt.Errorf("algo=%v seed=%d: MIS differs at %d", r.algo, r.seed, v)
+						return
+					}
+				}
+			}(r)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := s.Stats(); st.SolverRounds <= 0 {
+		t.Errorf("solver_rounds_total = %d after %d jobs, want > 0", st.SolverRounds, len(refs)*repeats)
+	}
+}
+
+// TestJobKeySeparatesTrace: a cached traceless result must not serve a
+// trace request and vice versa.
+func TestJobKeySeparatesTrace(t *testing.T) {
+	h := testInstance(9)
+	plain := JobKey(h, hypermis.Options{Algorithm: hypermis.AlgSBL, Seed: 1})
+	traced := JobKey(h, hypermis.Options{Algorithm: hypermis.AlgSBL, Seed: 1, Trace: true})
+	if plain == traced {
+		t.Fatal("JobKey ignores Trace")
+	}
+}

@@ -9,7 +9,8 @@
 //
 //	POST /v1/solve     body = instance; query algo, seed, alpha,
 //	                   greedytail, cost, par (requested parallelism
-//	                   degree). Returns a JSON SolveResponse.
+//	                   degree), trace (trace=1 adds per-round telemetry
+//	                   to the response). Returns a JSON SolveResponse.
 //	POST /v1/verify    body = instance; query mis = comma-separated
 //	                   vertex ids. 200 on a valid MIS, 422 otherwise.
 //	POST /v1/generate  query kind, n, m, d, min, max, seed, format.
@@ -32,6 +33,17 @@
 // hypermis.SolveCtx under the job's context capped by Config.JobTimeout,
 // so a cancelled client or an expired deadline stops the solver at the
 // next outer round instead of burning the pool.
+//
+// Every job solves on a pooled solver workspace (hypermis.Workspace):
+// the pool is sized by the parallelism token pool, so steady-state
+// traffic recycles a fixed set of warm arenas and an uncached solve
+// allocates ~no arena memory. Workspaces are handed to exactly one job
+// at a time and solvers zero every buffer at checkout, so recycling is
+// invisible in results — the pooling property test poisons workspaces
+// between jobs to prove it. Each job also installs a RoundObserver
+// feeding the aggregate per-round counters in Stats
+// (solver_rounds_total, solver_round_decided_total,
+// solver_round_ms_total).
 //
 // # Per-job parallelism
 //
@@ -75,6 +87,7 @@ import (
 
 	hypermis "repro"
 	"repro/internal/hgio"
+	"repro/internal/solver"
 )
 
 // Config sizes the scheduler. The zero value of any field selects its
@@ -162,6 +175,12 @@ type Server struct {
 	// by the pool, and the aggregate granted degree can never exceed it.
 	parTokens chan struct{}
 
+	// wsPool recycles solver workspaces across jobs. It is sized by the
+	// parallelism token pool — the number of jobs that can be solving
+	// simultaneously — so steady-state traffic runs on a fixed set of
+	// warm workspaces and an uncached solve allocates ~no arena memory.
+	wsPool *solver.Pool
+
 	// closeMu serializes enqueues against Close: submissions hold the
 	// read side across the closed-check and the channel send, so once
 	// Close holds the write side and sets isClosed, no job can slip into
@@ -185,6 +204,7 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		queue:     make(chan *job, cfg.QueueDepth),
 		parTokens: make(chan struct{}, poolSize),
+		wsPool:    solver.NewPool(poolSize),
 		closed:    make(chan struct{}),
 	}
 	for i := 0; i < poolSize; i++ {
@@ -233,8 +253,10 @@ func JobKey(h *hypermis.Hypergraph, opts hypermis.Options) string {
 		}
 		greedyTail = opts.UseGreedyTail
 	}
-	return fmt.Sprintf("%s|algo=%s|seed=%d|alpha=%g|gtail=%t|cost=%t",
-		hgio.Digest(h), algo, opts.Seed, alpha, greedyTail, opts.CollectCost)
+	// Trace is part of the key: the MIS is identical either way, but a
+	// cached traceless result cannot serve a ?trace=1 request.
+	return fmt.Sprintf("%s|algo=%s|seed=%d|alpha=%g|gtail=%t|cost=%t|trace=%t",
+		hgio.Digest(h), algo, opts.Seed, alpha, greedyTail, opts.CollectCost, opts.Trace)
 }
 
 // Solve computes (or recalls) the MIS of h under opts. The boolean
@@ -370,6 +392,16 @@ func (s *Server) run(j *job) {
 	if grant > 1 {
 		s.metrics.WideJobs.Add(1)
 	}
+	// Pooled workspace + aggregate round telemetry: the solve draws its
+	// arenas from a recycled workspace and every outer solver round
+	// bumps the service-wide round counters.
+	ws := s.wsPool.Get()
+	j.opts.Workspace = ws
+	j.opts.RoundObserver = func(r hypermis.RoundTrace) {
+		s.metrics.SolverRounds.Add(1)
+		s.metrics.SolverRoundDecided.Add(int64(r.Decided))
+		s.metrics.SolverRoundNs.Add(int64(r.Elapsed))
+	}
 	start := time.Now()
 	ctx := j.ctx
 	if s.cfg.JobTimeout > 0 {
@@ -378,6 +410,7 @@ func (s *Server) run(j *job) {
 		defer cancel()
 	}
 	res, err := hypermis.SolveCtx(ctx, j.h, j.opts)
+	s.wsPool.Put(ws)
 	s.releaseParallelism(grant)
 	if err != nil {
 		s.metrics.Errors.Add(1)

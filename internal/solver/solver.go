@@ -1,0 +1,218 @@
+// Package solver is the shared runtime layer under the five MIS
+// solvers (SBL, BL, KUW, Luby, PermBL) and the sequential greedy
+// baseline. The algorithms differ, but their operational skeleton is
+// identical — a per-round residual shrink driven by decision masks
+// under a round budget — and this package owns everything that
+// skeleton needs:
+//
+//   - Registry: each solver package registers a Descriptor (name,
+//     dimension constraints, auto-selection role, entry point) at init
+//     time, and the public hypermis API dispatches through Lookup /
+//     Resolve instead of a hand-maintained switch. A new algorithm is
+//     a new Register call, not a sixth copy of the dispatch.
+//   - Loop (loop.go): the round-loop driver centralizing context
+//     checks, round counting, MaxRounds/MaxStages budgets and the
+//     per-round telemetry hook.
+//   - Workspace / Pool (workspace.go): pooled per-job buffers — CSR
+//     round arenas, bitset masks, decision slices — so a steady-state
+//     service job allocates ~zero arena memory.
+//
+// Import discipline: the solver packages import this one (for
+// Workspace, Loop and registration); this package imports only the
+// data layers (hypergraph, bitset, par, rng). The public hypermis
+// package sits on top and re-exports the types that appear in its API.
+package solver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/hypergraph"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// Algorithm identifies an MIS solver. The hypermis package aliases
+// this type and re-exports the constants as AlgAuto, AlgSBL, … — the
+// values here are the single source of truth.
+type Algorithm int
+
+const (
+	// Auto is not a solver: Resolve maps it to a registered algorithm
+	// by the instance's dimension (see Descriptor.AutoMaxDim).
+	Auto Algorithm = iota
+	// SBL is the paper's sampling algorithm (Algorithm 1).
+	SBL
+	// BL is the Beame–Luby marking algorithm (Algorithm 2).
+	BL
+	// KUW is the Karp–Upfal–Wigderson O(√n)-round algorithm.
+	KUW
+	// Luby is Luby's graph algorithm (dimension ≤ 2).
+	Luby
+	// Greedy is the sequential linear-time baseline.
+	Greedy
+	// PermBL is the random-permutation Beame–Luby algorithm.
+	PermBL
+)
+
+// String names the algorithm via the registry ("auto" for Auto).
+func (a Algorithm) String() string {
+	if a == Auto {
+		return "auto"
+	}
+	if d, ok := Lookup(a); ok {
+		return d.Name
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Request is the uniform solver invocation the registry dispatches:
+// everything a registered entry point needs, algorithm-specific knobs
+// included (solvers ignore the ones that do not apply to them).
+type Request struct {
+	// H is the input hypergraph; solvers run on all its vertices.
+	H *hypergraph.Hypergraph
+	// Stream provides all randomness for the run.
+	Stream *rng.Stream
+	// Cost, if non-nil, accumulates idealized PRAM work/depth charges.
+	Cost *par.Cost
+	// Ws is the run's workspace. The dispatcher always supplies one
+	// (callers without a pooled workspace get a fresh one).
+	Ws *Workspace
+	// Ctx, if non-nil, cancels the run cooperatively at round
+	// boundaries.
+	Ctx context.Context
+	// Par bounds worker parallelism (zero value = whole machine).
+	Par par.Engine
+	// Observer, if non-nil, receives one telemetry record per outer
+	// round of the top-level solver.
+	Observer RoundObserver
+
+	// Alpha is SBL's sampling exponent (0 = default).
+	Alpha float64
+	// GreedyTail makes SBL finish with the sequential solver.
+	GreedyTail bool
+}
+
+// Outcome is the uniform result of a registered solve.
+type Outcome struct {
+	// InIS is the maximal independent set as a vertex mask.
+	InIS []bool
+	// Rounds is the solver's outer round/stage count (0 for greedy).
+	Rounds int
+}
+
+// SolveFunc is a registered solver entry point.
+type SolveFunc func(Request) (Outcome, error)
+
+// Descriptor declares a solver to the registry.
+type Descriptor struct {
+	// Algo is the algorithm constant this descriptor serves.
+	Algo Algorithm
+	// Name is the canonical lowercase name (ParseAlgorithm accepts it,
+	// Algorithm.String returns it).
+	Name string
+	// MaxDim restricts admissible inputs: instances with dimension
+	// greater than MaxDim are rejected before dispatch (0 = unbounded).
+	MaxDim int
+	// AutoMaxDim gives the solver a role in auto-selection: Resolve
+	// picks the registered solver with the smallest nonzero AutoMaxDim
+	// that is ≥ the instance dimension (0 = no auto role).
+	AutoMaxDim int
+	// AutoDefault marks the fallback Resolve uses when no AutoMaxDim
+	// admits the instance. Exactly one registered solver sets it.
+	AutoDefault bool
+	// Solve is the entry point.
+	Solve SolveFunc
+}
+
+// registry is populated by the solver packages' init functions and
+// read-only afterwards, so lookups need no locking. ordered mirrors it
+// sorted by Algorithm value, maintained at Register time so the
+// dispatch-path helpers (Resolve, LookupName, Descriptors) never
+// allocate or re-sort per call.
+var (
+	registry = map[Algorithm]Descriptor{}
+	ordered  []Descriptor
+)
+
+// Register installs a solver descriptor. It panics on a duplicate
+// Algo or Name, or a nil entry point — registration bugs are
+// programmer errors and should fail loudly at init.
+func Register(d Descriptor) {
+	if d.Solve == nil {
+		panic(fmt.Sprintf("solver: Register(%q) with nil Solve", d.Name))
+	}
+	if d.Name == "" || d.Name == "auto" {
+		panic(fmt.Sprintf("solver: Register with reserved name %q", d.Name))
+	}
+	if prev, dup := registry[d.Algo]; dup {
+		panic(fmt.Sprintf("solver: duplicate registration for %q/%q", prev.Name, d.Name))
+	}
+	for _, other := range registry {
+		if other.Name == d.Name {
+			panic(fmt.Sprintf("solver: duplicate name %q", d.Name))
+		}
+	}
+	registry[d.Algo] = d
+	ordered = append(ordered, d)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Algo < ordered[j].Algo })
+}
+
+// Lookup returns the descriptor registered for a.
+func Lookup(a Algorithm) (Descriptor, bool) {
+	d, ok := registry[a]
+	return d, ok
+}
+
+// LookupName returns the descriptor registered under name.
+func LookupName(name string) (Descriptor, bool) {
+	for _, d := range ordered {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Descriptor{}, false
+}
+
+// Descriptors returns every registered descriptor ordered by
+// Algorithm value (the menu order of the public constants). The slice
+// is the registry's own ordering — callers must not modify it.
+func Descriptors() []Descriptor {
+	return ordered
+}
+
+// Names returns the registered algorithm names in Descriptors order.
+func Names() []string {
+	ds := Descriptors()
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Resolve maps Auto to the concrete algorithm for an instance of the
+// given dimension — the registered solver with the smallest nonzero
+// AutoMaxDim admitting it, else the AutoDefault solver. Any other
+// algorithm is returned unchanged.
+func Resolve(dim int, a Algorithm) Algorithm {
+	if a != Auto {
+		return a
+	}
+	best, fallback := Algorithm(-1), Algorithm(-1)
+	bestCap := int(^uint(0) >> 1)
+	for _, d := range Descriptors() {
+		if d.AutoMaxDim > 0 && d.AutoMaxDim >= dim && d.AutoMaxDim < bestCap {
+			best, bestCap = d.Algo, d.AutoMaxDim
+		}
+		if d.AutoDefault && fallback < 0 {
+			fallback = d.Algo
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return fallback
+}

@@ -1,0 +1,263 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/par"
+)
+
+// Fake algorithm ids well clear of the real constants so the test
+// registrations never collide with solver packages (which are not
+// imported by this test binary anyway).
+const (
+	testAlgoA Algorithm = 100 + iota
+	testAlgoB
+	testAlgoC
+)
+
+func testRegister(t *testing.T, d Descriptor) {
+	t.Helper()
+	if d.Solve == nil {
+		d.Solve = func(Request) (Outcome, error) { return Outcome{}, nil }
+	}
+	Register(d)
+	t.Cleanup(func() {
+		delete(registry, d.Algo)
+		for i := range ordered {
+			if ordered[i].Algo == d.Algo {
+				ordered = append(ordered[:i], ordered[i+1:]...)
+				break
+			}
+		}
+	})
+}
+
+func TestRegistryLookupAndNames(t *testing.T) {
+	testRegister(t, Descriptor{Algo: testAlgoB, Name: "zzz-b"})
+	testRegister(t, Descriptor{Algo: testAlgoA, Name: "zzz-a"})
+
+	if d, ok := Lookup(testAlgoA); !ok || d.Name != "zzz-a" {
+		t.Fatalf("Lookup(testAlgoA) = %+v, %t", d, ok)
+	}
+	if d, ok := LookupName("zzz-b"); !ok || d.Algo != testAlgoB {
+		t.Fatalf("LookupName(zzz-b) = %+v, %t", d, ok)
+	}
+	if _, ok := LookupName("nope"); ok {
+		t.Fatal("LookupName(nope) succeeded")
+	}
+	// Descriptors/Names are ordered by Algorithm value regardless of
+	// registration order.
+	names := Names()
+	ia, ib := -1, -1
+	for i, n := range names {
+		switch n {
+		case "zzz-a":
+			ia = i
+		case "zzz-b":
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("Names() order wrong: %v", names)
+	}
+	if testAlgoA.String() != "zzz-a" {
+		t.Fatalf("String() = %q", testAlgoA.String())
+	}
+	if Auto.String() != "auto" {
+		t.Fatalf("Auto.String() = %q", Auto.String())
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndReservedNames(t *testing.T) {
+	testRegister(t, Descriptor{Algo: testAlgoA, Name: "zzz-a"})
+	mustPanic := func(name string, d Descriptor) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Register did not panic", name)
+			}
+		}()
+		Register(d)
+	}
+	mustPanic("dup algo", Descriptor{Algo: testAlgoA, Name: "other", Solve: func(Request) (Outcome, error) { return Outcome{}, nil }})
+	mustPanic("dup name", Descriptor{Algo: testAlgoB, Name: "zzz-a", Solve: func(Request) (Outcome, error) { return Outcome{}, nil }})
+	mustPanic("reserved", Descriptor{Algo: testAlgoB, Name: "auto", Solve: func(Request) (Outcome, error) { return Outcome{}, nil }})
+	mustPanic("nil solve", Descriptor{Algo: testAlgoB, Name: "zzz-b"})
+}
+
+func TestResolveUsesAutoRoles(t *testing.T) {
+	testRegister(t, Descriptor{Algo: testAlgoA, Name: "zzz-a", AutoMaxDim: 2})
+	testRegister(t, Descriptor{Algo: testAlgoB, Name: "zzz-b", AutoMaxDim: 5})
+	testRegister(t, Descriptor{Algo: testAlgoC, Name: "zzz-c", AutoDefault: true})
+
+	cases := []struct {
+		dim  int
+		want Algorithm
+	}{
+		{0, testAlgoA}, {1, testAlgoA}, {2, testAlgoA},
+		{3, testAlgoB}, {5, testAlgoB},
+		{6, testAlgoC}, {40, testAlgoC},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.dim, Auto); got != c.want {
+			t.Errorf("Resolve(dim=%d, Auto) = %v, want %v", c.dim, got, c.want)
+		}
+	}
+	// Non-auto algorithms pass through untouched.
+	if got := Resolve(40, testAlgoA); got != testAlgoA {
+		t.Errorf("Resolve(non-auto) = %v", got)
+	}
+}
+
+func TestLoopBudgetAndRounds(t *testing.T) {
+	limit := errors.New("limit hit")
+	lp := &Loop{MaxRounds: 3, LimitErr: limit, Unit: "stage"}
+	for i := 0; i < 3; i++ {
+		if err := lp.Begin(10-i, 5, 3); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		lp.End(1)
+	}
+	if lp.Rounds() != 3 {
+		t.Fatalf("Rounds() = %d", lp.Rounds())
+	}
+	err := lp.Begin(7, 5, 3)
+	if !errors.Is(err, limit) {
+		t.Fatalf("budget error = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestLoopContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	lp := &Loop{Ctx: ctx, MaxRounds: 100, LimitErr: errors.New("x")}
+	if err := lp.Begin(1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	lp.End(0)
+	cancel()
+	if err := lp.Check(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Check() = %v", err)
+	}
+	if err := lp.Begin(1, 1, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Begin() = %v", err)
+	}
+}
+
+func TestLoopObserverRecords(t *testing.T) {
+	var got []Round
+	lp := &Loop{MaxRounds: 10, LimitErr: errors.New("x"), Observer: func(r Round) { got = append(got, r) }}
+	if err := lp.Begin(9, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	lp.Note(2, 2)
+	lp.End(5)
+	if err := lp.Begin(4, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	lp.End(4)
+	if len(got) != 2 {
+		t.Fatalf("observer saw %d rounds", len(got))
+	}
+	want0 := Round{Round: 0, N: 9, M: 2, Dim: 2, Decided: 5, Elapsed: got[0].Elapsed}
+	if got[0] != want0 {
+		t.Fatalf("round 0 = %+v, want %+v", got[0], want0)
+	}
+	if got[1].Round != 1 || got[1].N != 4 || got[1].Decided != 4 {
+		t.Fatalf("round 1 = %+v", got[1])
+	}
+	if got[0].Elapsed < 0 || got[0].Elapsed > time.Minute {
+		t.Fatalf("implausible elapsed %v", got[0].Elapsed)
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Fatal("Tee(nil, nil) != nil")
+	}
+	calls := 0
+	one := RoundObserver(func(Round) { calls++ })
+	Tee(one, nil)(Round{})
+	Tee(nil, one)(Round{})
+	Tee(one, one)(Round{})
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+}
+
+func TestWorkspaceBuffersZeroedAtCheckout(t *testing.T) {
+	ws := NewWorkspace()
+	ws.Reset(130, par.Engine{P: 1})
+	b := ws.Bits(0)
+	b.Add(5)
+	b.Add(129)
+	ints := ws.Ints(0, 40)
+	ints[7] = 9
+	bools := ws.Bools(0, 40)
+	bools[3] = true
+	verts := ws.Verts(0, 16)
+	verts[2] = 11
+
+	ws.Poison()
+
+	if got := ws.Bits(0); got.Count() != 0 {
+		t.Fatalf("Bits not zeroed after poison: %d set", got.Count())
+	}
+	for i, v := range ws.Ints(0, 40) {
+		if v != 0 {
+			t.Fatalf("Ints[%d] = %d after poison", i, v)
+		}
+	}
+	for i, v := range ws.Bools(0, 40) {
+		if v {
+			t.Fatalf("Bools[%d] true after poison", i)
+		}
+	}
+	for i, v := range ws.Verts(0, 16) {
+		if v != 0 {
+			t.Fatalf("Verts[%d] = %d after poison", i, v)
+		}
+	}
+	// Distinct slots are distinct buffers.
+	a, c := ws.Ints(1, 8), ws.Ints(2, 8)
+	a[0] = 1
+	if c[0] != 0 {
+		t.Fatal("slots share storage")
+	}
+	// Sub-workspaces are distinct from their parents.
+	if ws.Sub() == ws || ws.Sub() != ws.Sub() {
+		t.Fatal("Sub() identity broken")
+	}
+	sb := ws.Sub()
+	sb.Reset(64, par.Engine{})
+	if &sb.Scratch == &ws.Scratch {
+		t.Fatal("sub shares scratch")
+	}
+}
+
+func TestPoolBounded(t *testing.T) {
+	p := NewPool(2)
+	a, b, c := NewWorkspace(), NewWorkspace(), NewWorkspace()
+	p.Put(a)
+	p.Put(b)
+	p.Put(c) // dropped: pool full
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	g1, g2 := p.Get(), p.Get()
+	if g1 != a || g2 != b {
+		t.Fatal("pool is not FIFO over its retained workspaces")
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", p.Len())
+	}
+	if p.Get() == nil {
+		t.Fatal("empty pool must mint a workspace")
+	}
+	p.Put(nil) // must not panic or park a nil
+	if p.Len() != 0 {
+		t.Fatal("nil was parked")
+	}
+}

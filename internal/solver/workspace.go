@@ -1,0 +1,216 @@
+package solver
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/hypergraph"
+	"repro/internal/par"
+)
+
+// Workspace bundles every reusable buffer a solver run needs: the CSR
+// round arenas (hypergraph.RoundScratch), the packed decision masks,
+// and the per-vertex decision/order slices. Buffers are grow-only, so
+// a workspace recycled across jobs of similar size reaches a steady
+// state where a full solve allocates ~nothing.
+//
+// Checkout discipline: a run calls Reset(n, eng) once, then draws
+// buffers through the slot-indexed accessors. Every accessor returns
+// its buffer zeroed, so a recycled workspace can never leak one job's
+// decisions into the next — the pooling property test poisons
+// workspaces between checkouts to enforce exactly this. Distinct slots
+// of one family are distinct buffers; calling an accessor again for
+// the same slot re-zeroes and returns the same buffer.
+//
+// A workspace must not be shared by concurrent runs. Solvers that
+// invoke other solvers (SBL runs BL every round and KUW as its tail)
+// pass Sub() — a dedicated child workspace recycled with its parent —
+// so the caller's masks stay live across the subcall.
+type Workspace struct {
+	// Scratch is the double-buffered CSR arena set of the fused round
+	// pipeline. Reset installs the run's engine into it.
+	Scratch hypergraph.RoundScratch
+
+	n     int
+	bits  []bitset.Set
+	bools [][]bool
+	ints  [][]int
+	i8s   [][]int8
+	i32s  [][]int32
+	verts [][]hypergraph.V
+	rows  [][][]hypergraph.V
+	shard []bitset.Set
+	sub   *Workspace
+}
+
+// NewWorkspace returns an empty workspace. The zero value is also
+// ready; this exists for symmetry with the public hypermis re-export.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Reset prepares the workspace for a run over n vertices under eng:
+// it sizes the bitset accessors and installs the engine into the round
+// scratch. Buffer contents are zeroed lazily at checkout, not here.
+func (ws *Workspace) Reset(n int, eng par.Engine) {
+	ws.n = n
+	ws.Scratch.Eng = eng
+}
+
+// Sub returns the workspace for subordinate solver runs (SBL's BL
+// rounds and KUW tail), created on first use and recycled with the
+// parent. The child shares no buffers with the parent, so the parent's
+// masks and round arenas stay valid across the subcall.
+func (ws *Workspace) Sub() *Workspace {
+	if ws.sub == nil {
+		ws.sub = &Workspace{}
+	}
+	return ws.sub
+}
+
+// grow returns bufs[slot] resized to n and zeroed, growing the slot
+// table and reallocating only when capacity is insufficient.
+func grow[T any](bufs *[][]T, slot, n int) []T {
+	for len(*bufs) <= slot {
+		*bufs = append(*bufs, nil)
+	}
+	b := (*bufs)[slot]
+	if cap(b) < n {
+		b = make([]T, n)
+	} else {
+		b = b[:n]
+		clear(b)
+	}
+	(*bufs)[slot] = b
+	return b
+}
+
+// Bits returns the slot-th vertex mask — a zeroed bitset over the n
+// vertices Reset declared.
+func (ws *Workspace) Bits(slot int) bitset.Set {
+	for len(ws.bits) <= slot {
+		ws.bits = append(ws.bits, nil)
+	}
+	ws.bits[slot] = ws.bits[slot].Grow(ws.n)
+	return ws.bits[slot]
+}
+
+// Bools returns the slot-th boolean buffer, zeroed, of length n.
+func (ws *Workspace) Bools(slot, n int) []bool { return grow(&ws.bools, slot, n) }
+
+// Ints returns the slot-th int buffer, zeroed, of length n.
+func (ws *Workspace) Ints(slot, n int) []int { return grow(&ws.ints, slot, n) }
+
+// Int8s returns the slot-th int8 buffer, zeroed, of length n.
+func (ws *Workspace) Int8s(slot, n int) []int8 { return grow(&ws.i8s, slot, n) }
+
+// Int32s returns the slot-th int32 buffer, zeroed, of length n.
+func (ws *Workspace) Int32s(slot, n int) []int32 { return grow(&ws.i32s, slot, n) }
+
+// Verts returns the slot-th vertex buffer, zeroed, of length n. Pass
+// n = 0 for an empty append target with recycled capacity (candidate
+// lists).
+func (ws *Workspace) Verts(slot, n int) []hypergraph.V { return grow(&ws.verts, slot, n) }
+
+// AdjRows returns the adjacency-row buffer, zeroed, of length n (one
+// slice header per vertex; Luby's CSR adjacency points them into a
+// Verts arena).
+func (ws *Workspace) AdjRows(n int) [][]hypergraph.V { return grow(&ws.rows, 0, n) }
+
+// ShardSets returns the per-shard bitset pool for parallel scatter
+// writes (bitset.UnionShards grows and zeroes the sets it uses, so no
+// checkout zeroing is needed).
+func (ws *Workspace) ShardSets() *[]bitset.Set { return &ws.shard }
+
+// Poison overwrites every buffer the workspace has ever handed out
+// with garbage (and recurses into the sub-workspace and the round
+// scratch). Tests call it between pool checkouts: because accessors
+// zero at checkout and the round pipeline fully writes its arenas, a
+// poisoned workspace must still produce bit-identical results — any
+// difference is a cross-job contamination bug.
+func (ws *Workspace) Poison() {
+	for _, b := range ws.bits {
+		for i := range b {
+			b[i] = 0xDEADBEEFDEADBEEF
+		}
+	}
+	for _, b := range ws.bools {
+		for i := range b {
+			b[i] = true
+		}
+	}
+	for _, b := range ws.ints {
+		for i := range b {
+			b[i] = -0x5EED
+		}
+	}
+	for _, b := range ws.i8s {
+		for i := range b {
+			b[i] = -86
+		}
+	}
+	for _, b := range ws.i32s {
+		for i := range b {
+			b[i] = -0x5EED
+		}
+	}
+	for _, b := range ws.verts {
+		for i := range b {
+			b[i] = hypergraph.V(-1)
+		}
+	}
+	for _, rows := range ws.rows {
+		for i := range rows {
+			rows[i] = nil
+		}
+	}
+	for _, b := range ws.shard {
+		for i := range b {
+			b[i] = 0xDEADBEEFDEADBEEF
+		}
+	}
+	ws.Scratch.Poison()
+	if ws.sub != nil {
+		ws.sub.Poison()
+	}
+}
+
+// Pool is a bounded free list of workspaces. The service sizes it by
+// its parallelism token pool — the number of jobs that can hold a
+// workspace simultaneously — so steady-state traffic recycles a fixed
+// set of warm workspaces instead of growing one per request. Get never
+// blocks (an empty pool hands out a fresh workspace) and Put never
+// blocks (a full pool drops the workspace for the GC).
+type Pool struct {
+	free chan *Workspace
+}
+
+// NewPool returns a pool retaining at most size workspaces (size < 1
+// is treated as 1).
+func NewPool(size int) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{free: make(chan *Workspace, size)}
+}
+
+// Get checks out a workspace, creating one if the pool is empty.
+func (p *Pool) Get() *Workspace {
+	select {
+	case ws := <-p.free:
+		return ws
+	default:
+		return NewWorkspace()
+	}
+}
+
+// Put returns a workspace to the pool; if the pool is already full the
+// workspace is dropped. The caller must not use ws afterwards.
+func (p *Pool) Put(ws *Workspace) {
+	if ws == nil {
+		return
+	}
+	select {
+	case p.free <- ws:
+	default:
+	}
+}
+
+// Len reports how many workspaces are currently parked in the pool.
+func (p *Pool) Len() int { return len(p.free) }

@@ -1,0 +1,98 @@
+package hypermis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+// algorithmConstants is the full public enum. A new Algorithm constant
+// must be added here too — TestRegistryCompleteness then forces it
+// through the registry, so the enum, the names list and the dispatch
+// can never drift apart again.
+var algorithmConstants = []Algorithm{AlgAuto, AlgSBL, AlgBL, AlgKUW, AlgLuby, AlgGreedy, AlgPermBL}
+
+// TestRegistryCompleteness asserts the invariants that replaced the
+// old hand-maintained switch dispatch:
+//  1. every non-auto Algorithm constant has a registered descriptor,
+//  2. every AlgorithmNames entry parses and round-trips through
+//     String(), and
+//  3. the registry contains nothing the public enum does not name.
+func TestRegistryCompleteness(t *testing.T) {
+	for _, a := range algorithmConstants {
+		if a == AlgAuto {
+			continue
+		}
+		d, ok := solver.Lookup(a)
+		if !ok {
+			t.Errorf("Algorithm %d (%s) has no registered solver", int(a), a)
+			continue
+		}
+		if d.Solve == nil {
+			t.Errorf("%s: registered with nil entry point", d.Name)
+		}
+		if d.Name != a.String() {
+			t.Errorf("descriptor name %q != String() %q", d.Name, a.String())
+		}
+	}
+
+	if AlgorithmNames[0] != "auto" {
+		t.Fatalf("AlgorithmNames[0] = %q, want auto", AlgorithmNames[0])
+	}
+	if len(AlgorithmNames) != len(algorithmConstants) {
+		t.Fatalf("AlgorithmNames has %d entries, enum has %d: %v",
+			len(AlgorithmNames), len(algorithmConstants), AlgorithmNames)
+	}
+	for _, name := range AlgorithmNames {
+		a, err := ParseAlgorithm(name)
+		if err != nil {
+			t.Errorf("ParseAlgorithm(%q): %v", name, err)
+			continue
+		}
+		if got := a.String(); got != name {
+			t.Errorf("ParseAlgorithm(%q).String() = %q", name, got)
+		}
+	}
+
+	// Nothing registered outside the enum.
+	enum := map[Algorithm]bool{}
+	for _, a := range algorithmConstants {
+		enum[a] = true
+	}
+	for _, d := range solver.Descriptors() {
+		if !enum[d.Algo] {
+			t.Errorf("registry holds %q (Algorithm %d) absent from the public enum", d.Name, int(d.Algo))
+		}
+	}
+
+	// The historical menu order is pinned: changing it silently would
+	// reorder CLI/HTTP help output.
+	if got := strings.Join(AlgorithmNames, " "); got != "auto sbl bl kuw luby greedy permbl" {
+		t.Errorf("AlgorithmNames order changed: %q", got)
+	}
+}
+
+// TestResolveAlgorithmMatchesRegistryRoles pins the auto heuristic now
+// encoded in descriptor metadata: Luby for dimension ≤ 2, BL for ≤ 5,
+// SBL otherwise.
+func TestResolveAlgorithmMatchesRegistryRoles(t *testing.T) {
+	cases := []struct {
+		h    *Hypergraph
+		want Algorithm
+	}{
+		{RandomGraph(1, 100, 200), AlgLuby},
+		{RandomUniform(2, 100, 200, 4), AlgBL},
+		{RandomUniform(3, 100, 200, 5), AlgBL},
+		{RandomMixed(4, 200, 400, 2, 9), AlgSBL},
+	}
+	for _, c := range cases {
+		if got := ResolveAlgorithm(c.h, AlgAuto); got != c.want {
+			t.Errorf("ResolveAlgorithm(dim=%d, auto) = %v, want %v", c.h.Dim(), got, c.want)
+		}
+		// Explicit algorithms pass through.
+		if got := ResolveAlgorithm(c.h, AlgKUW); got != AlgKUW {
+			t.Errorf("ResolveAlgorithm(explicit kuw) = %v", got)
+		}
+	}
+}

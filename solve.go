@@ -5,92 +5,88 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/bl"
-	"repro/internal/core"
-	"repro/internal/greedy"
-	"repro/internal/kuw"
-	"repro/internal/luby"
 	"repro/internal/par"
-	"repro/internal/permbl"
 	"repro/internal/rng"
+	"repro/internal/solver"
+
+	// The solver packages register themselves with the internal/solver
+	// registry at init time; importing them here is what populates the
+	// dispatch table (core pulls in bl, kuw and greedy itself, but each
+	// is named explicitly so the registration set is visible at a
+	// glance).
+	_ "repro/internal/bl"
+	_ "repro/internal/core"
+	_ "repro/internal/greedy"
+	_ "repro/internal/kuw"
+	_ "repro/internal/luby"
+	_ "repro/internal/permbl"
 )
 
-// Algorithm selects which MIS solver Solve uses.
-type Algorithm int
+// Algorithm selects which MIS solver Solve uses. It aliases the
+// internal registry's algorithm type: every constant below resolves to
+// a registered solver descriptor (see internal/solver), and the
+// registry — not a switch — performs dispatch, naming and
+// auto-selection.
+type Algorithm = solver.Algorithm
 
 const (
 	// AlgAuto picks by instance shape: Luby for dimension ≤ 2, BL for
 	// dimension within the SBL cap, SBL otherwise. The default.
-	AlgAuto Algorithm = iota
+	AlgAuto = solver.Auto
 	// AlgSBL is the paper's sampling algorithm (Algorithm 1) — for
 	// general hypergraphs of unbounded dimension.
-	AlgSBL
+	AlgSBL = solver.SBL
 	// AlgBL is the Beame–Luby marking algorithm (Algorithm 2) — RNC for
 	// small dimension; slow for large dimension (marking probability
 	// 2^{−(d+1)}/Δ).
-	AlgBL
+	AlgBL = solver.BL
 	// AlgKUW is the Karp–Upfal–Wigderson O(√n)-round algorithm.
-	AlgKUW
+	AlgKUW = solver.KUW
 	// AlgLuby is Luby's graph algorithm — dimension ≤ 2 only.
-	AlgLuby
+	AlgLuby = solver.Luby
 	// AlgGreedy is the sequential linear-time baseline.
-	AlgGreedy
+	AlgGreedy = solver.Greedy
 	// AlgPermBL is the random-permutation Beame–Luby algorithm (the one
 	// conjectured in RNC, partially analyzed by Shachnai–Srinivasan),
 	// simulated by parallel dependency resolution. Its output equals
 	// sequential greedy on a random order; Result.Rounds is the greedy
 	// dependency depth — the open quantity.
-	AlgPermBL
+	AlgPermBL = solver.PermBL
 )
 
-// String names the algorithm.
-func (a Algorithm) String() string {
-	switch a {
-	case AlgAuto:
-		return "auto"
-	case AlgSBL:
-		return "sbl"
-	case AlgBL:
-		return "bl"
-	case AlgKUW:
-		return "kuw"
-	case AlgLuby:
-		return "luby"
-	case AlgGreedy:
-		return "greedy"
-	case AlgPermBL:
-		return "permbl"
-	default:
-		return fmt.Sprintf("Algorithm(%d)", int(a))
-	}
-}
-
 // AlgorithmNames lists every name ParseAlgorithm accepts, in menu
-// order ("" is also accepted as an alias for "auto").
-var AlgorithmNames = []string{"auto", "sbl", "bl", "kuw", "luby", "greedy", "permbl"}
+// order ("" is also accepted as an alias for "auto"). It is derived
+// from the solver registry, so it can never drift from the dispatch.
+var AlgorithmNames = append([]string{"auto"}, solver.Names()...)
 
 // ParseAlgorithm converts a name ("auto", "sbl", "bl", "kuw", "luby",
 // "greedy", "permbl") to an Algorithm.
 func ParseAlgorithm(name string) (Algorithm, error) {
-	switch name {
-	case "auto", "":
+	if name == "" || name == "auto" {
 		return AlgAuto, nil
-	case "sbl":
-		return AlgSBL, nil
-	case "bl":
-		return AlgBL, nil
-	case "kuw":
-		return AlgKUW, nil
-	case "luby":
-		return AlgLuby, nil
-	case "greedy":
-		return AlgGreedy, nil
-	case "permbl":
-		return AlgPermBL, nil
-	default:
-		return 0, fmt.Errorf("hypermis: unknown algorithm %q", name)
 	}
+	if d, ok := solver.LookupName(name); ok {
+		return d.Algo, nil
+	}
+	return 0, fmt.Errorf("hypermis: unknown algorithm %q", name)
 }
+
+// Workspace is the reusable per-job buffer bundle of the solver
+// runtime: the CSR round arenas, packed decision masks and per-vertex
+// slices every solver draws from. Passing one workspace to sequential
+// Solve calls (via Options.Workspace) lets a steady-state caller — the
+// hypermisd scheduler pools them per worker — solve with ~zero arena
+// allocations. A workspace must not be shared by concurrent solves.
+type Workspace = solver.Workspace
+
+// NewWorkspace returns an empty Workspace ready for Options.Workspace.
+func NewWorkspace() *Workspace { return solver.NewWorkspace() }
+
+// RoundTrace is one per-round telemetry record: the residual instance
+// shape entering the round, the number of vertices the round decided,
+// and its wall time. Collected into Result.Trace when Options.Trace is
+// set, and streamed to Options.RoundObserver when non-nil.
+type RoundTrace = solver.Round
 
 // Options configures Solve.
 type Options struct {
@@ -119,6 +115,18 @@ type Options struct {
 	// CollectCost accounts idealized EREW PRAM work/depth into
 	// Result.Depth and Result.Work.
 	CollectCost bool
+	// Trace collects one RoundTrace per outer solver round into
+	// Result.Trace (telemetry only: it never affects the MIS).
+	Trace bool
+	// RoundObserver, if non-nil, receives each RoundTrace as the round
+	// completes — the streaming form of Trace, used by the service for
+	// aggregate round counters. It runs on the solving goroutine and
+	// must be cheap.
+	RoundObserver func(RoundTrace)
+	// Workspace, if non-nil, supplies the solve's reusable buffers and
+	// is left warm for the caller to reuse (nil = fresh buffers). It
+	// must not be shared by concurrent solves.
+	Workspace *Workspace
 }
 
 // Result of a Solve call.
@@ -133,6 +141,8 @@ type Result struct {
 	Rounds int
 	// Depth and Work are the accounted PRAM costs (CollectCost only).
 	Depth, Work int64
+	// Trace holds the per-round telemetry (Options.Trace only).
+	Trace []RoundTrace
 }
 
 // ErrDimension is returned when a dimension-restricted algorithm is
@@ -140,20 +150,11 @@ type Result struct {
 var ErrDimension = errors.New("hypermis: instance dimension outside the algorithm's class")
 
 // ResolveAlgorithm maps AlgAuto to the concrete solver Solve would use
-// for h (Luby for dimension ≤ 2, BL for dimension ≤ 5, SBL otherwise);
-// any other algorithm is returned unchanged.
+// for h (Luby for dimension ≤ 2, BL for dimension ≤ 5, SBL otherwise —
+// the auto roles the registered descriptors declare); any other
+// algorithm is returned unchanged.
 func ResolveAlgorithm(h *Hypergraph, algo Algorithm) Algorithm {
-	if algo != AlgAuto {
-		return algo
-	}
-	switch {
-	case h.Dim() <= 2:
-		return AlgLuby
-	case h.Dim() <= 5:
-		return AlgBL
-	default:
-		return AlgSBL
-	}
+	return solver.Resolve(h.Dim(), algo)
 }
 
 // Solve computes a maximal independent set of h.
@@ -172,67 +173,45 @@ func SolveCtx(ctx context.Context, h *Hypergraph, opts Options) (*Result, error)
 		return nil, err
 	}
 	algo := ResolveAlgorithm(h, opts.Algorithm)
+	desc, ok := solver.Lookup(algo)
+	if !ok {
+		return nil, fmt.Errorf("hypermis: unknown algorithm %v", algo)
+	}
+	if desc.MaxDim > 0 && h.Dim() > desc.MaxDim {
+		return nil, fmt.Errorf("%w: dim %d > %d for %s", ErrDimension, h.Dim(), desc.MaxDim, desc.Name)
+	}
 	var cost *par.Cost
 	if opts.CollectCost {
 		cost = &par.Cost{}
 	}
-	stream := rng.New(opts.Seed)
-	eng := par.Engine{P: opts.Parallelism}
+	ws := opts.Workspace
+	if ws == nil {
+		ws = solver.NewWorkspace()
+	}
 
 	res := &Result{Algorithm: algo}
-	switch algo {
-	case AlgSBL:
-		r, err := core.Run(h, stream, cost, core.Options{
-			Ctx:   ctx,
-			Par:   eng,
-			Alpha: opts.Alpha,
-			Tail:  tailOf(opts),
-		})
-		if err != nil {
-			return nil, err
-		}
-		res.MIS = r.InIS
-		res.Rounds = r.Rounds
-	case AlgBL:
-		blOpts := bl.DefaultOptions()
-		blOpts.Ctx = ctx
-		blOpts.Par = eng
-		r, err := bl.Run(h, nil, stream, cost, blOpts)
-		if err != nil {
-			return nil, err
-		}
-		res.MIS = r.InIS
-		res.Rounds = r.Stages
-	case AlgKUW:
-		r, err := kuw.Run(h, nil, stream, cost, kuw.Options{Ctx: ctx, Par: eng})
-		if err != nil {
-			return nil, err
-		}
-		res.MIS = r.InIS
-		res.Rounds = r.Rounds
-	case AlgLuby:
-		if h.Dim() > 2 {
-			return nil, fmt.Errorf("%w: dim %d > 2 for Luby", ErrDimension, h.Dim())
-		}
-		r, err := luby.Run(h, nil, stream, cost, luby.Options{Ctx: ctx, Par: eng})
-		if err != nil {
-			return nil, err
-		}
-		res.MIS = r.InIS
-		res.Rounds = r.Rounds
-	case AlgGreedy:
-		r := greedy.Run(h, nil)
-		res.MIS = r.InIS
-	case AlgPermBL:
-		r, err := permbl.Run(h, nil, stream, cost, permbl.Options{Ctx: ctx, Par: eng})
-		if err != nil {
-			return nil, err
-		}
-		res.MIS = r.InIS
-		res.Rounds = r.Rounds
-	default:
-		return nil, fmt.Errorf("hypermis: unknown algorithm %v", algo)
+	var observer solver.RoundObserver
+	if opts.Trace {
+		observer = func(r solver.Round) { res.Trace = append(res.Trace, r) }
 	}
+	observer = solver.Tee(observer, solver.RoundObserver(opts.RoundObserver))
+
+	out, err := desc.Solve(solver.Request{
+		H:          h,
+		Stream:     rng.New(opts.Seed),
+		Cost:       cost,
+		Ws:         ws,
+		Ctx:        ctx,
+		Par:        par.Engine{P: opts.Parallelism},
+		Observer:   observer,
+		Alpha:      opts.Alpha,
+		GreedyTail: opts.UseGreedyTail,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.MIS = out.InIS
+	res.Rounds = out.Rounds
 	for _, in := range res.MIS {
 		if in {
 			res.Size++
@@ -243,11 +222,4 @@ func SolveCtx(ctx context.Context, h *Hypergraph, opts Options) (*Result, error)
 		res.Work = cost.Work()
 	}
 	return res, nil
-}
-
-func tailOf(opts Options) core.TailSolver {
-	if opts.UseGreedyTail {
-		return core.TailGreedy
-	}
-	return core.TailKUW
 }

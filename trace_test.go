@@ -1,0 +1,93 @@
+package hypermis
+
+import (
+	"testing"
+)
+
+// TestTraceMatchesRounds: Options.Trace yields exactly one record per
+// outer solver round, with coherent contents, and leaves the MIS
+// untouched (telemetry only).
+func TestTraceMatchesRounds(t *testing.T) {
+	for _, c := range solverCases() {
+		t.Run(c.name, func(t *testing.T) {
+			ref := runSolver(t, c.algo, c.h, 3, 1)
+			res, err := Solve(c.h, Options{Algorithm: c.algo, Seed: 3, Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResult(t, "trace on vs off", ref, res)
+			if len(res.Trace) != res.Rounds {
+				t.Fatalf("len(Trace) = %d, Rounds = %d", len(res.Trace), res.Rounds)
+			}
+			for i, r := range res.Trace {
+				if r.Round != i {
+					t.Fatalf("Trace[%d].Round = %d", i, r.Round)
+				}
+				if r.N <= 0 {
+					t.Fatalf("Trace[%d].N = %d", i, r.N)
+				}
+				if r.Decided < 0 || r.Elapsed < 0 {
+					t.Fatalf("Trace[%d] = %+v", i, r)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceGreedyEmpty: the sequential baseline has no rounds and
+// therefore an empty trace.
+func TestTraceGreedyEmpty(t *testing.T) {
+	h := RandomMixed(5, 300, 600, 2, 5)
+	res, err := Solve(h, Options{Algorithm: AlgGreedy, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 0 || res.Rounds != 0 {
+		t.Fatalf("greedy trace = %d records, rounds = %d", len(res.Trace), res.Rounds)
+	}
+}
+
+// TestRoundObserverStreams: the streaming observer sees the same
+// records Trace collects, in order.
+func TestRoundObserverStreams(t *testing.T) {
+	h := RandomMixed(8, 1000, 2000, 2, 10)
+	var streamed []RoundTrace
+	res, err := Solve(h, Options{
+		Algorithm:     AlgKUW,
+		Seed:          7,
+		Trace:         true,
+		RoundObserver: func(r RoundTrace) { streamed = append(streamed, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(res.Trace) {
+		t.Fatalf("observer saw %d records, Trace has %d", len(streamed), len(res.Trace))
+	}
+	for i := range streamed {
+		if streamed[i] != res.Trace[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, streamed[i], res.Trace[i])
+		}
+	}
+}
+
+// TestWorkspaceReuseDeterminism: one workspace recycled across every
+// solver — poisoned between solves — produces results bit-identical to
+// fresh-workspace runs at several parallelism degrees. This is the
+// library-level form of the service's pooling guarantee.
+func TestWorkspaceReuseDeterminism(t *testing.T) {
+	ws := NewWorkspace()
+	for _, p := range []int{1, 2, 8} {
+		for _, c := range solverCases() {
+			for seed := uint64(0); seed < 2; seed++ {
+				ref := runSolver(t, c.algo, c.h, seed, p)
+				ws.Poison()
+				got, err := Solve(c.h, Options{Algorithm: c.algo, Seed: seed, Parallelism: p, Workspace: ws})
+				if err != nil {
+					t.Fatalf("%s seed=%d par=%d (reused ws): %v", c.name, seed, p, err)
+				}
+				assertSameResult(t, c.name+" reused-ws", ref, got)
+			}
+		}
+	}
+}
