@@ -111,6 +111,32 @@ func BenchmarkServiceSolveKUW_n1000(b *testing.B)    { benchServiceSolve(b, "Sol
 func BenchmarkServiceSolveLuby_n1000(b *testing.B)   { benchServiceSolve(b, "SolveLuby_n1000") }
 func BenchmarkServiceSolveGreedy_n1000(b *testing.B) { benchServiceSolve(b, "SolveGreedy_n1000") }
 
+// HTTP-path benchmarks: the same uncached solve through the full
+// daemon round trip, one request per solve (Single) versus NDJSON
+// /v1/batch requests of benchdefs.HTTPBatchSize items (Batch32).
+// ns/op is per solve in both, so the delta is the per-request overhead
+// batching amortizes.
+func benchServiceHTTP(b *testing.B, name string, batch bool) {
+	c, ok := benchdefs.Find(name)
+	if !ok {
+		b.Fatalf("benchdefs case %s not declared", name)
+	}
+	if batch {
+		benchdefs.RunServiceHTTPBatch(b, c)
+	} else {
+		benchdefs.RunServiceHTTPSolve(b, c)
+	}
+}
+
+func BenchmarkServiceHTTPSingle_Luby_n1000(b *testing.B) {
+	benchServiceHTTP(b, "SolveLuby_n1000", false)
+}
+func BenchmarkServiceHTTPBatch32_Luby_n1000(b *testing.B) {
+	benchServiceHTTP(b, "SolveLuby_n1000", true)
+}
+func BenchmarkServiceHTTPSingle_SBL_n1000(b *testing.B)  { benchServiceHTTP(b, "SolveSBL_n1000", false) }
+func BenchmarkServiceHTTPBatch32_SBL_n1000(b *testing.B) { benchServiceHTTP(b, "SolveSBL_n1000", true) }
+
 // Scale benchmarks: n=50k vertices, m=100k edges. At this size the CSR
 // edge scans cross the sharding threshold, so these exercise the
 // worker-pool paths the n=1000 instances run serially.

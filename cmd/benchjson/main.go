@@ -155,6 +155,24 @@ func main() {
 			benchdefs.RunServiceSolve(b, c)
 		}})
 	}
+	// HTTP-path rows: the full daemon round trip per solve, single-shot
+	// versus batched — the recorded evidence that /v1/batch sustains
+	// more solves/sec than one-request-per-solve at equal concurrency.
+	for _, name := range []string{"SolveLuby_n1000", "SolveSBL_n1000"} {
+		c, ok := benchdefs.Find(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: missing case %s\n", name)
+			os.Exit(1)
+		}
+		suffix := strings.TrimPrefix(name, "Solve")
+		benches = append(benches, namedBench{"BenchmarkServiceHTTPSingle_" + suffix, func(b *testing.B) {
+			benchdefs.RunServiceHTTPSolve(b, c)
+		}})
+		benches = append(benches, namedBench{
+			fmt.Sprintf("BenchmarkServiceHTTPBatch%d_%s", benchdefs.HTTPBatchSize, suffix),
+			func(b *testing.B) { benchdefs.RunServiceHTTPBatch(b, c) },
+		})
+	}
 	benches = append(benches, namedBench{"BenchmarkVerifyMIS_n10000", benchdefs.RunVerify})
 
 	rep := report{

@@ -8,6 +8,7 @@
 //	hypermis generate -n 1000 -m 2000 -min 2 -max 6 -seed 1 > h.txt
 //	hypermis solve -algo sbl -seed 7 < h.txt > mis.txt
 //	hypermis verify -mis mis.txt < h.txt
+//	hypermis batch < items.ndjson > results.ndjson
 //	hypermis stats < h.txt
 //
 // Instances use the line-oriented text format of internal/hgio by
@@ -17,15 +18,20 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	hypermis "repro"
 	"repro/internal/hgio"
 	"repro/internal/hypergraph"
+	"repro/internal/service"
 )
 
 func main() {
@@ -42,6 +48,8 @@ func main() {
 		err = cmdSolve(args)
 	case "verify":
 		err = cmdVerify(args)
+	case "batch":
+		err = cmdBatch(args)
 	case "stats":
 		err = cmdStats(args)
 	default:
@@ -55,10 +63,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hypermis <generate|solve|verify|stats> [flags]
+	fmt.Fprintln(os.Stderr, `usage: hypermis <generate|solve|verify|batch|stats> [flags]
   generate -n N -m M [-min S] [-max S] [-d D] [-kind uniform|mixed|graph|linear|sunflower] [-seed S] [-bin]
   solve    [-algo auto|sbl|bl|kuw|luby|greedy|permbl|help] [-seed S] [-alpha A] [-cost] [-trace] [-transversal] [-bin]  < instance
   verify   -mis FILE [-transversal] [-bin]  < instance
+  batch    [-addr URL]  < items.ndjson  > results.ndjson
   stats    [-bin]  < instance`)
 }
 
@@ -186,6 +195,87 @@ func cmdVerify(args []string) error {
 	}
 	fmt.Println("OK: maximal independent set")
 	return nil
+}
+
+// cmdBatch solves a stream of NDJSON batch items (the POST /v1/batch
+// wire format — see internal/service.BatchItem and docs/api.md) and
+// writes one NDJSON result per item. By default items solve in-process
+// through one shared solver workspace, in input order; with -addr the
+// whole stream is forwarded to a running hypermisd and the daemon's
+// streamed response (completion order) is copied through. The two
+// paths produce bit-identical per-item results.
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	addr := fs.String("addr", "", "daemon base URL (empty = solve locally)")
+	fs.Parse(args)
+
+	if *addr != "" {
+		resp, err := http.Post(strings.TrimSuffix(*addr, "/")+"/v1/batch",
+			service.ContentTypeNDJSON, os.Stdin)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			return fmt.Errorf("batch: daemon status %d: %s", resp.StatusCode, raw)
+		}
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<26)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	ws := hypermis.NewWorkspace()
+	parser := service.NewBatchParser()
+	index := 0
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		res := solveBatchLine([]byte(line), index, ws, parser)
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		index++
+	}
+	return in.Err()
+}
+
+// solveBatchLine runs one batch item locally, mirroring the server's
+// per-item semantics: any failure is that item's error, never the
+// stream's.
+func solveBatchLine(line []byte, index int, ws *hypermis.Workspace, parser *service.BatchParser) service.BatchItemResult {
+	res := service.BatchItemResult{Index: index}
+	var it service.BatchItem
+	if err := json.Unmarshal(line, &it); err != nil {
+		res.Error = fmt.Sprintf("bad item JSON: %v", err)
+		return res
+	}
+	res.ID = it.ID
+	opts, err := it.Options()
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	h, err := parser.Instance(&it)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	opts.Workspace = ws
+	start := time.Now()
+	solved, err := hypermis.Solve(h, opts)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Solve = service.SolveResponseFor(h, solved, false, time.Since(start))
+	return res
 }
 
 func cmdStats(args []string) error {

@@ -8,9 +8,16 @@
 // documented in the internal/service package; cmd/hypermisload is the
 // matching load generator.
 //
+// Beyond single solves, the daemon batches and detaches work: POST
+// /v1/batch streams NDJSON items through the scheduler and flushes
+// results as they complete, and POST /v1/jobs runs a solve as an async
+// job polled via GET /v1/jobs/{id} (docs/api.md documents the wire
+// formats).
+//
 // Usage:
 //
 //	hypermisd [-addr :8080] [-workers N] [-queue N] [-cache N] [-timeout 30s]
+//	          [-maxpar N] [-maxbatch N] [-jobttl 5m] [-maxjobs N]
 //
 // Counters are also published through expvar under the key "hypermisd"
 // at GET /debug/vars. SIGINT/SIGTERM shut the daemon down gracefully:
@@ -42,6 +49,9 @@ func main() {
 	cacheBytes := flag.Int64("cachebytes", 0, "result cache byte budget (0 = 256 MiB, negative disables)")
 	timeout := flag.Duration("timeout", 0, "per-job deadline (0 = 30s, negative disables)")
 	maxPar := flag.Int("maxpar", 0, "per-job parallelism cap (0 = GOMAXPROCS, negative pins jobs to 1 core)")
+	maxBatch := flag.Int("maxbatch", 0, "items per POST /v1/batch request (0 = 1024)")
+	jobTTL := flag.Duration("jobttl", 0, "retention of finished async jobs (0 = 5m)")
+	maxJobs := flag.Int("maxjobs", 0, "async job store capacity (0 = 1024)")
 	flag.Parse()
 
 	srv := service.New(service.Config{
@@ -51,6 +61,9 @@ func main() {
 		CacheBytes:        *cacheBytes,
 		JobTimeout:        *timeout,
 		MaxJobParallelism: *maxPar,
+		MaxBatchItems:     *maxBatch,
+		JobTTL:            *jobTTL,
+		MaxJobs:           *maxJobs,
 	})
 	expvar.Publish("hypermisd", expvar.Func(func() any { return srv.Stats() }))
 

@@ -1,12 +1,22 @@
 // Command hypermisload is a closed-loop load generator for hypermisd:
-// a fixed number of workers fire a mixed generate/solve/verify workload
-// at the daemon and report throughput, client-side latency quantiles
-// per operation, and the server's own /v1/stats counters.
+// a fixed number of workers fire a solving workload at the daemon and
+// report throughput, client-side latency quantiles per operation, and
+// the server's own /v1/stats counters.
+//
+// Three traffic shapes (-mode) cover the daemon's three solve paths
+// with the same instance/seed mix, so their answers are cross-checked
+// against one fingerprint table and their solves/sec are directly
+// comparable at equal -c:
+//
+//	single  mixed per-request ops: 20% generate, 70% solve, 10% verify
+//	batch   NDJSON POST /v1/batch, -batch items per request
+//	jobs    async POST /v1/jobs + GET polling until each job is done
 //
 // Usage:
 //
 //	hypermisd -addr :8080 &
 //	hypermisload -addr http://127.0.0.1:8080 -n 1000 -c 8
+//	hypermisload -addr http://127.0.0.1:8080 -n 1000 -c 8 -mode batch
 //
 // The instance pool is small and seeds repeat, so repeated (instance,
 // seed) solve pairs are guaranteed; the generator cross-checks that the
@@ -18,6 +28,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,12 +56,18 @@ type config struct {
 	algo    string
 	n, m    int
 	seed    uint64
+	mode    string
+	batch   int
 }
 
 type instance struct {
 	text, bin []byte
-	digest    string
-	genQuery  string
+	// Batch-item payload encodings, computed once at pool build so the
+	// closed loop doesn't re-encode per request (which would understate
+	// the solves/sec it exists to measure).
+	textStr, binB64 string
+	digest          string
+	genQuery        string
 }
 
 type runner struct {
@@ -63,8 +80,8 @@ type runner struct {
 	cached atomic.Int64
 	sheds  atomic.Int64 // 503 queue-full responses, retried with backoff
 
-	genLat, solveLat, verifyLat service.Histogram
-	genOps, solveOps, verifyOps atomic.Int64
+	genLat, solveLat, verifyLat, batchLat, jobLat service.Histogram
+	genOps, solveOps, verifyOps, batchOps, jobOps atomic.Int64
 
 	mu       sync.Mutex
 	answers  map[string]string // (spec,seed) -> MIS fingerprint
@@ -83,7 +100,15 @@ func main() {
 	flag.IntVar(&cfg.n, "size", 400, "vertices per generated instance")
 	flag.IntVar(&cfg.m, "edges", 800, "edges per generated instance")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "base instance seed")
+	flag.StringVar(&cfg.mode, "mode", "single", "traffic shape: single (mixed per-request ops), batch (NDJSON /v1/batch), jobs (async /v1/jobs + polling)")
+	flag.IntVar(&cfg.batch, "batch", 16, "items per batch request (batch mode)")
 	flag.Parse()
+	if cfg.mode != "single" && cfg.mode != "batch" && cfg.mode != "jobs" {
+		log.Fatalf("unknown -mode %q (want single, batch or jobs)", cfg.mode)
+	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
 
 	r := &runner{
 		cfg:     cfg,
@@ -99,12 +124,37 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := r.issued.Add(1) - 1
-				if i >= int64(cfg.total) {
-					return
+			switch cfg.mode {
+			case "batch":
+				// Each loop turn claims the next `-batch` item indices, so
+				// total solves match single mode at equal -n.
+				for {
+					lo := r.issued.Add(int64(cfg.batch)) - int64(cfg.batch)
+					if lo >= int64(cfg.total) {
+						return
+					}
+					hi := lo + int64(cfg.batch)
+					if hi > int64(cfg.total) {
+						hi = int64(cfg.total)
+					}
+					r.batchStep(int(lo), int(hi))
 				}
-				r.step(int(i))
+			case "jobs":
+				for {
+					i := r.issued.Add(1) - 1
+					if i >= int64(cfg.total) {
+						return
+					}
+					r.jobStep(int(i))
+				}
+			default:
+				for {
+					i := r.issued.Add(1) - 1
+					if i >= int64(cfg.total) {
+						return
+					}
+					r.step(int(i))
+				}
 			}
 		}()
 	}
@@ -133,9 +183,11 @@ func (r *runner) buildPool() {
 			log.Fatal(err)
 		}
 		r.instances[i] = instance{
-			text:   text.Bytes(),
-			bin:    bin.Bytes(),
-			digest: hgio.Digest(h),
+			text:    text.Bytes(),
+			bin:     bin.Bytes(),
+			textStr: text.String(),
+			binB64:  base64.StdEncoding.EncodeToString(bin.Bytes()),
+			digest:  hgio.Digest(h),
 			genQuery: fmt.Sprintf("kind=mixed&n=%d&m=%d&min=2&max=6&seed=%d",
 				r.cfg.n, r.cfg.m, seed),
 		}
@@ -240,11 +292,21 @@ func (r *runner) solve(spec int, seed uint64) {
 		r.fail("solve %d/%d: bad JSON: %v", spec, seed, err)
 		return
 	}
+	r.checkAnswer("solve", spec, seed, &sr, wantTrace)
+}
+
+// checkAnswer enforces the serving contracts every mode shares: the
+// trace length matches the round count when requested, and repeated
+// (instance, seed) pairs return the identical MIS. The table lives in
+// this process, so it covers one -mode per run; equivalence ACROSS the
+// single/batch/async paths is property-tested server-side
+// (TestBatchMatchesSingleShot, TestJobLifecycleDone).
+func (r *runner) checkAnswer(op string, spec int, seed uint64, sr *service.SolveResponse, wantTrace bool) {
 	if sr.Cached {
 		r.cached.Add(1)
 	}
 	if wantTrace && len(sr.Trace) != sr.Rounds {
-		r.fail("solve %d/%d: trace has %d records for %d rounds", spec, seed, len(sr.Trace), sr.Rounds)
+		r.fail("%s %d/%d: trace has %d records for %d rounds", op, spec, seed, len(sr.Trace), sr.Rounds)
 	}
 	fp := fmt.Sprint(sr.MIS)
 	key := fmt.Sprintf("%d/%d", spec, seed)
@@ -256,7 +318,160 @@ func (r *runner) solve(spec int, seed uint64) {
 	r.lastMIS[spec] = sr.MIS
 	r.mu.Unlock()
 	if seen && prev != fp {
-		r.fail("solve %s: nondeterministic answer for equal (instance, seed)", key)
+		r.fail("%s %s: nondeterministic answer for equal (instance, seed)", op, key)
+	}
+}
+
+// batchStep issues item indices [lo, hi) as one NDJSON POST /v1/batch
+// request and validates every streamed result line: same item mix as
+// single mode, so per-item answers are cross-checked against the same
+// fingerprint table.
+func (r *runner) batchStep(lo, hi int) {
+	type itemMeta struct {
+		spec  int
+		seed  uint64
+		id    string
+		trace bool
+	}
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	metas := make([]itemMeta, 0, hi-lo)
+	// Each distinct instance is sent once per batch; repeats within the
+	// batch ref the first occurrence, so the payload and the server-side
+	// parse are amortized across the batch's items.
+	anchors := make(map[int]string)
+	for i := lo; i < hi; i++ {
+		spec := i % len(r.instances)
+		seed := uint64(i % r.cfg.seeds)
+		inst := &r.instances[spec]
+		it := service.BatchItem{
+			Algo:  r.cfg.algo,
+			Seed:  seed,
+			Trace: spec%4 == 0,
+		}
+		if anchor, ok := anchors[spec]; ok {
+			it.ID = fmt.Sprintf("%d/%d", spec, seed)
+			it.Ref = anchor
+		} else {
+			it.ID = fmt.Sprintf("s%d", spec)
+			anchors[spec] = it.ID
+			if spec%2 == 1 { // exercise the binary payload on half the pool
+				it.InstanceB64 = inst.binB64
+			} else {
+				it.Instance = inst.textStr
+			}
+		}
+		if err := enc.Encode(it); err != nil {
+			log.Fatal(err)
+		}
+		metas = append(metas, itemMeta{spec, seed, it.ID, it.Trace})
+	}
+	start := time.Now()
+	resp, raw, err := r.post(r.cfg.addr+"/v1/batch", service.ContentTypeNDJSON, body.Bytes())
+	if err != nil {
+		r.fail("batch [%d,%d): %v", lo, hi, err)
+		return
+	}
+	r.batchLat.Observe(time.Since(start))
+	r.batchOps.Add(1)
+	if resp.StatusCode != http.StatusOK {
+		r.fail("batch [%d,%d): status %d: %s", lo, hi, resp.StatusCode, raw)
+		return
+	}
+	got := 0
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ir service.BatchItemResult
+		if err := json.Unmarshal(line, &ir); err != nil {
+			r.fail("batch [%d,%d): bad result line %q: %v", lo, hi, line, err)
+			return
+		}
+		got++
+		if ir.Index < 0 || ir.Index >= len(metas) {
+			r.fail("batch [%d,%d): result index %d out of range", lo, hi, ir.Index)
+			continue
+		}
+		m := metas[ir.Index]
+		if ir.Error != "" {
+			r.fail("batch item %d/%d: %s", m.spec, m.seed, ir.Error)
+			continue
+		}
+		if ir.ID != m.id {
+			r.fail("batch item %d: id %q, want %q", ir.Index, ir.ID, m.id)
+		}
+		r.checkAnswer("batch", m.spec, m.seed, ir.Solve, m.trace)
+		r.solveOps.Add(1)
+	}
+	if got != len(metas) {
+		r.fail("batch [%d,%d): %d results for %d items", lo, hi, got, len(metas))
+	}
+}
+
+// jobStep runs one solve through the async job API: submit, poll until
+// terminal, validate the result against the shared fingerprint table.
+// The observed latency is submit→done, polling included.
+func (r *runner) jobStep(i int) {
+	spec := i % len(r.instances)
+	seed := uint64(i % r.cfg.seeds)
+	inst := &r.instances[spec]
+	body, contentType := inst.text, service.ContentTypeText
+	if spec%2 == 1 {
+		body, contentType = inst.bin, service.ContentTypeBinary
+	}
+	url := fmt.Sprintf("%s/v1/jobs?algo=%s&seed=%d", r.cfg.addr, r.cfg.algo, seed)
+	start := time.Now()
+	resp, raw, err := r.post(url, contentType, body)
+	if err != nil {
+		r.fail("job submit %d/%d: %v", spec, seed, err)
+		return
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		r.fail("job submit %d/%d: status %d: %s", spec, seed, resp.StatusCode, raw)
+		return
+	}
+	var js service.JobStatusResponse
+	if err := json.Unmarshal(raw, &js); err != nil {
+		r.fail("job submit %d/%d: bad JSON: %v", spec, seed, err)
+		return
+	}
+	for deadline := time.Now().Add(60 * time.Second); ; {
+		if time.Now().After(deadline) {
+			r.fail("job %d/%d (%s): not terminal after 60s (last status %q)", spec, seed, js.JobID, js.Status)
+			return
+		}
+		getResp, err := r.client.Get(r.cfg.addr + "/v1/jobs/" + js.JobID)
+		if err != nil {
+			r.fail("job poll %d/%d: %v", spec, seed, err)
+			return
+		}
+		raw, _ := io.ReadAll(getResp.Body)
+		getResp.Body.Close()
+		if getResp.StatusCode != http.StatusOK {
+			r.fail("job poll %d/%d: status %d: %s", spec, seed, getResp.StatusCode, raw)
+			return
+		}
+		if err := json.Unmarshal(raw, &js); err != nil {
+			r.fail("job poll %d/%d: bad JSON: %v", spec, seed, err)
+			return
+		}
+		switch js.Status {
+		case service.JobDone:
+			r.jobLat.Observe(time.Since(start))
+			r.jobOps.Add(1)
+			if js.Solve == nil {
+				r.fail("job %d/%d: done without solve payload", spec, seed)
+				return
+			}
+			r.checkAnswer("job", spec, seed, js.Solve, false)
+			r.solveOps.Add(1)
+			return
+		case service.JobFailed, service.JobCanceled:
+			r.fail("job %d/%d: terminal status %q: %s", spec, seed, js.Status, js.Error)
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 
@@ -290,13 +505,17 @@ func (r *runner) verify(spec int) {
 }
 
 func (r *runner) report(elapsed time.Duration) {
-	fmt.Printf("hypermisload: %d requests in %v (%.1f req/s), %d errors, %d sheds retried\n",
-		r.cfg.total, elapsed.Round(time.Millisecond),
+	fmt.Printf("hypermisload: mode=%s %d iterations in %v (%.1f solves+ops/s), %d errors, %d sheds retried\n",
+		r.cfg.mode, r.cfg.total, elapsed.Round(time.Millisecond),
 		float64(r.cfg.total)/elapsed.Seconds(), r.errs.Load(), r.sheds.Load())
 	fmt.Printf("  workers=%d pool=%d seeds=%d algo=%s instance=(n=%d,m=%d)\n",
 		r.cfg.workers, r.cfg.pool, r.cfg.seeds, r.cfg.algo, r.cfg.n, r.cfg.m)
+	if ops := r.solveOps.Load(); r.cfg.mode != "single" && ops > 0 {
+		fmt.Printf("  solves/sec: %.1f (%d solves via the %s path)\n",
+			float64(ops)/elapsed.Seconds(), ops, r.cfg.mode)
+	}
 	printHist := func(name string, ops int64, h *service.Histogram) {
-		if ops == 0 {
+		if ops == 0 || h.Count() == 0 {
 			return
 		}
 		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -306,6 +525,8 @@ func (r *runner) report(elapsed time.Duration) {
 	printHist("generate", r.genOps.Load(), &r.genLat)
 	printHist("solve", r.solveOps.Load(), &r.solveLat)
 	printHist("verify", r.verifyOps.Load(), &r.verifyLat)
+	printHist("batch", r.batchOps.Load(), &r.batchLat) // per batch request
+	printHist("job", r.jobOps.Load(), &r.jobLat)       // submit → done, polling included
 	fmt.Printf("  client-observed cache hits: %d of %d solves\n", r.cached.Load(), r.solveOps.Load())
 
 	if resp, err := r.client.Get(r.cfg.addr + "/v1/stats"); err == nil {

@@ -1,0 +1,36 @@
+package hypermis_test
+
+import (
+	"fmt"
+
+	hypermis "repro"
+)
+
+// ExampleSolve computes a maximal independent set of a small
+// 3-uniform hypergraph. Solves are deterministic: this exact output is
+// reproduced for this (instance, seed) on any machine at any
+// parallelism.
+func ExampleSolve() {
+	h, err := hypermis.NewBuilder(6).
+		AddEdge(0, 1, 2).
+		AddEdge(2, 3, 4).
+		AddEdge(1, 3, 5).
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	res, err := hypermis.Solve(h, hypermis.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	if err := hypermis.VerifyMIS(h, res.MIS); err != nil {
+		panic(err) // independent and maximal, or Solve is broken
+	}
+	fmt.Println("algorithm:", res.Algorithm)
+	fmt.Println("size:", res.Size)
+	fmt.Println("mis:", hypermis.ListFromMask(res.MIS))
+	// Output:
+	// algorithm: bl
+	// size: 4
+	// mis: [0 3 4 5]
+}

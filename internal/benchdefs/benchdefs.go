@@ -3,18 +3,28 @@
 // tracked BENCH_solvers.json always measures exactly the corpus that
 // `go test -bench Solve` runs.
 //
-// Three measured bodies share each workload: RunCase (fresh buffers
+// Five measured bodies share each workload: RunCase (fresh buffers
 // per solve — the historical baseline), RunCaseWs (one reused
 // hypermis.Workspace — the steady state a pooled service job reaches),
-// and RunServiceSolve (the full uncached service job path: queue,
-// scheduler grant, pooled workspace, observer).
+// RunServiceSolve (the full uncached service job path: queue,
+// scheduler grant, pooled workspace, observer), and the HTTP pair
+// RunServiceHTTPSolve / RunServiceHTTPBatch (the daemon round trip per
+// solve, one request per solve versus NDJSON /v1/batch requests of
+// HTTPBatchSize items).
 package benchdefs
 
 import (
+	"bytes"
 	"context"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strconv"
 	"testing"
 
 	hypermis "repro"
+	"repro/internal/hgio"
 	"repro/internal/service"
 )
 
@@ -137,6 +147,105 @@ func RunServiceSolve(b *testing.B, c Case) {
 		if res.Size == 0 && h.N() > 0 {
 			b.Fatal("empty MIS")
 		}
+	}
+}
+
+// HTTPBatchSize is the items-per-request grouping of the HTTP batch
+// benchmark — the daemon-side analogue of `hypermisload -mode=batch
+// -batch 32`.
+const HTTPBatchSize = 32
+
+// newHTTPBench builds the shared fixture of the HTTP-path benchmarks:
+// an uncached single-worker daemon behind httptest and the case's
+// instance in binary form (plus its base64, the batch-item encoding of
+// the same bytes). Both paths send the identical instance codec and
+// both prebuild their payload template, so every request pays the full
+// parse + solve and the single/batch delta is per-request overhead
+// (connection handling, HTTP framing, handler dispatch) against
+// per-item overhead (JSON framing, base64 decode, fan-out
+// bookkeeping).
+func newHTTPBench(b *testing.B, c Case) (ts *httptest.Server, done func(), bin []byte, b64 string) {
+	h := c.New()
+	var buf bytes.Buffer
+	if err := hgio.WriteBinary(&buf, h); err != nil {
+		b.Fatal(err)
+	}
+	srv := service.New(service.Config{Workers: 1, CacheSize: -1, MaxBatchItems: 1 << 20})
+	ts = httptest.NewServer(service.NewHandler(srv))
+	bin = buf.Bytes()
+	return ts, func() { ts.Close(); srv.Close() }, bin, base64.StdEncoding.EncodeToString(bin)
+}
+
+// RunServiceHTTPSolve measures the full single-shot serving path: one
+// POST /v1/solve round trip per solve. Compare against
+// RunServiceHTTPBatch at equal b.N — the delta is what batching
+// amortizes away.
+func RunServiceHTTPSolve(b *testing.B, c Case) {
+	ts, done, bin, _ := newHTTPBench(b, c)
+	defer done()
+	client := ts.Client()
+	algo := c.Algo.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		url := fmt.Sprintf("%s/v1/solve?algo=%s&seed=%d&alpha=0.3", ts.URL, algo, i)
+		resp, err := client.Post(url, service.ContentTypeBinary, bytes.NewReader(bin))
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+	}
+}
+
+// RunServiceHTTPBatch measures the batch serving path at the same
+// granularity — ns/op is still per solve: b.N items grouped into NDJSON
+// POST /v1/batch requests of HTTPBatchSize.
+func RunServiceHTTPBatch(b *testing.B, c Case) {
+	ts, done, _, b64 := newHTTPBench(b, c)
+	defer done()
+	client := ts.Client()
+	algo := c.Algo.String()
+	// The first item of each request carries the instance (base64 never
+	// needs JSON escaping, so the line is assembled directly); the rest
+	// ref it, which is how a batch client amortizes both transfer and
+	// server-side parsing across the items.
+	firstPrefix := `{"id":"h","algo":"` + algo + `","alpha":0.3,"instance_b64":"` + b64 + `","seed":`
+	refPrefix := `{"ref":"h","algo":"` + algo + `","alpha":0.3,"seed":`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for sent := 0; sent < b.N; {
+		k := HTTPBatchSize
+		if rest := b.N - sent; k > rest {
+			k = rest
+		}
+		var body bytes.Buffer
+		body.Grow(len(firstPrefix) + k*(len(refPrefix)+16))
+		for j := 0; j < k; j++ {
+			if j == 0 {
+				body.WriteString(firstPrefix)
+			} else {
+				body.WriteString(refPrefix)
+			}
+			body.WriteString(strconv.Itoa(sent + j))
+			body.WriteString("}\n")
+		}
+		resp, err := client.Post(ts.URL+"/v1/batch", service.ContentTypeNDJSON, &body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+		if lines := bytes.Count(raw, []byte("\n")); lines != k {
+			b.Fatalf("batch returned %d result lines for %d items: %s", lines, k, raw[:min(len(raw), 400)])
+		}
+		sent += k
 	}
 }
 

@@ -1,0 +1,338 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	hypermis "repro"
+	"repro/internal/hgio"
+)
+
+// postBatch sends items as an NDJSON batch and returns the decoded
+// result lines in arrival order.
+func postBatch(t *testing.T, url string, items []BatchItem) []BatchItemResult {
+	t.Helper()
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, it := range items {
+		if err := enc.Encode(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return postBatchRaw(t, url, body.Bytes())
+}
+
+func postBatchRaw(t *testing.T, url string, body []byte) []BatchItemResult {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/batch", ContentTypeNDJSON, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypeNDJSON {
+		t.Fatalf("batch content type %q, want %q", ct, ContentTypeNDJSON)
+	}
+	var out []BatchItemResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var r BatchItemResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad result line %q: %v", sc.Text(), err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// byIndex reindexes results by item position, checking each index
+// appears exactly once in [0, n).
+func byIndex(t *testing.T, results []BatchItemResult, n int) []BatchItemResult {
+	t.Helper()
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	out := make([]BatchItemResult, n)
+	seen := make([]bool, n)
+	for _, r := range results {
+		if r.Index < 0 || r.Index >= n || seen[r.Index] {
+			t.Fatalf("bad or duplicate result index %d", r.Index)
+		}
+		seen[r.Index] = true
+		out[r.Index] = r
+	}
+	return out
+}
+
+func instanceB64(t *testing.T, h *hypermis.Hypergraph) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := hgio.WriteBinary(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	return base64.StdEncoding.EncodeToString(buf.Bytes())
+}
+
+// TestBatchMatchesSingleShot is the equivalence property test: every
+// item of a mixed batch (text and binary payloads, several algorithms,
+// seeds and trace settings) must return bit-identical results to the
+// same request issued as a single POST /v1/solve.
+func TestBatchMatchesSingleShot(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	type variant struct {
+		algo  string
+		seed  uint64
+		alpha float64
+		trace bool
+	}
+	variants := []variant{
+		{"auto", 1, 0, false},
+		{"sbl", 2, 0.3, true},
+		{"greedy", 3, 0, false},
+		{"kuw", 4, 0, false},
+	}
+	var items []BatchItem
+	var singles []*SolveResponse
+	for i := 0; i < 4; i++ {
+		h := hypermis.RandomMixed(uint64(10+i), 120, 240, 2, 5)
+		text := instanceText(t, h)
+		for _, v := range variants {
+			it := BatchItem{
+				ID:    fmt.Sprintf("i%d-%s-%d", i, v.algo, v.seed),
+				Algo:  v.algo,
+				Seed:  v.seed,
+				Alpha: v.alpha,
+				Trace: v.trace,
+			}
+			// Alternate payload encodings across items.
+			if (i+len(items))%2 == 0 {
+				it.Instance = string(text)
+			} else {
+				it.InstanceB64 = instanceB64(t, h)
+			}
+			items = append(items, it)
+
+			query := fmt.Sprintf("algo=%s&seed=%d&alpha=%g", v.algo, v.seed, v.alpha)
+			if v.trace {
+				query += "&trace=1"
+			}
+			sr, _ := postSolve(t, ts, query, text, ContentTypeText)
+			singles = append(singles, sr)
+		}
+	}
+
+	results := byIndex(t, postBatch(t, ts.URL, items), len(items))
+	for i, r := range results {
+		if r.Error != "" {
+			t.Fatalf("item %d (%s): unexpected error %q", i, items[i].ID, r.Error)
+		}
+		if r.ID != items[i].ID {
+			t.Errorf("item %d: id %q, want %q", i, r.ID, items[i].ID)
+		}
+		got, want := r.Solve, singles[i]
+		if got == nil {
+			t.Fatalf("item %d: missing solve payload", i)
+		}
+		if got.Algorithm != want.Algorithm || got.Size != want.Size || got.Rounds != want.Rounds {
+			t.Errorf("item %d: (algo,size,rounds)=(%s,%d,%d), single-shot (%s,%d,%d)",
+				i, got.Algorithm, got.Size, got.Rounds, want.Algorithm, want.Size, want.Rounds)
+		}
+		if fmt.Sprint(got.MIS) != fmt.Sprint(want.MIS) {
+			t.Errorf("item %d: batch MIS differs from single-shot MIS", i)
+		}
+		if len(got.Trace) != len(want.Trace) {
+			t.Errorf("item %d: trace length %d, single-shot %d", i, len(got.Trace), len(want.Trace))
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	results := postBatchRaw(t, ts.URL, nil)
+	if len(results) != 0 {
+		t.Fatalf("empty batch returned %d results", len(results))
+	}
+	// Blank lines only is also an empty batch.
+	results = postBatchRaw(t, ts.URL, []byte("\n\n  \n"))
+	if len(results) != 0 {
+		t.Fatalf("blank-line batch returned %d results", len(results))
+	}
+}
+
+// TestBatchMalformedMidStream: a garbage line mid-batch fails that item
+// alone; NDJSON line framing lets every other item parse and solve.
+func TestBatchMalformedMidStream(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	h := hypermis.RandomMixed(1, 60, 120, 2, 4)
+	good, err := json.Marshal(BatchItem{Instance: string(instanceText(t, h)), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := bytes.Join([][]byte{good, []byte(`{"seed": nope}`), good}, []byte("\n"))
+	results := byIndex(t, postBatchRaw(t, ts.URL, body), 3)
+	if results[0].Error != "" || results[0].Solve == nil {
+		t.Errorf("item 0 should have solved: %+v", results[0])
+	}
+	if results[1].Error == "" || !strings.Contains(results[1].Error, "bad item JSON") {
+		t.Errorf("item 1 should report a JSON error, got %+v", results[1])
+	}
+	if results[2].Error != "" || results[2].Solve == nil {
+		t.Errorf("item 2 should have solved: %+v", results[2])
+	}
+	if fmt.Sprint(results[0].Solve.MIS) != fmt.Sprint(results[2].Solve.MIS) {
+		t.Error("identical items 0 and 2 disagree")
+	}
+	if got := s.metrics.BatchItemErrors.Load(); got != 1 {
+		t.Errorf("batch_item_errors = %d, want 1", got)
+	}
+	if got := s.metrics.BatchItems.Load(); got != 3 {
+		t.Errorf("batch_items_total = %d, want 3", got)
+	}
+}
+
+// TestBatchPerItemErrors: option errors, instance errors and solver
+// errors (dimension violation) each fail their own item without
+// aborting the rest of the batch.
+func TestBatchPerItemErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	okGraph := hypermis.RandomGraph(1, 80, 160)   // dim 2: fine for luby
+	dim3 := hypermis.RandomUniform(2, 80, 160, 3) // dim 3: luby must refuse
+	items := []BatchItem{
+		{ID: "ok", Instance: string(instanceText(t, okGraph)), Algo: "luby", Seed: 1},
+		{ID: "bad-algo", Instance: string(instanceText(t, okGraph)), Algo: "bogus"},
+		{ID: "no-instance"},
+		{ID: "bad-text", Instance: "not a hypergraph"},
+		{ID: "dim-violation", Instance: string(instanceText(t, dim3)), Algo: "luby"},
+		{ID: "ok2", Instance: string(instanceText(t, okGraph)), Algo: "luby", Seed: 1},
+	}
+	results := byIndex(t, postBatch(t, ts.URL, items), len(items))
+	for _, i := range []int{1, 2, 3, 4} {
+		if results[i].Error == "" {
+			t.Errorf("item %d (%s) should have failed", i, items[i].ID)
+		}
+		if results[i].Solve != nil {
+			t.Errorf("item %d (%s) has both error and solve", i, items[i].ID)
+		}
+	}
+	for _, i := range []int{0, 5} {
+		if results[i].Error != "" || results[i].Solve == nil {
+			t.Fatalf("item %d (%s) should have solved: %+v", i, items[i].ID, results[i])
+		}
+	}
+	if fmt.Sprint(results[0].Solve.MIS) != fmt.Sprint(results[5].Solve.MIS) {
+		t.Error("identical items 0 and 5 disagree")
+	}
+}
+
+// TestBatchTruncation: items past Config.MaxBatchItems are refused with
+// one truncation error record; items under the cap still solve.
+func TestBatchTruncation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxBatchItems: 2})
+	h := hypermis.RandomMixed(1, 40, 80, 2, 4)
+	it := BatchItem{Instance: string(instanceText(t, h))}
+	results := byIndex(t, postBatch(t, ts.URL, []BatchItem{it, it, it, it}), 3)
+	for i := 0; i < 2; i++ {
+		if results[i].Solve == nil || results[i].Error != "" {
+			t.Errorf("item %d should have solved: %+v", i, results[i])
+		}
+	}
+	if !strings.Contains(results[2].Error, "truncated") {
+		t.Errorf("item 2 should be the truncation record, got %+v", results[2])
+	}
+}
+
+// TestBatchRefs: a ref item reuses an earlier item's parsed instance
+// and must solve identically to a full payload; forward/unknown refs
+// and ref+payload combinations fail their own item only.
+func TestBatchRefs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	h := hypermis.RandomMixed(3, 100, 200, 2, 5)
+	text := string(instanceText(t, h))
+	items := []BatchItem{
+		{ID: "base", Instance: text, Algo: "sbl", Seed: 7, Alpha: 0.3},
+		{ID: "viaRef", Ref: "base", Algo: "sbl", Seed: 7, Alpha: 0.3},
+		{ID: "otherSeed", Ref: "base", Algo: "sbl", Seed: 8, Alpha: 0.3},
+		{ID: "fwd", Ref: "later"},
+		{ID: "both", Ref: "base", Instance: text},
+		{ID: "later", Instance: text},
+		{ID: "chain", Ref: "viaRef", Algo: "sbl", Seed: 7, Alpha: 0.3},
+	}
+	results := byIndex(t, postBatch(t, ts.URL, items), len(items))
+	if results[0].Error != "" || results[1].Error != "" {
+		t.Fatalf("payload/ref items failed: %q / %q", results[0].Error, results[1].Error)
+	}
+	if fmt.Sprint(results[0].Solve.MIS) != fmt.Sprint(results[1].Solve.MIS) {
+		t.Error("ref item solved differently from its payload twin")
+	}
+	// Ref chains: a ref item's own id anchors later refs.
+	if results[6].Error != "" {
+		t.Errorf("ref-to-a-ref failed: %q", results[6].Error)
+	} else if fmt.Sprint(results[6].Solve.MIS) != fmt.Sprint(results[0].Solve.MIS) {
+		t.Error("chained ref solved differently from the base item")
+	}
+	if fmt.Sprint(results[0].Solve.MIS) == fmt.Sprint(results[2].Solve.MIS) {
+		t.Error("distinct seeds over one ref'd instance returned equal MISs (suspicious)")
+	}
+	if !strings.Contains(results[3].Error, "earlier item") {
+		t.Errorf("forward ref should fail, got %+v", results[3])
+	}
+	if !strings.Contains(results[4].Error, "excludes") {
+		t.Errorf("ref+instance should fail, got %+v", results[4])
+	}
+	if results[5].Error != "" {
+		t.Errorf("trailing payload item failed: %q", results[5].Error)
+	}
+}
+
+// TestBatchItemRoundTripsCLIPath covers the shared client path: the
+// same BatchItem methods the hypermis CLI uses locally must agree with
+// the server.
+func TestBatchItemRoundTripsCLIPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	h := hypermis.RandomMixed(9, 100, 200, 2, 5)
+	it := BatchItem{Instance: string(instanceText(t, h)), Algo: "sbl", Seed: 11, Alpha: 0.3}
+
+	opts, err := it.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := it.Hypergraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hypermis.Solve(local, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := byIndex(t, postBatch(t, ts.URL, []BatchItem{it}), 1)
+	if results[0].Error != "" {
+		t.Fatal(results[0].Error)
+	}
+	localMIS := make([]int, 0, res.Size)
+	for v, in := range res.MIS {
+		if in {
+			localMIS = append(localMIS, v)
+		}
+	}
+	if fmt.Sprint(localMIS) != fmt.Sprint(results[0].Solve.MIS) {
+		t.Error("local BatchItem solve disagrees with server batch solve")
+	}
+}

@@ -32,6 +32,10 @@ const maxBodyBytes = 64 << 20
 // declaring billions of vertices is a memory-exhaustion attack.
 const maxInstanceN = 4 << 20
 
+// maxParRequest bounds the parallelism degree a request may ask for
+// (the scheduler caps grants far lower; this is input sanitation).
+const maxParRequest = 4096
+
 // SolveResponse is the JSON body of POST /v1/solve. Trace is present
 // only on ?trace=1 requests: one record per outer solver round with the
 // residual shape (n, m, dim), the vertices decided, and the round's
@@ -66,6 +70,10 @@ type errorResponse struct {
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -135,8 +143,8 @@ func parseSolveOptions(r *http.Request) (hypermis.Options, error) {
 	opts.Trace = q.Get("trace") == "1" || q.Get("trace") == "true"
 	if v := q.Get("par"); v != "" {
 		p, err := strconv.Atoi(v)
-		if err != nil || p < 0 || p > 4096 {
-			return opts, fmt.Errorf("bad par %q (want 0..4096)", v)
+		if err != nil || p < 0 || p > maxParRequest {
+			return opts, fmt.Errorf("bad par %q (want 0..%d)", v, maxParRequest)
 		}
 		// The requested degree; the scheduler caps it by
 		// MaxJobParallelism and the free-token count at grant time.
@@ -178,25 +186,32 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "solve: %v", err)
 		return
 	}
+	writeJSON(w, http.StatusOK, *SolveResponseFor(h, res, cached, time.Since(start)))
+}
+
+// SolveResponseFor builds the wire response for one completed solve —
+// shared by the solve, batch and async-job paths (and the `hypermis
+// batch` CLI's local mode) so they all report identical shapes.
+func SolveResponseFor(h *hypermis.Hypergraph, res *hypermis.Result, cached bool, elapsed time.Duration) *SolveResponse {
 	mis := make([]int, 0, res.Size)
 	for v, in := range res.MIS {
 		if in {
 			mis = append(mis, v)
 		}
 	}
-	writeJSON(w, http.StatusOK, SolveResponse{
+	return &SolveResponse{
 		Algorithm: res.Algorithm.String(),
 		N:         h.N(),
 		M:         h.M(),
 		Size:      res.Size,
 		Rounds:    res.Rounds,
 		Cached:    cached,
-		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+		ElapsedMs: float64(elapsed) / float64(time.Millisecond),
 		Depth:     res.Depth,
 		Work:      res.Work,
 		Trace:     res.Trace,
 		MIS:       mis,
-	})
+	}
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,355 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	hypermis "repro"
+)
+
+// JobState is an async job's lifecycle state. A job is accepted as
+// JobQueued, becomes JobRunning when its goroutine starts driving the
+// scheduler, and ends in exactly one terminal state: JobDone (result
+// available), JobFailed (solve error or per-job deadline), or
+// JobCanceled (DELETE /v1/jobs/{id} or server shutdown). Terminal jobs
+// are retained for Config.JobTTL and then evicted — a GET after
+// eviction is a 404, indistinguishable from a job that never existed.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+func (st JobState) terminal() bool {
+	return st == JobDone || st == JobFailed || st == JobCanceled
+}
+
+// ErrJobStoreFull is returned by SubmitJob when the job store holds
+// MaxJobs jobs and none is an evictable terminal one; the caller should
+// shed or retry later (HTTP 503).
+var ErrJobStoreFull = errors.New("service: job store full")
+
+// errUnknownJob distinguishes "no such job" (404) from other failures.
+var errUnknownJob = errors.New("service: unknown job")
+
+// asyncJob is one async solve tracked by the job store. All fields
+// after the immutable header are guarded by the store's mutex.
+type asyncJob struct {
+	id      string
+	created time.Time
+	cancel  context.CancelFunc
+
+	state   JobState
+	resp    *SolveResponse
+	errMsg  string
+	expires time.Time // zero until terminal; then terminal time + TTL
+}
+
+// jobStore is the bounded TTL-evicting registry behind the async job
+// API. Eviction is lazy: every add sweeps expired terminal jobs, and a
+// get of an expired job removes it inline — no background janitor, so
+// an idle server holds at most MaxJobs records and spends nothing.
+type jobStore struct {
+	mu     sync.Mutex
+	ttl    time.Duration
+	cap    int
+	m      map[string]*asyncJob
+	active int // jobs in a non-terminal state
+}
+
+func newJobStore(ttl time.Duration, capacity int) *jobStore {
+	return &jobStore{ttl: ttl, cap: capacity, m: make(map[string]*asyncJob)}
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("service: job id entropy: %v", err))
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// sweep removes expired terminal jobs. Called with mu held.
+func (st *jobStore) sweep(now time.Time) {
+	for id, j := range st.m {
+		if j.state.terminal() && now.After(j.expires) {
+			delete(st.m, id)
+		}
+	}
+}
+
+// add registers j, evicting expired — then, if still full, the oldest
+// terminal — jobs to make room. With cap non-terminal jobs in flight
+// the store refuses (ErrJobStoreFull): accepted jobs are a real backlog
+// and must stay bounded, exactly like the solve queue.
+func (st *jobStore) add(j *asyncJob) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := j.created
+	st.sweep(now)
+	if len(st.m) >= st.cap {
+		var oldest *asyncJob
+		for _, cand := range st.m {
+			if cand.state.terminal() && (oldest == nil || cand.expires.Before(oldest.expires)) {
+				oldest = cand
+			}
+		}
+		if oldest == nil {
+			return ErrJobStoreFull
+		}
+		delete(st.m, oldest.id)
+	}
+	st.m[j.id] = j
+	st.active++
+	return nil
+}
+
+// snapshot returns a copy of the job's current state, expiring it
+// inline if its TTL has lapsed.
+func (st *jobStore) snapshot(id string, now time.Time) (asyncJob, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.m[id]
+	if !ok {
+		return asyncJob{}, false
+	}
+	if j.state.terminal() && now.After(j.expires) {
+		delete(st.m, id)
+		return asyncJob{}, false
+	}
+	return *j, true
+}
+
+func (st *jobStore) setRunning(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j, ok := st.m[id]; ok && j.state == JobQueued {
+		j.state = JobRunning
+	}
+}
+
+// finish moves the job to a terminal state and starts its TTL clock.
+// The job may already have been evicted (store pressure); that is fine.
+func (st *jobStore) finish(id string, state JobState, resp *SolveResponse, errMsg string, now time.Time) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.m[id]
+	if !ok || j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.resp = resp
+	j.errMsg = errMsg
+	j.expires = now.Add(st.ttl)
+	st.active--
+}
+
+// requestCancel cancels a non-terminal job's context and reports the
+// job's state at the time of the call. The job transitions to
+// JobCanceled only when its solve actually unwinds.
+func (st *jobStore) requestCancel(id string) (JobState, error) {
+	st.mu.Lock()
+	j, ok := st.m[id]
+	if !ok {
+		st.mu.Unlock()
+		return "", errUnknownJob
+	}
+	state := j.state
+	cancel := j.cancel
+	st.mu.Unlock()
+	if !state.terminal() {
+		cancel()
+	}
+	return state, nil
+}
+
+// counts reports the jobs in a non-terminal state and the total store
+// occupancy after an expiry sweep.
+func (st *jobStore) counts(now time.Time) (active, size int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweep(now)
+	return st.active, len(st.m)
+}
+
+// cancelAll cancels every non-terminal job (server shutdown).
+func (st *jobStore) cancelAll() {
+	st.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, st.active)
+	for _, j := range st.m {
+		if !j.state.terminal() {
+			cancels = append(cancels, j.cancel)
+		}
+	}
+	st.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// SubmitJob accepts h under opts as an async job and returns its id
+// immediately; the solve runs through the same scheduler, cache and
+// workspace pool as Solve, detached from any caller context. Poll
+// JobStatus for the result; CancelJob stops an in-flight job at its
+// next solver round.
+func (s *Server) SubmitJob(h *hypermis.Hypergraph, opts hypermis.Options) (string, error) {
+	// The job context bounds the job's WHOLE lifetime — queue wait
+	// included — at twice the per-job deadline (which itself starts only
+	// at worker pickup). Without this, a job starved by a saturated
+	// queue would spin in solveBlocking forever, holding a store slot
+	// that non-terminal jobs never free.
+	var jctx context.Context
+	var cancel context.CancelFunc
+	if s.cfg.JobTimeout > 0 {
+		jctx, cancel = context.WithTimeout(context.Background(), 2*s.cfg.JobTimeout)
+	} else {
+		jctx, cancel = context.WithCancel(context.Background())
+	}
+	j := &asyncJob{id: newJobID(), created: time.Now(), cancel: cancel, state: JobQueued}
+	// Hold the read side across the closed-check, the store add and the
+	// WaitGroup Add (mirroring enqueue): once Close holds the write side
+	// it sees every accepted job — cancelAll catches it in the store and
+	// jobWg.Wait never races an in-flight Add.
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.isClosed {
+		cancel()
+		return "", ErrClosed
+	}
+	if err := s.jobs.add(j); err != nil {
+		cancel()
+		return "", err
+	}
+	s.metrics.JobsSubmitted.Add(1)
+	s.jobWg.Add(1)
+	go s.runJob(jctx, cancel, j.id, h, opts)
+	return j.id, nil
+}
+
+func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, id string, h *hypermis.Hypergraph, opts hypermis.Options) {
+	defer s.jobWg.Done()
+	// Release the lifetime timer once terminal; CancelJob may also call
+	// it concurrently (CancelFuncs are idempotent and safe).
+	defer cancel()
+	s.jobs.setRunning(id)
+	start := time.Now()
+	res, cached, err := s.solveBlocking(ctx, h, opts)
+	switch {
+	case err == nil:
+		s.jobs.finish(id, JobDone, SolveResponseFor(h, res, cached, time.Since(start)), "", time.Now())
+		s.metrics.JobsDone.Add(1)
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrClosed):
+		// Only CancelJob and server shutdown cancel the job's context
+		// (deadlines — the per-job one and the 2× lifetime bound —
+		// surface as DeadlineExceeded). ErrClosed is the shutdown race
+		// where Solve observes the closed flag before the job's canceled
+		// context: same outcome, same state.
+		s.jobs.finish(id, JobCanceled, nil, err.Error(), time.Now())
+		s.metrics.JobsCanceled.Add(1)
+	default:
+		s.jobs.finish(id, JobFailed, nil, err.Error(), time.Now())
+		s.metrics.JobsFailed.Add(1)
+	}
+}
+
+// JobStatusResponse is the JSON body of POST /v1/jobs (job_id + status
+// only), GET /v1/jobs/{id} and DELETE /v1/jobs/{id}. Solve is present
+// once the job is done; Error once it failed or was canceled;
+// ExpiresInMs counts down the terminal job's retention.
+type JobStatusResponse struct {
+	JobID       string         `json:"job_id"`
+	Status      JobState       `json:"status"`
+	AgeMs       float64        `json:"age_ms,omitempty"`
+	ExpiresInMs float64        `json:"expires_in_ms,omitempty"`
+	Error       string         `json:"error,omitempty"`
+	Solve       *SolveResponse `json:"solve,omitempty"`
+}
+
+func jobStatusResponse(j asyncJob, now time.Time) JobStatusResponse {
+	resp := JobStatusResponse{
+		JobID:  j.id,
+		Status: j.state,
+		AgeMs:  float64(now.Sub(j.created)) / float64(time.Millisecond),
+		Error:  j.errMsg,
+		Solve:  j.resp,
+	}
+	if j.state.terminal() {
+		resp.ExpiresInMs = float64(j.expires.Sub(now)) / float64(time.Millisecond)
+	}
+	return resp
+}
+
+// JobStatus reports the job's current state (ok=false: unknown or
+// expired).
+func (s *Server) JobStatus(id string) (JobStatusResponse, bool) {
+	now := time.Now()
+	j, ok := s.jobs.snapshot(id, now)
+	if !ok {
+		return JobStatusResponse{}, false
+	}
+	return jobStatusResponse(j, now), true
+}
+
+// CancelJob requests cancellation of an in-flight job. Terminal jobs
+// are unaffected. The returned state is the state at cancel time; poll
+// JobStatus to observe the transition to JobCanceled.
+func (s *Server) CancelJob(id string) (JobStatusResponse, bool) {
+	if _, err := s.jobs.requestCancel(id); err != nil {
+		return JobStatusResponse{}, false
+	}
+	s.metrics.JobCancelRequests.Add(1)
+	return s.JobStatus(id)
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	opts, err := parseSolveOptions(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	h, err := readInstanceBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading instance: %v", err)
+		return
+	}
+	id, err := s.SubmitJob(h, opts)
+	switch {
+	case errors.Is(err, ErrJobStoreFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, JobStatusResponse{JobID: id, Status: JobQueued})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	resp, ok := s.JobStatus(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown or expired job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	resp, ok := s.CancelJob(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown or expired job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,224 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	hypermis "repro"
+)
+
+func jobRequest(t *testing.T, method, url string, body []byte) (int, JobStatusResponse) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var js JobStatusResponse
+	if resp.StatusCode < 400 {
+		if err := json.Unmarshal(raw, &js); err != nil {
+			t.Fatalf("bad job JSON %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, js
+}
+
+// pollJob polls GET /v1/jobs/{id} until pred holds or the deadline
+// passes, returning the last observation.
+func pollJob(t *testing.T, base, id string, deadline time.Duration, pred func(int, JobStatusResponse) bool) (int, JobStatusResponse) {
+	t.Helper()
+	var code int
+	var js JobStatusResponse
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		code, js = jobRequest(t, http.MethodGet, base+"/v1/jobs/"+id, nil)
+		if pred(code, js) {
+			return code, js
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return code, js
+}
+
+func TestJobLifecycleDone(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	h := hypermis.RandomMixed(21, 150, 300, 2, 5)
+	body := instanceText(t, h)
+
+	code, js := jobRequest(t, http.MethodPost, ts.URL+"/v1/jobs?algo=sbl&seed=3&alpha=0.3", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if js.JobID == "" || js.Status != JobQueued {
+		t.Fatalf("submit response %+v", js)
+	}
+
+	code, js = pollJob(t, ts.URL, js.JobID, 10*time.Second, func(c int, j JobStatusResponse) bool {
+		return j.Status == JobDone
+	})
+	if js.Status != JobDone {
+		t.Fatalf("job never finished: status %d, %+v", code, js)
+	}
+	if js.Solve == nil {
+		t.Fatal("done job carries no solve payload")
+	}
+
+	// The async result must be bit-identical to the synchronous path.
+	sr, _ := postSolve(t, ts, "algo=sbl&seed=3&alpha=0.3", body, ContentTypeText)
+	if fmt.Sprint(js.Solve.MIS) != fmt.Sprint(sr.MIS) {
+		t.Error("async job MIS differs from synchronous solve")
+	}
+	if got := s.metrics.JobsDone.Load(); got != 1 {
+		t.Errorf("jobs_done = %d, want 1", got)
+	}
+	st := s.Stats()
+	if st.JobsSubmitted != 1 || st.JobsActive != 0 || st.JobStoreSize != 1 {
+		t.Errorf("stats: submitted=%d active=%d size=%d, want 1/0/1",
+			st.JobsSubmitted, st.JobsActive, st.JobStoreSize)
+	}
+}
+
+func TestJobUnknown(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if code, _ := jobRequest(t, http.MethodGet, ts.URL+"/v1/jobs/jdeadbeef", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job GET status %d, want 404", code)
+	}
+	if code, _ := jobRequest(t, http.MethodDelete, ts.URL+"/v1/jobs/jdeadbeef", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job DELETE status %d, want 404", code)
+	}
+}
+
+// TestJobTTLExpiry: a finished job is retained for JobTTL and then
+// evicted — a later GET is a 404.
+func TestJobTTLExpiry(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, JobTTL: 40 * time.Millisecond})
+	h := hypermis.RandomMixed(5, 60, 120, 2, 4)
+	code, js := jobRequest(t, http.MethodPost, ts.URL+"/v1/jobs?algo=greedy", instanceText(t, h))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	id := js.JobID
+	_, js = pollJob(t, ts.URL, id, 10*time.Second, func(c int, j JobStatusResponse) bool {
+		return j.Status == JobDone
+	})
+	if js.Status != JobDone {
+		t.Fatalf("job never finished: %+v", js)
+	}
+	code, _ = pollJob(t, ts.URL, id, 10*time.Second, func(c int, j JobStatusResponse) bool {
+		return c == http.StatusNotFound
+	})
+	if code != http.StatusNotFound {
+		t.Fatalf("expired job still served: status %d", code)
+	}
+}
+
+// blockWorker occupies one scheduler worker with a solve whose
+// RoundObserver parks on a channel: deterministic control over when the
+// worker frees up. Returns after the worker is parked; the caller must
+// call the returned release func.
+func blockWorker(t *testing.T, s *Server) (release func()) {
+	t.Helper()
+	block := make(chan struct{})
+	parked := make(chan struct{})
+	done := make(chan error, 1)
+	var once bool
+	go func() {
+		// KUW always drives the shared round loop (SBL may shortcut via
+		// direct BL on small dimensions, skipping the observer).
+		h := hypermis.RandomMixed(77, 1000, 2000, 2, 8)
+		_, _, err := s.Solve(t.Context(), h, hypermis.Options{
+			Algorithm: hypermis.AlgKUW,
+			Seed:      1,
+			RoundObserver: func(hypermis.RoundTrace) {
+				if !once {
+					once = true // observer runs on one goroutine, in round order
+					close(parked)
+				}
+				<-block
+			},
+		})
+		done <- err
+	}()
+	<-parked
+	return func() {
+		close(block)
+		if err := <-done; err != nil {
+			t.Errorf("blocked worker solve failed: %v", err)
+		}
+	}
+}
+
+// TestJobCancelInFlight: with the single worker deterministically
+// parked, a submitted job cannot complete; canceling it must drive it
+// to the canceled terminal state while the worker is still busy.
+func TestJobCancelInFlight(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	release := blockWorker(t, s)
+	defer release()
+
+	h := hypermis.RandomMixed(31, 100, 200, 2, 5)
+	code, js := jobRequest(t, http.MethodPost, ts.URL+"/v1/jobs?algo=sbl", instanceText(t, h))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	id := js.JobID
+
+	code, js = jobRequest(t, http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	if code != http.StatusOK {
+		t.Fatalf("cancel status %d", code)
+	}
+	_, js = pollJob(t, ts.URL, id, 10*time.Second, func(c int, j JobStatusResponse) bool {
+		return j.Status == JobCanceled
+	})
+	if js.Status != JobCanceled {
+		t.Fatalf("job not canceled: %+v", js)
+	}
+	if js.Solve != nil {
+		t.Error("canceled job carries a solve payload")
+	}
+	if got := s.metrics.JobsCanceled.Load(); got != 1 {
+		t.Errorf("jobs_canceled = %d, want 1", got)
+	}
+}
+
+// TestJobStoreFull: with every store slot held by an in-flight job,
+// submission sheds with 503; slots free once jobs reach terminal
+// states.
+func TestJobStoreFull(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxJobs: 1})
+	release := blockWorker(t, s)
+	defer release()
+
+	h := hypermis.RandomMixed(41, 80, 160, 2, 4)
+	body := instanceText(t, h)
+	code, js := jobRequest(t, http.MethodPost, ts.URL+"/v1/jobs?algo=sbl", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit status %d", code)
+	}
+	if code, _ := jobRequest(t, http.MethodPost, ts.URL+"/v1/jobs?algo=sbl", body); code != http.StatusServiceUnavailable {
+		t.Fatalf("second submit status %d, want 503", code)
+	}
+	// Cancel the holder; once terminal it is evictable and a new job fits.
+	if code, _ := jobRequest(t, http.MethodDelete, ts.URL+"/v1/jobs/"+js.JobID, nil); code != http.StatusOK {
+		t.Fatalf("cancel status %d", code)
+	}
+	pollJob(t, ts.URL, js.JobID, 10*time.Second, func(c int, j JobStatusResponse) bool {
+		return j.Status == JobCanceled
+	})
+	if code, _ = jobRequest(t, http.MethodPost, ts.URL+"/v1/jobs?algo=greedy", body); code != http.StatusAccepted {
+		t.Fatalf("post-eviction submit status %d, want 202", code)
+	}
+}

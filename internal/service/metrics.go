@@ -109,6 +109,20 @@ type Metrics struct {
 	SolverRounds       atomic.Int64
 	SolverRoundDecided atomic.Int64
 	SolverRoundNs      atomic.Int64
+	// Batch pipeline: requests, items carried (batch_items_total),
+	// per-item failures, and the read-to-flush streaming latency of
+	// each item's result line.
+	BatchRequests    atomic.Int64
+	BatchItems       atomic.Int64
+	BatchItemErrors  atomic.Int64
+	BatchItemLatency Histogram
+	// Async jobs: submissions and terminal-state counts; cancel
+	// requests count DELETEs accepted (the job may already be terminal).
+	JobsSubmitted     atomic.Int64
+	JobsDone          atomic.Int64
+	JobsFailed        atomic.Int64
+	JobsCanceled      atomic.Int64
+	JobCancelRequests atomic.Int64
 }
 
 // Stats is a JSON-ready snapshot of the service state — the payload of
@@ -149,6 +163,30 @@ type Stats struct {
 	LatencyP90Ms       float64 `json:"latency_p90_ms"`
 	LatencyP99Ms       float64 `json:"latency_p99_ms"`
 	LatencyMaxMs       float64 `json:"latency_max_ms"`
+	// Batch pipeline: request/item/error totals, the configured per-
+	// request item cap, and streaming latency quantiles — the time from
+	// reading an item off the request stream to flushing its result
+	// line.
+	BatchRequests   int64   `json:"batch_requests"`
+	BatchItems      int64   `json:"batch_items_total"`
+	BatchItemErrors int64   `json:"batch_item_errors"`
+	MaxBatchItems   int     `json:"max_batch_items"`
+	BatchStreamP50  float64 `json:"batch_stream_p50_ms"`
+	BatchStreamP99  float64 `json:"batch_stream_p99_ms"`
+	BatchStreamMax  float64 `json:"batch_stream_max_ms"`
+	// Async jobs: lifetime totals by terminal state, cancel requests,
+	// the store's live occupancy (jobs_active = non-terminal jobs,
+	// job_store_size includes retained terminal jobs) and retention
+	// configuration.
+	JobsSubmitted     int64   `json:"jobs_submitted"`
+	JobsDone          int64   `json:"jobs_done"`
+	JobsFailed        int64   `json:"jobs_failed"`
+	JobsCanceled      int64   `json:"jobs_canceled"`
+	JobCancelRequests int64   `json:"job_cancel_requests"`
+	JobsActive        int     `json:"jobs_active"`
+	JobStoreSize      int     `json:"job_store_size"`
+	JobStoreCap       int     `json:"job_store_cap"`
+	JobTTLSeconds     float64 `json:"job_ttl_seconds"`
 }
 
 func (m *Metrics) snapshot() Stats {
@@ -171,5 +209,16 @@ func (m *Metrics) snapshot() Stats {
 		LatencyP90Ms:       ms(m.SolveLatency.Quantile(0.90)),
 		LatencyP99Ms:       ms(m.SolveLatency.Quantile(0.99)),
 		LatencyMaxMs:       ms(m.SolveLatency.Max()),
+		BatchRequests:      m.BatchRequests.Load(),
+		BatchItems:         m.BatchItems.Load(),
+		BatchItemErrors:    m.BatchItemErrors.Load(),
+		BatchStreamP50:     ms(m.BatchItemLatency.Quantile(0.50)),
+		BatchStreamP99:     ms(m.BatchItemLatency.Quantile(0.99)),
+		BatchStreamMax:     ms(m.BatchItemLatency.Max()),
+		JobsSubmitted:      m.JobsSubmitted.Load(),
+		JobsDone:           m.JobsDone.Load(),
+		JobsFailed:         m.JobsFailed.Load(),
+		JobsCanceled:       m.JobsCanceled.Load(),
+		JobCancelRequests:  m.JobCancelRequests.Load(),
 	}
 }

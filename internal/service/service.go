@@ -15,8 +15,35 @@
 //	                   vertex ids. 200 on a valid MIS, 422 otherwise.
 //	POST /v1/generate  query kind, n, m, d, min, max, seed, format.
 //	                   Returns an instance (text or binary).
+//	POST /v1/batch     body = NDJSON, one BatchItem per line. Streams
+//	                   one BatchItemResult line per item back in
+//	                   completion order, flushing as items finish.
+//	POST /v1/jobs      body = instance, query as /v1/solve. Accepts an
+//	                   async job, 202 + job id immediately.
+//	GET  /v1/jobs/{id}    job status; the result once the job is done.
+//	DELETE /v1/jobs/{id}  cancel an in-flight job.
 //	GET  /v1/stats     JSON Stats snapshot.
 //	GET  /healthz      liveness probe, always "ok".
+//
+// docs/api.md is the full wire-level reference for every endpoint.
+//
+// # Batching and async jobs
+//
+// A batch request amortizes connection, scheduling and parsing costs
+// across many instances: items fan out through the same bounded queue,
+// workspace pool and per-item cache lookups as single solves, bounded
+// by an in-flight window (2×Workers), and results stream back the
+// moment each item completes — the server never buffers the batch.
+// Per-item results are bit-identical to the equivalent single
+// /v1/solve calls (property-tested), and a failing item fails alone.
+//
+// An async job is a single solve detached from the submitting
+// connection: POST /v1/jobs returns a job id immediately, the solve
+// runs through the scheduler in the background, and the client polls
+// GET /v1/jobs/{id}. Jobs move queued → running → done | failed |
+// canceled; terminal jobs are retained for Config.JobTTL in a store
+// bounded by Config.MaxJobs (lazy TTL eviction, oldest-terminal
+// eviction under pressure) and then disappear.
 //
 // Instance bodies are the hgio text format by default; send
 // Content-Type application/x-hypergraph-binary (or octet-stream) for
@@ -113,6 +140,19 @@ type Config struct {
 	// degree 1). The aggregate across concurrent jobs is additionally
 	// capped by the token pool — see the package comment.
 	MaxJobParallelism int
+	// MaxBatchItems caps the items one POST /v1/batch request may carry
+	// (default 1024; values < 1 are raised to 1). Items past the cap are
+	// answered with a single truncation error record.
+	MaxBatchItems int
+	// JobTTL is how long a finished (done/failed/canceled) async job is
+	// retained for GET /v1/jobs/{id} before eviction (values ≤ 0 select
+	// the default 5m — instant expiry would make results unretrievable).
+	JobTTL time.Duration
+	// MaxJobs bounds the async job store, terminal and in-flight jobs
+	// together (default 1024). At capacity, expired and oldest terminal
+	// jobs are evicted first; if every slot holds an in-flight job, new
+	// submissions are refused with ErrJobStoreFull.
+	MaxJobs int
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +176,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobParallelism < 1 {
 		c.MaxJobParallelism = 1
+	}
+	if c.MaxBatchItems == 0 {
+		c.MaxBatchItems = 1024
+	}
+	if c.MaxBatchItems < 1 {
+		c.MaxBatchItems = 1
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 5 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
 	}
 	return c
 }
@@ -188,6 +240,11 @@ type Server struct {
 	closeMu  sync.RWMutex
 	isClosed bool
 
+	// jobs is the bounded TTL store behind the async job API; jobWg
+	// tracks the per-job driver goroutines so Close can wait for them.
+	jobs  *jobStore
+	jobWg sync.WaitGroup
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	wg        sync.WaitGroup
@@ -205,6 +262,7 @@ func New(cfg Config) *Server {
 		queue:     make(chan *job, cfg.QueueDepth),
 		parTokens: make(chan struct{}, poolSize),
 		wsPool:    solver.NewPool(poolSize),
+		jobs:      newJobStore(cfg.JobTTL, cfg.MaxJobs),
 		closed:    make(chan struct{}),
 	}
 	for i := 0; i < poolSize; i++ {
@@ -221,14 +279,18 @@ func New(cfg Config) *Server {
 }
 
 // Close stops the workers after the queued jobs drain and fails any
-// subsequent Solve with ErrClosed. Safe to call more than once.
+// subsequent Solve or SubmitJob with ErrClosed. In-flight async jobs
+// are canceled (they end JobCanceled) and their driver goroutines are
+// waited for. Safe to call more than once.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.closeMu.Lock()
 		s.isClosed = true
 		s.closeMu.Unlock()
+		s.jobs.cancelAll()
 		close(s.closed)
 	})
+	s.jobWg.Wait()
 	s.wg.Wait()
 }
 
@@ -266,16 +328,29 @@ func JobKey(h *hypermis.Hypergraph, opts hypermis.Options) string {
 // by the submitter's own deadline). A full queue fails fast with
 // ErrQueueFull.
 func (s *Server) Solve(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options) (*hypermis.Result, bool, error) {
-	key := JobKey(h, opts)
+	return s.solveKeyed(ctx, h, opts, JobKey(h, opts), true)
+}
+
+// solveKeyed is Solve with the cache key precomputed and counter
+// updates optional: the batch/async retry loop (solveBlocking) hashes
+// the instance once and counts the cache miss / queue rejection only
+// on its first attempt, so a queue-starved item doesn't inflate
+// cache_misses and rejected on every 2–50ms retry (nor re-digest a
+// large instance while the server is already overloaded).
+func (s *Server) solveKeyed(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options, key string, count bool) (*hypermis.Result, bool, error) {
 	if s.cache != nil {
 		if res, ok := s.cache.Get(key); ok {
-			s.metrics.CacheHits.Add(1)
+			if count {
+				s.metrics.CacheHits.Add(1)
+			}
 			return res, true, nil
 		}
-		s.metrics.CacheMisses.Add(1)
+		if count {
+			s.metrics.CacheMisses.Add(1)
+		}
 	}
 	j := &job{ctx: ctx, h: h, opts: opts, key: key, done: make(chan jobResult, 1)}
-	if err := s.enqueue(j); err != nil {
+	if err := s.enqueue(j, count); err != nil {
 		return nil, false, err
 	}
 	select {
@@ -291,8 +366,10 @@ func (s *Server) Solve(ctx context.Context, h *hypermis.Hypergraph, opts hypermi
 // enqueue submits j to the bounded queue, holding the read side of
 // closeMu across the closed-check and the send so the job cannot land
 // in the queue after the workers' final drain (which would strand the
-// submitter on a done channel nobody serves).
-func (s *Server) enqueue(j *job) error {
+// submitter on a done channel nobody serves). countRejected gates the
+// Rejected counter: retry attempts of one waiting request shed at most
+// one rejection into the stats.
+func (s *Server) enqueue(j *job, countRejected bool) error {
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if s.isClosed {
@@ -303,7 +380,9 @@ func (s *Server) enqueue(j *job) error {
 		s.metrics.Enqueued.Add(1)
 		return nil
 	default:
-		s.metrics.Rejected.Add(1)
+		if countRejected {
+			s.metrics.Rejected.Add(1)
+		}
 		return ErrQueueFull
 	}
 }
@@ -322,6 +401,10 @@ func (s *Server) Stats() Stats {
 		st.CacheCap = s.cfg.CacheSize
 		st.CacheBytes = s.cache.Bytes()
 	}
+	st.JobsActive, st.JobStoreSize = s.jobs.counts(time.Now())
+	st.JobStoreCap = s.cfg.MaxJobs
+	st.MaxBatchItems = s.cfg.MaxBatchItems
+	st.JobTTLSeconds = s.cfg.JobTTL.Seconds()
 	return st
 }
 
@@ -397,10 +480,14 @@ func (s *Server) run(j *job) {
 	// bumps the service-wide round counters.
 	ws := s.wsPool.Get()
 	j.opts.Workspace = ws
+	callerObserver := j.opts.RoundObserver
 	j.opts.RoundObserver = func(r hypermis.RoundTrace) {
 		s.metrics.SolverRounds.Add(1)
 		s.metrics.SolverRoundDecided.Add(int64(r.Decided))
 		s.metrics.SolverRoundNs.Add(int64(r.Elapsed))
+		if callerObserver != nil {
+			callerObserver(r)
+		}
 	}
 	start := time.Now()
 	ctx := j.ctx
