@@ -128,6 +128,21 @@ func benchServiceHTTP(b *testing.B, name string, batch bool) {
 	}
 }
 
+// NoTrace twins run the same bodies with tracing and the flight
+// recorder disabled; paired with the traced rows they bound the
+// observability overhead per request/item.
+func benchServiceHTTPNoTrace(b *testing.B, name string, batch bool) {
+	c, ok := benchdefs.Find(name)
+	if !ok {
+		b.Fatalf("benchdefs case %s not declared", name)
+	}
+	if batch {
+		benchdefs.RunServiceHTTPBatchNoTrace(b, c)
+	} else {
+		benchdefs.RunServiceHTTPSolveNoTrace(b, c)
+	}
+}
+
 func BenchmarkServiceHTTPSingle_Luby_n1000(b *testing.B) {
 	benchServiceHTTP(b, "SolveLuby_n1000", false)
 }
@@ -136,6 +151,19 @@ func BenchmarkServiceHTTPBatch32_Luby_n1000(b *testing.B) {
 }
 func BenchmarkServiceHTTPSingle_SBL_n1000(b *testing.B)  { benchServiceHTTP(b, "SolveSBL_n1000", false) }
 func BenchmarkServiceHTTPBatch32_SBL_n1000(b *testing.B) { benchServiceHTTP(b, "SolveSBL_n1000", true) }
+
+func BenchmarkServiceHTTPSingleNoTrace_Luby_n1000(b *testing.B) {
+	benchServiceHTTPNoTrace(b, "SolveLuby_n1000", false)
+}
+func BenchmarkServiceHTTPBatch32NoTrace_Luby_n1000(b *testing.B) {
+	benchServiceHTTPNoTrace(b, "SolveLuby_n1000", true)
+}
+func BenchmarkServiceHTTPSingleNoTrace_SBL_n1000(b *testing.B) {
+	benchServiceHTTPNoTrace(b, "SolveSBL_n1000", false)
+}
+func BenchmarkServiceHTTPBatch32NoTrace_SBL_n1000(b *testing.B) {
+	benchServiceHTTPNoTrace(b, "SolveSBL_n1000", true)
+}
 
 // Scale benchmarks: n=50k vertices, m=100k edges. At this size the CSR
 // edge scans cross the sharding threshold, so these exercise the

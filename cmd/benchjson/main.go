@@ -172,6 +172,15 @@ func main() {
 			fmt.Sprintf("BenchmarkServiceHTTPBatch%d_%s", benchdefs.HTTPBatchSize, suffix),
 			func(b *testing.B) { benchdefs.RunServiceHTTPBatch(b, c) },
 		})
+		// Tracing-disabled twins: the recorded guard that the span/trace
+		// plumbing stays within noise of the untraced request path.
+		benches = append(benches, namedBench{"BenchmarkServiceHTTPSingleNoTrace_" + suffix, func(b *testing.B) {
+			benchdefs.RunServiceHTTPSolveNoTrace(b, c)
+		}})
+		benches = append(benches, namedBench{
+			fmt.Sprintf("BenchmarkServiceHTTPBatch%dNoTrace_%s", benchdefs.HTTPBatchSize, suffix),
+			func(b *testing.B) { benchdefs.RunServiceHTTPBatchNoTrace(b, c) },
+		})
 	}
 	benches = append(benches, namedBench{"BenchmarkVerifyMIS_n10000", benchdefs.RunVerify})
 

@@ -14,10 +14,18 @@
 // job polled via GET /v1/jobs/{id} (docs/api.md documents the wire
 // formats).
 //
+// Observability: every response carries an X-Hypermis-Trace id whose
+// span breakdown is retrievable from GET /v1/debug/requests, Prometheus
+// metrics are at GET /metrics, request logs are structured (log/slog),
+// and -debug-addr serves net/http/pprof on a separate listener kept off
+// the service port.
+//
 // Usage:
 //
 //	hypermisd [-addr :8080] [-workers N] [-queue N] [-cache N] [-timeout 30s]
 //	          [-maxpar N] [-maxbatch N] [-jobttl 5m] [-maxjobs N]
+//	          [-notrace] [-tracerecent N] [-traceslowest N]
+//	          [-debug-addr addr] [-logjson]
 //
 // Counters are also published through expvar under the key "hypermisd"
 // at GET /debug/vars. SIGINT/SIGTERM shut the daemon down gracefully:
@@ -30,9 +38,9 @@ import (
 	"errors"
 	"expvar"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,7 +60,21 @@ func main() {
 	maxBatch := flag.Int("maxbatch", 0, "items per POST /v1/batch request (0 = 1024)")
 	jobTTL := flag.Duration("jobttl", 0, "retention of finished async jobs (0 = 5m)")
 	maxJobs := flag.Int("maxjobs", 0, "async job store capacity (0 = 1024)")
+	noTrace := flag.Bool("notrace", false, "disable request tracing and the flight recorder")
+	traceRecent := flag.Int("tracerecent", 0, "flight recorder ring size (0 = 256)")
+	traceSlowest := flag.Int("traceslowest", 0, "slowest traces always retained (0 = 32)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+	logJSON := flag.Bool("logjson", false, "emit logs as JSON instead of text")
 	flag.Parse()
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
 
 	srv := service.New(service.Config{
 		Workers:           *workers,
@@ -64,6 +86,10 @@ func main() {
 		MaxBatchItems:     *maxBatch,
 		JobTTL:            *jobTTL,
 		MaxJobs:           *maxJobs,
+		DisableTracing:    *noTrace,
+		TraceRecent:       *traceRecent,
+		TraceSlowest:      *traceSlowest,
+		Logger:            logger,
 	})
 	expvar.Publish("hypermisd", expvar.Func(func() any { return srv.Stats() }))
 
@@ -82,21 +108,55 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbgSrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", slog.String("addr", *debugAddr))
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server", slog.Any("err", err))
+			}
+		}()
+		defer dbgSrv.Close()
+	}
+
+	// Log the *effective* configuration — what the service resolved the
+	// zero-value flags to — not the raw flag values.
 	cfg := srv.Config()
-	log.Printf("hypermisd listening on %s (workers=%d queue=%d cache=%d timeout=%v)",
-		*addr, cfg.Workers, cfg.QueueDepth, cfg.CacheSize, cfg.JobTimeout)
+	logger.Info("hypermisd listening",
+		slog.String("addr", *addr),
+		slog.Int("workers", cfg.Workers),
+		slog.Int("queue", cfg.QueueDepth),
+		slog.Int("cache", cfg.CacheSize),
+		slog.Int64("cache_bytes", cfg.CacheBytes),
+		slog.Duration("timeout", cfg.JobTimeout),
+		slog.Int("maxpar", cfg.MaxJobParallelism),
+		slog.Int("maxbatch", cfg.MaxBatchItems),
+		slog.Duration("jobttl", cfg.JobTTL),
+		slog.Int("maxjobs", cfg.MaxJobs),
+		slog.Bool("tracing", !cfg.DisableTracing),
+		slog.Int("trace_recent", cfg.TraceRecent),
+		slog.Int("trace_slowest", cfg.TraceSlowest),
+	)
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("hypermisd: %v", err)
+		logger.Error("hypermisd", slog.Any("err", err))
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Print("hypermisd: shutting down")
+	logger.Info("hypermisd shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "hypermisd: shutdown:", err)
+		logger.Error("hypermisd shutdown", slog.Any("err", err))
 	}
 	srv.Close()
 }

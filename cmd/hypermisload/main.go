@@ -17,6 +17,11 @@
 //	hypermisd -addr :8080 &
 //	hypermisload -addr http://127.0.0.1:8080 -n 1000 -c 8
 //	hypermisload -addr http://127.0.0.1:8080 -n 1000 -c 8 -mode batch
+//	hypermisload -addr http://127.0.0.1:8080 -n 100000 -c 16 -statsevery 5s
+//
+// -statsevery polls the daemon's GET /v1/stats during the run and
+// prints windowed deltas (solves/s, cache hit rate, queue depth, p99)
+// so long runs show live progress.
 //
 // The instance pool is small and seeds repeat, so repeated (instance,
 // seed) solve pairs are guaranteed; the generator cross-checks that the
@@ -48,16 +53,17 @@ import (
 )
 
 type config struct {
-	addr    string
-	total   int
-	workers int
-	pool    int
-	seeds   int
-	algo    string
-	n, m    int
-	seed    uint64
-	mode    string
-	batch   int
+	addr       string
+	total      int
+	workers    int
+	pool       int
+	seeds      int
+	algo       string
+	n, m       int
+	seed       uint64
+	mode       string
+	batch      int
+	statsEvery time.Duration
 }
 
 type instance struct {
@@ -102,6 +108,7 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 1, "base instance seed")
 	flag.StringVar(&cfg.mode, "mode", "single", "traffic shape: single (mixed per-request ops), batch (NDJSON /v1/batch), jobs (async /v1/jobs + polling)")
 	flag.IntVar(&cfg.batch, "batch", 16, "items per batch request (batch mode)")
+	flag.DurationVar(&cfg.statsEvery, "statsevery", 0, "poll GET /v1/stats at this interval and print deltas (0 disables)")
 	flag.Parse()
 	if cfg.mode != "single" && cfg.mode != "batch" && cfg.mode != "jobs" {
 		log.Fatalf("unknown -mode %q (want single, batch or jobs)", cfg.mode)
@@ -117,6 +124,11 @@ func main() {
 		lastMIS: make(map[int][]int),
 	}
 	r.buildPool()
+
+	stopStats := func() {}
+	if cfg.statsEvery > 0 {
+		stopStats = r.pollStats(cfg.statsEvery)
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -160,11 +172,67 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	stopStats()
 
 	r.report(elapsed)
 	if r.errs.Load() > 0 || len(r.failures) > 0 {
 		os.Exit(1)
 	}
+}
+
+// pollStats samples GET /v1/stats at the given interval during the run
+// and prints the delta between consecutive samples — server-side
+// solves/s, cache hit rate over the window, queue depth, and the
+// daemon's p99 — so a long run shows live progress instead of one
+// summary at the end. The returned stop function waits for the final
+// in-flight sample before the end-of-run report prints.
+func (r *runner) pollStats(every time.Duration) func() {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var prev service.Stats
+		prevAt := time.Now()
+		havePrev := false
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			resp, err := r.client.Get(r.cfg.addr + "/v1/stats")
+			if err != nil {
+				fmt.Printf("stats: %v\n", err)
+				continue
+			}
+			var st service.Stats
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				fmt.Printf("stats: bad JSON: %v\n", err)
+				continue
+			}
+			now := time.Now()
+			if havePrev {
+				window := now.Sub(prevAt).Seconds()
+				dSolves := st.Solves - prev.Solves
+				dHits := st.CacheHits - prev.CacheHits
+				dLookups := dHits + (st.CacheMisses - prev.CacheMisses)
+				hitRate := 0.0
+				if dLookups > 0 {
+					hitRate = 100 * float64(dHits) / float64(dLookups)
+				}
+				fmt.Printf("stats: +%d solves (%.1f/s)  cache hit %.0f%% (%d/%d)  queue %d/%d  p99=%.2fms\n",
+					dSolves, float64(dSolves)/window, hitRate, dHits, dLookups,
+					st.QueueDepth, st.QueueCap, st.LatencyP99Ms)
+			}
+			prev, prevAt, havePrev = st, now, true
+		}
+	}()
+	return func() { close(done); wg.Wait() }
 }
 
 // buildPool reconstructs, locally, exactly the instances the daemon's

@@ -1,0 +1,54 @@
+// Command promcheck scrapes a Prometheus text exposition endpoint and
+// lints it: TYPE lines must precede their samples, families must not
+// interleave or repeat, counters must be non-negative, histogram
+// buckets must be cumulative with increasing bounds, and every sample
+// line must parse. It exits non-zero on any violation or when fewer
+// than -min samples are exposed — the CI smoke step runs it against a
+// live hypermisd's GET /metrics.
+//
+// Usage:
+//
+//	promcheck -url http://127.0.0.1:8080/metrics [-min 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080/metrics", "exposition endpoint to scrape")
+	min := flag.Int("min", 1, "minimum number of samples the exposition must carry")
+	timeout := flag.Duration("timeout", 10*time.Second, "scrape timeout")
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(*url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "promcheck: GET %s: status %d\n", *url, resp.StatusCode)
+		os.Exit(1)
+	}
+
+	samples, errs := obs.LintExposition(resp.Body)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "promcheck:", e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	if samples < *min {
+		fmt.Fprintf(os.Stderr, "promcheck: only %d samples exposed (want >= %d)\n", samples, *min)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s ok (%d samples)\n", *url, samples)
+}

@@ -164,24 +164,36 @@ const HTTPBatchSize = 32
 // (connection handling, HTTP framing, handler dispatch) against
 // per-item overhead (JSON framing, base64 decode, fan-out
 // bookkeeping).
-func newHTTPBench(b *testing.B, c Case) (ts *httptest.Server, done func(), bin []byte, b64 string) {
+func newHTTPBench(b *testing.B, c Case, disableTracing bool) (ts *httptest.Server, done func(), bin []byte, b64 string) {
 	h := c.New()
 	var buf bytes.Buffer
 	if err := hgio.WriteBinary(&buf, h); err != nil {
 		b.Fatal(err)
 	}
-	srv := service.New(service.Config{Workers: 1, CacheSize: -1, MaxBatchItems: 1 << 20})
+	srv := service.New(service.Config{
+		Workers: 1, CacheSize: -1, MaxBatchItems: 1 << 20,
+		DisableTracing: disableTracing,
+	})
 	ts = httptest.NewServer(service.NewHandler(srv))
 	bin = buf.Bytes()
 	return ts, func() { ts.Close(); srv.Close() }, bin, base64.StdEncoding.EncodeToString(bin)
 }
 
 // RunServiceHTTPSolve measures the full single-shot serving path: one
-// POST /v1/solve round trip per solve. Compare against
-// RunServiceHTTPBatch at equal b.N — the delta is what batching
-// amortizes away.
-func RunServiceHTTPSolve(b *testing.B, c Case) {
-	ts, done, bin, _ := newHTTPBench(b, c)
+// POST /v1/solve round trip per solve, request tracing on (the daemon
+// default). Compare against RunServiceHTTPBatch at equal b.N — the
+// delta is what batching amortizes away — and against
+// RunServiceHTTPSolveNoTrace, whose delta is the tracing overhead the
+// observability layer must keep negligible.
+func RunServiceHTTPSolve(b *testing.B, c Case) { runServiceHTTPSolve(b, c, false) }
+
+// RunServiceHTTPSolveNoTrace is RunServiceHTTPSolve with tracing and
+// the flight recorder disabled — the guard row that keeps the span
+// plumbing honest.
+func RunServiceHTTPSolveNoTrace(b *testing.B, c Case) { runServiceHTTPSolve(b, c, true) }
+
+func runServiceHTTPSolve(b *testing.B, c Case, disableTracing bool) {
+	ts, done, bin, _ := newHTTPBench(b, c, disableTracing)
 	defer done()
 	client := ts.Client()
 	algo := c.Algo.String()
@@ -203,9 +215,16 @@ func RunServiceHTTPSolve(b *testing.B, c Case) {
 
 // RunServiceHTTPBatch measures the batch serving path at the same
 // granularity — ns/op is still per solve: b.N items grouped into NDJSON
-// POST /v1/batch requests of HTTPBatchSize.
-func RunServiceHTTPBatch(b *testing.B, c Case) {
-	ts, done, _, b64 := newHTTPBench(b, c)
+// POST /v1/batch requests of HTTPBatchSize. Tracing is on, as in the
+// daemon default; RunServiceHTTPBatchNoTrace is the disabled baseline.
+func RunServiceHTTPBatch(b *testing.B, c Case) { runServiceHTTPBatch(b, c, false) }
+
+// RunServiceHTTPBatchNoTrace is RunServiceHTTPBatch without tracing —
+// paired with it, the two rows bound the per-item observability cost.
+func RunServiceHTTPBatchNoTrace(b *testing.B, c Case) { runServiceHTTPBatch(b, c, true) }
+
+func runServiceHTTPBatch(b *testing.B, c Case, disableTracing bool) {
+	ts, done, _, b64 := newHTTPBench(b, c, disableTracing)
 	defer done()
 	client := ts.Client()
 	algo := c.Algo.String()

@@ -1,0 +1,21 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context key type for trace propagation.
+type ctxKey struct{}
+
+// With attaches tr to ctx; a nil trace returns ctx unchanged.
+func With(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// From extracts the context's trace, or nil — every Trace method
+// accepts a nil receiver, so callers never need to check.
+func From(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

@@ -1,0 +1,254 @@
+// Package obs is the service's observability kit: per-request span
+// tracing, a flight recorder retaining recent and slowest traces, and
+// a dependency-free Prometheus text-format exposition writer (plus the
+// matching linter cmd/promcheck and the CI smoke test reuse).
+//
+// # Tracing
+//
+// A Trace is one request's span recorder: a process-unique hex id, the
+// endpoint label, and a bounded list of named child spans (queue-wait,
+// cache-lookup, workspace-checkout, solve, per-round, encode — the
+// service decides the names). Traces ride the request context:
+//
+//	tr := obs.NewTrace("POST /v1/solve")
+//	ctx = obs.With(ctx, tr)
+//	...
+//	sp := obs.From(ctx).StartSpan("solve")
+//	... work ...
+//	sp.End()
+//	...
+//	tr.Finish(200)
+//	recorder.Record(tr.Snapshot())
+//
+// Every method is nil-receiver safe, so disabled tracing is a nil
+// *Trace and instrumentation points pay one pointer check. Span
+// recording is allocation-conscious: the span list is grown in place
+// under one mutex, capped at maxSpans (overflow is counted, not
+// stored), and StartSpan handles are values. Traces are mutable until
+// Finish and frozen after it; Snapshot returns a plain value safe to
+// retain and marshal.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxSpans bounds the spans one trace retains. A pathological request
+// (a many-round solve, a huge batch) overflows into Truncated instead
+// of growing without bound.
+const maxSpans = 128
+
+// traceBase seeds the process's trace-id sequence with real entropy so
+// ids from different daemon runs don't collide; traceCtr makes every id
+// unique within the run without a syscall per request.
+var (
+	traceBase = func() uint64 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("obs: trace id entropy: %v", err))
+		}
+		return binary.LittleEndian.Uint64(b[:])
+	}()
+	traceCtr atomic.Uint64
+)
+
+// newTraceID returns a 16-hex-digit id: the random process base mixed
+// with a per-trace counter through a splitmix64 finalizer, so ids look
+// uniform but cost no entropy syscall per request.
+func newTraceID() string {
+	z := traceBase + traceCtr.Add(1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return fmt.Sprintf("%016x", z)
+}
+
+// Span is one named interval inside a trace. StartUs is the offset from
+// the trace's start; both fields are microseconds so the JSON is
+// directly human-readable next to elapsed_ms response fields.
+type Span struct {
+	Name    string  `json:"name"`
+	StartUs float64 `json:"start_us"`
+	DurUs   float64 `json:"dur_us"`
+}
+
+// Trace records one request's spans. Create with NewTrace, propagate
+// via With/From, close with Finish. All methods are safe on a nil
+// receiver (they no-op) and safe for concurrent use — request handling
+// fans out across worker goroutines.
+type Trace struct {
+	id       string
+	endpoint string
+	start    time.Time
+
+	mu        sync.Mutex
+	spans     []Span
+	truncated int
+	rounds    int
+	roundNs   int64
+	detail    string
+	done      bool
+	end       time.Time
+	status    int
+}
+
+// NewTrace starts a trace for the named endpoint.
+func NewTrace(endpoint string) *Trace {
+	return &Trace{
+		id:       newTraceID(),
+		endpoint: endpoint,
+		start:    time.Now(),
+		spans:    make([]Span, 0, 8),
+	}
+}
+
+// ID returns the trace id ("" on nil) — the X-Hypermis-Trace value.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SpanHandle ends one in-flight span. The zero value (from a nil
+// trace) ends nothing.
+type SpanHandle struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a named span; call End on the handle when the
+// interval closes.
+func (t *Trace) StartSpan(name string) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: t, name: name, start: time.Now()}
+}
+
+// End closes the span and records it on its trace.
+func (h SpanHandle) End() {
+	if h.t == nil {
+		return
+	}
+	h.t.AddSpan(h.name, h.start, time.Since(h.start))
+}
+
+// AddSpan records an externally measured interval (e.g. queue wait,
+// whose start the enqueuer stamped and whose end the worker observes).
+// Spans landing after Finish are dropped: the trace was already
+// snapshotted into the recorder, and a straggling worker (client gone,
+// solve still unwinding) must not mutate it.
+func (t *Trace) AddSpan(name string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	if len(t.spans) >= maxSpans {
+		t.truncated++
+		return
+	}
+	t.spans = append(t.spans, Span{
+		Name:    name,
+		StartUs: float64(start.Sub(t.start)) / float64(time.Microsecond),
+		DurUs:   float64(d) / float64(time.Microsecond),
+	})
+}
+
+// AddRound accumulates one solver round into the trace's round tally —
+// cheaper than a span per round and never truncated, so the totals stay
+// exact even when the span list overflows. The first few rounds are
+// additionally recorded as spans by the caller if it wants them.
+func (t *Trace) AddRound(elapsed time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.rounds++
+		t.roundNs += int64(elapsed)
+	}
+	t.mu.Unlock()
+}
+
+// SetDetail attaches a short free-form annotation (e.g. "algo=luby
+// n=1000 cached=true"); the last call wins.
+func (t *Trace) SetDetail(format string, args ...any) {
+	if t == nil {
+		return
+	}
+	s := fmt.Sprintf(format, args...)
+	t.mu.Lock()
+	if !t.done {
+		t.detail = s
+	}
+	t.mu.Unlock()
+}
+
+// Finish freezes the trace with the response status. Idempotent — the
+// first call wins.
+func (t *Trace) Finish(status int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.done = true
+		t.end = time.Now()
+		t.status = status
+	}
+	t.mu.Unlock()
+}
+
+// TraceRecord is the immutable, JSON-ready form of a finished trace —
+// what the flight recorder stores and GET /v1/debug/requests returns.
+type TraceRecord struct {
+	TraceID    string    `json:"trace_id"`
+	Endpoint   string    `json:"endpoint"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Status     int       `json:"status"`
+	Detail     string    `json:"detail,omitempty"`
+	Rounds     int       `json:"rounds,omitempty"`
+	RoundsMs   float64   `json:"rounds_ms,omitempty"`
+	Truncated  int       `json:"spans_truncated,omitempty"`
+	Spans      []Span    `json:"spans"`
+}
+
+// Snapshot captures the trace as a record. Call after Finish; an
+// unfinished trace snapshots with its duration so far and status 0.
+func (t *Trace) Snapshot() TraceRecord {
+	if t == nil {
+		return TraceRecord{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	if !t.done {
+		end = time.Now()
+	}
+	return TraceRecord{
+		TraceID:    t.id,
+		Endpoint:   t.endpoint,
+		Start:      t.start,
+		DurationMs: float64(end.Sub(t.start)) / float64(time.Millisecond),
+		Status:     t.status,
+		Detail:     t.detail,
+		Rounds:     t.rounds,
+		RoundsMs:   float64(t.roundNs) / float64(time.Millisecond),
+		Truncated:  t.truncated,
+		Spans:      append([]Span(nil), t.spans...),
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndSnapshot(t *testing.T) {
+	tr := NewTrace("POST /v1/solve")
+	if tr.ID() == "" || len(tr.ID()) != 16 {
+		t.Fatalf("trace id %q, want 16 hex digits", tr.ID())
+	}
+	sp := tr.StartSpan("decode")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.AddSpan("queue-wait", time.Now().Add(-2*time.Millisecond), 2*time.Millisecond)
+	tr.AddRound(300 * time.Microsecond)
+	tr.AddRound(200 * time.Microsecond)
+	tr.SetDetail("algo=%s cached=%t", "luby", false)
+	tr.Finish(200)
+
+	rec := tr.Snapshot()
+	if rec.TraceID != tr.ID() || rec.Endpoint != "POST /v1/solve" || rec.Status != 200 {
+		t.Fatalf("snapshot header mismatch: %+v", rec)
+	}
+	if len(rec.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(rec.Spans), rec.Spans)
+	}
+	if rec.Spans[0].Name != "decode" || rec.Spans[0].DurUs < 900 {
+		t.Errorf("decode span %+v, want ≥900µs", rec.Spans[0])
+	}
+	if rec.Rounds != 2 || rec.RoundsMs < 0.4 {
+		t.Errorf("rounds %d / %.3fms, want 2 / ≥0.5ms", rec.Rounds, rec.RoundsMs)
+	}
+	if rec.Detail != "algo=luby cached=false" {
+		t.Errorf("detail %q", rec.Detail)
+	}
+	if rec.DurationMs <= 0 {
+		t.Errorf("duration %.3fms, want > 0", rec.DurationMs)
+	}
+
+	// Post-finish mutation is dropped: the snapshot already escaped.
+	tr.AddSpan("late", time.Now(), time.Millisecond)
+	tr.AddRound(time.Millisecond)
+	if after := tr.Snapshot(); len(after.Spans) != 2 || after.Rounds != 2 {
+		t.Errorf("post-finish mutation leaked: %d spans, %d rounds", len(after.Spans), after.Rounds)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Error("nil trace has an id")
+	}
+	tr.StartSpan("x").End()
+	tr.AddSpan("y", time.Now(), time.Second)
+	tr.AddRound(time.Second)
+	tr.SetDetail("z")
+	tr.Finish(500)
+	if rec := tr.Snapshot(); rec.TraceID != "" {
+		t.Errorf("nil snapshot: %+v", rec)
+	}
+	ctx := With(context.Background(), nil)
+	if From(ctx) != nil {
+		t.Error("nil trace attached to context")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tr := NewTrace("x")
+	ctx := With(context.Background(), tr)
+	if From(ctx) != tr {
+		t.Fatal("trace lost in context")
+	}
+	if From(context.Background()) != nil {
+		t.Fatal("phantom trace in empty context")
+	}
+}
+
+func TestTraceIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewTrace("x").ID()
+		if seen[id] {
+			t.Fatalf("duplicate trace id %s after %d traces", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace("x")
+	for i := 0; i < maxSpans+10; i++ {
+		tr.AddSpan("s", time.Now(), time.Microsecond)
+	}
+	tr.Finish(200)
+	rec := tr.Snapshot()
+	if len(rec.Spans) != maxSpans || rec.Truncated != 10 {
+		t.Fatalf("got %d spans / %d truncated, want %d / 10", len(rec.Spans), rec.Truncated, maxSpans)
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("x")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.StartSpan("s").End()
+				tr.AddRound(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Finish(200)
+	rec := tr.Snapshot()
+	if rec.Rounds != 800 {
+		t.Fatalf("rounds %d, want 800", rec.Rounds)
+	}
+	if len(rec.Spans)+rec.Truncated != 800 {
+		t.Fatalf("spans %d + truncated %d != 800", len(rec.Spans), rec.Truncated)
+	}
+}
+
+func recordWith(dur float64, endpoint, id string) TraceRecord {
+	return TraceRecord{TraceID: id, Endpoint: endpoint, DurationMs: dur}
+}
+
+func TestRecorderRingAndSlowest(t *testing.T) {
+	r := NewRecorder(4, 2)
+	for i := 1; i <= 10; i++ {
+		r.Record(recordWith(float64(i), "POST /v1/solve", fmt.Sprintf("t%02d", i)))
+	}
+	recent, slowest := r.Snapshot(Filter{})
+	if len(recent) != 4 {
+		t.Fatalf("recent holds %d, want ring size 4", len(recent))
+	}
+	// Newest first: t10, t09, t08, t07.
+	for i, want := range []string{"t10", "t09", "t08", "t07"} {
+		if recent[i].TraceID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, recent[i].TraceID, want)
+		}
+	}
+	if len(slowest) != 2 || slowest[0].TraceID != "t10" || slowest[1].TraceID != "t09" {
+		t.Fatalf("slowest = %+v, want t10 then t09", slowest)
+	}
+	if r.Recorded() != 10 {
+		t.Errorf("recorded %d, want 10", r.Recorded())
+	}
+}
+
+func TestRecorderSlowestSurvivesFastBurst(t *testing.T) {
+	r := NewRecorder(4, 2)
+	r.Record(recordWith(500, "POST /v1/solve", "slow"))
+	for i := 0; i < 100; i++ {
+		r.Record(recordWith(0.1, "POST /v1/solve", fmt.Sprintf("f%d", i)))
+	}
+	recent, slowest := r.Snapshot(Filter{})
+	for _, rec := range recent {
+		if rec.TraceID == "slow" {
+			t.Fatal("slow trace still in the 4-deep ring after 100 fast traces")
+		}
+	}
+	if len(slowest) == 0 || slowest[0].TraceID != "slow" {
+		t.Fatalf("slowest lost the 500ms trace: %+v", slowest)
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	r := NewRecorder(16, 4)
+	r.Record(recordWith(1, "POST /v1/solve", "a"))
+	r.Record(recordWith(50, "POST /v1/batch", "b"))
+	r.Record(recordWith(200, "POST /v1/solve", "c"))
+
+	recent, _ := r.Snapshot(Filter{MinDurationMs: 40})
+	if len(recent) != 2 || recent[0].TraceID != "c" || recent[1].TraceID != "b" {
+		t.Fatalf("min-duration filter: %+v", recent)
+	}
+	recent, _ = r.Snapshot(Filter{Endpoint: "batch"})
+	if len(recent) != 1 || recent[0].TraceID != "b" {
+		t.Fatalf("endpoint filter: %+v", recent)
+	}
+	recent, slowest := r.Snapshot(Filter{TraceID: "c"})
+	if len(recent) != 1 || recent[0].TraceID != "c" {
+		t.Fatalf("trace-id filter: %+v", recent)
+	}
+	if len(slowest) != 1 || slowest[0].TraceID != "c" {
+		t.Fatalf("trace-id filter (slowest): %+v", slowest)
+	}
+}
+
+func TestRecorderNilSafety(t *testing.T) {
+	var r *Recorder
+	r.Record(TraceRecord{})
+	if n := r.Recorded(); n != 0 {
+		t.Fatal("nil recorder recorded something")
+	}
+	if recent, slowest := r.Snapshot(Filter{}); recent != nil || slowest != nil {
+		t.Fatal("nil recorder returned traces")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(64, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(recordWith(float64(i%50), "x", fmt.Sprintf("g%d-%d", g, i)))
+				if i%20 == 0 {
+					r.Snapshot(Filter{MinDurationMs: 10})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Recorded() != 1600 {
+		t.Fatalf("recorded %d, want 1600", r.Recorded())
+	}
+}

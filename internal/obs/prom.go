@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name, Value string
+}
+
+// PromWriter emits Prometheus text exposition format (version 0.0.4) —
+// the GET /metrics wire format — with no dependency beyond the standard
+// library. Write errors stick: the first one is retained and every
+// later call is a no-op, so handlers check Err once at the end.
+type PromWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewPromWriter wraps w for exposition writing; call Flush when done.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w)}
+}
+
+// ContentTypeProm is the exposition content type for HTTP responses.
+const ContentTypeProm = "text/plain; version=0.0.4; charset=utf-8"
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// escapeHelp escapes a HELP text (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Header writes the # HELP and # TYPE lines for a metric family; typ is
+// "counter", "gauge", "histogram", "summary" or "untyped".
+func (p *PromWriter) Header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample writes one sample line. Labels may be nil.
+func (p *PromWriter) Sample(name string, labels []Label, v float64) {
+	if p.err != nil {
+		return
+	}
+	if len(labels) == 0 {
+		p.printf("%s %s\n", name, formatValue(v))
+		return
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	p.printf("%s{%s} %s\n", name, strings.Join(parts, ","), formatValue(v))
+}
+
+// Counter emits a complete single-sample counter family.
+func (p *PromWriter) Counter(name, help string, v float64) {
+	p.Header(name, help, "counter")
+	p.Sample(name, nil, v)
+}
+
+// Gauge emits a complete single-sample gauge family.
+func (p *PromWriter) Gauge(name, help string, v float64) {
+	p.Header(name, help, "gauge")
+	p.Sample(name, nil, v)
+}
+
+// Histogram emits a conventional histogram family: one cumulative
+// _bucket sample per upper bound, the +Inf bucket, _sum and _count.
+// cumulative[i] is the count of observations ≤ bounds[i]; count is the
+// total (the +Inf bucket), sum the observation total in the metric's
+// unit. len(cumulative) must equal len(bounds).
+func (p *PromWriter) Histogram(name, help string, bounds []float64, cumulative []int64, sum float64, count int64) {
+	p.Header(name, help, "histogram")
+	for i, ub := range bounds {
+		p.Sample(name+"_bucket", []Label{{"le", formatValue(ub)}}, float64(cumulative[i]))
+	}
+	p.Sample(name+"_bucket", []Label{{"le", "+Inf"}}, float64(count))
+	p.Sample(name+"_sum", nil, sum)
+	p.Sample(name+"_count", nil, float64(count))
+}
+
+// Flush drains the buffer and reports the first error of the whole
+// write sequence.
+func (p *PromWriter) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+// ---- Exposition linting -------------------------------------------
+//
+// LintExposition is the shared validity check behind the CI smoke step
+// (cmd/promcheck) and the service's exposition test: a strict-enough
+// parser for the text format that catches the ways a hand-rolled
+// /metrics endpoint actually breaks — malformed lines, bad metric
+// names, unparsable values, samples without a TYPE, interleaved
+// families, and non-cumulative histogram buckets.
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// baseFamily strips the histogram/summary sample suffixes so _bucket,
+// _sum and _count lines attach to their declared family.
+func baseFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// parseSampleLine splits `name[{labels}] value` and returns the metric
+// name, the le label value if present ("" otherwise), and the value.
+func parseSampleLine(line string) (name, le string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced label braces")
+		}
+		labels := line[i+1 : j]
+		rest = strings.TrimSpace(line[j+1:])
+		for _, pair := range splitLabels(labels) {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return "", "", 0, fmt.Errorf("label %q missing '='", pair)
+			}
+			ln, lv := strings.TrimSpace(pair[:eq]), strings.TrimSpace(pair[eq+1:])
+			if !validMetricName(ln) {
+				return "", "", 0, fmt.Errorf("bad label name %q", ln)
+			}
+			unq, uerr := strconv.Unquote(lv)
+			if uerr != nil {
+				return "", "", 0, fmt.Errorf("label %s value %s not a quoted string", ln, lv)
+			}
+			if ln == "le" {
+				le = unq
+			}
+		}
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("want 'name value'")
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", "", 0, fmt.Errorf("want 'value [timestamp]' after name, got %q", rest)
+	}
+	value, err = parsePromValue(fields[0])
+	if err != nil {
+		return "", "", 0, err
+	}
+	return name, le, value, nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	last := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[last:i])
+				last = i + 1
+			}
+		}
+	}
+	if strings.TrimSpace(s[last:]) != "" {
+		out = append(out, s[last:])
+	}
+	return out
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// LintExposition validates a text-format exposition and returns every
+// violation found (nil = clean). samples reports the number of sample
+// lines, so callers can additionally require a minimum.
+func LintExposition(r io.Reader) (samples int, errs []error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	typeOf := map[string]string{}  // family -> declared TYPE
+	closed := map[string]bool{}    // family -> samples ended (interleave check)
+	var curFamily string           // family of the current sample run
+	lastLe := map[string]float64{} // family -> last cumulative bucket value
+	lastLeBound := map[string]float64{}
+	lineNo := 0
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", lineNo, fmt.Sprintf(format, args...)))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				// Other comments are legal and ignored.
+				if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+					fail("truncated %s comment", fields[1])
+				}
+				continue
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				fail("bad metric name %q in %s", name, fields[1])
+				continue
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					fail("TYPE wants exactly one type, got %q", line)
+					continue
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					fail("unknown TYPE %q for %s", fields[3], name)
+				}
+				if _, dup := typeOf[name]; dup {
+					fail("duplicate TYPE for %s", name)
+				}
+				if closed[name] {
+					fail("TYPE for %s after its samples ended", name)
+				}
+				typeOf[name] = fields[3]
+			}
+			continue
+		}
+		name, le, value, err := parseSampleLine(line)
+		if err != nil {
+			fail("bad sample %q: %v", line, err)
+			continue
+		}
+		if !validMetricName(name) {
+			fail("bad metric name %q", name)
+			continue
+		}
+		fam := baseFamily(name)
+		if _, ok := typeOf[fam]; !ok {
+			// An untyped bare sample is legal Prometheus, but this
+			// endpoint declares everything; treat it as drift.
+			fail("sample %s has no preceding # TYPE", name)
+		}
+		if fam != curFamily {
+			if curFamily != "" {
+				closed[curFamily] = true
+			}
+			if closed[fam] {
+				fail("family %s interleaved with other families", fam)
+			}
+			curFamily = fam
+		}
+		if typeOf[fam] == "counter" && value < 0 {
+			fail("counter %s is negative (%g)", name, value)
+		}
+		if strings.HasSuffix(name, "_bucket") && le != "" {
+			bound, berr := parsePromValue(le)
+			if berr != nil {
+				fail("bucket %s has unparsable le=%q", name, le)
+			} else {
+				if prevB, ok := lastLeBound[fam]; ok && bound <= prevB {
+					fail("bucket %s le=%q not increasing", name, le)
+				}
+				if prev, ok := lastLe[fam]; ok && value < prev {
+					fail("bucket %s le=%q count %g below previous bucket %g (not cumulative)", name, le, value, prev)
+				}
+				lastLe[fam] = value
+				lastLeBound[fam] = bound
+			}
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("reading exposition: %w", err))
+	}
+	return samples, errs
+}

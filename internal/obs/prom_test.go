@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPromWriterRoundTripsThroughLint(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.Counter("hypermisd_solves_total", "Solves completed without error.", 42)
+	pw.Gauge("hypermisd_queue_depth", "Jobs waiting in the queue.", 3)
+	pw.Header("hypermisd_algo_solves_total", "Solves by algorithm.", "counter")
+	pw.Sample("hypermisd_algo_solves_total", []Label{{"algo", "sbl"}}, 7)
+	pw.Sample("hypermisd_algo_solves_total", []Label{{"algo", "luby"}}, 5)
+	pw.Histogram("hypermisd_solve_latency_seconds", "Solve latency.",
+		[]float64{0.001, 0.01, 0.1}, []int64{1, 4, 9}, 1.25, 10)
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	samples, errs := LintExposition(bytes.NewReader(buf.Bytes()))
+	for _, e := range errs {
+		t.Errorf("lint: %v", e)
+	}
+	// 2 singles + 2 labeled + (3 buckets + Inf + sum + count) = 10.
+	if samples != 10 {
+		t.Errorf("lint saw %d samples, want 10:\n%s", samples, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`hypermisd_algo_solves_total{algo="sbl"} 7`,
+		`hypermisd_solve_latency_seconds_bucket{le="+Inf"} 10`,
+		"hypermisd_solve_latency_seconds_sum 1.25",
+		"# TYPE hypermisd_solve_latency_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromWriterEscapesLabelValues(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.Header("m_total", "with \"quotes\"\nand newline", "counter")
+	pw.Sample("m_total", []Label{{"path", `a"b\c` + "\n"}}, 1)
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, errs := LintExposition(bytes.NewReader(buf.Bytes())); len(errs) > 0 {
+		t.Fatalf("escaped output fails lint: %v\n%s", errs, buf.String())
+	}
+	if !strings.Contains(buf.String(), `path="a\"b\\c\n"`) {
+		t.Errorf("label not escaped:\n%s", buf.String())
+	}
+}
+
+func TestLintCatchesMalformedExposition(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"garbage line", "# TYPE m counter\nm 1\nnot a metric line at all !\n", "bad sample"},
+		{"bad value", "# TYPE m counter\nm notanumber\n", "bad sample"},
+		{"bad name", "# TYPE m counter\nm 1\n9leading{} 1\n", "bad metric name"},
+		{"missing type", "orphan_total 3\n", "no preceding # TYPE"},
+		{"unknown type", "# TYPE m widget\nm 1\n", "unknown TYPE"},
+		{"negative counter", "# TYPE m counter\nm -4\n", "negative"},
+		{"duplicate type", "# TYPE m counter\n# TYPE m counter\nm 1\n", "duplicate TYPE"},
+		{
+			"non-cumulative histogram",
+			"# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not cumulative",
+		},
+		{
+			"non-increasing bounds",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"0.5\"} 3\n",
+			"not increasing",
+		},
+		{
+			"interleaved families",
+			"# TYPE a counter\n# TYPE b counter\na 1\nb 1\na 2\n",
+			"interleaved",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, errs := LintExposition(strings.NewReader(tc.in))
+			for _, e := range errs {
+				if strings.Contains(e.Error(), tc.wantErr) {
+					return
+				}
+			}
+			t.Fatalf("lint missed %q, got %v", tc.wantErr, errs)
+		})
+	}
+}
+
+func TestLintAcceptsEdgeValues(t *testing.T) {
+	in := "# TYPE m gauge\nm +Inf\nm{x=\"1\"} NaN\nm{x=\"2\"} -Inf\nm{x=\"3\"} 1e-9\n"
+	if _, errs := LintExposition(strings.NewReader(in)); len(errs) > 0 {
+		t.Fatalf("valid edge values rejected: %v", errs)
+	}
+}

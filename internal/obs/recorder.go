@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+)
+
+// Recorder is the flight recorder: a fixed-size ring of the last N
+// completed traces plus an always-retained set of the slowest K — a
+// burst of fast requests can never evict the evidence of the slow ones.
+// Record is O(1) amortized (the slowest set is a small min-heap keyed
+// by duration); Snapshot copies, so readers never block recording for
+// long.
+type Recorder struct {
+	mu       sync.Mutex
+	ring     []TraceRecord // capacity recent; circular
+	next     int           // ring write cursor
+	full     bool          // ring has wrapped
+	slow     []TraceRecord // min-heap on DurationMs, capacity slowest
+	recorded uint64        // lifetime Record calls
+}
+
+// NewRecorder sizes the recorder: recent traces in the ring, slowest
+// traces retained beyond it. Non-positive values select 256 and 32.
+func NewRecorder(recent, slowest int) *Recorder {
+	if recent <= 0 {
+		recent = 256
+	}
+	if slowest <= 0 {
+		slowest = 32
+	}
+	return &Recorder{
+		ring: make([]TraceRecord, recent),
+		slow: make([]TraceRecord, 0, slowest),
+	}
+}
+
+// Record retains rec in the ring and, if it ranks, in the slowest set.
+func (r *Recorder) Record(rec TraceRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recorded++
+	r.ring[r.next] = rec
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+	if len(r.slow) < cap(r.slow) {
+		r.slow = append(r.slow, rec)
+		r.siftUp(len(r.slow) - 1)
+	} else if rec.DurationMs > r.slow[0].DurationMs {
+		r.slow[0] = rec
+		r.siftDown(0)
+	}
+}
+
+// siftUp/siftDown maintain slow as a min-heap on DurationMs, so the
+// root is always the cheapest-to-evict retained trace.
+func (r *Recorder) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if r.slow[p].DurationMs <= r.slow[i].DurationMs {
+			return
+		}
+		r.slow[p], r.slow[i] = r.slow[i], r.slow[p]
+		i = p
+	}
+}
+
+func (r *Recorder) siftDown(i int) {
+	n := len(r.slow)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && r.slow[l].DurationMs < r.slow[least].DurationMs {
+			least = l
+		}
+		if rr := 2*i + 2; rr < n && r.slow[rr].DurationMs < r.slow[least].DurationMs {
+			least = rr
+		}
+		if least == i {
+			return
+		}
+		r.slow[i], r.slow[least] = r.slow[least], r.slow[i]
+		i = least
+	}
+}
+
+// Recorded reports the lifetime number of traces recorded.
+func (r *Recorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recorded
+}
+
+// Filter selects traces out of a Snapshot. The zero value matches
+// everything.
+type Filter struct {
+	// MinDurationMs keeps traces at least this slow.
+	MinDurationMs float64
+	// Endpoint keeps traces whose endpoint contains this substring.
+	Endpoint string
+	// TraceID keeps the exact trace (both retention sets are searched).
+	TraceID string
+}
+
+func (f Filter) match(rec TraceRecord) bool {
+	if rec.DurationMs < f.MinDurationMs {
+		return false
+	}
+	if f.Endpoint != "" && !strings.Contains(rec.Endpoint, f.Endpoint) {
+		return false
+	}
+	if f.TraceID != "" && rec.TraceID != f.TraceID {
+		return false
+	}
+	return true
+}
+
+// Snapshot returns the matching retained traces: recent in
+// newest-first order, slowest in slowest-first order. A trace retained
+// by both sets appears in both — the two lists answer different
+// questions.
+func (r *Recorder) Snapshot(f Filter) (recent, slowest []TraceRecord) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.ring)
+	}
+	recent = make([]TraceRecord, 0, n)
+	// Walk the ring backwards from the cursor: newest first.
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.ring)
+		}
+		if f.match(r.ring[idx]) {
+			recent = append(recent, r.ring[idx])
+		}
+	}
+	slowest = make([]TraceRecord, 0, len(r.slow))
+	for _, rec := range r.slow {
+		if f.match(rec) {
+			slowest = append(slowest, rec)
+		}
+	}
+	// Small K: a sort beats exposing heap order to clients.
+	for i := 1; i < len(slowest); i++ {
+		for j := i; j > 0 && slowest[j].DurationMs > slowest[j-1].DurationMs; j-- {
+			slowest[j], slowest[j-1] = slowest[j-1], slowest[j]
+		}
+	}
+	return recent, slowest
+}

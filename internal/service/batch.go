@@ -15,6 +15,7 @@ import (
 
 	hypermis "repro"
 	"repro/internal/hgio"
+	"repro/internal/obs"
 )
 
 // ContentTypeNDJSON frames batch requests and responses: one JSON
@@ -327,12 +328,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
+	trace := obs.From(r.Context())
 	enc := json.NewEncoder(w)
+	flushed := 0
 	for tr := range results {
+		sp := trace.StartSpan("flush")
 		_ = enc.Encode(tr.res)
 		if flusher != nil {
 			flusher.Flush()
 		}
+		sp.End()
+		flushed++
 		s.metrics.BatchItemLatency.Observe(time.Since(tr.start))
 	}
+	trace.SetDetail("items=%d", flushed)
 }

@@ -13,6 +13,7 @@ import (
 
 	hypermis "repro"
 	"repro/internal/hgio"
+	"repro/internal/obs"
 )
 
 // Content types for instance payloads. Text is the default; anything
@@ -66,7 +67,11 @@ type errorResponse struct {
 }
 
 // NewHandler mounts the service endpoints documented in the package
-// comment onto a fresh mux serving s.
+// comment onto a fresh mux serving s, wrapped with the per-request
+// observability layer (trace header, flight recorder, request log —
+// see trace.go). /metrics and /v1/debug/requests serve the
+// observability state itself and stay outside the wrap: scrapes and
+// debug pulls should not pollute the flight recorder they read.
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -81,7 +86,13 @@ func NewHandler(s *Server) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	traced := s.withObs(mux)
+
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /metrics", s.handleMetrics)
+	outer.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
+	outer.Handle("/", traced)
+	return outer
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -154,12 +165,15 @@ func parseSolveOptions(r *http.Request) (hypermis.Options, error) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	tr := obs.From(r.Context())
 	opts, err := parseSolveOptions(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sp := tr.StartSpan("decode")
 	h, err := readInstanceBody(r)
+	sp.End()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "reading instance: %v", err)
 		return
@@ -186,7 +200,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "solve: %v", err)
 		return
 	}
+	tr.SetDetail("algo=%s n=%d m=%d size=%d cached=%t", res.Algorithm, h.N(), h.M(), res.Size, cached)
+	sp = tr.StartSpan("encode")
 	writeJSON(w, http.StatusOK, *SolveResponseFor(h, res, cached, time.Since(start)))
+	sp.End()
 }
 
 // SolveResponseFor builds the wire response for one completed solve —

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	hypermis "repro"
+	"repro/internal/obs"
 )
 
 // JobState is an async job's lifecycle state. A job is accepted as
@@ -241,9 +242,19 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, id strin
 	// Release the lifetime timer once terminal; CancelJob may also call
 	// it concurrently (CancelFuncs are idempotent and safe).
 	defer cancel()
+	// An async job owns no HTTP request, so it carries its own trace:
+	// the submit response's job id finds it in the flight recorder
+	// (filter endpoint=JOB), spans and round tallies included.
+	var tr *obs.Trace
+	if s.recorder != nil {
+		tr = obs.NewTrace("JOB /v1/jobs")
+		tr.SetDetail("job=%s algo=%s", id, hypermis.ResolveAlgorithm(h, opts.Algorithm))
+		ctx = obs.With(ctx, tr)
+	}
 	s.jobs.setRunning(id)
 	start := time.Now()
 	res, cached, err := s.solveBlocking(ctx, h, opts)
+	status := http.StatusOK
 	switch {
 	case err == nil:
 		s.jobs.finish(id, JobDone, SolveResponseFor(h, res, cached, time.Since(start)), "", time.Now())
@@ -256,9 +267,15 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, id strin
 		// context: same outcome, same state.
 		s.jobs.finish(id, JobCanceled, nil, err.Error(), time.Now())
 		s.metrics.JobsCanceled.Add(1)
+		status = 499 // client closed request: the de-facto canceled code
 	default:
 		s.jobs.finish(id, JobFailed, nil, err.Error(), time.Now())
 		s.metrics.JobsFailed.Add(1)
+		status = http.StatusInternalServerError
+	}
+	if tr != nil {
+		tr.Finish(status)
+		s.recorder.Record(tr.Snapshot())
 	}
 }
 

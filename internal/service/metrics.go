@@ -17,6 +17,7 @@ const histBuckets = 41
 type Histogram struct {
 	counts [histBuckets]atomic.Int64
 	max    atomic.Int64 // nanoseconds
+	sum    atomic.Int64 // nanoseconds, for Prometheus _sum
 }
 
 // Observe records one duration.
@@ -31,6 +32,7 @@ func (h *Histogram) Observe(d time.Duration) {
 		b++
 	}
 	h.counts[b].Add(1)
+	h.sum.Add(int64(d))
 	for {
 		cur := h.max.Load()
 		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
@@ -50,6 +52,27 @@ func (h *Histogram) Count() int64 {
 
 // Max reports the largest observed duration.
 func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Sum reports the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Buckets snapshots the per-bucket counts. Bucket b counts durations
+// in [2^b, 2^{b+1}) microseconds (bucket 0 starts at 0); the log₂
+// geometry maps directly onto cumulative Prometheus `le` buckets — see
+// BucketUpperBound and the /metrics exposition.
+func (h *Histogram) Buckets() [histBuckets]int64 {
+	var out [histBuckets]int64
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// BucketUpperBound reports bucket b's exclusive upper bound — the
+// Prometheus `le` value of the cumulative bucket it feeds.
+func BucketUpperBound(b int) time.Duration {
+	return time.Duration(uint64(1)<<uint(b+1)) * time.Microsecond
+}
 
 // Quantile estimates the q-quantile (q in [0,1]) by linear
 // interpolation inside the containing bucket, clamped to the exact
@@ -123,6 +146,42 @@ type Metrics struct {
 	JobsFailed        atomic.Int64
 	JobsCanceled      atomic.Int64
 	JobCancelRequests atomic.Int64
+
+	// perAlg holds the per-algorithm labeled counters behind the
+	// hypermisd_algo_* Prometheus families. The map is built once from
+	// the solver registry (initPerAlg) and never mutated afterwards, so
+	// lock-free reads of its atomic values are safe.
+	perAlg map[string]*algCounters
+}
+
+// algCounters is one algorithm's labeled counter set: completed
+// solves, solve errors, and outer solver rounds executed.
+type algCounters struct {
+	Solves atomic.Int64
+	Errors atomic.Int64
+	Rounds atomic.Int64
+}
+
+// initPerAlg installs one counter set per registered solver name.
+// Must be called before the metrics are shared (New does).
+func (m *Metrics) initPerAlg(names []string) {
+	m.perAlg = make(map[string]*algCounters, len(names))
+	for _, n := range names {
+		m.perAlg[n] = &algCounters{}
+	}
+}
+
+// alg returns the counter set for a resolved algorithm name (nil for
+// names outside the registry — callers nil-check and drop).
+func (m *Metrics) alg(name string) *algCounters {
+	return m.perAlg[name]
+}
+
+// AlgStats is the JSON form of one algorithm's counters in Stats.
+type AlgStats struct {
+	Solves int64 `json:"solves"`
+	Errors int64 `json:"errors"`
+	Rounds int64 `json:"rounds"`
 }
 
 // Stats is a JSON-ready snapshot of the service state — the payload of
@@ -187,11 +246,29 @@ type Stats struct {
 	JobStoreSize      int     `json:"job_store_size"`
 	JobStoreCap       int     `json:"job_store_cap"`
 	JobTTLSeconds     float64 `json:"job_ttl_seconds"`
+	// Per-algorithm counters keyed by resolved solver name (AlgAuto
+	// resolves before counting, so "auto" never appears).
+	PerAlgorithm map[string]AlgStats `json:"per_algorithm,omitempty"`
+	// Flight recorder: traces recorded since start (0 when tracing is
+	// disabled).
+	TracesRecorded uint64 `json:"traces_recorded"`
 }
 
 func (m *Metrics) snapshot() Stats {
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	var perAlg map[string]AlgStats
+	if m.perAlg != nil {
+		perAlg = make(map[string]AlgStats, len(m.perAlg))
+		for name, c := range m.perAlg {
+			perAlg[name] = AlgStats{
+				Solves: c.Solves.Load(),
+				Errors: c.Errors.Load(),
+				Rounds: c.Rounds.Load(),
+			}
+		}
+	}
 	return Stats{
+		PerAlgorithm:       perAlg,
 		Enqueued:           m.Enqueued.Load(),
 		Solves:             m.Solves.Load(),
 		Errors:             m.Errors.Load(),

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Fatalf("Quantile(%v) on empty histogram = %v, want 0", q, got)
+			}
+		}
+		if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+			t.Fatalf("empty histogram not zero: count=%d sum=%v max=%v", h.Count(), h.Sum(), h.Max())
+		}
+	})
+
+	t.Run("single observation", func(t *testing.T) {
+		var h Histogram
+		d := 700 * time.Microsecond
+		h.Observe(d)
+		if h.Count() != 1 || h.Sum() != d || h.Max() != d {
+			t.Fatalf("count=%d sum=%v max=%v after one Observe(%v)", h.Count(), h.Sum(), h.Max(), d)
+		}
+		// Every quantile of a one-sample histogram is clamped to the
+		// exact observation — interpolation must not exceed the max.
+		for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+			got := h.Quantile(q)
+			if got <= 0 || got > d {
+				t.Fatalf("Quantile(%v) = %v, want in (0, %v]", q, got, d)
+			}
+		}
+	})
+
+	t.Run("q extremes and clamping", func(t *testing.T) {
+		var h Histogram
+		for _, d := range []time.Duration{3 * time.Microsecond, 80 * time.Microsecond, 5 * time.Millisecond} {
+			h.Observe(d)
+		}
+		if got := h.Quantile(1); got != h.Max() {
+			t.Fatalf("Quantile(1) = %v, want max %v", got, h.Max())
+		}
+		// Out-of-range q clamps rather than panicking or extrapolating.
+		if got := h.Quantile(2); got != h.Quantile(1) {
+			t.Fatalf("Quantile(2) = %v, want Quantile(1) = %v", got, h.Quantile(1))
+		}
+		if got := h.Quantile(-1); got != h.Quantile(0) {
+			t.Fatalf("Quantile(-1) = %v, want Quantile(0) = %v", got, h.Quantile(0))
+		}
+		if got := h.Quantile(math.NaN()); got != 0 {
+			t.Fatalf("Quantile(NaN) = %v, want 0", got)
+		}
+		if h.Quantile(0) > h.Quantile(0.5) || h.Quantile(0.5) > h.Quantile(1) {
+			t.Fatalf("quantiles not monotone: q0=%v q50=%v q100=%v", h.Quantile(0), h.Quantile(0.5), h.Quantile(1))
+		}
+	})
+
+	t.Run("negative and overflow durations", func(t *testing.T) {
+		var h Histogram
+		h.Observe(-time.Second) // clamped to 0, must not corrupt buckets
+		h.Observe(time.Duration(math.MaxInt64))
+		if h.Count() != 2 {
+			t.Fatalf("count = %d, want 2", h.Count())
+		}
+		counts := h.Buckets()
+		if counts[0] != 1 || counts[histBuckets-1] != 1 {
+			t.Fatalf("extreme observations landed wrong: first=%d last=%d", counts[0], counts[histBuckets-1])
+		}
+	})
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*per+i) * time.Microsecond)
+				if i%64 == 0 {
+					_ = h.Quantile(0.99) // concurrent reads must be safe too
+					_ = h.Buckets()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+	// The g*per+i arguments enumerate 0..N-1 µs exactly once each.
+	wantSum := time.Duration(goroutines*per*(goroutines*per-1)/2) * time.Microsecond
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+	if got := h.Max(); got != time.Duration(goroutines*per-1)*time.Microsecond {
+		t.Fatalf("max = %v, want %v", got, time.Duration(goroutines*per-1)*time.Microsecond)
+	}
+}
+
+func TestBucketUpperBoundMonotone(t *testing.T) {
+	for b := 1; b < histBuckets; b++ {
+		if BucketUpperBound(b) <= BucketUpperBound(b-1) {
+			t.Fatalf("BucketUpperBound not increasing at %d: %v <= %v", b, BucketUpperBound(b), BucketUpperBound(b-1))
+		}
+	}
+	if got := BucketUpperBound(0); got != 2*time.Microsecond {
+		t.Fatalf("BucketUpperBound(0) = %v, want 2µs", got)
+	}
+}
+
+// TestPromHistogramCumulative checks the log₂→Prometheus conversion:
+// bucket counts must be cumulative and monotone, bounds strictly
+// increasing, the +Inf bucket equal to _count, and the whole family
+// must pass the exposition linter.
+func TestPromHistogramCumulative(t *testing.T) {
+	var h Histogram
+	durations := []time.Duration{
+		1 * time.Microsecond,
+		3 * time.Microsecond,
+		3 * time.Microsecond,
+		100 * time.Microsecond,
+		7 * time.Millisecond,
+		7 * time.Millisecond,
+		90 * time.Millisecond,
+	}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+
+	var buf bytes.Buffer
+	pw := obs.NewPromWriter(&buf)
+	promHistogram(pw, "test_latency_seconds", "test histogram", &h)
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	if samples, errs := obs.LintExposition(strings.NewReader(text)); len(errs) > 0 {
+		t.Fatalf("exposition lint failed (%d samples): %v\n%s", samples, errs, text)
+	}
+
+	var bounds []float64
+	var cumulative []int64
+	var infCount, count int64 = -1, -1
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case strings.HasPrefix(line, "test_latency_seconds_bucket{le=\"+Inf\"}"):
+			v, err := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad +Inf bucket line %q: %v", line, err)
+			}
+			infCount = v
+		case strings.HasPrefix(line, "test_latency_seconds_bucket{le=\""):
+			rest := strings.TrimPrefix(line, "test_latency_seconds_bucket{le=\"")
+			end := strings.Index(rest, "\"")
+			bound, err := strconv.ParseFloat(rest[:end], 64)
+			if err != nil {
+				t.Fatalf("bad bound in %q: %v", line, err)
+			}
+			v, err := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count in %q: %v", line, err)
+			}
+			bounds = append(bounds, bound)
+			cumulative = append(cumulative, v)
+		case strings.HasPrefix(line, "test_latency_seconds_count"):
+			v, err := strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			count = v
+		}
+	}
+
+	if len(bounds) == 0 {
+		t.Fatalf("no finite buckets emitted:\n%s", text)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, bounds)
+		}
+		if cumulative[i] < cumulative[i-1] {
+			t.Fatalf("cumulative counts decreased at %d: %v", i, cumulative)
+		}
+	}
+	want := int64(len(durations))
+	if count != want || infCount != want {
+		t.Fatalf("_count=%d +Inf=%d, want %d", count, infCount, want)
+	}
+	if last := cumulative[len(cumulative)-1]; last != want {
+		t.Fatalf("last finite cumulative bucket = %d, want %d (nothing past the max observation)", last, want)
+	}
+
+	// Cross-check a cumulative bucket against the raw counts: every
+	// observation ≤ bound must be counted.
+	for i, bound := range bounds {
+		var manual int64
+		for _, d := range durations {
+			if d.Seconds() <= bound {
+				manual++
+			}
+		}
+		if cumulative[i] != manual {
+			t.Fatalf("bucket le=%v holds %d, manual recount says %d", bound, cumulative[i], manual)
+		}
+	}
+}
+
+// TestPromHistogramEmpty: an idle histogram still emits a lintable
+// family with just the +Inf bucket and zero sum/count.
+func TestPromHistogramEmpty(t *testing.T) {
+	var h Histogram
+	var buf bytes.Buffer
+	pw := obs.NewPromWriter(&buf)
+	promHistogram(pw, "idle_seconds", "idle", &h)
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if _, errs := obs.LintExposition(strings.NewReader(text)); len(errs) > 0 {
+		t.Fatalf("lint: %v\n%s", errs, text)
+	}
+	if !strings.Contains(text, `idle_seconds_bucket{le="+Inf"} 0`) {
+		t.Fatalf("missing zero +Inf bucket:\n%s", text)
+	}
+	if !strings.Contains(text, "idle_seconds_count 0") {
+		t.Fatalf("missing zero count:\n%s", text)
+	}
+}

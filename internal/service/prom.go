@@ -1,0 +1,124 @@
+package service
+
+import (
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// handleMetrics serves GET /metrics: the full counter, gauge and
+// histogram state of the scheduler in Prometheus text exposition
+// format, generated straight from the Metrics struct with no
+// client-library dependency. The log₂ Histogram buckets map onto
+// cumulative `le` buckets exactly (each bucket's upper bound is
+// 2^{b+1}µs), so Prometheus quantile estimation sees the same geometry
+// the in-process Quantile uses.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentTypeProm)
+	pw := obs.NewPromWriter(w)
+	s.writeProm(pw)
+	_ = pw.Flush()
+}
+
+// promHistogram exports h as a conventional cumulative histogram in
+// seconds. Buckets past the last observation are trimmed — the +Inf
+// bucket covers them — so idle histograms don't emit 41 empty lines.
+func promHistogram(pw *obs.PromWriter, name, help string, h *Histogram) {
+	counts := h.Buckets()
+	last := -1
+	for b, c := range counts {
+		if c > 0 {
+			last = b
+		}
+	}
+	var bounds []float64
+	var cumulative []int64
+	var running int64
+	for b := 0; b <= last; b++ {
+		running += counts[b]
+		bounds = append(bounds, BucketUpperBound(b).Seconds())
+		cumulative = append(cumulative, running)
+	}
+	pw.Histogram(name, help, bounds, cumulative, h.Sum().Seconds(), running)
+}
+
+// writeProm emits every metric family. Families are grouped (all
+// samples of one family are contiguous) and label sets are emitted in
+// sorted order, so the exposition is deterministic and passes
+// obs.LintExposition — the CI smoke step scrapes a live daemon through
+// the same linter.
+func (s *Server) writeProm(pw *obs.PromWriter) {
+	m := &s.metrics
+
+	// Scheduler counters.
+	pw.Counter("hypermisd_enqueued_total", "Jobs accepted into the solve queue.", float64(m.Enqueued.Load()))
+	pw.Counter("hypermisd_solves_total", "Solves completed without error (cache misses only).", float64(m.Solves.Load()))
+	pw.Counter("hypermisd_solve_errors_total", "Solves that returned an error, timeouts and cancels included.", float64(m.Errors.Load()))
+	pw.Counter("hypermisd_rejected_total", "Jobs shed with 503 because the queue was full.", float64(m.Rejected.Load()))
+	pw.Counter("hypermisd_cache_hits_total", "Result-cache hits.", float64(m.CacheHits.Load()))
+	pw.Counter("hypermisd_cache_misses_total", "Result-cache misses.", float64(m.CacheMisses.Load()))
+	pw.Counter("hypermisd_verifies_total", "Inline verify requests.", float64(m.Verifies.Load()))
+	pw.Counter("hypermisd_generates_total", "Inline generate requests.", float64(m.Generates.Load()))
+	pw.Counter("hypermisd_wide_jobs_total", "Jobs granted parallelism degree > 1.", float64(m.WideJobs.Load()))
+	pw.Counter("hypermisd_par_granted_total", "Sum of granted parallelism degrees across jobs.", float64(m.ParGranted.Load()))
+
+	// Aggregate solver-round telemetry.
+	pw.Counter("hypermisd_solver_rounds_total", "Outer solver rounds executed across all jobs.", float64(m.SolverRounds.Load()))
+	pw.Counter("hypermisd_solver_round_decided_total", "Vertices decided inside solver rounds.", float64(m.SolverRoundDecided.Load()))
+	pw.Counter("hypermisd_solver_round_seconds_total", "Summed in-round wall time in seconds.", time.Duration(m.SolverRoundNs.Load()).Seconds())
+
+	// Per-algorithm labeled counters, solver names sorted for a
+	// deterministic exposition.
+	names := make([]string, 0, len(m.perAlg))
+	for name := range m.perAlg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	pw.Header("hypermisd_algo_solves_total", "Solves completed without error, by resolved algorithm.", "counter")
+	for _, name := range names {
+		pw.Sample("hypermisd_algo_solves_total", []obs.Label{{Name: "algo", Value: name}}, float64(m.perAlg[name].Solves.Load()))
+	}
+	pw.Header("hypermisd_algo_errors_total", "Solve errors, by resolved algorithm.", "counter")
+	for _, name := range names {
+		pw.Sample("hypermisd_algo_errors_total", []obs.Label{{Name: "algo", Value: name}}, float64(m.perAlg[name].Errors.Load()))
+	}
+	pw.Header("hypermisd_algo_rounds_total", "Outer solver rounds executed, by resolved algorithm.", "counter")
+	for _, name := range names {
+		pw.Sample("hypermisd_algo_rounds_total", []obs.Label{{Name: "algo", Value: name}}, float64(m.perAlg[name].Rounds.Load()))
+	}
+
+	// Batch pipeline.
+	pw.Counter("hypermisd_batch_requests_total", "POST /v1/batch requests.", float64(m.BatchRequests.Load()))
+	pw.Counter("hypermisd_batch_items_total", "Items carried by batch requests.", float64(m.BatchItems.Load()))
+	pw.Counter("hypermisd_batch_item_errors_total", "Batch items that failed (parse, options, or solve).", float64(m.BatchItemErrors.Load()))
+
+	// Async jobs.
+	pw.Counter("hypermisd_jobs_submitted_total", "Async jobs accepted.", float64(m.JobsSubmitted.Load()))
+	pw.Counter("hypermisd_jobs_done_total", "Async jobs finished with a result.", float64(m.JobsDone.Load()))
+	pw.Counter("hypermisd_jobs_failed_total", "Async jobs that failed.", float64(m.JobsFailed.Load()))
+	pw.Counter("hypermisd_jobs_canceled_total", "Async jobs canceled.", float64(m.JobsCanceled.Load()))
+	pw.Counter("hypermisd_job_cancel_requests_total", "Cancel requests accepted.", float64(m.JobCancelRequests.Load()))
+
+	// Tracing.
+	pw.Counter("hypermisd_traces_recorded_total", "Request traces recorded by the flight recorder.", float64(s.recorder.Recorded()))
+
+	// Live gauges.
+	pw.Gauge("hypermisd_workers", "Worker-pool size.", float64(s.cfg.Workers))
+	pw.Gauge("hypermisd_queue_depth", "Jobs waiting in the queue right now.", float64(len(s.queue)))
+	pw.Gauge("hypermisd_queue_cap", "Queue capacity.", float64(s.cfg.QueueDepth))
+	pw.Gauge("hypermisd_par_in_use", "Parallelism tokens held by running jobs.", float64(cap(s.parTokens)-len(s.parTokens)))
+	pw.Gauge("hypermisd_par_cap", "Parallelism token-pool capacity.", float64(cap(s.parTokens)))
+	if s.cache != nil {
+		pw.Gauge("hypermisd_cache_entries", "Result-cache entries held.", float64(s.cache.Len()))
+		pw.Gauge("hypermisd_cache_bytes", "Approximate bytes held by the result cache.", float64(s.cache.Bytes()))
+	}
+	active, size := s.jobs.counts(time.Now())
+	pw.Gauge("hypermisd_jobs_active", "Async jobs currently queued or running.", float64(active))
+	pw.Gauge("hypermisd_job_store_size", "Stored async jobs, retained terminal ones included.", float64(size))
+
+	// Latency histograms (seconds, cumulative log₂ buckets).
+	promHistogram(pw, "hypermisd_solve_latency_seconds", "Uncached solve latency: queue wait + solve.", &m.SolveLatency)
+	promHistogram(pw, "hypermisd_batch_stream_seconds", "Per-item batch streaming latency: item read to result flush.", &m.BatchItemLatency)
+}

@@ -23,9 +23,31 @@
 //	GET  /v1/jobs/{id}    job status; the result once the job is done.
 //	DELETE /v1/jobs/{id}  cancel an in-flight job.
 //	GET  /v1/stats     JSON Stats snapshot.
+//	GET  /metrics      Prometheus text exposition of the same state.
+//	GET  /v1/debug/requests  flight recorder: span breakdowns of the
+//	                   most recent and slowest requests (query min_ms,
+//	                   endpoint, trace, limit).
 //	GET  /healthz      liveness probe, always "ok".
 //
 // docs/api.md is the full wire-level reference for every endpoint.
+//
+// # Observability
+//
+// Unless Config.DisableTracing is set, every request carries a span
+// trace (internal/obs): the handler wrap opens it, announces its id in
+// the X-Hypermis-Trace response header, and records the finished trace
+// into a flight recorder retaining the last TraceRecent traces plus
+// the TraceSlowest slowest ones. Span points cover the whole solve
+// path — request decode, cache lookup, queue wait (enqueue to worker
+// pickup), workspace checkout, the solve itself with a per-round tally
+// from the RoundObserver, and response encode/flush — so
+// GET /v1/debug/requests answers "where did this request's time go"
+// per request, not just in aggregate. Async jobs detach from their
+// submitting connection and carry their own JOB /v1/jobs trace.
+// Config.Logger, when set, receives one structured log line per
+// request. GET /metrics exposes the Metrics counters, per-algorithm
+// labeled counters, and the log₂ latency histograms as cumulative
+// Prometheus buckets, dependency-free.
 //
 // # Batching and async jobs
 //
@@ -108,12 +130,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	hypermis "repro"
 	"repro/internal/hgio"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -153,6 +177,21 @@ type Config struct {
 	// jobs are evicted first; if every slot holds an in-flight job, new
 	// submissions are refused with ErrJobStoreFull.
 	MaxJobs int
+	// DisableTracing turns off per-request span tracing and the flight
+	// recorder: no X-Hypermis-Trace header, an empty
+	// GET /v1/debug/requests, and zero per-request recording cost.
+	DisableTracing bool
+	// TraceRecent is the flight recorder's ring size — the last N
+	// completed traces retained (default 256).
+	TraceRecent int
+	// TraceSlowest is the always-retained slowest-trace set size: the K
+	// slowest requests survive any burst of fast ones (default 32).
+	TraceSlowest int
+	// Logger, when non-nil, receives one structured record per HTTP
+	// request (endpoint, status, duration, trace id) and service
+	// lifecycle events. Nil logs nothing — library users and tests stay
+	// silent by default.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -189,6 +228,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
+	if c.TraceRecent <= 0 {
+		c.TraceRecent = 256
+	}
+	if c.TraceSlowest <= 0 {
+		c.TraceSlowest = 32
+	}
 	return c
 }
 
@@ -200,11 +245,12 @@ var ErrQueueFull = errors.New("service: job queue full")
 var ErrClosed = errors.New("service: server closed")
 
 type job struct {
-	ctx  context.Context
-	h    *hypermis.Hypergraph
-	opts hypermis.Options
-	key  string
-	done chan jobResult
+	ctx      context.Context
+	h        *hypermis.Hypergraph
+	opts     hypermis.Options
+	key      string
+	enqueued time.Time // queue-wait span start, stamped by enqueue
+	done     chan jobResult
 }
 
 type jobResult struct {
@@ -245,6 +291,12 @@ type Server struct {
 	jobs  *jobStore
 	jobWg sync.WaitGroup
 
+	// recorder is the flight recorder behind GET /v1/debug/requests
+	// (nil when Config.DisableTracing); logger receives per-request
+	// structured logs (nil = silent).
+	recorder *obs.Recorder
+	logger   *slog.Logger
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	wg        sync.WaitGroup
@@ -263,8 +315,13 @@ func New(cfg Config) *Server {
 		parTokens: make(chan struct{}, poolSize),
 		wsPool:    solver.NewPool(poolSize),
 		jobs:      newJobStore(cfg.JobTTL, cfg.MaxJobs),
+		logger:    cfg.Logger,
 		closed:    make(chan struct{}),
 	}
+	if !cfg.DisableTracing {
+		s.recorder = obs.NewRecorder(cfg.TraceRecent, cfg.TraceSlowest)
+	}
+	s.metrics.initPerAlg(solver.Names())
 	for i := 0; i < poolSize; i++ {
 		s.parTokens <- struct{}{}
 	}
@@ -339,7 +396,10 @@ func (s *Server) Solve(ctx context.Context, h *hypermis.Hypergraph, opts hypermi
 // large instance while the server is already overloaded).
 func (s *Server) solveKeyed(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options, key string, count bool) (*hypermis.Result, bool, error) {
 	if s.cache != nil {
-		if res, ok := s.cache.Get(key); ok {
+		sp := obs.From(ctx).StartSpan("cache-lookup")
+		res, ok := s.cache.Get(key)
+		sp.End()
+		if ok {
 			if count {
 				s.metrics.CacheHits.Add(1)
 			}
@@ -375,6 +435,7 @@ func (s *Server) enqueue(j *job, countRejected bool) error {
 	if s.isClosed {
 		return ErrClosed
 	}
+	j.enqueued = time.Now()
 	select {
 	case s.queue <- j:
 		s.metrics.Enqueued.Add(1)
@@ -405,6 +466,7 @@ func (s *Server) Stats() Stats {
 	st.JobStoreCap = s.cfg.MaxJobs
 	st.MaxBatchItems = s.cfg.MaxBatchItems
 	st.JobTTLSeconds = s.cfg.JobTTL.Seconds()
+	st.TracesRecorded = s.recorder.Recorded()
 	return st
 }
 
@@ -465,6 +527,10 @@ func (s *Server) releaseParallelism(grant int) {
 }
 
 func (s *Server) run(j *job) {
+	// The request's trace (nil when tracing is off or the caller is
+	// untraced): queue wait ends the moment a worker picks the job up.
+	tr := obs.From(j.ctx)
+	tr.AddSpan("queue-wait", j.enqueued, time.Since(j.enqueued))
 	// Acquire the parallelism grant before the per-job deadline starts
 	// ticking: waiting for a token is queueing, not solving. Tokens are
 	// returned before the done-channel send below, so a submitter that
@@ -477,14 +543,22 @@ func (s *Server) run(j *job) {
 	}
 	// Pooled workspace + aggregate round telemetry: the solve draws its
 	// arenas from a recycled workspace and every outer solver round
-	// bumps the service-wide round counters.
+	// bumps the service-wide round counters, the per-algorithm labeled
+	// counters, and the trace's round tally.
+	sp := tr.StartSpan("workspace-checkout")
 	ws := s.wsPool.Get()
+	sp.End()
 	j.opts.Workspace = ws
+	ac := s.metrics.alg(hypermis.ResolveAlgorithm(j.h, j.opts.Algorithm).String())
 	callerObserver := j.opts.RoundObserver
 	j.opts.RoundObserver = func(r hypermis.RoundTrace) {
 		s.metrics.SolverRounds.Add(1)
 		s.metrics.SolverRoundDecided.Add(int64(r.Decided))
 		s.metrics.SolverRoundNs.Add(int64(r.Elapsed))
+		if ac != nil {
+			ac.Rounds.Add(1)
+		}
+		tr.AddRound(r.Elapsed)
 		if callerObserver != nil {
 			callerObserver(r)
 		}
@@ -496,17 +570,25 @@ func (s *Server) run(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer cancel()
 	}
+	sp = tr.StartSpan("solve")
 	res, err := hypermis.SolveCtx(ctx, j.h, j.opts)
+	sp.End()
 	s.wsPool.Put(ws)
 	s.releaseParallelism(grant)
 	if err != nil {
 		s.metrics.Errors.Add(1)
+		if ac != nil {
+			ac.Errors.Add(1)
+		}
 	} else {
 		if s.cache != nil {
 			s.cache.Put(j.key, res)
 		}
 		s.metrics.Solves.Add(1)
 		s.metrics.SolveLatency.Observe(time.Since(start))
+		if ac != nil {
+			ac.Solves.Add(1)
+		}
 	}
 	j.done <- jobResult{res, err}
 }

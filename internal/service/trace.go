@@ -1,0 +1,152 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TraceHeader carries the request's trace id on every traced response;
+// quote it to GET /v1/debug/requests?trace= to pull the span breakdown.
+const TraceHeader = "X-Hypermis-Trace"
+
+// statusWriter captures the response status for the request log and
+// trace while staying transparent to the handlers underneath: Flush
+// and Unwrap keep NDJSON streaming (http.Flusher) and
+// http.ResponseController (EnableFullDuplex) working through the wrap.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// endpointLabel normalizes a request to its route label: the method
+// plus the path with the job id collapsed, so all /v1/jobs/{id}
+// lookups aggregate under one endpoint in traces and logs.
+func endpointLabel(r *http.Request) string {
+	path := r.URL.Path
+	if strings.HasPrefix(path, "/v1/jobs/") {
+		path = "/v1/jobs/{id}"
+	}
+	return r.Method + " " + path
+}
+
+// withObs wraps the mux with per-request observability: a Trace
+// attached to the context and announced via TraceHeader, recorded into
+// the flight recorder at completion, plus one structured request log.
+// With tracing disabled and no logger it returns the handler untouched
+// — the disabled path costs nothing.
+func (s *Server) withObs(h http.Handler) http.Handler {
+	if s.recorder == nil && s.logger == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		endpoint := endpointLabel(r)
+		var tr *obs.Trace
+		if s.recorder != nil {
+			tr = obs.NewTrace(endpoint)
+			w.Header().Set(TraceHeader, tr.ID())
+			r = r.WithContext(obs.With(r.Context(), tr))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if tr != nil {
+			tr.Finish(status)
+			s.recorder.Record(tr.Snapshot())
+		}
+		if s.logger != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("endpoint", endpoint),
+				slog.Int("status", status),
+				slog.Float64("duration_ms", float64(time.Since(start))/float64(time.Millisecond)),
+				slog.String("trace", tr.ID()),
+			)
+		}
+	})
+}
+
+// debugRequestsResponse is the JSON body of GET /v1/debug/requests:
+// the flight recorder's two retention sets after filtering.
+type debugRequestsResponse struct {
+	TracesRecorded uint64            `json:"traces_recorded"`
+	RecentCap      int               `json:"recent_cap"`
+	SlowestCap     int               `json:"slowest_cap"`
+	Recent         []obs.TraceRecord `json:"recent"`
+	Slowest        []obs.TraceRecord `json:"slowest"`
+}
+
+// handleDebugRequests serves the flight recorder. Query parameters:
+// min_ms (minimum duration), endpoint (substring match), trace (exact
+// trace id), limit (cap on each returned list, default 64).
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		httpError(w, http.StatusNotFound, "tracing is disabled on this server")
+		return
+	}
+	q := r.URL.Query()
+	var f obs.Filter
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			httpError(w, http.StatusBadRequest, "bad min_ms %q", v)
+			return
+		}
+		f.MinDurationMs = ms
+	}
+	f.Endpoint = q.Get("endpoint")
+	f.TraceID = q.Get("trace")
+	limit := 64
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	recent, slowest := s.recorder.Snapshot(f)
+	if len(recent) > limit {
+		recent = recent[:limit]
+	}
+	if len(slowest) > limit {
+		slowest = slowest[:limit]
+	}
+	writeJSON(w, http.StatusOK, debugRequestsResponse{
+		TracesRecorded: s.recorder.Recorded(),
+		RecentCap:      s.cfg.TraceRecent,
+		SlowestCap:     s.cfg.TraceSlowest,
+		Recent:         recent,
+		Slowest:        slowest,
+	})
+}

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	hypermis "repro"
+	"repro/internal/obs"
+)
+
+var traceIDPattern = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, raw)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestTraceHeaderOnResponses(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	h := hypermis.RandomMixed(7, 60, 120, 2, 4)
+
+	_, resp := postSolve(t, ts, "algo=sbl&seed=1", instanceText(t, h), ContentTypeText)
+	id := resp.Header.Get(TraceHeader)
+	if !traceIDPattern.MatchString(id) {
+		t.Fatalf("solve response %s = %q, want 16 hex digits", TraceHeader, id)
+	}
+
+	// Error responses carry the header too — the wrap sets it before
+	// the handler runs.
+	resp2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	id2 := resp2.Header.Get(TraceHeader)
+	if !traceIDPattern.MatchString(id2) || id2 == id {
+		t.Fatalf("stats trace id %q (solve was %q): want a fresh 16-hex id", id2, id)
+	}
+}
+
+func TestDebugRequestsSpanBreakdown(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	h := hypermis.RandomMixed(11, 300, 600, 2, 5)
+
+	_, resp := postSolve(t, ts, "algo=kuw&seed=2", instanceText(t, h), ContentTypeText)
+	traceID := resp.Header.Get(TraceHeader)
+
+	var dbg debugRequestsResponse
+	getJSON(t, ts.URL+"/v1/debug/requests", &dbg)
+	if dbg.TracesRecorded == 0 || len(dbg.Recent) == 0 || len(dbg.Slowest) == 0 {
+		t.Fatalf("flight recorder empty after a solve: %+v", dbg)
+	}
+
+	// Pull the solve's own trace by id and check the span breakdown
+	// covers the whole path: decode, queue wait, solve, encode.
+	var byID debugRequestsResponse
+	getJSON(t, ts.URL+"/v1/debug/requests?trace="+traceID, &byID)
+	if len(byID.Recent) != 1 {
+		t.Fatalf("trace filter %q returned %d recent traces, want 1", traceID, len(byID.Recent))
+	}
+	rec := byID.Recent[0]
+	if rec.TraceID != traceID || rec.Endpoint != "POST /v1/solve" || rec.Status != http.StatusOK {
+		t.Fatalf("unexpected trace record %+v", rec)
+	}
+	if rec.DurationMs <= 0 || rec.Rounds <= 0 {
+		t.Fatalf("trace missing duration/rounds: %+v", rec)
+	}
+	got := make(map[string]bool, len(rec.Spans))
+	for _, sp := range rec.Spans {
+		got[sp.Name] = true
+		if sp.DurUs < 0 || sp.StartUs < 0 {
+			t.Fatalf("negative span timing %+v", sp)
+		}
+	}
+	for _, want := range []string{"decode", "queue-wait", "solve", "encode"} {
+		if !got[want] {
+			t.Fatalf("trace lacks %q span; spans = %+v", want, rec.Spans)
+		}
+	}
+	if rec.Detail == "" || !strings.Contains(rec.Detail, "algo=kuw") {
+		t.Fatalf("trace detail %q lacks algo annotation", rec.Detail)
+	}
+
+	// Endpoint filtering: a substring that matches nothing comes back
+	// empty, the solve endpoint matches at least our request.
+	var none debugRequestsResponse
+	getJSON(t, ts.URL+"/v1/debug/requests?endpoint=/v1/nope", &none)
+	if len(none.Recent) != 0 || len(none.Slowest) != 0 {
+		t.Fatalf("bogus endpoint filter matched traces: %+v", none)
+	}
+	var solves debugRequestsResponse
+	getJSON(t, ts.URL+"/v1/debug/requests?endpoint=/v1/solve", &solves)
+	if len(solves.Recent) == 0 {
+		t.Fatal("endpoint filter /v1/solve matched nothing")
+	}
+
+	resp3, err := http.Get(ts.URL + "/v1/debug/requests?min_ms=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad min_ms: status %d, want 400", resp3.StatusCode)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	h := hypermis.RandomMixed(3, 80, 160, 2, 4)
+	body := instanceText(t, h)
+	postSolve(t, ts, "algo=sbl&seed=1", body, ContentTypeText)
+	postSolve(t, ts, "algo=sbl&seed=1", body, ContentTypeText) // cache hit
+	postSolve(t, ts, "algo=greedy", body, ContentTypeText)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentTypeProm {
+		t.Fatalf("content type %q, want %q", ct, obs.ContentTypeProm)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	samples, errs := obs.LintExposition(strings.NewReader(text))
+	if len(errs) > 0 {
+		t.Fatalf("exposition lint failed: %v\n%s", errs, text)
+	}
+	if samples < 20 {
+		t.Fatalf("only %d samples exposed", samples)
+	}
+
+	for _, want := range []string{
+		"hypermisd_solves_total 2",
+		"hypermisd_cache_hits_total 1",
+		`hypermisd_algo_solves_total{algo="sbl"} 1`,
+		`hypermisd_algo_solves_total{algo="greedy"} 1`,
+		`hypermisd_solve_latency_seconds_bucket{le="+Inf"} 2`,
+		"hypermisd_solve_latency_seconds_count 2",
+		"hypermisd_traces_recorded_total",
+		"hypermisd_workers 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition lacks %q:\n%s", want, text)
+		}
+	}
+
+	// The scrape itself must not enter the flight recorder — /metrics is
+	// mounted outside the tracing wrap.
+	if id := resp.Header.Get(TraceHeader); id != "" {
+		t.Fatalf("/metrics response carries a trace id %q", id)
+	}
+	var dbg debugRequestsResponse
+	getJSON(t, ts.URL+"/v1/debug/requests?endpoint=/metrics", &dbg)
+	if len(dbg.Recent) != 0 {
+		t.Fatalf("/metrics scrapes leaked into the flight recorder: %+v", dbg.Recent)
+	}
+}
+
+func TestTracingDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, DisableTracing: true})
+	h := hypermis.RandomMixed(5, 40, 80, 2, 4)
+
+	_, resp := postSolve(t, ts, "algo=sbl", instanceText(t, h), ContentTypeText)
+	if id := resp.Header.Get(TraceHeader); id != "" {
+		t.Fatalf("tracing disabled but response carries trace id %q", id)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/debug/requests with tracing disabled: status %d, want 404", resp2.StatusCode)
+	}
+
+	// /metrics keeps working without the recorder.
+	resp3, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics with tracing disabled: status %d", resp3.StatusCode)
+	}
+	if _, errs := obs.LintExposition(strings.NewReader(string(raw))); len(errs) > 0 {
+		t.Fatalf("lint with tracing disabled: %v", errs)
+	}
+	if !strings.Contains(string(raw), "hypermisd_traces_recorded_total 0") {
+		t.Fatal("traces_recorded_total should read 0 with tracing disabled")
+	}
+}
+
+func TestAsyncJobTraces(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	h := hypermis.RandomMixed(13, 80, 160, 2, 4)
+
+	code, js := jobRequest(t, http.MethodPost, ts.URL+"/v1/jobs?algo=sbl&seed=4", instanceText(t, h))
+	if code != http.StatusAccepted || js.JobID == "" {
+		t.Fatalf("job submit: status %d, %+v", code, js)
+	}
+	_, js = pollJob(t, ts.URL, js.JobID, 10*time.Second, func(c int, j JobStatusResponse) bool {
+		return j.Status == JobDone
+	})
+	if js.Status != JobDone {
+		t.Fatalf("job never finished: %+v", js)
+	}
+
+	// The detached worker records its own JOB trace naming the job id.
+	var dbg debugRequestsResponse
+	getJSON(t, ts.URL+"/v1/debug/requests?endpoint=JOB", &dbg)
+	found := false
+	for _, rec := range dbg.Recent {
+		if strings.Contains(rec.Detail, "job="+js.JobID) {
+			found = true
+			if rec.Status != http.StatusOK {
+				t.Fatalf("done job trace status %d, want 200: %+v", rec.Status, rec)
+			}
+			spans := make(map[string]bool)
+			for _, sp := range rec.Spans {
+				spans[sp.Name] = true
+			}
+			if !spans["solve"] {
+				t.Fatalf("job trace lacks solve span: %+v", rec.Spans)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no JOB trace for job %s in %+v", js.JobID, dbg.Recent)
+	}
+}
