@@ -19,12 +19,15 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -210,18 +213,7 @@ func cmdBatch(args []string) error {
 	fs.Parse(args)
 
 	if *addr != "" {
-		resp, err := http.Post(strings.TrimSuffix(*addr, "/")+"/v1/batch",
-			service.ContentTypeNDJSON, os.Stdin)
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-			return fmt.Errorf("batch: daemon status %d: %s", resp.StatusCode, raw)
-		}
-		_, err = io.Copy(os.Stdout, resp.Body)
-		return err
+		return forwardBatch(strings.TrimSuffix(*addr, "/") + "/v1/batch")
 	}
 
 	in := bufio.NewScanner(os.Stdin)
@@ -244,6 +236,53 @@ func cmdBatch(args []string) error {
 		index++
 	}
 	return in.Err()
+}
+
+// forwardBatch posts the whole stdin stream to a daemon's /v1/batch,
+// honouring its backpressure: a 503 or 429 response is retried with
+// jittered exponential backoff — waiting at least the daemon's
+// Retry-After when it sent one — up to a bounded number of attempts.
+// Stdin is buffered up front so the identical body can be re-sent
+// (stdin is not rewindable), which also keeps a mid-stream shed from
+// emitting a partial result stream.
+func forwardBatch(url string) error {
+	body, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		return fmt.Errorf("batch: reading stdin: %v", err)
+	}
+	const maxAttempts = 6
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(url, service.ContentTypeNDJSON, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			if attempt == maxAttempts {
+				return fmt.Errorf("batch: daemon still shedding after %d attempts (status %d: %s)",
+					maxAttempts, resp.StatusCode, strings.TrimSpace(string(raw)))
+			}
+			// Exponential base capped at 2s; the daemon's Retry-After is a
+			// floor, not a suggestion to ignore. Jitter over (base/2, base]
+			// so parallel invocations don't retry in lockstep.
+			base := min(time.Duration(attempt*attempt)*50*time.Millisecond, 2*time.Second)
+			if v := resp.Header.Get("Retry-After"); v != "" {
+				if secs, aerr := strconv.Atoi(v); aerr == nil && secs > 0 {
+					base = max(base, min(time.Duration(secs)*time.Second, 5*time.Second))
+				}
+			}
+			time.Sleep(base/2 + time.Duration(rand.Int64N(int64(base/2)+1)))
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			return fmt.Errorf("batch: daemon status %d: %s", resp.StatusCode, raw)
+		}
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	}
 }
 
 // solveBatchLine runs one batch item locally, mirroring the server's

@@ -26,11 +26,24 @@
 //	          [-maxpar N] [-maxbatch N] [-jobttl 5m] [-maxjobs N]
 //	          [-notrace] [-tracerecent N] [-traceslowest N]
 //	          [-debug-addr addr] [-logjson]
+//	          [-ratelimit N] [-rateburst N] [-ratelimitclients N]
+//	          [-draintimeout 30s]
+//	          [-chaos] [-chaos-errrate P] [-chaos-latency D]
+//	          [-chaos-latencyrate P] [-chaos-queuefullrate P] [-chaos-seed N]
+//
+// QoS: -ratelimit grants each client (X-Hypermis-Client header, or
+// remote IP) N solve-path requests/second (429 beyond the burst), and
+// requests carrying ?deadline_ms= are shed with 503 + Retry-After when
+// the live queue-wait estimate says the deadline cannot be met. The
+// -chaos flags enable the fault-injection layer (internal/faultinject)
+// for overload drills: injected solver errors, latency and forced
+// queue-full rejections, deterministic under -chaos-seed.
 //
 // Counters are also published through expvar under the key "hypermisd"
-// at GET /debug/vars. SIGINT/SIGTERM shut the daemon down gracefully:
-// in-flight requests finish (bounded by the per-job deadline) before
-// the process exits.
+// at GET /debug/vars. SIGINT/SIGTERM drain the daemon gracefully: the
+// listener stops accepting, queued jobs fail fast with the drain
+// error, and running solves get up to -draintimeout to finish before
+// being force-canceled (a forced drain exits nonzero).
 package main
 
 import (
@@ -46,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/service"
 )
 
@@ -65,6 +79,16 @@ func main() {
 	traceSlowest := flag.Int("traceslowest", 0, "slowest traces always retained (0 = 32)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 	logJSON := flag.Bool("logjson", false, "emit logs as JSON instead of text")
+	rateLimit := flag.Float64("ratelimit", 0, "per-client solve-path requests/second (0 disables)")
+	rateBurst := flag.Float64("rateburst", 0, "per-client burst (0 = 2×ratelimit)")
+	rateClients := flag.Int("ratelimitclients", 0, "client buckets tracked by the rate limiter (0 = 4096)")
+	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "how long running solves may finish after SIGTERM")
+	chaos := flag.Bool("chaos", false, "enable the fault-injection layer (with the -chaos-* rates)")
+	chaosErrRate := flag.Float64("chaos-errrate", 0, "probability a solve fails with an injected error")
+	chaosLatency := flag.Duration("chaos-latency", 0, "latency injected before a solve runs")
+	chaosLatencyRate := flag.Float64("chaos-latencyrate", 0, "probability a solve gets the injected latency")
+	chaosQueueFullRate := flag.Float64("chaos-queuefullrate", 0, "probability an enqueue is rejected as queue-full")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-schedule seed (equal seeds inject identical schedules)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -75,6 +99,20 @@ func main() {
 	}
 	logger := slog.New(handler)
 	slog.SetDefault(logger)
+
+	var injector *faultinject.Injector
+	if *chaos {
+		injector = faultinject.New(faultinject.Config{
+			ErrorRate:     *chaosErrRate,
+			Latency:       *chaosLatency,
+			LatencyRate:   *chaosLatencyRate,
+			QueueFullRate: *chaosQueueFullRate,
+			Seed:          *chaosSeed,
+		})
+		if injector == nil {
+			logger.Warn("-chaos set but every -chaos-* rate is zero; nothing will be injected")
+		}
+	}
 
 	srv := service.New(service.Config{
 		Workers:           *workers,
@@ -90,6 +128,10 @@ func main() {
 		TraceRecent:       *traceRecent,
 		TraceSlowest:      *traceSlowest,
 		Logger:            logger,
+		RateLimit:         *rateLimit,
+		RateBurst:         *rateBurst,
+		RateLimitClients:  *rateClients,
+		Chaos:             injector,
 	})
 	expvar.Publish("hypermisd", expvar.Func(func() any { return srv.Stats() }))
 
@@ -143,6 +185,8 @@ func main() {
 		slog.Bool("tracing", !cfg.DisableTracing),
 		slog.Int("trace_recent", cfg.TraceRecent),
 		slog.Int("trace_slowest", cfg.TraceSlowest),
+		slog.Float64("ratelimit", cfg.RateLimit),
+		slog.Bool("chaos", cfg.Chaos != nil),
 	)
 
 	select {
@@ -152,11 +196,25 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	logger.Info("hypermisd shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Graceful drain, in dependency order: stop accepting connections
+	// (in-flight HTTP requests keep going), then drain the scheduler —
+	// queued jobs fail fast with the drain error so their connections
+	// unwind, running solves get up to -draintimeout — and only then
+	// tear the HTTP server's in-flight requests down. A forced drain
+	// (solves still running at the deadline) exits nonzero so
+	// supervisors can tell a clean stop from a truncated one.
+	logger.Info("hypermisd draining", slog.Duration("timeout", *drainTimeout))
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- httpSrv.Shutdown(shutdownCtx) }()
+	drainErr := srv.Drain(*drainTimeout)
+	if err := <-shutdownDone; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("hypermisd shutdown", slog.Any("err", err))
 	}
-	srv.Close()
+	if drainErr != nil {
+		logger.Error("hypermisd drain", slog.Any("err", drainErr))
+		os.Exit(1)
+	}
+	logger.Info("hypermisd stopped cleanly")
 }

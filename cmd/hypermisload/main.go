@@ -12,6 +12,17 @@
 //	batch   NDJSON POST /v1/batch, -batch items per request
 //	jobs    async POST /v1/jobs + GET polling until each job is done
 //
+// A fourth mode probes the daemon's overload behaviour instead of its
+// throughput:
+//
+//	overload  every request is an uncacheable interactive solve with a
+//	          -deadline budget, sheds (503/429) are counted rather than
+//	          retried, and the run fails if goodput collapses — the
+//	          second half of the run must keep at least a quarter of
+//	          the first half's successes. Run it at -c well above the
+//	          daemon's worker count (2–5× capacity); -expectshed
+//	          additionally requires that the daemon shed something.
+//
 // Usage:
 //
 //	hypermisd -addr :8080 &
@@ -39,6 +50,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"strconv"
@@ -64,6 +76,8 @@ type config struct {
 	mode       string
 	batch      int
 	statsEvery time.Duration
+	deadlineMs int
+	expectShed bool
 }
 
 type instance struct {
@@ -84,7 +98,14 @@ type runner struct {
 	issued atomic.Int64 // global iteration counter (closed loop)
 	errs   atomic.Int64
 	cached atomic.Int64
-	sheds  atomic.Int64 // 503 queue-full responses, retried with backoff
+	sheds  atomic.Int64 // 503/429 responses, retried with backoff
+
+	// Overload-mode tallies, split into run halves so the end-of-run
+	// band check can compare early goodput against late goodput: a
+	// healthy daemon sheds excess load and keeps serving, a collapsing
+	// one serves the first wave and then nothing.
+	ovOK   [2]atomic.Int64 // interactive successes per half
+	ovShed [2]atomic.Int64 // honest rejections (503/429) per half
 
 	genLat, solveLat, verifyLat, batchLat, jobLat service.Histogram
 	genOps, solveOps, verifyOps, batchOps, jobOps atomic.Int64
@@ -106,12 +127,16 @@ func main() {
 	flag.IntVar(&cfg.n, "size", 400, "vertices per generated instance")
 	flag.IntVar(&cfg.m, "edges", 800, "edges per generated instance")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "base instance seed")
-	flag.StringVar(&cfg.mode, "mode", "single", "traffic shape: single (mixed per-request ops), batch (NDJSON /v1/batch), jobs (async /v1/jobs + polling)")
+	flag.StringVar(&cfg.mode, "mode", "single", "traffic shape: single (mixed per-request ops), batch (NDJSON /v1/batch), jobs (async /v1/jobs + polling), overload (uncacheable flood, goodput band check)")
 	flag.IntVar(&cfg.batch, "batch", 16, "items per batch request (batch mode)")
 	flag.DurationVar(&cfg.statsEvery, "statsevery", 0, "poll GET /v1/stats at this interval and print deltas (0 disables)")
+	flag.IntVar(&cfg.deadlineMs, "deadline", 2000, "per-request deadline_ms budget in overload mode (0 sends none)")
+	flag.BoolVar(&cfg.expectShed, "expectshed", false, "overload mode: fail unless the daemon shed at least one request")
 	flag.Parse()
-	if cfg.mode != "single" && cfg.mode != "batch" && cfg.mode != "jobs" {
-		log.Fatalf("unknown -mode %q (want single, batch or jobs)", cfg.mode)
+	switch cfg.mode {
+	case "single", "batch", "jobs", "overload":
+	default:
+		log.Fatalf("unknown -mode %q (want single, batch, jobs or overload)", cfg.mode)
 	}
 	if cfg.batch < 1 {
 		cfg.batch = 1
@@ -158,6 +183,14 @@ func main() {
 						return
 					}
 					r.jobStep(int(i))
+				}
+			case "overload":
+				for {
+					i := r.issued.Add(1) - 1
+					if i >= int64(cfg.total) {
+						return
+					}
+					r.overloadStep(int(i))
 				}
 			default:
 				for {
@@ -262,32 +295,56 @@ func (r *runner) buildPool() {
 	}
 }
 
+// retryDelay computes the sleep before retrying a shed request:
+// the server's Retry-After when it sent one (capped at 2s so a load
+// test never parks for long), otherwise capped exponential growth —
+// jittered either way, so a burst of shed workers doesn't retry in
+// lockstep and re-create the spike that shed them.
+func retryDelay(resp *http.Response, attempt int) time.Duration {
+	base := time.Duration(min(attempt, 6)) * 25 * time.Millisecond
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			base = min(time.Duration(secs)*time.Second, 2*time.Second)
+		}
+	}
+	// Full jitter over (base/2, base]: spread without ever retrying
+	// sooner than half the advertised wait.
+	return base/2 + time.Duration(rand.Int64N(int64(base/2)+1))
+}
+
 // post issues one HTTP request, honouring the daemon's backpressure: a
-// 503 (queue full) is not an error but an instruction to back off and
-// retry, which is what a closed-loop client does.
+// 503 (shed) or 429 (rate limited) is not an error but an instruction
+// to back off and retry — for how long, the Retry-After header says —
+// which is what a closed-loop client does.
 func (r *runner) post(url, contentType string, body []byte) (*http.Response, []byte, error) {
 	for attempt := 1; ; attempt++ {
-		var rd io.Reader
-		if body != nil {
-			rd = bytes.NewReader(body)
-		}
-		resp, err := r.client.Post(url, contentType, rd)
+		resp, raw, err := r.postOnce(url, contentType, body)
 		if err != nil {
 			return nil, nil, err
 		}
-		raw, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusServiceUnavailable {
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
 			r.sheds.Add(1)
-			backoff := time.Duration(attempt) * 25 * time.Millisecond
-			if backoff > time.Second {
-				backoff = time.Second
-			}
-			time.Sleep(backoff)
+			time.Sleep(retryDelay(resp, attempt))
 			continue
 		}
 		return resp, raw, nil
 	}
+}
+
+// postOnce issues one HTTP request with no retry policy — the overload
+// mode's probe, where a shed is an outcome to count, not to hide.
+func (r *runner) postOnce(url, contentType string, body []byte) (*http.Response, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	resp, err := r.client.Post(url, contentType, rd)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, raw, nil
 }
 
 func (r *runner) fail(format string, args ...any) {
@@ -543,6 +600,45 @@ func (r *runner) jobStep(i int) {
 	}
 }
 
+// overloadStep fires one uncacheable interactive solve (seed = i, so
+// no two requests share a cache key) with a deadline_ms budget, and
+// records the outcome per run half. Sheds are final here — no retry —
+// because the mode measures how the daemon behaves at offered loads
+// beyond capacity, and retries would hide exactly that.
+func (r *runner) overloadStep(i int) {
+	half := 0
+	if i >= r.cfg.total/2 {
+		half = 1
+	}
+	inst := &r.instances[i%len(r.instances)]
+	url := fmt.Sprintf("%s/v1/solve?algo=%s&seed=%d&priority=interactive", r.cfg.addr, r.cfg.algo, uint64(i))
+	if r.cfg.deadlineMs > 0 {
+		url += fmt.Sprintf("&deadline_ms=%d", r.cfg.deadlineMs)
+	}
+	start := time.Now()
+	resp, raw, err := r.postOnce(url, service.ContentTypeText, inst.text)
+	if err != nil {
+		r.fail("overload %d: %v", i, err)
+		return
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		r.solveLat.Observe(time.Since(start))
+		r.solveOps.Add(1)
+		r.ovOK[half].Add(1)
+	case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+		// An honest rejection is the daemon doing its job; what would be
+		// a failure is goodput collapsing — the band check's business.
+		r.sheds.Add(1)
+		r.ovShed[half].Add(1)
+	case http.StatusGatewayTimeout:
+		// The deadline budget expired server-side: late, not wrong.
+		// Counts as neither goodput nor a shed.
+	default:
+		r.fail("overload %d: status %d: %s", i, resp.StatusCode, raw)
+	}
+}
+
 func (r *runner) verify(spec int) {
 	r.mu.Lock()
 	mis, ok := r.lastMIS[spec]
@@ -606,10 +702,31 @@ func (r *runner) report(elapsed time.Duration) {
 		}
 		resp.Body.Close()
 	}
+	if r.cfg.mode == "overload" {
+		ok1, ok2 := r.ovOK[0].Load(), r.ovOK[1].Load()
+		shed := r.ovShed[0].Load() + r.ovShed[1].Load()
+		fmt.Printf("  overload: goodput first-half=%d second-half=%d shed=%d (503/429)\n", ok1, ok2, shed)
+		// The band check: a daemon with working admission keeps serving a
+		// steady fraction while shedding the excess. A collapsing one
+		// serves the first wave and then nothing — second-half goodput
+		// falling under a quarter of the first half is that signature.
+		if ok1 > 0 && ok2*4 < ok1 {
+			fmt.Println("  FAIL: goodput collapsed under overload (second half < 25% of first)")
+			r.errs.Add(1)
+		}
+		if ok1+ok2 == 0 {
+			fmt.Println("  FAIL: zero goodput under overload")
+			r.errs.Add(1)
+		}
+		if r.cfg.expectShed && shed == 0 {
+			fmt.Println("  FAIL: -expectshed set but the daemon shed nothing")
+			r.errs.Add(1)
+		}
+	}
 	for _, f := range r.failures {
 		fmt.Println("  FAIL:", f)
 	}
-	if r.cached.Load() == 0 && r.solveOps.Load() > int64(r.cfg.pool*r.cfg.seeds) {
+	if r.cfg.mode != "overload" && r.cached.Load() == 0 && r.solveOps.Load() > int64(r.cfg.pool*r.cfg.seeds) {
 		// More solves than distinct keys yet zero hits: the cache is not
 		// doing its job. Flag it so the acceptance run catches it.
 		fmt.Println("  FAIL: no cache hits despite repeated (instance, seed) pairs")

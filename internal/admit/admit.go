@@ -1,0 +1,252 @@
+// Package admit is the service's front-door QoS policy: priority
+// classes with a weighted dequeue order, a deadline-aware queue-wait
+// estimator fed by observed per-algorithm service times, and a
+// per-client token-bucket rate limiter with a bounded LRU of buckets.
+// The package holds only policy — pure decisions over counts and
+// durations — so every piece is unit-testable without a running
+// scheduler; internal/service wires the decisions into its queues and
+// HTTP handlers.
+package admit
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Priority is a request's service class. Lower values are served
+// preferentially by the weighted dequeue: interactive traffic is the
+// latency-sensitive default for single solves, batch is bulk work that
+// tolerates queueing (the /v1/batch and /v1/jobs default), background
+// is best-effort filler that must never displace the other two.
+type Priority uint8
+
+const (
+	Interactive Priority = iota
+	Batch
+	Background
+	// NumPriorities sizes per-priority arrays (queues, counters).
+	NumPriorities = 3
+)
+
+func (p Priority) String() string {
+	switch p {
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	case Background:
+		return "background"
+	}
+	return fmt.Sprintf("priority(%d)", uint8(p))
+}
+
+// Names lists the class names in priority order, for building labeled
+// metric families deterministically.
+func Names() [NumPriorities]string {
+	return [NumPriorities]string{Interactive.String(), Batch.String(), Background.String()}
+}
+
+// Parse resolves a wire value ("interactive", "batch", "background")
+// to its Priority; the empty string selects def. Unknown values are
+// the caller's 400.
+func Parse(s string, def Priority) (Priority, error) {
+	switch s {
+	case "":
+		return def, nil
+	case "interactive":
+		return Interactive, nil
+	case "batch":
+		return Batch, nil
+	case "background":
+		return Background, nil
+	}
+	return def, fmt.Errorf("bad priority %q (want interactive, batch or background)", s)
+}
+
+// Dequeue weighting: of every weightTotal dequeues, the first
+// weightInteractive prefer interactive, the next weightBatch prefer
+// batch, and the last prefer background. The preference is a full
+// order, not a hard gate — a preferred-but-empty class falls through
+// to the next — so the weights bound *contention* shares: under a
+// batch flood interactive still gets ≥ 6/10 of worker pickups, and
+// background is guaranteed 1/10 rather than starving behind the flood.
+const (
+	weightInteractive = 6
+	weightBatch       = 3
+	weightTotal       = 10
+)
+
+// Order returns the dequeue preference order for the tick'th dequeue.
+// Ticks cycle through a fixed weighted round-robin schedule, so the
+// order is deterministic given the tick counter — tests can pin it.
+func Order(tick uint64) [NumPriorities]Priority {
+	switch slot := tick % weightTotal; {
+	case slot < weightInteractive:
+		return [NumPriorities]Priority{Interactive, Batch, Background}
+	case slot < weightInteractive+weightBatch:
+		return [NumPriorities]Priority{Batch, Interactive, Background}
+	default:
+		return [NumPriorities]Priority{Background, Interactive, Batch}
+	}
+}
+
+// QueueWait estimates how long a job entering a queue with `ahead`
+// jobs before it will wait for a worker, given `workers` draining the
+// queue at one job per svc each. Zero svc (no observations yet) yields
+// zero — the estimator refuses to guess without data, so admission
+// stays open until real service times exist.
+func QueueWait(ahead, workers int, svc time.Duration) time.Duration {
+	if svc <= 0 || ahead <= 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return time.Duration(float64(svc) * float64(ahead) / float64(workers))
+}
+
+// Estimator tracks recent service times per key (the resolved solver
+// name) as exponentially weighted moving averages, plus a global
+// fallback for keys not yet observed. It answers "how long does one of
+// these solves take right now" for the admission controller's queue-
+// wait arithmetic.
+type Estimator struct {
+	mu     sync.Mutex
+	alpha  float64
+	perKey map[string]time.Duration
+	global time.Duration
+}
+
+// NewEstimator returns an estimator smoothing at alpha = 0.2: each new
+// observation contributes a fifth of the estimate, so a burst of slow
+// solves moves the estimate within a few requests without a single
+// outlier whipsawing it.
+func NewEstimator() *Estimator {
+	return &Estimator{alpha: 0.2, perKey: make(map[string]time.Duration)}
+}
+
+// Observe folds one completed solve's service time into the key's EWMA
+// and the global fallback.
+func (e *Estimator) Observe(key string, d time.Duration) {
+	if e == nil || d < 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.global = ewma(e.global, d, e.alpha)
+	e.perKey[key] = ewma(e.perKey[key], d, e.alpha)
+}
+
+// Estimate reports the key's current EWMA service time, falling back
+// to the global average for unobserved keys and zero when nothing has
+// been observed at all (see QueueWait's zero-svc contract).
+func (e *Estimator) Estimate(key string) time.Duration {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d, ok := e.perKey[key]; ok {
+		return d
+	}
+	return e.global
+}
+
+func ewma(cur, obs time.Duration, alpha float64) time.Duration {
+	if cur == 0 {
+		return obs
+	}
+	return time.Duration((1-alpha)*float64(cur) + alpha*float64(obs))
+}
+
+// RateLimiter is a per-client token-bucket limiter: each client key
+// holds a bucket refilling at rate tokens/second up to burst, and a
+// request is admitted iff its client's bucket has a whole token. The
+// client set is a bounded LRU — an attacker cycling fresh keys evicts
+// other attackers' buckets, not the service's memory — so the limiter
+// is itself overload-safe.
+type RateLimiter struct {
+	mu         sync.Mutex
+	rate       float64 // tokens per second
+	burst      float64
+	maxClients int
+	ll         *list.List // front = most recently used
+	clients    map[string]*list.Element
+	now        func() time.Time // injectable clock for tests
+}
+
+type bucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter returns a limiter granting rate requests/second with
+// the given burst per client, tracking at most maxClients buckets
+// (older buckets are evicted LRU; an evicted client restarts with a
+// full burst). rate ≤ 0 returns nil — and a nil *RateLimiter admits
+// everything, so "disabled" needs no branching at call sites.
+func NewRateLimiter(rate, burst float64, maxClients int) *RateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if maxClients < 1 {
+		maxClients = 1
+	}
+	return &RateLimiter{
+		rate:       rate,
+		burst:      burst,
+		maxClients: maxClients,
+		ll:         list.New(),
+		clients:    make(map[string]*list.Element),
+		now:        time.Now,
+	}
+}
+
+// Allow charges one token to key's bucket. When the bucket is empty it
+// reports false plus how long until the next token accrues — the
+// honest Retry-After for a 429.
+func (rl *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if rl == nil {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	var b *bucket
+	if el, found := rl.clients[key]; found {
+		rl.ll.MoveToFront(el)
+		b = el.Value.(*bucket)
+		b.tokens = math.Min(rl.burst, b.tokens+now.Sub(b.last).Seconds()*rl.rate)
+		b.last = now
+	} else {
+		if rl.ll.Len() >= rl.maxClients {
+			oldest := rl.ll.Back()
+			rl.ll.Remove(oldest)
+			delete(rl.clients, oldest.Value.(*bucket).key)
+		}
+		b = &bucket{key: key, tokens: rl.burst, last: now}
+		rl.clients[key] = rl.ll.PushFront(b)
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+}
+
+// Clients reports the tracked bucket count (for stats/gauges).
+func (rl *RateLimiter) Clients() int {
+	if rl == nil {
+		return 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.ll.Len()
+}

@@ -1,0 +1,170 @@
+package admit
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePriority(t *testing.T) {
+	cases := []struct {
+		in   string
+		def  Priority
+		want Priority
+		err  bool
+	}{
+		{"", Interactive, Interactive, false},
+		{"", Batch, Batch, false},
+		{"interactive", Background, Interactive, false},
+		{"batch", Interactive, Batch, false},
+		{"background", Interactive, Background, false},
+		{"urgent", Interactive, Interactive, true},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in, c.def)
+		if (err != nil) != c.err {
+			t.Errorf("Parse(%q): err = %v, want err=%t", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestOrderWeights: over one full schedule cycle each class leads
+// exactly its weight's share of dequeues, and every order ranks all
+// three classes (preference, not a gate).
+func TestOrderWeights(t *testing.T) {
+	leads := map[Priority]int{}
+	for tick := uint64(0); tick < weightTotal; tick++ {
+		order := Order(tick)
+		leads[order[0]]++
+		seen := map[Priority]bool{}
+		for _, p := range order {
+			seen[p] = true
+		}
+		if len(seen) != NumPriorities {
+			t.Fatalf("Order(%d) = %v does not rank every class", tick, order)
+		}
+	}
+	if leads[Interactive] != weightInteractive || leads[Batch] != weightBatch ||
+		leads[Background] != weightTotal-weightInteractive-weightBatch {
+		t.Fatalf("lead shares %v, want %d/%d/%d", leads, weightInteractive, weightBatch,
+			weightTotal-weightInteractive-weightBatch)
+	}
+	// The schedule repeats: tick and tick+weightTotal agree.
+	for tick := uint64(0); tick < weightTotal; tick++ {
+		if Order(tick) != Order(tick+weightTotal) {
+			t.Fatalf("Order not cyclic at tick %d", tick)
+		}
+	}
+}
+
+func TestQueueWait(t *testing.T) {
+	if w := QueueWait(8, 2, 10*time.Millisecond); w != 40*time.Millisecond {
+		t.Errorf("QueueWait(8, 2, 10ms) = %v, want 40ms", w)
+	}
+	if w := QueueWait(5, 0, 10*time.Millisecond); w != 50*time.Millisecond {
+		t.Errorf("QueueWait clamps workers to 1: got %v, want 50ms", w)
+	}
+	if w := QueueWait(100, 4, 0); w != 0 {
+		t.Errorf("QueueWait with no service estimate = %v, want 0 (stay open)", w)
+	}
+	if w := QueueWait(0, 4, time.Second); w != 0 {
+		t.Errorf("QueueWait with empty queue = %v, want 0", w)
+	}
+}
+
+func TestEstimatorFallbackAndConvergence(t *testing.T) {
+	e := NewEstimator()
+	if d := e.Estimate("sbl"); d != 0 {
+		t.Fatalf("empty estimator guessed %v, want 0", d)
+	}
+	e.Observe("sbl", 10*time.Millisecond)
+	if d := e.Estimate("sbl"); d != 10*time.Millisecond {
+		t.Fatalf("first observation should seed the EWMA exactly: got %v", d)
+	}
+	// Unobserved keys fall back to the global average, not zero.
+	if d := e.Estimate("luby"); d == 0 {
+		t.Fatal("unobserved key got no global fallback")
+	}
+	// Repeated larger observations converge toward the new level.
+	for i := 0; i < 50; i++ {
+		e.Observe("sbl", 40*time.Millisecond)
+	}
+	got := e.Estimate("sbl")
+	if got < 35*time.Millisecond || got > 40*time.Millisecond {
+		t.Fatalf("EWMA did not converge: %v, want ≈40ms", got)
+	}
+	// A nil estimator is inert.
+	var nilE *Estimator
+	nilE.Observe("x", time.Second)
+	if d := nilE.Estimate("x"); d != 0 {
+		t.Fatalf("nil estimator returned %v", d)
+	}
+}
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	rl := NewRateLimiter(10, 2, 8) // 10/s, burst 2
+	clock := time.Unix(1000, 0)
+	rl.now = func() time.Time { return clock }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := rl.Allow("a"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := rl.Allow("a")
+	if ok {
+		t.Fatal("request past burst admitted")
+	}
+	if retry <= 0 || retry > 200*time.Millisecond {
+		t.Fatalf("retry-after %v, want (0, 100ms]+slack at 10/s", retry)
+	}
+	// Another client is unaffected.
+	if ok, _ := rl.Allow("b"); !ok {
+		t.Fatal("independent client denied")
+	}
+	// 100ms refills one token at 10/s.
+	clock = clock.Add(100 * time.Millisecond)
+	if ok, _ := rl.Allow("a"); !ok {
+		t.Fatal("refilled token denied")
+	}
+	if ok, _ := rl.Allow("a"); ok {
+		t.Fatal("second token admitted after single refill")
+	}
+}
+
+// TestRateLimiterLRUBound: the bucket set never exceeds maxClients;
+// the least recently used client is evicted and returns with a fresh
+// burst (the documented, bounded-memory trade-off).
+func TestRateLimiterLRUBound(t *testing.T) {
+	rl := NewRateLimiter(1, 1, 2)
+	clock := time.Unix(1000, 0)
+	rl.now = func() time.Time { return clock }
+
+	rl.Allow("a") // a's bucket now empty (burst 1)
+	rl.Allow("b")
+	if ok, _ := rl.Allow("a"); ok {
+		t.Fatal("a should be out of tokens")
+	}
+	rl.Allow("c") // evicts b (a was refreshed by the denied Allow)
+	if n := rl.Clients(); n != 2 {
+		t.Fatalf("tracked clients = %d, want 2", n)
+	}
+	if ok, _ := rl.Allow("b"); !ok {
+		t.Fatal("evicted client should restart with a full burst")
+	}
+}
+
+func TestRateLimiterDisabled(t *testing.T) {
+	if rl := NewRateLimiter(0, 5, 10); rl != nil {
+		t.Fatal("rate 0 should return the nil (always-allow) limiter")
+	}
+	var rl *RateLimiter
+	if ok, retry := rl.Allow("anyone"); !ok || retry != 0 {
+		t.Fatal("nil limiter must admit everything")
+	}
+	if rl.Clients() != 0 {
+		t.Fatal("nil limiter tracks no clients")
+	}
+}

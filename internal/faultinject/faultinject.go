@@ -1,0 +1,123 @@
+// Package faultinject is the service's chaos hook: an Injector that,
+// with configured probabilities, fails solves, adds latency, or
+// forces queue-full rejections. It exists so the overload tests and
+// `hypermisd -chaos` can exercise every degradation path — shed,
+// retry, error accounting, drain under pressure — on demand instead
+// of waiting for production to produce the conditions.
+//
+// Rolls are derived from a seed and an atomic sequence number through
+// a splitmix64 finalizer, so a fixed seed yields a reproducible fault
+// schedule per call order (not wall time), and the injector is safe
+// for concurrent use without locks. A nil *Injector injects nothing —
+// the disabled path is a nil check, no configuration object needed.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error every injected solve failure wraps; callers
+// (and tests) identify chaos failures with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Config sets the fault probabilities. All rates are in [0, 1]; zero
+// disables that fault kind.
+type Config struct {
+	// ErrorRate is the probability a solve fails with ErrInjected.
+	ErrorRate float64
+	// Latency is the extra delay injected before a solve runs, applied
+	// with probability LatencyRate.
+	Latency     time.Duration
+	LatencyRate float64
+	// QueueFullRate is the probability an enqueue is rejected as if the
+	// queue were full, exercising the shed/backoff path at any load.
+	QueueFullRate float64
+	// Seed fixes the fault schedule; equal seeds and call orders inject
+	// identical fault sequences.
+	Seed uint64
+}
+
+// Injector injects faults per Config. Create with New; methods on a
+// nil receiver are no-ops that inject nothing.
+type Injector struct {
+	cfg Config
+	seq atomic.Uint64
+
+	errs   atomic.Int64
+	delays atomic.Int64
+	fulls  atomic.Int64
+}
+
+// New returns an injector for cfg, or nil when cfg injects nothing —
+// so a zero Config naturally resolves to the disabled injector.
+func New(cfg Config) *Injector {
+	if cfg.ErrorRate <= 0 && (cfg.LatencyRate <= 0 || cfg.Latency <= 0) && cfg.QueueFullRate <= 0 {
+		return nil
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Config reports the injector's configuration (zero for nil).
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// roll draws the next deterministic uniform in [0, 1).
+func (in *Injector) roll() float64 {
+	z := in.cfg.Seed + in.seq.Add(1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// SolveError reports the fault to inject into the current solve: nil,
+// or an error wrapping ErrInjected.
+func (in *Injector) SolveError() error {
+	if in == nil || in.cfg.ErrorRate <= 0 || in.roll() >= in.cfg.ErrorRate {
+		return nil
+	}
+	in.errs.Add(1)
+	return ErrInjected
+}
+
+// Delay sleeps the configured injected latency (with its configured
+// probability), returning early if ctx expires first.
+func (in *Injector) Delay(ctx context.Context) {
+	if in == nil || in.cfg.Latency <= 0 || in.cfg.LatencyRate <= 0 || in.roll() >= in.cfg.LatencyRate {
+		return
+	}
+	in.delays.Add(1)
+	t := time.NewTimer(in.cfg.Latency)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// QueueFull reports whether to reject the current enqueue as if the
+// queue were at capacity.
+func (in *Injector) QueueFull() bool {
+	if in == nil || in.cfg.QueueFullRate <= 0 || in.roll() >= in.cfg.QueueFullRate {
+		return false
+	}
+	in.fulls.Add(1)
+	return true
+}
+
+// Counts reports how many faults of each kind have been injected.
+func (in *Injector) Counts() (errs, delays, queueFulls int64) {
+	if in == nil {
+		return 0, 0, 0
+	}
+	return in.errs.Load(), in.delays.Load(), in.fulls.Load()
+}

@@ -1,0 +1,123 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilAndZeroConfigInjectNothing(t *testing.T) {
+	var in *Injector
+	if err := in.SolveError(); err != nil {
+		t.Fatal("nil injector injected an error")
+	}
+	if in.QueueFull() {
+		t.Fatal("nil injector forced queue-full")
+	}
+	in.Delay(context.Background()) // must not panic or sleep
+	if e, d, f := in.Counts(); e+d+f != 0 {
+		t.Fatal("nil injector counted faults")
+	}
+	if New(Config{}) != nil {
+		t.Fatal("zero config should resolve to the nil injector")
+	}
+	// Latency without a rate (and vice versa) is still disabled.
+	if New(Config{Latency: time.Second}) != nil || New(Config{LatencyRate: 1}) != nil {
+		t.Fatal("half-configured latency should resolve to the nil injector")
+	}
+}
+
+// TestErrorRateConverges: over many rolls the injected-error fraction
+// tracks the configured rate, and every injected error wraps
+// ErrInjected.
+func TestErrorRateConverges(t *testing.T) {
+	in := New(Config{ErrorRate: 0.3, Seed: 42})
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if err := in.SolveError(); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error %v does not wrap ErrInjected", err)
+			}
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.27 || frac > 0.33 {
+		t.Fatalf("injected fraction %.3f, want ≈0.30", frac)
+	}
+	if e, _, _ := in.Counts(); e != int64(hits) {
+		t.Fatalf("Counts errs = %d, want %d", e, hits)
+	}
+}
+
+// TestDeterministicSchedule: equal seeds and call orders produce the
+// identical fault sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	seq := func() []bool {
+		in := New(Config{QueueFullRate: 0.5, Seed: 7})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.QueueFull()
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at roll %d", i)
+		}
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	in := New(Config{Latency: 10 * time.Second, LatencyRate: 1, Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	in.Delay(ctx)
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("Delay ignored the canceled context (%v)", d)
+	}
+	if _, delays, _ := in.Counts(); delays != 1 {
+		t.Fatalf("delays = %d, want 1 (counted even when cut short)", delays)
+	}
+}
+
+// TestConcurrentRolls: the injector is safe under concurrent use and
+// loses no counts (run with -race in CI).
+func TestConcurrentRolls(t *testing.T) {
+	in := New(Config{ErrorRate: 0.5, QueueFullRate: 0.5, Seed: 3})
+	var wg sync.WaitGroup
+	var errHits, fullHits sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			e, f := 0, 0
+			for i := 0; i < 1000; i++ {
+				if in.SolveError() != nil {
+					e++
+				}
+				if in.QueueFull() {
+					f++
+				}
+			}
+			errHits.Store(g, e)
+			fullHits.Store(g, f)
+		}(g)
+	}
+	wg.Wait()
+	sum := func(m *sync.Map) int64 {
+		var n int64
+		m.Range(func(_, v any) bool { n += int64(v.(int)); return true })
+		return n
+	}
+	e, _, f := in.Counts()
+	if e != sum(&errHits) || f != sum(&fullHits) {
+		t.Fatalf("counts (%d, %d) disagree with observed (%d, %d)",
+			e, f, sum(&errHits), sum(&fullHits))
+	}
+}

@@ -8,12 +8,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
 	hypermis "repro"
+	"repro/internal/admit"
 	"repro/internal/hgio"
 	"repro/internal/obs"
 )
@@ -52,6 +54,10 @@ type BatchItem struct {
 	// once, not k times (if two earlier items share an id, the later
 	// one wins).
 	Ref string `json:"ref,omitempty"`
+	// Priority names the item's admission class (interactive, batch or
+	// background); empty defaults to batch, the class for work with no
+	// client waiting on each individual result.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Options converts the item's solve parameters into hypermis.Options,
@@ -195,23 +201,28 @@ type timedResult struct {
 	start time.Time
 }
 
-// solveBlocking is Solve with the bounded queue's fail-fast turned into
-// waiting: the batch and async-job paths own no client connection that
-// needs an immediate 503, so on ErrQueueFull they back off and retry
-// until ctx expires. Other errors pass through. The cache key is
-// computed once and counters fire only on the first attempt — see
-// solveKeyed.
-func (s *Server) solveBlocking(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options) (*hypermis.Result, bool, error) {
+// solveBlocking is SolveClass with the bounded queue's fail-fast
+// turned into waiting: the batch and async-job paths own no client
+// connection that needs an immediate 503, so on ErrQueueFull they back
+// off — capped exponential with full jitter, so a queue-full burst
+// doesn't resubmit every stalled item in lockstep — and retry until
+// ctx expires. Other errors pass through (an AdmissionError is
+// terminal: retrying a deadline that cannot be met only adds load).
+// The cache key is computed once and counters fire only on the first
+// attempt — see solveKeyed. Every backoff sleep bumps
+// batch_backoff_total, the saturation signal for this path.
+func (s *Server) solveBlocking(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) (*hypermis.Result, bool, error) {
 	key := JobKey(h, opts)
 	for attempt := 1; ; attempt++ {
-		res, cached, err := s.solveKeyed(ctx, h, opts, key, attempt == 1)
+		res, cached, err := s.solveKeyed(ctx, h, opts, key, prio, attempt == 1)
 		if !errors.Is(err, ErrQueueFull) {
 			return res, cached, err
 		}
-		backoff := time.Duration(attempt) * 2 * time.Millisecond
-		if backoff > 50*time.Millisecond {
-			backoff = 50 * time.Millisecond
-		}
+		// 1, 2, 4, ... 32ms ceilings, jittered uniformly over (0, ceiling]
+		// so concurrent stalled items spread out instead of thundering.
+		ceiling := time.Millisecond << min(attempt-1, 5)
+		backoff := time.Duration(rand.Int64N(int64(ceiling))) + 1
+		s.metrics.BatchBackoff.Add(1)
 		select {
 		case <-ctx.Done():
 			return nil, false, ctx.Err()
@@ -229,6 +240,9 @@ func (s *Server) solveBlocking(ctx context.Context, h *hypermis.Hypergraph, opts
 // results channel, which stalls the window, which stops the request
 // scanner — the batch never buffers more than the window.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.allowClient(w, r) {
+		return
+	}
 	s.metrics.BatchRequests.Add(1)
 	w.Header().Set("Content-Type", ContentTypeNDJSON)
 	flusher, _ := w.(http.Flusher)
@@ -295,6 +309,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			res := BatchItemResult{Index: index, ID: it.ID}
 			opts, err := it.Options()
+			var prio admit.Priority
+			if err == nil {
+				prio, err = admit.Parse(it.Priority, admit.Batch)
+			}
 			if err == nil {
 				var h *hypermis.Hypergraph
 				h, err = parser.Instance(&it)
@@ -303,7 +321,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					wg.Add(1)
 					go func(res BatchItemResult, h *hypermis.Hypergraph, opts hypermis.Options, start time.Time) {
 						defer wg.Done()
-						solved, cached, err := s.solveBlocking(ctx, h, opts)
+						solved, cached, err := s.solveBlocking(ctx, h, opts, prio)
 						if err != nil {
 							s.metrics.BatchItemErrors.Add(1)
 							res.Error = err.Error()

@@ -6,12 +6,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	hypermis "repro"
+	"repro/internal/admit"
+	"repro/internal/faultinject"
 	"repro/internal/hgio"
 	"repro/internal/obs"
 )
@@ -105,6 +109,73 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// retryAfterSeconds renders d as an integral Retry-After header value:
+// rounded up (never telling a client to retry sooner than the estimate)
+// and floored at 1, the smallest value the header can honestly carry.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// clientKey identifies the requester for rate limiting: the
+// X-Hypermis-Client header when the client names itself, else the
+// remote IP (without the ephemeral port, so one client is one bucket).
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-Hypermis-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// allowClient charges the request against its client's rate-limit
+// bucket; over-limit requests are answered 429 with an honest
+// Retry-After and false is returned. A nil limiter admits everything.
+func (s *Server) allowClient(w http.ResponseWriter, r *http.Request) bool {
+	ok, retryAfter := s.limiter.Allow(clientKey(r))
+	if ok {
+		return true
+	}
+	s.metrics.RateLimited.Add(1)
+	w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+	httpError(w, http.StatusTooManyRequests, "rate limit exceeded for client %q", clientKey(r))
+	return false
+}
+
+// requestPriority resolves the request's admission class: the
+// ?priority= query parameter wins, then the X-Hypermis-Priority
+// header, then def (interactive for /v1/solve, batch for the bulk
+// endpoints). Unknown values are the caller's 400.
+func requestPriority(r *http.Request, def admit.Priority) (admit.Priority, error) {
+	v := r.URL.Query().Get("priority")
+	if v == "" {
+		v = r.Header.Get("X-Hypermis-Priority")
+	}
+	return admit.Parse(v, def)
+}
+
+// requestDeadline applies the ?deadline_ms= query parameter — the
+// client's end-to-end latency budget — to ctx, enabling deadline-aware
+// admission for this request. Zero/absent leaves ctx alone.
+func requestDeadline(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	v := r.URL.Query().Get("deadline_ms")
+	if v == "" {
+		return ctx, func() {}, nil
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return ctx, func() {}, fmt.Errorf("bad deadline_ms %q (want a positive integer)", v)
+	}
+	ctx, cancel := context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
 func wantsBinary(contentType string) bool {
 	return strings.Contains(contentType, "binary") || strings.Contains(contentType, "octet-stream")
 }
@@ -165,12 +236,26 @@ func parseSolveOptions(r *http.Request) (hypermis.Options, error) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if !s.allowClient(w, r) {
+		return
+	}
 	tr := obs.From(r.Context())
 	opts, err := parseSolveOptions(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	prio, err := requestPriority(r, admit.Interactive)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancelDeadline, err := requestDeadline(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancelDeadline()
 	sp := tr.StartSpan("decode")
 	h, err := readInstanceBody(r)
 	sp.End()
@@ -179,20 +264,40 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res, cached, err := s.Solve(r.Context(), h, opts)
+	res, cached, err := s.SolveClass(ctx, h, opts, prio)
+	var admission *AdmissionError
 	switch {
+	case errors.As(err, &admission):
+		// Deadline-aware shed: the queue-wait estimate says the client's
+		// deadline cannot be met, so the Retry-After is that estimate —
+		// the soonest moment a retry could plausibly succeed.
+		w.Header().Set("Retry-After", retryAfterSeconds(admission.EstWait))
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
 	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.estimatedRetryAfter(prio)))
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		// The process is going away; point retries at a restarted
+		// instance, not this one.
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case errors.Is(err, ErrClosed):
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
+	case errors.Is(err, faultinject.ErrInjected):
+		// A chaos-injected solver failure is a server fault by
+		// construction; clients must see the 5xx a real one would cause.
+		httpError(w, http.StatusInternalServerError, "solve: %v", err)
+		return
 	case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
-		// The client's own context is still live, so the expiry was the
-		// server-imposed per-job deadline: a retryable server condition,
-		// not a malformed request.
-		httpError(w, http.StatusGatewayTimeout, "solve: %v (per-job deadline)", err)
+		// The client's own context is still live, so the expiry was a
+		// server-side deadline (the per-job one, or the request's
+		// deadline_ms budget): a retryable condition, not a malformed
+		// request.
+		httpError(w, http.StatusGatewayTimeout, "solve: %v (deadline)", err)
 		return
 	case err != nil:
 		// Dimension violations and client-driven cancellation are the

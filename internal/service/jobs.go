@@ -11,6 +11,7 @@ import (
 	"time"
 
 	hypermis "repro"
+	"repro/internal/admit"
 	"repro/internal/obs"
 )
 
@@ -198,12 +199,12 @@ func (st *jobStore) cancelAll() {
 	}
 }
 
-// SubmitJob accepts h under opts as an async job and returns its id
-// immediately; the solve runs through the same scheduler, cache and
-// workspace pool as Solve, detached from any caller context. Poll
-// JobStatus for the result; CancelJob stops an in-flight job at its
-// next solver round.
-func (s *Server) SubmitJob(h *hypermis.Hypergraph, opts hypermis.Options) (string, error) {
+// SubmitJob accepts h under opts as an async job in the given priority
+// class and returns its id immediately; the solve runs through the
+// same scheduler, cache and workspace pool as Solve, detached from any
+// caller context. Poll JobStatus for the result; CancelJob stops an
+// in-flight job at its next solver round.
+func (s *Server) SubmitJob(h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) (string, error) {
 	// The job context bounds the job's WHOLE lifetime — queue wait
 	// included — at twice the per-job deadline (which itself starts only
 	// at worker pickup). Without this, a job starved by a saturated
@@ -227,17 +228,21 @@ func (s *Server) SubmitJob(h *hypermis.Hypergraph, opts hypermis.Options) (strin
 		cancel()
 		return "", ErrClosed
 	}
+	if s.isDraining {
+		cancel()
+		return "", ErrDraining
+	}
 	if err := s.jobs.add(j); err != nil {
 		cancel()
 		return "", err
 	}
 	s.metrics.JobsSubmitted.Add(1)
 	s.jobWg.Add(1)
-	go s.runJob(jctx, cancel, j.id, h, opts)
+	go s.runJob(jctx, cancel, j.id, h, opts, prio)
 	return j.id, nil
 }
 
-func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, id string, h *hypermis.Hypergraph, opts hypermis.Options) {
+func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, id string, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) {
 	defer s.jobWg.Done()
 	// Release the lifetime timer once terminal; CancelJob may also call
 	// it concurrently (CancelFuncs are idempotent and safe).
@@ -253,7 +258,7 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, id strin
 	}
 	s.jobs.setRunning(id)
 	start := time.Now()
-	res, cached, err := s.solveBlocking(ctx, h, opts)
+	res, cached, err := s.solveBlocking(ctx, h, opts, prio)
 	status := http.StatusOK
 	switch {
 	case err == nil:
@@ -329,7 +334,15 @@ func (s *Server) CancelJob(id string) (JobStatusResponse, bool) {
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.allowClient(w, r) {
+		return
+	}
 	opts, err := parseSolveOptions(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	prio, err := requestPriority(r, admit.Batch)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -339,7 +352,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "reading instance: %v", err)
 		return
 	}
-	id, err := s.SubmitJob(h, opts)
+	id, err := s.SubmitJob(h, opts, prio)
 	switch {
 	case errors.Is(err, ErrJobStoreFull):
 		w.Header().Set("Retry-After", "1")

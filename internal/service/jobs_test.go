@@ -194,6 +194,59 @@ func TestJobCancelInFlight(t *testing.T) {
 	}
 }
 
+// TestJobStoreEvictionSparesRunning: when the store is at capacity
+// with a mix of terminal and non-terminal jobs, making room for a new
+// submission must evict a terminal job — never the one still queued or
+// running, whose submitter would otherwise lose a job it was promised.
+func TestJobStoreEvictionSparesRunning(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxJobs: 2, CacheSize: -1})
+	h := hypermis.RandomMixed(61, 80, 160, 2, 4)
+	body := instanceText(t, h)
+
+	// Slot 1: a finished (terminal, evictable) job.
+	code, done := jobRequest(t, http.MethodPost, ts.URL+"/v1/jobs?algo=greedy&seed=1", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit status %d", code)
+	}
+	_, js := pollJob(t, ts.URL, done.JobID, 10*time.Second, func(c int, j JobStatusResponse) bool {
+		return j.Status == JobDone
+	})
+	if js.Status != JobDone {
+		t.Fatalf("seed job never finished: %+v", js)
+	}
+
+	// Slot 2: a job parked behind the now-blocked worker (non-terminal).
+	release := blockWorker(t, s)
+	code, live := jobRequest(t, http.MethodPost, ts.URL+"/v1/jobs?algo=greedy&seed=2", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("live submit status %d", code)
+	}
+
+	// The store is full; this submission must evict the terminal job.
+	code, extra := jobRequest(t, http.MethodPost, ts.URL+"/v1/jobs?algo=greedy&seed=3", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("pressure submit status %d, want 202 (terminal job evicted)", code)
+	}
+	// The terminal job is gone, the live one is not.
+	if code, _ := jobRequest(t, http.MethodGet, ts.URL+"/v1/jobs/"+done.JobID, nil); code != http.StatusNotFound {
+		t.Errorf("terminal job survived eviction: status %d", code)
+	}
+	if code, js := jobRequest(t, http.MethodGet, ts.URL+"/v1/jobs/"+live.JobID, nil); code != http.StatusOK || js.Status.terminal() {
+		t.Fatalf("live job dropped by eviction: status %d, %+v", code, js)
+	}
+
+	// Both survivors run to completion once the worker frees up.
+	release()
+	for _, id := range []string{live.JobID, extra.JobID} {
+		_, js := pollJob(t, ts.URL, id, 10*time.Second, func(c int, j JobStatusResponse) bool {
+			return j.Status == JobDone
+		})
+		if js.Status != JobDone || js.Solve == nil {
+			t.Errorf("job %s did not finish after release: %+v", id, js)
+		}
+	}
+}
+
 // TestJobStoreFull: with every store slot held by an in-flight job,
 // submission sheds with 503; slots free once jobs reach terminal
 // states.

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/admit"
 )
 
 // histBuckets is the number of power-of-two latency buckets; bucket b
@@ -146,6 +148,18 @@ type Metrics struct {
 	JobsFailed        atomic.Int64
 	JobsCanceled      atomic.Int64
 	JobCancelRequests atomic.Int64
+	// QoS / overload robustness: deadline-aware admission rejections,
+	// per-client rate-limit rejections (429s), backoff sleeps taken by
+	// the blocking submit path (batch items and async jobs), and queued
+	// jobs failed fast by a graceful drain.
+	AdmissionRejected atomic.Int64
+	RateLimited       atomic.Int64
+	BatchBackoff      atomic.Int64
+	DrainedJobs       atomic.Int64
+
+	// perPrio holds one counter set per admit priority class, indexed
+	// by the class value.
+	perPrio [admit.NumPriorities]prioCounters
 
 	// perAlg holds the per-algorithm labeled counters behind the
 	// hypermisd_algo_* Prometheus families. The map is built once from
@@ -160,6 +174,23 @@ type algCounters struct {
 	Solves atomic.Int64
 	Errors atomic.Int64
 	Rounds atomic.Int64
+}
+
+// prioCounters is one priority class's counter set: jobs accepted into
+// its queue, jobs shed (queue-full or admission), solves completed.
+type prioCounters struct {
+	Enqueued atomic.Int64
+	Rejected atomic.Int64
+	Solves   atomic.Int64
+}
+
+// prio returns the counter set for a priority class (clamped, so a
+// corrupt value cannot index out of bounds).
+func (m *Metrics) prio(p admit.Priority) *prioCounters {
+	if int(p) >= admit.NumPriorities {
+		p = admit.Background
+	}
+	return &m.perPrio[p]
 }
 
 // initPerAlg installs one counter set per registered solver name.
@@ -182,6 +213,16 @@ type AlgStats struct {
 	Solves int64 `json:"solves"`
 	Errors int64 `json:"errors"`
 	Rounds int64 `json:"rounds"`
+}
+
+// PrioStats is the JSON form of one priority class's counters in
+// Stats: lifetime accepted/shed/completed plus the class queue's
+// current depth.
+type PrioStats struct {
+	Enqueued   int64 `json:"enqueued"`
+	Rejected   int64 `json:"rejected"`
+	Solves     int64 `json:"solves"`
+	QueueDepth int   `json:"queue_depth"`
 }
 
 // Stats is a JSON-ready snapshot of the service state — the payload of
@@ -246,6 +287,25 @@ type Stats struct {
 	JobStoreSize      int     `json:"job_store_size"`
 	JobStoreCap       int     `json:"job_store_cap"`
 	JobTTLSeconds     float64 `json:"job_ttl_seconds"`
+	// QoS & overload robustness: deadline-aware admission rejections,
+	// 429s from the per-client rate limiter (plus the tracked client
+	// count), backoff sleeps taken by the blocking submit path, queued
+	// jobs failed fast by a drain, whether a drain is in progress, and
+	// the jobs inside run() right now.
+	AdmissionRejected int64 `json:"admission_rejected_total"`
+	RateLimited       int64 `json:"ratelimited_total"`
+	RateLimitClients  int   `json:"ratelimit_clients"`
+	BatchBackoff      int64 `json:"batch_backoff_total"`
+	DrainedJobs       int64 `json:"drained_jobs_total"`
+	Draining          bool  `json:"draining"`
+	RunningJobs       int   `json:"running_jobs"`
+	// Fault injection (all zero unless the server runs with -chaos).
+	ChaosErrors     int64 `json:"chaos_injected_errors,omitempty"`
+	ChaosDelays     int64 `json:"chaos_injected_delays,omitempty"`
+	ChaosQueueFulls int64 `json:"chaos_injected_queuefulls,omitempty"`
+	// Per-priority counters keyed by class name (interactive / batch /
+	// background).
+	PerPriority map[string]PrioStats `json:"per_priority,omitempty"`
 	// Per-algorithm counters keyed by resolved solver name (AlgAuto
 	// resolves before counting, so "auto" never appears).
 	PerAlgorithm map[string]AlgStats `json:"per_algorithm,omitempty"`
@@ -267,8 +327,22 @@ func (m *Metrics) snapshot() Stats {
 			}
 		}
 	}
+	perPrio := make(map[string]PrioStats, admit.NumPriorities)
+	for p := 0; p < admit.NumPriorities; p++ {
+		c := &m.perPrio[p]
+		perPrio[admit.Priority(p).String()] = PrioStats{
+			Enqueued: c.Enqueued.Load(),
+			Rejected: c.Rejected.Load(),
+			Solves:   c.Solves.Load(),
+		}
+	}
 	return Stats{
 		PerAlgorithm:       perAlg,
+		PerPriority:        perPrio,
+		AdmissionRejected:  m.AdmissionRejected.Load(),
+		RateLimited:        m.RateLimited.Load(),
+		BatchBackoff:       m.BatchBackoff.Load(),
+		DrainedJobs:        m.DrainedJobs.Load(),
 		Enqueued:           m.Enqueued.Load(),
 		Solves:             m.Solves.Load(),
 		Errors:             m.Errors.Load(),

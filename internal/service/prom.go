@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/obs"
 )
 
@@ -57,6 +58,10 @@ func (s *Server) writeProm(pw *obs.PromWriter) {
 	pw.Counter("hypermisd_solves_total", "Solves completed without error (cache misses only).", float64(m.Solves.Load()))
 	pw.Counter("hypermisd_solve_errors_total", "Solves that returned an error, timeouts and cancels included.", float64(m.Errors.Load()))
 	pw.Counter("hypermisd_rejected_total", "Jobs shed with 503 because the queue was full.", float64(m.Rejected.Load()))
+	pw.Counter("hypermisd_admission_rejected_total", "Jobs shed with 503 because the queue-wait estimate exceeded the caller's deadline.", float64(m.AdmissionRejected.Load()))
+	pw.Counter("hypermisd_ratelimited_total", "Requests answered 429 by the per-client rate limiter.", float64(m.RateLimited.Load()))
+	pw.Counter("hypermisd_batch_backoff_total", "Backoff sleeps taken by queue-full batch/async items.", float64(m.BatchBackoff.Load()))
+	pw.Counter("hypermisd_drained_jobs_total", "Queued jobs failed with the drain error during graceful shutdown.", float64(m.DrainedJobs.Load()))
 	pw.Counter("hypermisd_cache_hits_total", "Result-cache hits.", float64(m.CacheHits.Load()))
 	pw.Counter("hypermisd_cache_misses_total", "Result-cache misses.", float64(m.CacheMisses.Load()))
 	pw.Counter("hypermisd_verifies_total", "Inline verify requests.", float64(m.Verifies.Load()))
@@ -89,6 +94,36 @@ func (s *Server) writeProm(pw *obs.PromWriter) {
 		pw.Sample("hypermisd_algo_rounds_total", []obs.Label{{Name: "algo", Value: name}}, float64(m.perAlg[name].Rounds.Load()))
 	}
 
+	// Per-priority labeled counters and queue depths, classes in
+	// priority order (the order is fixed, so the exposition stays
+	// deterministic).
+	classes := admit.Names()
+	pw.Header("hypermisd_prio_enqueued_total", "Jobs accepted into the solve queue, by priority class.", "counter")
+	for p, name := range classes {
+		pw.Sample("hypermisd_prio_enqueued_total", []obs.Label{{Name: "class", Value: name}}, float64(m.perPrio[p].Enqueued.Load()))
+	}
+	pw.Header("hypermisd_prio_rejected_total", "Jobs shed (queue full or admission), by priority class.", "counter")
+	for p, name := range classes {
+		pw.Sample("hypermisd_prio_rejected_total", []obs.Label{{Name: "class", Value: name}}, float64(m.perPrio[p].Rejected.Load()))
+	}
+	pw.Header("hypermisd_prio_solves_total", "Solves completed without error, by priority class.", "counter")
+	for p, name := range classes {
+		pw.Sample("hypermisd_prio_solves_total", []obs.Label{{Name: "class", Value: name}}, float64(m.perPrio[p].Solves.Load()))
+	}
+	pw.Header("hypermisd_prio_queue_depth", "Jobs waiting right now, by priority class.", "gauge")
+	for p, name := range classes {
+		pw.Sample("hypermisd_prio_queue_depth", []obs.Label{{Name: "class", Value: name}}, float64(len(s.queues[p])))
+	}
+
+	// Chaos injection (the families exist only when chaos is enabled, so
+	// a production scrape carries no fault-injection noise).
+	if s.cfg.Chaos != nil {
+		errs, delays, fulls := s.cfg.Chaos.Counts()
+		pw.Counter("hypermisd_chaos_errors_total", "Solver errors injected by the chaos layer.", float64(errs))
+		pw.Counter("hypermisd_chaos_delays_total", "Latency injections by the chaos layer.", float64(delays))
+		pw.Counter("hypermisd_chaos_queue_fulls_total", "Forced queue-full rejections by the chaos layer.", float64(fulls))
+	}
+
 	// Batch pipeline.
 	pw.Counter("hypermisd_batch_requests_total", "POST /v1/batch requests.", float64(m.BatchRequests.Load()))
 	pw.Counter("hypermisd_batch_items_total", "Items carried by batch requests.", float64(m.BatchItems.Load()))
@@ -106,8 +141,22 @@ func (s *Server) writeProm(pw *obs.PromWriter) {
 
 	// Live gauges.
 	pw.Gauge("hypermisd_workers", "Worker-pool size.", float64(s.cfg.Workers))
-	pw.Gauge("hypermisd_queue_depth", "Jobs waiting in the queue right now.", float64(len(s.queue)))
-	pw.Gauge("hypermisd_queue_cap", "Queue capacity.", float64(s.cfg.QueueDepth))
+	depth := 0
+	for p := range s.queues {
+		depth += len(s.queues[p])
+	}
+	pw.Gauge("hypermisd_queue_depth", "Jobs waiting across all priority queues right now.", float64(depth))
+	pw.Gauge("hypermisd_queue_cap", "Per-class queue capacity.", float64(s.cfg.QueueDepth))
+	pw.Gauge("hypermisd_running_jobs", "Solves currently executing on workers.", float64(s.running.Load()))
+	pw.Gauge("hypermisd_ratelimit_clients", "Client buckets tracked by the rate limiter.", float64(s.limiter.Clients()))
+	s.closeMu.RLock()
+	draining := s.isDraining
+	s.closeMu.RUnlock()
+	var drainingVal float64
+	if draining {
+		drainingVal = 1
+	}
+	pw.Gauge("hypermisd_draining", "1 while the server is draining for shutdown.", drainingVal)
 	pw.Gauge("hypermisd_par_in_use", "Parallelism tokens held by running jobs.", float64(cap(s.parTokens)-len(s.parTokens)))
 	pw.Gauge("hypermisd_par_cap", "Parallelism token-pool capacity.", float64(cap(s.parTokens)))
 	if s.cache != nil {

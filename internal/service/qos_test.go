@@ -1,0 +1,434 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	hypermis "repro"
+	"repro/internal/admit"
+	"repro/internal/faultinject"
+)
+
+func waitFor(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	for end := time.Now().Add(5 * time.Second); time.Now().Before(end); {
+		if pred() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestWeightedDequeuePrefersInteractive: with one worker deterministically
+// parked, a background job queued FIRST and an interactive job queued
+// second, the freed worker must pick the interactive job — the weighted
+// dequeue order, not FIFO arrival order, decides. The background job
+// parks in its own observer so the assertion window is race-free: when
+// it parks, the interactive solve has either completed (counter bumped
+// by the worker before moving on) or was skipped.
+func TestWeightedDequeuePrefersInteractive(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1, CacheSize: -1})
+	release := blockWorker(t, s)
+
+	bgBlock := make(chan struct{})
+	bgParked := make(chan struct{})
+	bgDone := make(chan error, 1)
+	var bgOnce sync.Once
+	go func() {
+		hb := hypermis.RandomMixed(78, 1000, 2000, 2, 8)
+		_, _, err := s.SolveClass(t.Context(), hb, hypermis.Options{
+			Algorithm: hypermis.AlgKUW,
+			Seed:      2,
+			RoundObserver: func(hypermis.RoundTrace) {
+				bgOnce.Do(func() { close(bgParked) })
+				<-bgBlock
+			},
+		}, admit.Background)
+		bgDone <- err
+	}()
+	waitFor(t, "background job queued", func() bool { return len(s.queues[admit.Background]) == 1 })
+
+	iDone := make(chan error, 1)
+	go func() {
+		hi := hypermis.RandomMixed(5, 120, 240, 2, 4)
+		_, _, err := s.SolveClass(t.Context(), hi, hypermis.Options{Algorithm: hypermis.AlgGreedy}, admit.Interactive)
+		iDone <- err
+	}()
+	waitFor(t, "interactive job queued", func() bool { return len(s.queues[admit.Interactive]) == 1 })
+
+	release() // frees the worker; the next dequeue tick prefers interactive
+	<-bgParked
+	// The background solve is mid-flight, so if the interactive solve's
+	// counter is in, the worker served it first (blockWorker's own solve
+	// is the other interactive one).
+	if got := s.metrics.prio(admit.Interactive).Solves.Load(); got != 2 {
+		t.Errorf("interactive solves at background pickup = %d, want 2 (weighted dequeue ignored)", got)
+	}
+	close(bgBlock)
+	if err := <-bgDone; err != nil {
+		t.Errorf("background solve: %v", err)
+	}
+	if err := <-iDone; err != nil {
+		t.Errorf("interactive solve: %v", err)
+	}
+}
+
+// TestAdmissionShedsUnmeetableDeadline: once the estimator has seen a
+// service time, a request whose deadline_ms budget cannot cover even
+// one solve is shed 503 with a Retry-After — under concurrent load,
+// every such request individually. Without the deadline the identical
+// request is admitted.
+func TestAdmissionShedsUnmeetableDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, CacheSize: -1})
+	s.estimator.Observe("kuw", 500*time.Millisecond)
+	h := hypermis.RandomMixed(9, 150, 300, 2, 5)
+	body := instanceText(t, h)
+
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	retryAfters := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(
+				ts.URL+"/v1/solve?algo=kuw&deadline_ms=5&seed="+strconv.Itoa(i),
+				ContentTypeText, bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retryAfters[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusServiceUnavailable {
+			t.Errorf("request %d: status %d, want 503", i, codes[i])
+		}
+		if secs, err := strconv.Atoi(retryAfters[i]); err != nil || secs < 1 {
+			t.Errorf("request %d: Retry-After %q, want an integer >= 1", i, retryAfters[i])
+		}
+	}
+	if got := s.metrics.AdmissionRejected.Load(); got != n {
+		t.Errorf("admission_rejected_total = %d, want %d", got, n)
+	}
+	// The same request without a deadline is admitted and solves.
+	if _, resp := postSolve(t, ts, "algo=kuw&seed=99", body, ContentTypeText); resp.StatusCode != http.StatusOK {
+		t.Errorf("deadline-free request status %d", resp.StatusCode)
+	}
+}
+
+// TestQueueFullShedsConcurrently: with the worker parked and the only
+// queue slot held, a burst of concurrent solves is shed — every
+// response a 503 carrying a Retry-After — instead of queueing without
+// bound or hanging.
+func TestQueueFullShedsConcurrently(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, CacheSize: -1})
+	release := blockWorker(t, s)
+
+	filler := make(chan error, 1)
+	go func() {
+		h := hypermis.RandomMixed(55, 100, 200, 2, 4)
+		_, _, err := s.Solve(t.Context(), h, hypermis.Options{Algorithm: hypermis.AlgGreedy})
+		filler <- err
+	}()
+	waitFor(t, "queue slot occupied", func() bool { return len(s.queues[admit.Interactive]) == 1 })
+
+	h := hypermis.RandomMixed(66, 100, 200, 2, 4)
+	body := instanceText(t, h)
+	const n = 16
+	var wg sync.WaitGroup
+	var shed404 sync.Map
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/solve?algo=greedy&seed="+strconv.Itoa(i),
+				ContentTypeText, bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			shed404.Store(i, [2]string{strconv.Itoa(resp.StatusCode), resp.Header.Get("Retry-After")})
+		}(i)
+	}
+	wg.Wait()
+	shed404.Range(func(k, v any) bool {
+		got := v.([2]string)
+		if got[0] != "503" {
+			t.Errorf("request %v: status %s, want 503", k, got[0])
+		}
+		if secs, err := strconv.Atoi(got[1]); err != nil || secs < 1 {
+			t.Errorf("request %v: Retry-After %q, want an integer >= 1", k, got[1])
+		}
+		return true
+	})
+	if got := s.metrics.Rejected.Load(); got < n {
+		t.Errorf("rejected_total = %d, want >= %d", got, n)
+	}
+	release() // free the worker so the queued filler can complete
+	if err := <-filler; err != nil {
+		t.Errorf("filler solve: %v", err)
+	}
+}
+
+// TestRateLimiter429: a client exceeding its burst gets 429 with a
+// Retry-After while a differently keyed client is unaffected — the
+// buckets are per client, not global.
+func TestRateLimiter429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, RateLimit: 1, RateBurst: 3})
+	h := hypermis.RandomMixed(12, 60, 120, 2, 4)
+	body := instanceText(t, h)
+
+	do := func(client string) *http.Response {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve?algo=greedy",
+			bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", ContentTypeText)
+		req.Header.Set("X-Hypermis-Client", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	var limited int
+	for i := 0; i < 5; i++ {
+		if resp := do("greedy-client"); resp.StatusCode == http.StatusTooManyRequests {
+			limited++
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				t.Error("429 without Retry-After")
+			}
+		}
+	}
+	if limited < 2 {
+		t.Errorf("client limited %d times over burst 3 in 5 requests, want >= 2", limited)
+	}
+	if resp := do("other-client"); resp.StatusCode != http.StatusOK {
+		t.Errorf("unrelated client status %d, want 200", resp.StatusCode)
+	}
+	if got := s.metrics.RateLimited.Load(); got != int64(limited) {
+		t.Errorf("ratelimited_total = %d, want %d", got, limited)
+	}
+	if s.Stats().RateLimitClients != 2 {
+		t.Errorf("limiter tracks %d clients, want 2", s.Stats().RateLimitClients)
+	}
+}
+
+// TestDrainFailsQueuedKeepsRunning: Drain fails the jobs still waiting
+// in the queues with ErrDraining, refuses new submissions, lets the
+// running solve finish, and reports a clean (nil) drain.
+func TestDrainFailsQueuedKeepsRunning(t *testing.T) {
+	s := New(Config{Workers: 1, CacheSize: -1})
+	release := blockWorker(t, s)
+
+	queued := make(chan error, 2)
+	for seed := uint64(0); seed < 2; seed++ {
+		go func(seed uint64) {
+			h := hypermis.RandomMixed(90+seed, 100, 200, 2, 4)
+			_, _, err := s.Solve(t.Context(), h, hypermis.Options{Algorithm: hypermis.AlgGreedy, Seed: seed})
+			queued <- err
+		}(seed)
+	}
+	waitFor(t, "both jobs queued", func() bool { return len(s.queues[admit.Interactive]) == 2 })
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Drain(10 * time.Second) }()
+
+	// The queued jobs must fail fast with ErrDraining — before the
+	// parked worker is released.
+	for i := 0; i < 2; i++ {
+		if err := <-queued; !errors.Is(err, ErrDraining) {
+			t.Errorf("queued job error %v, want ErrDraining", err)
+		}
+	}
+	if !s.Stats().Draining {
+		t.Error("stats does not report draining")
+	}
+	// New work is refused while draining.
+	h := hypermis.RandomMixed(123, 60, 120, 2, 4)
+	if _, _, err := s.Solve(t.Context(), h, hypermis.Options{Algorithm: hypermis.AlgGreedy}); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain solve error %v, want ErrDraining", err)
+	}
+	if _, err := s.SubmitJob(h, hypermis.Options{Algorithm: hypermis.AlgGreedy}, admit.Batch); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain submit error %v, want ErrDraining", err)
+	}
+
+	release() // let the running solve finish; the drain completes cleanly
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := s.metrics.DrainedJobs.Load(); got != 2 {
+		t.Errorf("drained_jobs_total = %d, want 2", got)
+	}
+}
+
+// TestDrainForcedCancel: a drain whose timeout expires while a solve is
+// still running force-cancels it and reports the truncation as an
+// error — the caller (hypermisd) turns that into a nonzero exit.
+func TestDrainForcedCancel(t *testing.T) {
+	s := New(Config{Workers: 1, CacheSize: -1})
+	block := make(chan struct{})
+	parked := make(chan struct{})
+	solveErr := make(chan error, 1)
+	var once sync.Once
+	go func() {
+		h := hypermis.RandomMixed(77, 1000, 2000, 2, 8)
+		_, _, err := s.Solve(t.Context(), h, hypermis.Options{
+			Algorithm: hypermis.AlgKUW,
+			Seed:      1,
+			RoundObserver: func(hypermis.RoundTrace) {
+				once.Do(func() { close(parked) })
+				<-block
+			},
+		})
+		solveErr <- err
+	}()
+	<-parked
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Drain(30 * time.Millisecond) }()
+	// The forced cancel fires when the timeout lapses; only then unpark
+	// the solve so it can observe the cancellation and unwind.
+	<-s.drainCtx.Done()
+	close(block)
+	if err := <-drainErr; err == nil {
+		t.Fatal("forced drain reported a clean stop")
+	}
+	if err := <-solveErr; err == nil {
+		t.Fatal("force-canceled solve returned a result")
+	}
+}
+
+// TestChaosInjectedSolveError: with the chaos injector failing every
+// solve, the HTTP path reports 500 (a server fault, not a client one)
+// and the error counters advance.
+func TestChaosInjectedSolveError(t *testing.T) {
+	inj := faultinject.New(faultinject.Config{ErrorRate: 1, Seed: 1})
+	s, ts := newTestServer(t, Config{Workers: 1, CacheSize: -1, Chaos: inj})
+	h := hypermis.RandomMixed(31, 80, 160, 2, 4)
+	resp, err := http.Post(ts.URL+"/v1/solve?algo=greedy", ContentTypeText,
+		bytes.NewReader(instanceText(t, h)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("injected-error solve status %d, want 500", resp.StatusCode)
+	}
+	if got := s.metrics.Errors.Load(); got != 1 {
+		t.Errorf("solve_errors_total = %d, want 1", got)
+	}
+	if errs, _, _ := inj.Counts(); errs != 1 {
+		t.Errorf("injector counted %d errors, want 1", errs)
+	}
+}
+
+// TestChaosForcedQueueFull: with every enqueue chaos-rejected, the
+// solve path sheds 503 exactly as a genuinely full queue would.
+func TestChaosForcedQueueFull(t *testing.T) {
+	inj := faultinject.New(faultinject.Config{QueueFullRate: 1, Seed: 2})
+	s, ts := newTestServer(t, Config{Workers: 1, CacheSize: -1, Chaos: inj})
+	h := hypermis.RandomMixed(32, 80, 160, 2, 4)
+	resp, err := http.Post(ts.URL+"/v1/solve?algo=greedy", ContentTypeText,
+		bytes.NewReader(instanceText(t, h)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("chaos queue-full status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("chaos queue-full 503 without Retry-After")
+	}
+	if got := s.metrics.Rejected.Load(); got != 1 {
+		t.Errorf("rejected_total = %d, want 1", got)
+	}
+}
+
+// TestBatchBackoffCounter: batch items that hit a full queue retry with
+// backoff and each sleep is counted — batch_backoff_total is the
+// saturation signal for the blocking paths.
+func TestBatchBackoffCounter(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, CacheSize: -1})
+	release := blockWorker(t, s)
+
+	h := hypermis.RandomMixed(44, 80, 160, 2, 4)
+	var body bytes.Buffer
+	for seed := 0; seed < 4; seed++ {
+		item := `{"algo":"greedy","seed":` + strconv.Itoa(seed) + `,"instance":` +
+			strconv.Quote(string(instanceText(t, h))) + "}\n"
+		body.WriteString(item)
+	}
+	type result struct {
+		status int
+		raw    []byte
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/batch", ContentTypeNDJSON, bytes.NewReader(body.Bytes()))
+		if err != nil {
+			t.Error(err)
+			resCh <- result{}
+			return
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		resCh <- result{resp.StatusCode, raw}
+	}()
+	// With one queue slot and four uncacheable items, at least one item
+	// must back off while the worker is parked.
+	waitFor(t, "a batch item to back off", func() bool { return s.metrics.BatchBackoff.Load() > 0 })
+	release()
+	res := <-resCh
+	if res.status != http.StatusOK {
+		t.Fatalf("batch status %d: %s", res.status, res.raw)
+	}
+	if n := bytes.Count(bytes.TrimSpace(res.raw), []byte("\n")) + 1; n != 4 {
+		t.Errorf("batch returned %d result lines, want 4", n)
+	}
+	if bytes.Contains(res.raw, []byte(`"error"`)) {
+		t.Errorf("batch items failed despite backoff: %s", res.raw)
+	}
+	if got := s.metrics.prio(admit.Batch).Enqueued.Load(); got == 0 {
+		t.Error("batch items were not enqueued under the batch priority class")
+	}
+}
+
+// TestBadPriorityIs400: an unknown priority name is the caller's error.
+func TestBadPriorityIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	h := hypermis.RandomMixed(13, 60, 120, 2, 4)
+	resp, err := http.Post(ts.URL+"/v1/solve?algo=greedy&priority=mystery", ContentTypeText,
+		bytes.NewReader(instanceText(t, h)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad priority status %d, want 400", resp.StatusCode)
+	}
+}

@@ -133,9 +133,12 @@ import (
 	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	hypermis "repro"
+	"repro/internal/admit"
+	"repro/internal/faultinject"
 	"repro/internal/hgio"
 	"repro/internal/obs"
 	"repro/internal/solver"
@@ -192,6 +195,21 @@ type Config struct {
 	// lifecycle events. Nil logs nothing — library users and tests stay
 	// silent by default.
 	Logger *slog.Logger
+	// RateLimit, when > 0, grants each client (keyed by the
+	// X-Hypermis-Client header, falling back to the remote IP) this many
+	// solve-path requests per second with a burst of RateBurst (default
+	// 2×RateLimit, minimum 1). Excess requests are answered 429 with a
+	// Retry-After. Zero disables rate limiting.
+	RateLimit float64
+	RateBurst float64
+	// RateLimitClients bounds the limiter's per-client bucket LRU
+	// (default 4096): the limiter's memory stays bounded no matter how
+	// many distinct client keys appear.
+	RateLimitClients int
+	// Chaos, when non-nil, injects faults (solver errors, latency,
+	// forced queue-full) per its configuration — see hypermisd -chaos
+	// and internal/faultinject. Nil injects nothing.
+	Chaos *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -234,6 +252,12 @@ func (c Config) withDefaults() Config {
 	if c.TraceSlowest <= 0 {
 		c.TraceSlowest = 32
 	}
+	if c.RateLimit > 0 && c.RateBurst <= 0 {
+		c.RateBurst = 2 * c.RateLimit
+	}
+	if c.RateLimitClients <= 0 {
+		c.RateLimitClients = 4096
+	}
 	return c
 }
 
@@ -244,11 +268,30 @@ var ErrQueueFull = errors.New("service: job queue full")
 // ErrClosed is returned by Solve after Close.
 var ErrClosed = errors.New("service: server closed")
 
+// ErrDraining is returned by Solve and SubmitJob while the server is
+// draining: submissions are refused and already-queued jobs fail fast
+// so in-flight connections unwind before the process exits (HTTP 503).
+var ErrDraining = errors.New("service: draining")
+
+// AdmissionError is returned by Solve when deadline-aware admission
+// rejects the request: the estimated queue wait alone would exhaust
+// the caller's deadline, so queueing the job could only waste a worker
+// on an answer nobody is left to read. EstWait is the estimate behind
+// the decision — the honest Retry-After for the 503.
+type AdmissionError struct {
+	EstWait time.Duration
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("service: deadline unmeetable (estimated queue wait %v)", e.EstWait.Round(time.Millisecond))
+}
+
 type job struct {
 	ctx      context.Context
 	h        *hypermis.Hypergraph
 	opts     hypermis.Options
 	key      string
+	prio     admit.Priority
 	enqueued time.Time // queue-wait span start, stamped by enqueue
 	done     chan jobResult
 }
@@ -262,10 +305,30 @@ type jobResult struct {
 // queue, fronted by an LRU result cache. Create with New, release with
 // Close.
 type Server struct {
-	cfg     Config
-	queue   chan *job
+	cfg Config
+	// queues holds one bounded job queue per priority class; workers
+	// drain them in the weighted order admit.Order derives from tick,
+	// so a batch flood cannot starve interactive solves (and neither
+	// can starve background work entirely).
+	queues  [admit.NumPriorities]chan *job
+	tick    atomic.Uint64
 	cache   *lruCache
 	metrics Metrics
+
+	// estimator tracks per-algorithm EWMA service times; the admission
+	// controller turns them into queue-wait estimates, and Retry-After
+	// headers report them to shed clients.
+	estimator *admit.Estimator
+	// limiter is the per-client token-bucket rate limiter (nil when
+	// Config.RateLimit is zero — the nil limiter admits everything).
+	limiter *admit.RateLimiter
+	// running counts jobs currently inside run(); Drain waits for it to
+	// reach zero before declaring the pipeline empty.
+	running atomic.Int64
+	// drainCtx is canceled when a drain exceeds its timeout: every
+	// in-flight solve watches it and unwinds at its next round check.
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
 
 	// parTokens is the machine-wide parallelism budget: every running
 	// job holds one token, wide jobs hold extras. Capacity is
@@ -279,12 +342,13 @@ type Server struct {
 	// warm workspaces and an uncached solve allocates ~no arena memory.
 	wsPool *solver.Pool
 
-	// closeMu serializes enqueues against Close: submissions hold the
-	// read side across the closed-check and the channel send, so once
-	// Close holds the write side and sets isClosed, no job can slip into
-	// the queue after the workers' final drain.
-	closeMu  sync.RWMutex
-	isClosed bool
+	// closeMu serializes enqueues against Close and Drain: submissions
+	// hold the read side across the state-check and the channel send, so
+	// once Close (or Drain) holds the write side and flips the flag, no
+	// job can slip into the queues after the final drain.
+	closeMu    sync.RWMutex
+	isClosed   bool
+	isDraining bool
 
 	// jobs is the bounded TTL store behind the async job API; jobWg
 	// tracks the per-job driver goroutines so Close can wait for them.
@@ -311,13 +375,22 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:       cfg,
-		queue:     make(chan *job, cfg.QueueDepth),
 		parTokens: make(chan struct{}, poolSize),
 		wsPool:    solver.NewPool(poolSize),
 		jobs:      newJobStore(cfg.JobTTL, cfg.MaxJobs),
+		estimator: admit.NewEstimator(),
+		limiter:   admit.NewRateLimiter(cfg.RateLimit, cfg.RateBurst, cfg.RateLimitClients),
 		logger:    cfg.Logger,
 		closed:    make(chan struct{}),
 	}
+	// Each class gets its own full-depth queue: a batch flood fills the
+	// batch queue and sheds batch traffic while interactive submissions
+	// still find room — per-class bounds are themselves an isolation
+	// mechanism, not just a memory cap.
+	for p := range s.queues {
+		s.queues[p] = make(chan *job, cfg.QueueDepth)
+	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	if !cfg.DisableTracing {
 		s.recorder = obs.NewRecorder(cfg.TraceRecent, cfg.TraceSlowest)
 	}
@@ -351,6 +424,71 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Drain shuts the server down gracefully: new submissions are refused
+// with ErrDraining, jobs still waiting in the queues fail fast with
+// ErrDraining (their submitters get an answer instead of a hang), and
+// running solves — sync, batch items and async jobs alike — get up to
+// timeout to finish. If they don't, drainCtx is canceled and every
+// in-flight solve unwinds at its next round check; Drain then reports
+// the forced stop. Either way the server is fully Closed on return, so
+// Drain is the SIGTERM path: clean exit when the error is nil.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.closeMu.Lock()
+	if s.isClosed || s.isDraining {
+		s.closeMu.Unlock()
+		s.Close()
+		return nil
+	}
+	s.isDraining = true
+	s.closeMu.Unlock()
+	if s.logger != nil {
+		s.logger.Info("drain started", slog.Duration("timeout", timeout))
+	}
+	// Fail everything that is queued but not yet running. Workers may
+	// race us for individual jobs; each job is either failed here or
+	// runs to completion below — never both, never neither.
+	drained := 0
+	for p := range s.queues {
+	queue:
+		for {
+			select {
+			case j := <-s.queues[p]:
+				j.done <- jobResult{nil, ErrDraining}
+				drained++
+			default:
+				break queue
+			}
+		}
+	}
+	s.metrics.DrainedJobs.Add(int64(drained))
+	// Wait for the pipeline to empty: running solves plus async job
+	// driver goroutines (their queued members were just failed, so they
+	// terminate as soon as their solveBlocking observes ErrDraining).
+	deadline := time.Now().Add(timeout)
+	forced := false
+	for {
+		active, _ := s.jobs.counts(time.Now())
+		if s.running.Load() == 0 && active == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			forced = true
+			s.drainCancel()
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Close()
+	if s.logger != nil {
+		s.logger.Info("drain finished",
+			slog.Int("queued_failed", drained), slog.Bool("forced", forced))
+	}
+	if forced {
+		return fmt.Errorf("service: drain timeout after %v: in-flight solves force-canceled", timeout)
+	}
+	return nil
+}
+
 // Config reports the effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
 
@@ -378,23 +516,31 @@ func JobKey(h *hypermis.Hypergraph, opts hypermis.Options) string {
 		hgio.Digest(h), algo, opts.Seed, alpha, greedyTail, opts.CollectCost, opts.Trace)
 }
 
-// Solve computes (or recalls) the MIS of h under opts. The boolean
-// reports a cache hit. Cache hits return without queueing; misses wait
-// for a worker for as long as ctx allows (the configured JobTimeout
-// starts only once a worker picks the job up, so queue time is bounded
-// by the submitter's own deadline). A full queue fails fast with
-// ErrQueueFull.
+// Solve computes (or recalls) the MIS of h under opts at interactive
+// priority. The boolean reports a cache hit. Cache hits return without
+// queueing; misses wait for a worker for as long as ctx allows (the
+// configured JobTimeout starts only once a worker picks the job up, so
+// queue time is bounded by the submitter's own deadline). A full queue
+// fails fast with ErrQueueFull, and a ctx deadline the queue-wait
+// estimate says cannot be met fails fast with *AdmissionError.
 func (s *Server) Solve(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options) (*hypermis.Result, bool, error) {
-	return s.solveKeyed(ctx, h, opts, JobKey(h, opts), true)
+	return s.SolveClass(ctx, h, opts, admit.Interactive)
 }
 
-// solveKeyed is Solve with the cache key precomputed and counter
+// SolveClass is Solve under an explicit priority class: interactive
+// jobs are preferred by the weighted dequeue, batch tolerates
+// queueing, background fills otherwise-idle capacity.
+func (s *Server) SolveClass(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) (*hypermis.Result, bool, error) {
+	return s.solveKeyed(ctx, h, opts, JobKey(h, opts), prio, true)
+}
+
+// solveKeyed is SolveClass with the cache key precomputed and counter
 // updates optional: the batch/async retry loop (solveBlocking) hashes
 // the instance once and counts the cache miss / queue rejection only
 // on its first attempt, so a queue-starved item doesn't inflate
-// cache_misses and rejected on every 2–50ms retry (nor re-digest a
+// cache_misses and rejected on every backoff retry (nor re-digest a
 // large instance while the server is already overloaded).
-func (s *Server) solveKeyed(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options, key string, count bool) (*hypermis.Result, bool, error) {
+func (s *Server) solveKeyed(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options, key string, prio admit.Priority, count bool) (*hypermis.Result, bool, error) {
 	if s.cache != nil {
 		sp := obs.From(ctx).StartSpan("cache-lookup")
 		res, ok := s.cache.Get(key)
@@ -409,7 +555,15 @@ func (s *Server) solveKeyed(ctx context.Context, h *hypermis.Hypergraph, opts hy
 			s.metrics.CacheMisses.Add(1)
 		}
 	}
-	j := &job{ctx: ctx, h: h, opts: opts, key: key, done: make(chan jobResult, 1)}
+	// Deadline-aware admission: if the caller brought a deadline and the
+	// queue-wait estimate alone would blow it, reject now — honestly —
+	// instead of queueing a job whose answer will arrive after the
+	// caller has gone. Estimates come from observed service times; with
+	// no observations yet the estimate is zero and admission stays open.
+	if err := s.admissionCheck(ctx, h, opts, prio); err != nil {
+		return nil, false, err
+	}
+	j := &job{ctx: ctx, h: h, opts: opts, key: key, prio: prio, done: make(chan jobResult, 1)}
 	if err := s.enqueue(j, count); err != nil {
 		return nil, false, err
 	}
@@ -423,9 +577,52 @@ func (s *Server) solveKeyed(ctx context.Context, h *hypermis.Hypergraph, opts hy
 	}
 }
 
-// enqueue submits j to the bounded queue, holding the read side of
-// closeMu across the closed-check and the send so the job cannot land
-// in the queue after the workers' final drain (which would strand the
+// admissionCheck estimates how long a prio-class job would wait for a
+// worker (jobs of the same or a preferred class ahead of it, each
+// costing the algorithm's EWMA service time) and rejects with
+// *AdmissionError when the caller's ctx deadline precedes even the
+// optimistic completion time estWait + svc.
+func (s *Server) admissionCheck(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) error {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	svc := s.estimator.Estimate(hypermis.ResolveAlgorithm(h, opts.Algorithm).String())
+	if svc <= 0 {
+		return nil
+	}
+	ahead := 0
+	for p := admit.Priority(0); p <= prio; p++ {
+		ahead += len(s.queues[p])
+	}
+	estWait := admit.QueueWait(ahead, s.cfg.Workers, svc)
+	if time.Until(dl) >= estWait+svc {
+		return nil
+	}
+	s.metrics.AdmissionRejected.Add(1)
+	s.metrics.prio(prio).Rejected.Add(1)
+	return &AdmissionError{EstWait: estWait}
+}
+
+// estimatedRetryAfter reports how long a shed prio-class client should
+// wait before retrying: the estimated time to drain that class's
+// current backlog, floored at one second (the smallest honest value
+// the integral Retry-After header can carry).
+func (s *Server) estimatedRetryAfter(prio admit.Priority) time.Duration {
+	ahead := 0
+	for p := admit.Priority(0); p <= prio; p++ {
+		ahead += len(s.queues[p])
+	}
+	wait := admit.QueueWait(ahead, s.cfg.Workers, s.estimator.Estimate(""))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return wait
+}
+
+// enqueue submits j to its class's bounded queue, holding the read
+// side of closeMu across the state-check and the send so the job
+// cannot land in a queue after the final drain (which would strand the
 // submitter on a done channel nobody serves). countRejected gates the
 // Rejected counter: retry attempts of one waiting request shed at most
 // one rejection into the stats.
@@ -435,14 +632,26 @@ func (s *Server) enqueue(j *job, countRejected bool) error {
 	if s.isClosed {
 		return ErrClosed
 	}
+	if s.isDraining {
+		return ErrDraining
+	}
+	if s.cfg.Chaos.QueueFull() {
+		if countRejected {
+			s.metrics.Rejected.Add(1)
+			s.metrics.prio(j.prio).Rejected.Add(1)
+		}
+		return ErrQueueFull
+	}
 	j.enqueued = time.Now()
 	select {
-	case s.queue <- j:
+	case s.queues[j.prio] <- j:
 		s.metrics.Enqueued.Add(1)
+		s.metrics.prio(j.prio).Enqueued.Add(1)
 		return nil
 	default:
 		if countRejected {
 			s.metrics.Rejected.Add(1)
+			s.metrics.prio(j.prio).Rejected.Add(1)
 		}
 		return ErrQueueFull
 	}
@@ -453,7 +662,21 @@ func (s *Server) Stats() Stats {
 	st := s.metrics.snapshot()
 	st.Workers = s.cfg.Workers
 	st.QueueCap = s.cfg.QueueDepth
-	st.QueueDepth = len(s.queue)
+	for p := range s.queues {
+		depth := len(s.queues[p])
+		st.QueueDepth += depth
+		ps := st.PerPriority[admit.Priority(p).String()]
+		ps.QueueDepth = depth
+		st.PerPriority[admit.Priority(p).String()] = ps
+	}
+	st.RunningJobs = int(s.running.Load())
+	st.RateLimitClients = s.limiter.Clients()
+	s.closeMu.RLock()
+	st.Draining = s.isDraining
+	s.closeMu.RUnlock()
+	if s.cfg.Chaos != nil {
+		st.ChaosErrors, st.ChaosDelays, st.ChaosQueueFulls = s.cfg.Chaos.Counts()
+	}
 	st.ParCap = cap(s.parTokens)
 	st.ParInUse = cap(s.parTokens) - len(s.parTokens)
 	st.MaxJobParallelism = s.cfg.MaxJobParallelism
@@ -473,21 +696,60 @@ func (s *Server) Stats() Stats {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case j := <-s.queue:
-			s.run(j)
-		case <-s.closed:
-			// Drain whatever was accepted before the close.
+		j, ok := s.nextJob()
+		if !ok {
+			// Closed: run whatever was accepted before the close (after a
+			// Drain the queues are already empty — queued jobs were failed
+			// with ErrDraining, not run).
 			for {
-				select {
-				case j := <-s.queue:
-					s.run(j)
-				default:
+				j := s.tryDequeue()
+				if j == nil {
 					return
 				}
+				s.run(j)
 			}
 		}
+		s.run(j)
 	}
+}
+
+// nextJob blocks until a job is available (weighted across the
+// priority queues) or the server closes. The weighting only matters
+// under contention: a non-blocking pass tries the classes in the
+// tick's admit.Order, so when several queues are non-empty the
+// preferred class wins its configured share of pickups; when all are
+// empty the blocking select serves whichever class arrives first.
+func (s *Server) nextJob() (*job, bool) {
+	order := admit.Order(s.tick.Add(1) - 1)
+	for _, p := range order {
+		select {
+		case j := <-s.queues[p]:
+			return j, true
+		default:
+		}
+	}
+	select {
+	case j := <-s.queues[admit.Interactive]:
+		return j, true
+	case j := <-s.queues[admit.Batch]:
+		return j, true
+	case j := <-s.queues[admit.Background]:
+		return j, true
+	case <-s.closed:
+		return nil, false
+	}
+}
+
+// tryDequeue pops one queued job in strict priority order, or nil.
+func (s *Server) tryDequeue() *job {
+	for p := range s.queues {
+		select {
+		case j := <-s.queues[p]:
+			return j
+		default:
+		}
+	}
+	return nil
 }
 
 // grantParallelism acquires this job's share of the token pool: one
@@ -527,6 +789,8 @@ func (s *Server) releaseParallelism(grant int) {
 }
 
 func (s *Server) run(j *job) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
 	// The request's trace (nil when tracing is off or the caller is
 	// untraced): queue wait ends the moment a worker picks the job up.
 	tr := obs.From(j.ctx)
@@ -570,8 +834,23 @@ func (s *Server) run(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer cancel()
 	}
+	// A timed-out Drain cancels drainCtx; propagate that into this
+	// solve so it unwinds at its next round check. AfterFunc avoids a
+	// per-job watcher goroutine.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopDrainWatch := context.AfterFunc(s.drainCtx, cancel)
+	defer stopDrainWatch()
+	// Chaos hooks (nil injector = no-ops): injected latency models a
+	// slow solver, an injected error models a failing one.
+	s.cfg.Chaos.Delay(ctx)
+	algName := hypermis.ResolveAlgorithm(j.h, j.opts.Algorithm).String()
 	sp = tr.StartSpan("solve")
-	res, err := hypermis.SolveCtx(ctx, j.h, j.opts)
+	var res *hypermis.Result
+	err := s.cfg.Chaos.SolveError()
+	if err == nil {
+		res, err = hypermis.SolveCtx(ctx, j.h, j.opts)
+	}
 	sp.End()
 	s.wsPool.Put(ws)
 	s.releaseParallelism(grant)
@@ -585,7 +864,12 @@ func (s *Server) run(j *job) {
 			s.cache.Put(j.key, res)
 		}
 		s.metrics.Solves.Add(1)
-		s.metrics.SolveLatency.Observe(time.Since(start))
+		s.metrics.prio(j.prio).Solves.Add(1)
+		svc := time.Since(start)
+		s.metrics.SolveLatency.Observe(svc)
+		// Feed the admission controller's queue-wait arithmetic with the
+		// service time this class of solve actually took.
+		s.estimator.Observe(algName, svc)
 		if ac != nil {
 			ac.Solves.Add(1)
 		}
