@@ -28,16 +28,30 @@
 //	          [-debug-addr addr] [-logjson]
 //	          [-ratelimit N] [-rateburst N] [-ratelimitclients N]
 //	          [-draintimeout 30s]
+//	          [-cachedir DIR] [-cachedisk BYTES] [-cachefsync POLICY]
+//	          [-cacheverify]
 //	          [-chaos] [-chaos-errrate P] [-chaos-latency D]
-//	          [-chaos-latencyrate P] [-chaos-queuefullrate P] [-chaos-seed N]
+//	          [-chaos-latencyrate P] [-chaos-queuefullrate P]
+//	          [-chaos-diskerrrate P] [-chaos-diskshortrate P]
+//	          [-chaos-diskfliprate P] [-chaos-seed N]
 //
 // QoS: -ratelimit grants each client (X-Hypermis-Client header, or
 // remote IP) N solve-path requests/second (429 beyond the burst), and
 // requests carrying ?deadline_ms= are shed with 503 + Retry-After when
 // the live queue-wait estimate says the deadline cannot be met. The
 // -chaos flags enable the fault-injection layer (internal/faultinject)
-// for overload drills: injected solver errors, latency and forced
-// queue-full rejections, deterministic under -chaos-seed.
+// for overload drills: injected solver errors, latency, forced
+// queue-full rejections, and (for the durable cache) failed writes,
+// torn writes and read bit-flips — deterministic under -chaos-seed.
+//
+// Durable cache: -cachedir enables the crash-safe disk tier
+// (internal/durable) behind the memory LRU. Results persist across
+// restarts and crashes; recovery tolerates torn tails and skips
+// corrupt records, and -cacheverify re-proves every recovered MIS
+// against its instance before it is served. -cachedisk budgets the
+// on-disk bytes and -cachefsync picks the durability/latency trade
+// (never, interval, always). ARCHITECTURE.md ("Durable cache &
+// recovery") documents the record format and invariants.
 //
 // Counters are also published through expvar under the key "hypermisd"
 // at GET /debug/vars. SIGINT/SIGTERM drain the daemon gracefully: the
@@ -59,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/faultinject"
 	"repro/internal/service"
 )
@@ -83,11 +98,18 @@ func main() {
 	rateBurst := flag.Float64("rateburst", 0, "per-client burst (0 = 2×ratelimit)")
 	rateClients := flag.Int("ratelimitclients", 0, "client buckets tracked by the rate limiter (0 = 4096)")
 	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "how long running solves may finish after SIGTERM")
+	cacheDir := flag.String("cachedir", "", "durable result-cache directory (empty disables the disk tier)")
+	cacheDisk := flag.Int64("cachedisk", 0, "durable cache on-disk byte budget (0 = 256 MiB)")
+	cacheFsync := flag.String("cachefsync", "", "durable cache fsync policy: never, interval or always (empty = interval)")
+	cacheVerify := flag.Bool("cacheverify", false, "re-verify durable-cache hits against the instance before serving")
 	chaos := flag.Bool("chaos", false, "enable the fault-injection layer (with the -chaos-* rates)")
 	chaosErrRate := flag.Float64("chaos-errrate", 0, "probability a solve fails with an injected error")
 	chaosLatency := flag.Duration("chaos-latency", 0, "latency injected before a solve runs")
 	chaosLatencyRate := flag.Float64("chaos-latencyrate", 0, "probability a solve gets the injected latency")
 	chaosQueueFullRate := flag.Float64("chaos-queuefullrate", 0, "probability an enqueue is rejected as queue-full")
+	chaosDiskErrRate := flag.Float64("chaos-diskerrrate", 0, "probability a durable-cache write fails outright")
+	chaosDiskShortRate := flag.Float64("chaos-diskshortrate", 0, "probability a durable-cache write is torn partway")
+	chaosDiskFlipRate := flag.Float64("chaos-diskfliprate", 0, "probability a durable-cache read gets one bit flipped")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-schedule seed (equal seeds inject identical schedules)")
 	flag.Parse()
 
@@ -103,15 +125,44 @@ func main() {
 	var injector *faultinject.Injector
 	if *chaos {
 		injector = faultinject.New(faultinject.Config{
-			ErrorRate:     *chaosErrRate,
-			Latency:       *chaosLatency,
-			LatencyRate:   *chaosLatencyRate,
-			QueueFullRate: *chaosQueueFullRate,
-			Seed:          *chaosSeed,
+			ErrorRate:          *chaosErrRate,
+			Latency:            *chaosLatency,
+			LatencyRate:        *chaosLatencyRate,
+			QueueFullRate:      *chaosQueueFullRate,
+			DiskWriteErrorRate: *chaosDiskErrRate,
+			DiskShortWriteRate: *chaosDiskShortRate,
+			DiskBitFlipRate:    *chaosDiskFlipRate,
+			Seed:               *chaosSeed,
 		})
 		if injector == nil {
 			logger.Warn("-chaos set but every -chaos-* rate is zero; nothing will be injected")
 		}
+	}
+
+	// The durable store opens (and recovers) before the service exists
+	// and closes after the drain: every record the final solves queue is
+	// flushed before exit.
+	var store *durable.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = durable.Open(durable.Config{
+			Dir:      *cacheDir,
+			MaxBytes: *cacheDisk,
+			Fsync:    *cacheFsync,
+			Faults:   injector,
+		})
+		if err != nil {
+			logger.Error("durable cache", slog.Any("err", err))
+			os.Exit(1)
+		}
+		dc := store.Counters()
+		logger.Info("durable cache recovered",
+			slog.String("dir", *cacheDir),
+			slog.Int64("records", dc.Recovered),
+			slog.Int64("corrupt_skipped", dc.CorruptSkipped),
+			slog.Int("segments", dc.Segments),
+			slog.Int64("bytes", dc.Bytes),
+		)
 	}
 
 	srv := service.New(service.Config{
@@ -132,6 +183,8 @@ func main() {
 		RateBurst:         *rateBurst,
 		RateLimitClients:  *rateClients,
 		Chaos:             injector,
+		Durable:           store,
+		DurableVerify:     *cacheVerify,
 	})
 	expvar.Publish("hypermisd", expvar.Func(func() any { return srv.Stats() }))
 
@@ -187,6 +240,8 @@ func main() {
 		slog.Int("trace_slowest", cfg.TraceSlowest),
 		slog.Float64("ratelimit", cfg.RateLimit),
 		slog.Bool("chaos", cfg.Chaos != nil),
+		slog.String("cachedir", *cacheDir),
+		slog.Bool("cacheverify", cfg.DurableVerify),
 	)
 
 	select {
@@ -211,6 +266,12 @@ func main() {
 	drainErr := srv.Drain(*drainTimeout)
 	if err := <-shutdownDone; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("hypermisd shutdown", slog.Any("err", err))
+	}
+	// The scheduler is quiet now: flush the durable write-behind queue
+	// and release the store so the last solves of this life are hits in
+	// the next one.
+	if err := store.Close(); err != nil {
+		logger.Error("durable cache close", slog.Any("err", err))
 	}
 	if drainErr != nil {
 		logger.Error("hypermisd drain", slog.Any("err", drainErr))

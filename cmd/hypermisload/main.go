@@ -23,6 +23,19 @@
 //	          daemon's worker count (2–5× capacity); -expectshed
 //	          additionally requires that the daemon shed something.
 //
+// A fifth mode exercises the durable cache tier across daemon
+// restarts:
+//
+//	restart  every request is a plain cacheable solve (no traced
+//	         requests — traced results are memory-only), iterating the
+//	         (instance, seed) grid in order so -n = pool×seeds covers
+//	         every key exactly once. The run reports its cache hit rate;
+//	         -expecthitrate R fails the run if the rate lands below R.
+//	         The crash-recovery CI smoke runs it twice against one
+//	         -cachedir: a warm pass (expected rate 0), kill -9, reboot,
+//	         then an assert pass with -expecthitrate 1 — every answer
+//	         must come back from the recovered store.
+//
 // Usage:
 //
 //	hypermisd -addr :8080 &
@@ -78,6 +91,7 @@ type config struct {
 	statsEvery time.Duration
 	deadlineMs int
 	expectShed bool
+	expectHit  float64
 }
 
 type instance struct {
@@ -132,11 +146,12 @@ func main() {
 	flag.DurationVar(&cfg.statsEvery, "statsevery", 0, "poll GET /v1/stats at this interval and print deltas (0 disables)")
 	flag.IntVar(&cfg.deadlineMs, "deadline", 2000, "per-request deadline_ms budget in overload mode (0 sends none)")
 	flag.BoolVar(&cfg.expectShed, "expectshed", false, "overload mode: fail unless the daemon shed at least one request")
+	flag.Float64Var(&cfg.expectHit, "expecthitrate", -1, "restart mode: fail unless the cache hit rate reaches this fraction in [0,1] (negative disables)")
 	flag.Parse()
 	switch cfg.mode {
-	case "single", "batch", "jobs", "overload":
+	case "single", "batch", "jobs", "overload", "restart":
 	default:
-		log.Fatalf("unknown -mode %q (want single, batch, jobs or overload)", cfg.mode)
+		log.Fatalf("unknown -mode %q (want single, batch, jobs, overload or restart)", cfg.mode)
 	}
 	if cfg.batch < 1 {
 		cfg.batch = 1
@@ -191,6 +206,14 @@ func main() {
 						return
 					}
 					r.overloadStep(int(i))
+				}
+			case "restart":
+				for {
+					i := r.issued.Add(1) - 1
+					if i >= int64(cfg.total) {
+						return
+					}
+					r.restartStep(int(i))
 				}
 			default:
 				for {
@@ -639,6 +662,42 @@ func (r *runner) overloadStep(i int) {
 	}
 }
 
+// restartStep issues solve i of a restart-mode pass: every request is
+// a plain cacheable solve — no trace, since traced results are
+// deliberately memory-only and would never survive a restart — walking
+// the (instance, seed) grid in order, so -n = pool×seeds covers every
+// distinct cache key exactly once. Answers still flow through the
+// shared fingerprint table: a recovered-from-disk result must be
+// bit-identical to the one the previous pass fingerprinted.
+func (r *runner) restartStep(i int) {
+	spec := i % len(r.instances)
+	seed := uint64((i / len(r.instances)) % r.cfg.seeds)
+	inst := &r.instances[spec]
+	body, contentType := inst.text, service.ContentTypeText
+	if spec%2 == 1 { // exercise the binary path on half the pool
+		body, contentType = inst.bin, service.ContentTypeBinary
+	}
+	url := fmt.Sprintf("%s/v1/solve?algo=%s&seed=%d", r.cfg.addr, r.cfg.algo, seed)
+	start := time.Now()
+	resp, raw, err := r.post(url, contentType, body)
+	if err != nil {
+		r.fail("restart solve %d/%d: %v", spec, seed, err)
+		return
+	}
+	r.solveLat.Observe(time.Since(start))
+	r.solveOps.Add(1)
+	if resp.StatusCode != http.StatusOK {
+		r.fail("restart solve %d/%d: status %d: %s", spec, seed, resp.StatusCode, raw)
+		return
+	}
+	var sr service.SolveResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		r.fail("restart solve %d/%d: bad JSON: %v", spec, seed, err)
+		return
+	}
+	r.checkAnswer("restart", spec, seed, &sr, false)
+}
+
 func (r *runner) verify(spec int) {
 	r.mu.Lock()
 	mis, ok := r.lastMIS[spec]
@@ -720,6 +779,28 @@ func (r *runner) report(elapsed time.Duration) {
 		}
 		if r.cfg.expectShed && shed == 0 {
 			fmt.Println("  FAIL: -expectshed set but the daemon shed nothing")
+			r.errs.Add(1)
+		}
+	}
+	if r.cfg.mode == "restart" {
+		ops, hits := r.solveOps.Load(), r.cached.Load()
+		rate := 0.0
+		if ops > 0 {
+			rate = float64(hits) / float64(ops)
+		}
+		distinct := r.cfg.pool * r.cfg.seeds
+		if distinct > r.cfg.total {
+			distinct = r.cfg.total
+		}
+		// On a cold daemon the first pass over each key misses; every
+		// further iteration hits. Against a warm (restarted, recovered)
+		// daemon the expected rate is 1.
+		coldExpect := float64(r.cfg.total-distinct) / float64(r.cfg.total)
+		fmt.Printf("  restart: cache hit rate %.1f%% (%d/%d solves, %d distinct keys; a cold daemon would show %.1f%%, a recovered one 100%%)\n",
+			100*rate, hits, ops, distinct, 100*coldExpect)
+		if r.cfg.expectHit >= 0 && rate < r.cfg.expectHit {
+			fmt.Printf("  FAIL: hit rate %.3f below -expecthitrate %.3f — the cache did not survive\n",
+				rate, r.cfg.expectHit)
 			r.errs.Add(1)
 		}
 	}

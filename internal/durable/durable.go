@@ -1,0 +1,791 @@
+// Package durable is the disk tier of the result cache: an append-only,
+// content-addressed store of solve results that survives restarts,
+// crashes, and deploys, so a rebooted hypermisd keeps the hit rate its
+// predecessor earned. It sits behind the in-memory LRU in
+// internal/service — lookup order is memory → durable → solve, and both
+// tiers fill on a miss.
+//
+// # Record format
+//
+// A store is a directory of segment files (seg-<id>.log). Each segment
+// is a sequence of CRC-framed records:
+//
+//	magic "HMR1" (4 bytes)
+//	payload length (uint32 LE)
+//	CRC32C of the payload (uint32 LE)
+//	payload
+//
+// The payload is a versioned, varint-encoded tuple: the canonical
+// service JobKey (instance digest + canonicalized options), the
+// resolved algorithm name, round count, MIS cardinality, PRAM
+// depth/work, the mask length n, and the MIS itself in the
+// hgio.WriteVertexSet encoding (one vertex id per line) — the same
+// certificate format the CLI reads and writes, so a segment record is
+// inspectable with standard tools. Records carrying a per-round trace
+// are never persisted: traces are telemetry, and a JobKey with trace=t
+// demands one, so such results stay memory-only.
+//
+// # Write path
+//
+// Put never blocks the solve hot path: records are handed to a bounded
+// write-behind queue drained by one writer goroutine. A full queue
+// drops the record (counted in write_errors) — the durable tier is a
+// cache, and losing a fill costs a future miss, not correctness. The
+// writer appends to the active segment, rotates it at SegmentBytes, and
+// compacts (deletes) whole oldest segments while the store exceeds
+// MaxBytes. Fsync policy is configurable: "never" trusts the OS,
+// "interval" syncs at most every FsyncInterval, "always" syncs after
+// every record (the crash-proof setting the CI kill -9 smoke uses).
+//
+// # Recovery
+//
+// Open scans every segment sequentially. A frame whose payload falls
+// off the end of the file is a torn tail — the segment is truncated
+// there and the scan keeps the prefix. A frame with a bad magic,
+// implausible length, CRC mismatch, or undecodable payload is skipped
+// (corrupt_skipped counts it) and the scan resynchronizes on the next
+// magic, so one flipped byte costs one record, not the segment. Reads
+// CRC-check again at Get time (disk can rot after boot), and the
+// service can additionally re-verify a recovered MIS against the
+// submitted instance before serving (-cacheverify). A corrupt store can
+// therefore never produce a wrong answer — only a cache miss.
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hypermis "repro"
+	"repro/internal/faultinject"
+	"repro/internal/hgio"
+)
+
+// Fsync policies for Config.Fsync.
+const (
+	FsyncNever    = "never"
+	FsyncInterval = "interval"
+	FsyncAlways   = "always"
+)
+
+const (
+	frameMagic    = "HMR1"
+	headerSize    = 12 // magic(4) + payload length(4) + CRC32C(4)
+	recordVersion = 1
+	// maxRecordBytes bounds a single record's payload; a length field
+	// beyond it is treated as corruption, not an allocation request.
+	maxRecordBytes = 64 << 20
+	// maxRecordVertices bounds the declared mask length for the same
+	// reason (the service caps instances far lower).
+	maxRecordVertices = 64 << 20
+	// maxKeyBytes bounds the embedded JobKey (real keys are ~120 bytes).
+	maxKeyBytes = 4096
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var errBadRecord = errors.New("durable: bad record")
+
+// Config sizes a Store. The zero value of any field selects its
+// default.
+type Config struct {
+	// Dir is the segment directory (created if absent). Required.
+	Dir string
+	// MaxBytes is the on-disk byte budget across all segments (default
+	// 256 MiB). When exceeded, whole oldest segments are deleted.
+	MaxBytes int64
+	// SegmentBytes is the rotation threshold for the active segment
+	// (default 8 MiB).
+	SegmentBytes int64
+	// Fsync is the durability policy: FsyncNever, FsyncInterval
+	// (default), or FsyncAlways.
+	Fsync string
+	// FsyncInterval is the sync cadence under FsyncInterval (default 1s).
+	FsyncInterval time.Duration
+	// QueueDepth bounds the write-behind queue (default 256); a full
+	// queue drops the write rather than blocking the solve path.
+	QueueDepth int
+	// Faults, when non-nil, injects disk faults (failed writes, short
+	// writes, read bit-flips) — see internal/faultinject. Nil injects
+	// nothing.
+	Faults *faultinject.Injector
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Dir == "" {
+		return c, errors.New("durable: Config.Dir is required")
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 256 << 20
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 8 << 20
+	}
+	if c.Fsync == "" {
+		c.Fsync = FsyncInterval
+	}
+	switch c.Fsync {
+	case FsyncNever, FsyncInterval, FsyncAlways:
+	default:
+		return c, fmt.Errorf("durable: unknown fsync policy %q (want %s, %s or %s)",
+			c.Fsync, FsyncNever, FsyncInterval, FsyncAlways)
+	}
+	if c.FsyncInterval <= 0 {
+		c.FsyncInterval = time.Second
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c, nil
+}
+
+// segment is one on-disk log file. r stays open for pread-style Gets
+// for the segment's whole lifetime; w is non-nil only on the active
+// (append) segment.
+type segment struct {
+	id   uint64
+	path string
+	size int64
+	r    *os.File
+	w    *os.File
+}
+
+// recRef locates one record's payload: the segment, the payload's file
+// offset and length, and the CRC the payload must still match at read
+// time.
+type recRef struct {
+	seg *segment
+	off int64
+	n   uint32
+	crc uint32
+}
+
+type writeReq struct {
+	key     string
+	payload []byte
+	crc     uint32
+	flush   chan struct{} // non-nil: sync and ack instead of writing
+}
+
+// Store is the durable result cache. Open creates one; Close flushes
+// the write-behind queue and releases the files. All methods are safe
+// for concurrent use, and every method on a nil *Store is a no-op miss,
+// so callers can thread an optional store without nil checks.
+type Store struct {
+	cfg Config
+
+	mu         sync.Mutex
+	idx        map[string]recRef
+	segs       []*segment // oldest → newest; the last may be active
+	nextID     uint64
+	totalBytes int64
+	dirty      bool // unsynced appends on the active segment
+
+	writeCh   chan writeReq
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	hits           atomic.Int64
+	misses         atomic.Int64
+	writes         atomic.Int64
+	writeErrors    atomic.Int64
+	recovered      atomic.Int64
+	corruptSkipped atomic.Int64
+	compactions    atomic.Int64
+	verifyFailed   atomic.Int64
+}
+
+// Counters is a snapshot of the store's lifetime counters and current
+// occupancy — the source of the service's durable_* stats.
+type Counters struct {
+	Hits           int64
+	Misses         int64
+	Writes         int64
+	WriteErrors    int64
+	Recovered      int64
+	CorruptSkipped int64
+	Compactions    int64
+	VerifyFailed   int64
+	Entries        int
+	Segments       int
+	Bytes          int64
+}
+
+// Open recovers the store in cfg.Dir (creating it if absent) and starts
+// the write-behind goroutine. Recovery is tolerant by construction:
+// torn tails truncate, corrupt frames skip-and-resync, and nothing read
+// from disk is trusted past its CRC — see the package comment.
+func Open(cfg Config) (*Store, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	s := &Store{
+		cfg:     cfg,
+		idx:     make(map[string]recRef),
+		writeCh: make(chan writeReq, cfg.QueueDepth),
+		closed:  make(chan struct{}),
+		nextID:  1,
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.compactLocked()
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+// recover scans existing segments oldest-first, building the index
+// (later records win for duplicate keys) and repairing torn tails.
+func (s *Store) recover() error {
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		var id uint64
+		if _, err := fmt.Sscanf(e.Name(), "seg-%016x.log", &id); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		path := filepath.Join(s.cfg.Dir, fmt.Sprintf("seg-%016x.log", id))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			// An unreadable segment is total corruption of that segment:
+			// count it once and move on — degradation, not refusal to boot.
+			s.corruptSkipped.Add(1)
+			continue
+		}
+		recs, validLen, corrupt := recoverScan(data)
+		s.corruptSkipped.Add(corrupt)
+		if validLen < int64(len(data)) {
+			// Torn tail (or trailing garbage): cut it so the tear is
+			// repaired once, not re-reported every boot.
+			_ = os.Truncate(path, validLen)
+		}
+		if validLen == 0 {
+			_ = os.Remove(path)
+			if id >= s.nextID {
+				s.nextID = id + 1
+			}
+			continue
+		}
+		r, err := os.Open(path)
+		if err != nil {
+			s.corruptSkipped.Add(1)
+			continue
+		}
+		seg := &segment{id: id, path: path, size: validLen, r: r}
+		s.segs = append(s.segs, seg)
+		s.totalBytes += validLen
+		for _, rec := range recs {
+			s.idx[rec.key] = recRef{seg: seg, off: rec.off, n: rec.n, crc: rec.crc}
+		}
+		s.recovered.Add(int64(len(recs)))
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+	}
+	return nil
+}
+
+// recoveredRecord is one intact record found by recoverScan: its key
+// and the payload's offset, length and CRC within the segment.
+type recoveredRecord struct {
+	key string
+	off int64
+	n   uint32
+	crc uint32
+}
+
+// recoverScan walks one segment's raw bytes. It returns the intact
+// records; validLen, the length of the prefix ending at the last intact
+// record (anything after it that failed to parse — a torn tail or
+// trailing corruption — should be truncated away); and the count of
+// corrupt regions skipped. A bad frame never ends the scan if a later
+// frame magic exists: corruption is skipped by resynchronizing on the
+// magic rather than trusting the (possibly corrupt) length field, so
+// one flipped byte costs one record. A frame that simply runs off the
+// end of the file with no magic after it is a torn tail, not
+// corruption — crashes mid-append are expected and not counted. It
+// never panics on arbitrary input — FuzzRecoverSegment holds it to
+// that.
+func recoverScan(data []byte) (recs []recoveredRecord, validLen int64, corrupt int64) {
+	magic := []byte(frameMagic)
+	pos, lastGood := 0, 0
+	// resync advances pos to the next frame magic at or after from,
+	// reporting whether one was found.
+	resync := func(from int) bool {
+		if from > len(data) {
+			return false
+		}
+		i := bytes.Index(data[from:], magic)
+		if i < 0 {
+			return false
+		}
+		pos = from + i
+		return true
+	}
+	for pos+headerSize <= len(data) {
+		if !bytes.Equal(data[pos:pos+4], magic) {
+			corrupt++
+			if !resync(pos + 1) {
+				break
+			}
+			continue
+		}
+		n := binary.LittleEndian.Uint32(data[pos+4 : pos+8])
+		crc := binary.LittleEndian.Uint32(data[pos+8 : pos+12])
+		end := pos + headerSize + int(n)
+		if n <= maxRecordBytes && end <= len(data) {
+			payload := data[pos+headerSize : end]
+			if crc32.Checksum(payload, castagnoli) == crc {
+				if key, _, err := decodePayload(payload); err == nil {
+					recs = append(recs, recoveredRecord{key: key, off: int64(pos + headerSize), n: n, crc: crc})
+					pos = end
+					lastGood = pos
+					continue
+				}
+			}
+		}
+		// The frame at pos is bad: implausible length, overrun, CRC
+		// mismatch, or undecodable payload. Its own magic was valid, so
+		// resync strictly past it.
+		if !resync(pos + 4) {
+			if n <= maxRecordBytes && end > len(data) {
+				// Overran the end with nothing after: torn tail, the
+				// normal crash-mid-append artifact — repaired by
+				// truncation, not counted as corruption.
+				break
+			}
+			corrupt++
+			break
+		}
+		corrupt++
+	}
+	return recs, int64(lastGood), corrupt
+}
+
+// Get returns the stored result for key. The payload is CRC-checked
+// again at read time (and run through the chaos bit-flip hook first);
+// any mismatch or decode failure drops the entry and reports a miss —
+// corruption degrades, it never serves.
+func (s *Store) Get(key string) (*hypermis.Result, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	ref, ok := s.idx[key]
+	s.mu.Unlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	buf := make([]byte, ref.n)
+	if _, err := ref.seg.r.ReadAt(buf, ref.off); err != nil {
+		s.dropRef(key, ref)
+		s.corruptSkipped.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.cfg.Faults.DiskBitFlip(buf)
+	if crc32.Checksum(buf, castagnoli) != ref.crc {
+		s.dropRef(key, ref)
+		s.corruptSkipped.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	gotKey, res, err := decodePayload(buf)
+	if err != nil || gotKey != key {
+		s.dropRef(key, ref)
+		s.corruptSkipped.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return res, true
+}
+
+// Put schedules key → res for persistence on the write-behind queue.
+// It never blocks: a full queue drops the record (a future miss, not an
+// error the caller can act on) and counts it in write_errors. Traced
+// results are skipped entirely — see the package comment.
+func (s *Store) Put(key string, res *hypermis.Result) {
+	if s == nil || res == nil || len(res.Trace) > 0 || len(key) > maxKeyBytes {
+		return
+	}
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
+	payload := encodePayload(key, res)
+	req := writeReq{key: key, payload: payload, crc: crc32.Checksum(payload, castagnoli)}
+	select {
+	case s.writeCh <- req:
+	default:
+		s.writeErrors.Add(1)
+	}
+}
+
+// MarkVerifyFailed records that a served-from-disk MIS failed
+// verification against its instance and drops the entry so it cannot
+// be served again. The service calls it on -cacheverify rejections.
+func (s *Store) MarkVerifyFailed(key string) {
+	if s == nil {
+		return
+	}
+	s.verifyFailed.Add(1)
+	s.mu.Lock()
+	delete(s.idx, key)
+	s.mu.Unlock()
+}
+
+// dropRef removes key from the index iff it still points at ref (a
+// concurrent rewrite of the key must not be clobbered).
+func (s *Store) dropRef(key string, ref recRef) {
+	s.mu.Lock()
+	if cur, ok := s.idx[key]; ok && cur == ref {
+		delete(s.idx, key)
+	}
+	s.mu.Unlock()
+}
+
+// Flush blocks until every record queued before the call is on disk
+// (synced under FsyncAlways/FsyncInterval semantics: Flush always ends
+// with a sync of the active segment).
+func (s *Store) Flush() {
+	if s == nil {
+		return
+	}
+	done := make(chan struct{})
+	select {
+	case s.writeCh <- writeReq{flush: done}:
+		select {
+		case <-done:
+		case <-s.closed:
+			// Closing: Close drains the queue and syncs before
+			// returning, so there is nothing left to wait for here.
+		}
+	case <-s.closed:
+	}
+}
+
+// Close flushes the queue, syncs, and releases every file handle. Gets
+// after Close degrade to misses. Safe to call more than once; nil-safe.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() { close(s.closed) })
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, seg := range s.segs {
+		if seg.w != nil {
+			_ = seg.w.Sync()
+			_ = seg.w.Close()
+			seg.w = nil
+		}
+		_ = seg.r.Close()
+	}
+	return nil
+}
+
+// Counters snapshots the store's counters and occupancy.
+func (s *Store) Counters() Counters {
+	if s == nil {
+		return Counters{}
+	}
+	s.mu.Lock()
+	entries := len(s.idx)
+	segments := len(s.segs)
+	bytes := s.totalBytes
+	s.mu.Unlock()
+	return Counters{
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Writes:         s.writes.Load(),
+		WriteErrors:    s.writeErrors.Load(),
+		Recovered:      s.recovered.Load(),
+		CorruptSkipped: s.corruptSkipped.Load(),
+		Compactions:    s.compactions.Load(),
+		VerifyFailed:   s.verifyFailed.Load(),
+		Entries:        entries,
+		Segments:       segments,
+		Bytes:          bytes,
+	}
+}
+
+// Len reports the number of indexed entries.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx)
+}
+
+// writer is the single write-behind goroutine: it drains the queue,
+// applies the fsync policy, rotates the active segment, and compacts
+// against the byte budget. On close it drains whatever is queued, then
+// syncs and exits.
+func (s *Store) writer() {
+	defer s.wg.Done()
+	var tickC <-chan time.Time
+	if s.cfg.Fsync == FsyncInterval {
+		t := time.NewTicker(s.cfg.FsyncInterval)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case req := <-s.writeCh:
+			s.handleWrite(req)
+		case <-tickC:
+			s.syncActive()
+		case <-s.closed:
+			for {
+				select {
+				case req := <-s.writeCh:
+					s.handleWrite(req)
+				default:
+					s.syncActive()
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Store) handleWrite(req writeReq) {
+	if req.flush != nil {
+		s.syncActive()
+		close(req.flush)
+		return
+	}
+	if err := s.cfg.Faults.DiskWriteError(); err != nil {
+		s.writeErrors.Add(1)
+		return
+	}
+	s.mu.Lock()
+	seg, err := s.activeLocked()
+	s.mu.Unlock()
+	if err != nil {
+		s.writeErrors.Add(1)
+		return
+	}
+	frame := make([]byte, 0, headerSize+len(req.payload))
+	frame = append(frame, frameMagic...)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(req.payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, req.crc)
+	frame = append(frame, req.payload...)
+	want := len(frame)
+	// The short-write fault truncates the frame mid-record, tearing it
+	// exactly the way a crash between write() calls would.
+	attempt := s.cfg.Faults.DiskShortWrite(want)
+	n, werr := seg.w.Write(frame[:attempt])
+	s.mu.Lock()
+	payloadOff := seg.size + int64(headerSize)
+	seg.size += int64(n)
+	s.totalBytes += int64(n)
+	if werr != nil || n < want {
+		s.writeErrors.Add(1)
+	} else {
+		s.idx[req.key] = recRef{seg: seg, off: payloadOff, n: uint32(len(req.payload)), crc: req.crc}
+		s.writes.Add(1)
+		s.dirty = true
+	}
+	if seg.size >= s.cfg.SegmentBytes {
+		s.rotateLocked()
+	}
+	s.compactLocked()
+	s.mu.Unlock()
+	if s.cfg.Fsync == FsyncAlways {
+		s.syncActive()
+	}
+}
+
+// activeLocked returns the append segment, creating it lazily (a boot
+// that never writes leaves no empty files behind).
+func (s *Store) activeLocked() (*segment, error) {
+	if len(s.segs) > 0 {
+		if last := s.segs[len(s.segs)-1]; last.w != nil {
+			return last, nil
+		}
+	}
+	id := s.nextID
+	s.nextID++
+	path := filepath.Join(s.cfg.Dir, fmt.Sprintf("seg-%016x.log", id))
+	w, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	r, err := os.Open(path)
+	if err != nil {
+		_ = w.Close()
+		return nil, err
+	}
+	seg := &segment{id: id, path: path, r: r, w: w}
+	s.segs = append(s.segs, seg)
+	return seg, nil
+}
+
+// rotateLocked seals the active segment: sync, close the write handle,
+// and let the next write open a fresh one.
+func (s *Store) rotateLocked() {
+	if len(s.segs) == 0 {
+		return
+	}
+	last := s.segs[len(s.segs)-1]
+	if last.w == nil {
+		return
+	}
+	_ = last.w.Sync()
+	_ = last.w.Close()
+	last.w = nil
+	s.dirty = false
+}
+
+// compactLocked deletes whole oldest segments while the store exceeds
+// its byte budget. The active segment is never deleted — rotation
+// bounds it, so the budget is enforced to within one segment.
+func (s *Store) compactLocked() {
+	for s.totalBytes > s.cfg.MaxBytes && len(s.segs) > 1 {
+		old := s.segs[0]
+		for key, ref := range s.idx {
+			if ref.seg == old {
+				delete(s.idx, key)
+			}
+		}
+		_ = old.r.Close()
+		_ = os.Remove(old.path)
+		s.totalBytes -= old.size
+		s.segs = s.segs[1:]
+		s.compactions.Add(1)
+	}
+}
+
+// syncActive fsyncs the active segment if it has unsynced appends.
+func (s *Store) syncActive() {
+	s.mu.Lock()
+	var w *os.File
+	if s.dirty && len(s.segs) > 0 {
+		w = s.segs[len(s.segs)-1].w
+		s.dirty = false
+	}
+	s.mu.Unlock()
+	if w != nil {
+		_ = w.Sync()
+	}
+}
+
+// encodePayload serializes one record's payload — see the package
+// comment for the layout. The MIS mask reuses the hgio vertex-set
+// encoding, byte-for-byte what `hypermis solve -out` writes.
+func encodePayload(key string, res *hypermis.Result) []byte {
+	var vs bytes.Buffer
+	_ = hgio.WriteVertexSet(&vs, res.MIS) // a bytes.Buffer write cannot fail
+	name := res.Algorithm.String()
+	b := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(name)+4*binary.MaxVarintLen64+vs.Len())
+	b = append(b, recordVersion)
+	b = binary.AppendUvarint(b, uint64(len(key)))
+	b = append(b, key...)
+	b = binary.AppendUvarint(b, uint64(len(name)))
+	b = append(b, name...)
+	b = binary.AppendUvarint(b, uint64(res.Rounds))
+	b = binary.AppendUvarint(b, uint64(res.Size))
+	b = binary.AppendUvarint(b, uint64(res.Depth))
+	b = binary.AppendUvarint(b, uint64(res.Work))
+	b = binary.AppendUvarint(b, uint64(len(res.MIS)))
+	b = append(b, vs.Bytes()...)
+	return b
+}
+
+// decodePayload parses one record's payload back into its key and
+// result, rejecting anything malformed — wrong version, truncated
+// varints, out-of-range lengths, a cardinality that disagrees with the
+// mask, or an algorithm name the registry no longer knows.
+func decodePayload(p []byte) (string, *hypermis.Result, error) {
+	if len(p) == 0 || p[0] != recordVersion {
+		return "", nil, errBadRecord
+	}
+	pos := 1
+	readU := func() (uint64, bool) {
+		v, n := binary.Uvarint(p[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	readStr := func(max int) (string, bool) {
+		l, ok := readU()
+		if !ok || l > uint64(max) || uint64(len(p)-pos) < l {
+			return "", false
+		}
+		v := string(p[pos : pos+int(l)])
+		pos += int(l)
+		return v, true
+	}
+	key, ok := readStr(maxKeyBytes)
+	if !ok || key == "" {
+		return "", nil, errBadRecord
+	}
+	name, ok := readStr(64)
+	if !ok {
+		return "", nil, errBadRecord
+	}
+	rounds, ok1 := readU()
+	size, ok2 := readU()
+	depth, ok3 := readU()
+	work, ok4 := readU()
+	n, ok5 := readU()
+	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || n > maxRecordVertices || size > n {
+		return "", nil, errBadRecord
+	}
+	mask, err := hgio.ReadVertexSet(bytes.NewReader(p[pos:]), int(n))
+	if err != nil {
+		return "", nil, errBadRecord
+	}
+	card := 0
+	for _, in := range mask {
+		if in {
+			card++
+		}
+	}
+	if uint64(card) != size {
+		return "", nil, errBadRecord
+	}
+	algo, err := hypermis.ParseAlgorithm(name)
+	if err != nil {
+		return "", nil, errBadRecord
+	}
+	return key, &hypermis.Result{
+		MIS:       mask,
+		Size:      card,
+		Algorithm: algo,
+		Rounds:    int(rounds),
+		Depth:     int64(depth),
+		Work:      int64(work),
+	}, nil
+}

@@ -1,0 +1,435 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	hypermis "repro"
+	"repro/internal/faultinject"
+)
+
+// testResult builds a deterministic result whose mask has n vertices
+// with every (i*7+seed)%3 == 0 vertex in the set.
+func testResult(n, seed int) *hypermis.Result {
+	mask := make([]bool, n)
+	size := 0
+	for i := range mask {
+		if (i*7+seed)%3 == 0 {
+			mask[i] = true
+			size++
+		}
+	}
+	return &hypermis.Result{
+		MIS:       mask,
+		Size:      size,
+		Algorithm: hypermis.AlgGreedy,
+		Rounds:    seed + 1,
+		Depth:     int64(seed * 10),
+		Work:      int64(n),
+	}
+}
+
+func sameResult(t *testing.T, got, want *hypermis.Result) {
+	t.Helper()
+	if got == nil {
+		t.Fatal("got nil result")
+	}
+	if len(got.MIS) != len(want.MIS) {
+		t.Fatalf("mask length %d, want %d", len(got.MIS), len(want.MIS))
+	}
+	for i := range got.MIS {
+		if got.MIS[i] != want.MIS[i] {
+			t.Fatalf("mask differs at vertex %d", i)
+		}
+	}
+	if got.Size != want.Size || got.Algorithm != want.Algorithm ||
+		got.Rounds != want.Rounds || got.Depth != want.Depth || got.Work != want.Work {
+		t.Fatalf("metadata round-trip: got %+v, want %+v", got, want)
+	}
+}
+
+func openTest(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t, Config{})
+	want := testResult(100, 1)
+	s.Put("key-1", want)
+	s.Flush()
+	got, ok := s.Get("key-1")
+	if !ok {
+		t.Fatal("Get after Put+Flush missed")
+	}
+	sameResult(t, got, want)
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("Get of absent key hit")
+	}
+	c := s.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Writes != 1 || c.Entries != 1 {
+		t.Fatalf("counters = %+v, want 1 hit / 1 miss / 1 write / 1 entry", c)
+	}
+}
+
+func TestReopenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir})
+	results := map[string]*hypermis.Result{}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		results[key] = testResult(50+i, i)
+		s.Put(key, results[key])
+	}
+	s.Flush()
+	s.Close()
+
+	s2 := openTest(t, Config{Dir: dir})
+	c := s2.Counters()
+	if c.Recovered != 20 || c.Entries != 20 || c.CorruptSkipped != 0 {
+		t.Fatalf("recovery counters = %+v, want 20 recovered / 20 entries / 0 corrupt", c)
+	}
+	for key, want := range results {
+		got, ok := s2.Get(key)
+		if !ok {
+			t.Fatalf("key %q lost across reopen", key)
+		}
+		sameResult(t, got, want)
+	}
+}
+
+func TestLastWriteWins(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir})
+	s.Put("dup", testResult(30, 1))
+	s.Flush()
+	want := testResult(30, 2)
+	s.Put("dup", want)
+	s.Flush()
+	got, ok := s.Get("dup")
+	if !ok {
+		t.Fatal("dup key missed")
+	}
+	sameResult(t, got, want)
+	s.Close()
+
+	// The later record must also win during the recovery replay.
+	s2 := openTest(t, Config{Dir: dir})
+	got, ok = s2.Get("dup")
+	if !ok {
+		t.Fatal("dup key lost across reopen")
+	}
+	sameResult(t, got, want)
+}
+
+func TestTornTailTruncatedAndRepaired(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir})
+	want := testResult(40, 3)
+	s.Put("whole", want)
+	s.Flush()
+	s.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments, want 1", len(segs))
+	}
+	intact, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a second frame header that promises more payload than
+	// exists — exactly what a crash mid-append leaves behind.
+	torn := append(append([]byte{}, intact...), frameMagic...)
+	torn = binary.LittleEndian.AppendUint32(torn, 10_000)
+	torn = binary.LittleEndian.AppendUint32(torn, 0xdeadbeef)
+	torn = append(torn, "partial payload"...)
+	if err := os.WriteFile(segs[0], torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, Config{Dir: dir})
+	c := s2.Counters()
+	if c.Recovered != 1 {
+		t.Fatalf("recovered = %d, want 1 (the intact prefix)", c.Recovered)
+	}
+	if c.CorruptSkipped != 0 {
+		t.Fatalf("corrupt_skipped = %d, want 0 — a torn tail is not corruption", c.CorruptSkipped)
+	}
+	got, ok := s2.Get("whole")
+	if !ok {
+		t.Fatal("intact record lost to a torn tail")
+	}
+	sameResult(t, got, want)
+	// The tear must be physically repaired, not re-skipped every boot.
+	repaired, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repaired) != len(intact) {
+		t.Fatalf("segment is %d bytes after repair, want %d (tail truncated)", len(repaired), len(intact))
+	}
+}
+
+func TestCorruptRecordSkippedOthersSurvive(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir})
+	for i := 0; i < 3; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), testResult(40, i))
+	}
+	s.Flush()
+	s.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the middle record's payload (well past the
+	// first frame, well before the last byte).
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, Config{Dir: dir})
+	c := s2.Counters()
+	if c.CorruptSkipped == 0 {
+		t.Fatal("corrupt_skipped = 0, want > 0 after flipping a payload byte")
+	}
+	if c.Recovered != 2 {
+		t.Fatalf("recovered = %d, want 2 (records on either side of the corruption)", c.Recovered)
+	}
+	hits := 0
+	for i := 0; i < 3; i++ {
+		if res, ok := s2.Get(fmt.Sprintf("key-%d", i)); ok {
+			sameResult(t, res, testResult(40, i))
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("%d of 3 keys survived, want exactly 2", hits)
+	}
+}
+
+func TestRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// ~160-byte records, 1 KiB segments, 4 KiB budget: plenty of
+	// rotations and forced compactions.
+	s := openTest(t, Config{Dir: dir, SegmentBytes: 1 << 10, MaxBytes: 4 << 10})
+	for i := 0; i < 200; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), testResult(64, i))
+	}
+	s.Flush()
+	c := s.Counters()
+	if c.Compactions == 0 {
+		t.Fatal("no compactions despite exceeding the byte budget")
+	}
+	if c.Bytes > (4<<10)+(1<<10) {
+		t.Fatalf("store holds %d bytes, want ≤ budget + one segment", c.Bytes)
+	}
+	// Recent keys must still be present; compacted ones must miss
+	// cleanly (not error).
+	if _, ok := s.Get("key-199"); !ok {
+		t.Fatal("most recent key lost")
+	}
+	if _, ok := s.Get("key-0"); ok {
+		t.Fatal("oldest key survived compaction past the budget")
+	}
+	s.Close()
+
+	// On-disk layout must agree after reopen.
+	s2 := openTest(t, Config{Dir: dir, SegmentBytes: 1 << 10, MaxBytes: 4 << 10})
+	if _, ok := s2.Get("key-199"); !ok {
+		t.Fatal("most recent key lost across reopen")
+	}
+}
+
+func TestTracedResultsNotPersisted(t *testing.T) {
+	s := openTest(t, Config{})
+	res := testResult(20, 1)
+	res.Trace = []hypermis.RoundTrace{{}}
+	s.Put("traced", res)
+	s.Flush()
+	if _, ok := s.Get("traced"); ok {
+		t.Fatal("traced result was persisted; traces are memory-only")
+	}
+	if c := s.Counters(); c.Writes != 0 || c.WriteErrors != 0 {
+		t.Fatalf("counters = %+v, want a silent skip (no write, no error)", c)
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, policy := range []string{FsyncNever, FsyncInterval, FsyncAlways} {
+		dir := t.TempDir()
+		s := openTest(t, Config{Dir: dir, Fsync: policy, FsyncInterval: 10 * time.Millisecond})
+		s.Put("k", testResult(10, 1))
+		s.Flush()
+		if _, ok := s.Get("k"); !ok {
+			t.Fatalf("fsync=%s: Get missed after Flush", policy)
+		}
+	}
+	if _, err := Open(Config{Dir: t.TempDir(), Fsync: "sometimes"}); err == nil {
+		t.Fatal("Open accepted an unknown fsync policy")
+	}
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("Open accepted an empty Dir")
+	}
+}
+
+func TestNilStoreIsSafe(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("nil store hit")
+	}
+	s.Put("k", testResult(10, 1)) // must not panic
+	s.MarkVerifyFailed("k")
+	s.Flush()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c := s.Counters(); c != (Counters{}) {
+		t.Fatalf("nil store counters = %+v, want zero", c)
+	}
+	if s.Len() != 0 {
+		t.Fatal("nil store Len != 0")
+	}
+}
+
+func TestMarkVerifyFailedDropsEntry(t *testing.T) {
+	s := openTest(t, Config{})
+	s.Put("bad", testResult(20, 1))
+	s.Flush()
+	s.MarkVerifyFailed("bad")
+	if _, ok := s.Get("bad"); ok {
+		t.Fatal("entry served after MarkVerifyFailed")
+	}
+	if c := s.Counters(); c.VerifyFailed != 1 {
+		t.Fatalf("verify_failed = %d, want 1", c.VerifyFailed)
+	}
+}
+
+func TestChaosWriteErrorsCountedNotStored(t *testing.T) {
+	s := openTest(t, Config{
+		Faults: faultinject.New(faultinject.Config{DiskWriteErrorRate: 1, Seed: 5}),
+	})
+	s.Put("k", testResult(20, 1))
+	s.Flush()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("record stored despite a 100% write-error rate")
+	}
+	if c := s.Counters(); c.WriteErrors == 0 || c.Writes != 0 {
+		t.Fatalf("counters = %+v, want write_errors > 0 and writes == 0", c)
+	}
+}
+
+func TestChaosShortWriteTearsFrameRecoverably(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{
+		Dir:    dir,
+		Faults: faultinject.New(faultinject.Config{DiskShortWriteRate: 1, Seed: 5}),
+	})
+	s.Put("torn", testResult(20, 1))
+	s.Flush()
+	if _, ok := s.Get("torn"); ok {
+		t.Fatal("short-written record was indexed")
+	}
+	if c := s.Counters(); c.WriteErrors == 0 {
+		t.Fatalf("counters = %+v, want write_errors > 0 for a short write", c)
+	}
+	s.Close()
+
+	// The torn frame on disk must not poison recovery.
+	s2 := openTest(t, Config{Dir: dir})
+	if c := s2.Counters(); c.Recovered != 0 {
+		t.Fatalf("recovered = %d torn records, want 0", c.Recovered)
+	}
+}
+
+func TestChaosBitFlipRejectedAtRead(t *testing.T) {
+	s := openTest(t, Config{
+		Faults: faultinject.New(faultinject.Config{DiskBitFlipRate: 1, Seed: 5}),
+	})
+	s.Put("k", testResult(100, 1))
+	s.Flush()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("bit-flipped payload served — CRC recheck at read time failed to reject")
+	}
+	c := s.Counters()
+	if c.CorruptSkipped == 0 || c.Hits != 0 {
+		t.Fatalf("counters = %+v, want corrupt_skipped > 0 and zero hits", c)
+	}
+	// The poisoned entry is dropped: the next Get is a clean miss.
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("dropped entry served on second read")
+	}
+}
+
+func TestDecodeRejectsMalformedPayloads(t *testing.T) {
+	good := encodePayload("key", testResult(20, 1))
+	if _, _, err := decodePayload(good); err != nil {
+		t.Fatalf("round-trip decode failed: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad version":   append([]byte{99}, good[1:]...),
+		"truncated":     good[:len(good)/2],
+		"oversized key": binary.AppendUvarint([]byte{recordVersion}, maxKeyBytes+1),
+	}
+	// A cardinality that disagrees with the mask must be rejected even
+	// though every field parses.
+	bad := testResult(20, 1)
+	bad.Size++
+	cases["size mismatch"] = encodePayload("key", bad)
+	for name, p := range cases {
+		if _, _, err := decodePayload(p); err == nil {
+			t.Errorf("decodePayload accepted %s payload", name)
+		}
+	}
+}
+
+func TestRecoverScanEmptyAndGarbage(t *testing.T) {
+	if recs, n, corrupt := recoverScan(nil); len(recs) != 0 || n != 0 || corrupt != 0 {
+		t.Fatalf("empty scan = (%d recs, %d, %d), want zeros", len(recs), n, corrupt)
+	}
+	// Pure garbage with no magic: nothing valid, nothing recovered.
+	recs, n, _ := recoverScan(bytes.Repeat([]byte{0x5a}, 4096))
+	if len(recs) != 0 || n != 0 {
+		t.Fatalf("garbage scan = (%d recs, validLen %d), want none", len(recs), n)
+	}
+}
+
+func TestRecoverScanResyncsAcrossCorruptLength(t *testing.T) {
+	// Two valid frames with the first frame's length field smashed: the
+	// scan must not trust the bogus length and must still find frame 2.
+	frame := func(key string, seed int) []byte {
+		p := encodePayload(key, testResult(20, seed))
+		b := []byte(frameMagic)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+		b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(p, castagnoli))
+		return append(b, p...)
+	}
+	data := append(frame("first", 1), frame("second", 2)...)
+	binary.LittleEndian.PutUint32(data[4:8], maxRecordBytes+100)
+	recs, _, corrupt := recoverScan(data)
+	if len(recs) != 1 || recs[0].key != "second" {
+		t.Fatalf("recovered %d records, want exactly the second frame", len(recs))
+	}
+	if corrupt == 0 {
+		t.Fatal("smashed length field not counted as corruption")
+	}
+}

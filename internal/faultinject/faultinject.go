@@ -35,6 +35,16 @@ type Config struct {
 	// QueueFullRate is the probability an enqueue is rejected as if the
 	// queue were full, exercising the shed/backoff path at any load.
 	QueueFullRate float64
+	// DiskWriteErrorRate is the probability a durable-cache write fails
+	// outright with ErrInjected (the record is never persisted).
+	DiskWriteErrorRate float64
+	// DiskShortWriteRate is the probability a durable-cache write is
+	// truncated partway through its frame, leaving a torn record on
+	// disk for the recovery scan to step over.
+	DiskShortWriteRate float64
+	// DiskBitFlipRate is the probability a durable-cache read comes
+	// back with one bit flipped, exercising the CRC-reject path.
+	DiskBitFlipRate float64
 	// Seed fixes the fault schedule; equal seeds and call orders inject
 	// identical fault sequences.
 	Seed uint64
@@ -49,12 +59,17 @@ type Injector struct {
 	errs   atomic.Int64
 	delays atomic.Int64
 	fulls  atomic.Int64
+
+	diskErrs   atomic.Int64
+	diskShorts atomic.Int64
+	diskFlips  atomic.Int64
 }
 
 // New returns an injector for cfg, or nil when cfg injects nothing —
 // so a zero Config naturally resolves to the disabled injector.
 func New(cfg Config) *Injector {
-	if cfg.ErrorRate <= 0 && (cfg.LatencyRate <= 0 || cfg.Latency <= 0) && cfg.QueueFullRate <= 0 {
+	if cfg.ErrorRate <= 0 && (cfg.LatencyRate <= 0 || cfg.Latency <= 0) && cfg.QueueFullRate <= 0 &&
+		cfg.DiskWriteErrorRate <= 0 && cfg.DiskShortWriteRate <= 0 && cfg.DiskBitFlipRate <= 0 {
 		return nil
 	}
 	return &Injector{cfg: cfg}
@@ -114,10 +129,58 @@ func (in *Injector) QueueFull() bool {
 	return true
 }
 
+// DiskWriteError reports the fault to inject into the current
+// durable-cache write: nil, or an error wrapping ErrInjected (the
+// write must be abandoned and counted, never partially applied).
+func (in *Injector) DiskWriteError() error {
+	if in == nil || in.cfg.DiskWriteErrorRate <= 0 || in.roll() >= in.cfg.DiskWriteErrorRate {
+		return nil
+	}
+	in.diskErrs.Add(1)
+	return ErrInjected
+}
+
+// DiskShortWrite reports how many of n bytes the current durable-cache
+// write should actually persist: n normally, roughly half when the
+// short-write fault fires — a torn frame for recovery to step over.
+func (in *Injector) DiskShortWrite(n int) int {
+	if in == nil || in.cfg.DiskShortWriteRate <= 0 || in.roll() >= in.cfg.DiskShortWriteRate {
+		return n
+	}
+	in.diskShorts.Add(1)
+	return n / 2
+}
+
+// DiskBitFlip flips one bit of buf (at a schedule-determined position)
+// when the read-corruption fault fires, reporting whether it did. The
+// durable store calls it on every payload read, so a nonzero rate makes
+// CRC rejection happen on demand.
+func (in *Injector) DiskBitFlip(buf []byte) bool {
+	if in == nil || len(buf) == 0 || in.cfg.DiskBitFlipRate <= 0 || in.roll() >= in.cfg.DiskBitFlipRate {
+		return false
+	}
+	bit := int(in.roll() * float64(len(buf)*8))
+	if bit >= len(buf)*8 {
+		bit = len(buf)*8 - 1
+	}
+	buf[bit/8] ^= 1 << (bit % 8)
+	in.diskFlips.Add(1)
+	return true
+}
+
 // Counts reports how many faults of each kind have been injected.
 func (in *Injector) Counts() (errs, delays, queueFulls int64) {
 	if in == nil {
 		return 0, 0, 0
 	}
 	return in.errs.Load(), in.delays.Load(), in.fulls.Load()
+}
+
+// DiskCounts reports how many disk faults of each kind have been
+// injected: failed writes, truncated writes, and read bit-flips.
+func (in *Injector) DiskCounts() (writeErrs, shortWrites, bitFlips int64) {
+	if in == nil {
+		return 0, 0, 0
+	}
+	return in.diskErrs.Load(), in.diskShorts.Load(), in.diskFlips.Load()
 }

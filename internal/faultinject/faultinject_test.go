@@ -86,6 +86,56 @@ func TestDelayHonorsContext(t *testing.T) {
 	}
 }
 
+// TestDiskFaultsInject: the disk knobs fire at rate 1, are nil-safe,
+// and a bit-flip changes exactly one bit of the buffer.
+func TestDiskFaultsInject(t *testing.T) {
+	var nilIn *Injector
+	if nilIn.DiskWriteError() != nil || nilIn.DiskShortWrite(100) != 100 || nilIn.DiskBitFlip(make([]byte, 8)) {
+		t.Fatal("nil injector injected a disk fault")
+	}
+	if we, sw, bf := nilIn.DiskCounts(); we+sw+bf != 0 {
+		t.Fatal("nil injector counted disk faults")
+	}
+	if New(Config{DiskBitFlipRate: 1}) == nil {
+		t.Fatal("disk-only config should enable the injector")
+	}
+
+	in := New(Config{DiskWriteErrorRate: 1, Seed: 9})
+	if err := in.DiskWriteError(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("DiskWriteError at rate 1 = %v, want ErrInjected", err)
+	}
+
+	in = New(Config{DiskShortWriteRate: 1, Seed: 9})
+	if got := in.DiskShortWrite(100); got != 50 {
+		t.Fatalf("DiskShortWrite(100) at rate 1 = %d, want 50", got)
+	}
+
+	in = New(Config{DiskBitFlipRate: 1, Seed: 9})
+	buf := make([]byte, 32)
+	orig := make([]byte, 32)
+	copy(orig, buf)
+	if !in.DiskBitFlip(buf) {
+		t.Fatal("DiskBitFlip at rate 1 did not fire")
+	}
+	diffBits := 0
+	for i := range buf {
+		for b := 0; b < 8; b++ {
+			if (buf[i]^orig[i])>>b&1 == 1 {
+				diffBits++
+			}
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("bit-flip changed %d bits, want exactly 1", diffBits)
+	}
+	if in.DiskBitFlip(nil) {
+		t.Fatal("empty buffer must not flip")
+	}
+	if we, sw, bf := in.DiskCounts(); we != 0 || sw != 0 || bf != 1 {
+		t.Fatalf("DiskCounts = (%d, %d, %d), want (0, 0, 1)", we, sw, bf)
+	}
+}
+
 // TestConcurrentRolls: the injector is safe under concurrent use and
 // loses no counts (run with -race in CI).
 func TestConcurrentRolls(t *testing.T) {

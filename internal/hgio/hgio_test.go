@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -178,6 +181,126 @@ func TestReadVertexSetErrors(t *testing.T) {
 	got, err := ReadVertexSet(strings.NewReader("# only a comment\n"), 3)
 	if err != nil || got[0] || got[1] || got[2] {
 		t.Fatal("comment-only set should be empty")
+	}
+}
+
+// failAfterWriter errors once n bytes have been accepted — an
+// out-of-space disk for the vertex-set writer.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// failAfterReader yields data, then a read error — a device failing
+// mid-stream rather than at a clean EOF.
+type failAfterReader struct {
+	data []byte
+	err  error
+}
+
+func (r *failAfterReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// oneByteReader returns at most one byte per Read call, forcing every
+// short-read path in the scanner.
+type oneByteReader struct{ data []byte }
+
+func (r *oneByteReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	p[0] = r.data[0]
+	r.data = r.data[1:]
+	return 1, nil
+}
+
+// TestWriteVertexSetErrorPropagation: durable records reuse this
+// encoding, so a write error must surface — both mid-stream once the
+// bufio buffer spills, and at the final Flush for small sets.
+func TestWriteVertexSetErrorPropagation(t *testing.T) {
+	boom := errors.New("disk full")
+	// Large set: the buffered writer spills during the loop and the
+	// Fprintln error return must propagate.
+	big := make([]bool, 8192)
+	for i := range big {
+		big[i] = true
+	}
+	if err := WriteVertexSet(&failAfterWriter{n: 100, err: boom}, big); !errors.Is(err, boom) {
+		t.Fatalf("mid-stream write error = %v, want %v", err, boom)
+	}
+	// Small set: everything fits in the bufio buffer, so the error can
+	// only surface at Flush — it still must.
+	small := []bool{true, true, true}
+	if err := WriteVertexSet(&failAfterWriter{n: 0, err: boom}, small); !errors.Is(err, boom) {
+		t.Fatalf("flush-time write error = %v, want %v", err, boom)
+	}
+	// An all-false mask writes nothing and cannot fail.
+	if err := WriteVertexSet(&failAfterWriter{n: 0, err: boom}, make([]bool, 10)); err != nil {
+		t.Fatalf("empty set write = %v, want nil (nothing to write)", err)
+	}
+}
+
+// TestReadVertexSetReaderFailure: an error from the underlying reader
+// (as opposed to malformed content) must be returned, not swallowed
+// into a partial mask.
+func TestReadVertexSetReaderFailure(t *testing.T) {
+	boom := errors.New("I/O error")
+	mask, err := ReadVertexSet(&failAfterReader{data: []byte("0\n1\n"), err: boom}, 5)
+	if !errors.Is(err, boom) {
+		t.Fatalf("reader failure = %v, want %v", err, boom)
+	}
+	if mask != nil {
+		t.Fatal("partial mask returned alongside a reader error")
+	}
+}
+
+// TestReadVertexSetShortReads: one byte per Read must decode
+// identically to one big read — ids split across Read calls, the final
+// line unterminated.
+func TestReadVertexSetShortReads(t *testing.T) {
+	const n = 1200
+	want := make([]bool, n)
+	var buf bytes.Buffer
+	for v := 0; v < n; v += 7 {
+		want[v] = true
+		fmt.Fprintln(&buf, v)
+	}
+	data := bytes.TrimSuffix(buf.Bytes(), []byte("\n")) // unterminated tail line
+	got, err := ReadVertexSet(&oneByteReader{data: data}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("short-read decode differs at vertex %d", v)
+		}
+	}
+}
+
+// TestReadVertexSetRejectsNegative: "-1" is out of range, not a
+// roll-over.
+func TestReadVertexSetRejectsNegative(t *testing.T) {
+	if _, err := ReadVertexSet(strings.NewReader("-1\n"), 3); err == nil {
+		t.Fatal("negative id accepted")
 	}
 }
 

@@ -3,15 +3,16 @@ package service
 import (
 	"container/list"
 	"sync"
+	"unsafe"
 
 	hypermis "repro"
 )
 
 // lruCache is a mutex-guarded LRU map from canonical job key to solve
 // result, bounded both by entry count and by an approximate byte
-// budget (a Result's dominant weight is its n-length MIS mask, so each
-// entry is charged len(MIS) bytes — without the budget, a cache of
-// maximal-size instances would hold entries × maxInstanceN bytes).
+// budget (each entry is charged entryCost: its n-length MIS mask plus
+// its per-round trace — without the budget, a cache of maximal-size
+// instances would hold entries × maxInstanceN bytes).
 // Results are immutable once computed (deterministic solves), so
 // entries are shared, never copied.
 type lruCache struct {
@@ -38,7 +39,15 @@ func newLRUCache(capacity int, maxBytes int64) *lruCache {
 	}
 }
 
-func entryCost(val *hypermis.Result) int64 { return int64(len(val.MIS)) + 64 }
+// entryCost approximates a Result's resident weight: the n-byte MIS
+// mask, the per-round trace records (?trace=1 solves carry one per
+// solver round — for O(√n)-round algorithms the trace can outweigh the
+// mask, so it must be charged too), and a flat allowance for the
+// struct, key and list bookkeeping.
+func entryCost(val *hypermis.Result) int64 {
+	const traceRecBytes = int64(unsafe.Sizeof(hypermis.RoundTrace{}))
+	return int64(len(val.MIS)) + int64(len(val.Trace))*traceRecBytes + 64
+}
 
 // Get returns the cached result for key, refreshing its recency.
 func (c *lruCache) Get(key string) (*hypermis.Result, bool) {

@@ -303,6 +303,21 @@ type Stats struct {
 	ChaosErrors     int64 `json:"chaos_injected_errors,omitempty"`
 	ChaosDelays     int64 `json:"chaos_injected_delays,omitempty"`
 	ChaosQueueFulls int64 `json:"chaos_injected_queuefulls,omitempty"`
+	// Durable cache tier (internal/durable; all zero and durable_enabled
+	// false unless the server runs with -cachedir). Counters are store
+	// lifetime; entries/segments/bytes are current occupancy.
+	DurableEnabled        bool  `json:"durable_enabled"`
+	DurableHits           int64 `json:"durable_hits_total"`
+	DurableMisses         int64 `json:"durable_misses_total"`
+	DurableWrites         int64 `json:"durable_writes_total"`
+	DurableWriteErrors    int64 `json:"durable_write_errors_total"`
+	DurableRecovered      int64 `json:"durable_recovered_total"`
+	DurableCorruptSkipped int64 `json:"durable_corrupt_skipped_total"`
+	DurableCompactions    int64 `json:"durable_compactions_total"`
+	DurableVerifyFailed   int64 `json:"durable_verify_failed_total"`
+	DurableEntries        int   `json:"durable_entries"`
+	DurableSegments       int   `json:"durable_segments"`
+	DurableBytes          int64 `json:"durable_bytes"`
 	// Per-priority counters keyed by class name (interactive / batch /
 	// background).
 	PerPriority map[string]PrioStats `json:"per_priority,omitempty"`

@@ -124,6 +124,23 @@ func (s *Server) writeProm(pw *obs.PromWriter) {
 		pw.Counter("hypermisd_chaos_queue_fulls_total", "Forced queue-full rejections by the chaos layer.", float64(fulls))
 	}
 
+	// Durable cache tier (families exist only when -cachedir is set, so
+	// a daemon without persistence carries no dead families).
+	if s.cfg.Durable != nil {
+		dc := s.cfg.Durable.Counters()
+		pw.Counter("hypermisd_durable_hits_total", "Durable-tier cache hits served from disk.", float64(dc.Hits))
+		pw.Counter("hypermisd_durable_misses_total", "Durable-tier lookups that found nothing servable.", float64(dc.Misses))
+		pw.Counter("hypermisd_durable_writes_total", "Records persisted by the write-behind goroutine.", float64(dc.Writes))
+		pw.Counter("hypermisd_durable_write_errors_total", "Durable writes dropped: queue overflow, I/O errors, short writes.", float64(dc.WriteErrors))
+		pw.Counter("hypermisd_durable_recovered_total", "Records recovered from segments at boot.", float64(dc.Recovered))
+		pw.Counter("hypermisd_durable_corrupt_skipped_total", "Corrupt frames skipped during recovery or rejected at read time.", float64(dc.CorruptSkipped))
+		pw.Counter("hypermisd_durable_compactions_total", "Whole oldest segments deleted to enforce the byte budget.", float64(dc.Compactions))
+		pw.Counter("hypermisd_durable_verify_failed_total", "Durable hits rejected by verify-first recovery.", float64(dc.VerifyFailed))
+		pw.Gauge("hypermisd_durable_entries", "Records indexed by the durable store.", float64(dc.Entries))
+		pw.Gauge("hypermisd_durable_segments", "Segment files held by the durable store.", float64(dc.Segments))
+		pw.Gauge("hypermisd_durable_bytes", "Bytes held on disk by the durable store.", float64(dc.Bytes))
+	}
+
 	// Batch pipeline.
 	pw.Counter("hypermisd_batch_requests_total", "POST /v1/batch requests.", float64(m.BatchRequests.Load()))
 	pw.Counter("hypermisd_batch_items_total", "Items carried by batch requests.", float64(m.BatchItems.Load()))

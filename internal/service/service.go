@@ -138,6 +138,7 @@ import (
 
 	hypermis "repro"
 	"repro/internal/admit"
+	"repro/internal/durable"
 	"repro/internal/faultinject"
 	"repro/internal/hgio"
 	"repro/internal/obs"
@@ -210,6 +211,17 @@ type Config struct {
 	// forced queue-full) per its configuration — see hypermisd -chaos
 	// and internal/faultinject. Nil injects nothing.
 	Chaos *faultinject.Injector
+	// Durable, when non-nil, is the crash-safe disk tier of the result
+	// cache (internal/durable): lookups fall through memory LRU →
+	// durable → solve, and a successful solve fills both. The server
+	// does not own the store — the caller opens it before New and
+	// closes it after Drain. Nil disables persistence.
+	Durable *durable.Store
+	// DurableVerify re-verifies every durable-tier hit against the
+	// submitted instance (hypermis.VerifyMIS, linear time) before it is
+	// served; a failing mask is dropped from the store and the request
+	// proceeds as a miss. The hypermisd -cacheverify flag sets it.
+	DurableVerify bool
 }
 
 func (c Config) withDefaults() Config {
@@ -555,6 +567,34 @@ func (s *Server) solveKeyed(ctx context.Context, h *hypermis.Hypergraph, opts hy
 			s.metrics.CacheMisses.Add(1)
 		}
 	}
+	// Second cache tier: the durable store. A hit here short-circuits
+	// the queue exactly like a memory hit and back-fills the LRU, but
+	// nothing read from disk is trusted blindly — the record already
+	// passed its CRC inside Get, the mask length must match the instance
+	// (a wrong-length mask cannot be this instance's result and would
+	// panic VerifyMIS), and under DurableVerify the MIS is re-proved
+	// against the submitted instance before it is served. Any failure
+	// evicts the record and degrades to a miss, never a wrong answer.
+	if s.cfg.Durable != nil {
+		sp := obs.From(ctx).StartSpan("durable-lookup")
+		res, ok := s.cfg.Durable.Get(key)
+		sp.End()
+		if ok {
+			good := len(res.MIS) == h.N()
+			if good && s.cfg.DurableVerify {
+				vsp := obs.From(ctx).StartSpan("durable-verify")
+				good = hypermis.VerifyMIS(h, res.MIS) == nil
+				vsp.End()
+			}
+			if good {
+				if s.cache != nil {
+					s.cache.Put(key, res)
+				}
+				return res, true, nil
+			}
+			s.cfg.Durable.MarkVerifyFailed(key)
+		}
+	}
 	// Deadline-aware admission: if the caller brought a deadline and the
 	// queue-wait estimate alone would blow it, reject now — honestly —
 	// instead of queueing a job whose answer will arrive after the
@@ -676,6 +716,21 @@ func (s *Server) Stats() Stats {
 	s.closeMu.RUnlock()
 	if s.cfg.Chaos != nil {
 		st.ChaosErrors, st.ChaosDelays, st.ChaosQueueFulls = s.cfg.Chaos.Counts()
+	}
+	if s.cfg.Durable != nil {
+		dc := s.cfg.Durable.Counters()
+		st.DurableEnabled = true
+		st.DurableHits = dc.Hits
+		st.DurableMisses = dc.Misses
+		st.DurableWrites = dc.Writes
+		st.DurableWriteErrors = dc.WriteErrors
+		st.DurableRecovered = dc.Recovered
+		st.DurableCorruptSkipped = dc.CorruptSkipped
+		st.DurableCompactions = dc.Compactions
+		st.DurableVerifyFailed = dc.VerifyFailed
+		st.DurableEntries = dc.Entries
+		st.DurableSegments = dc.Segments
+		st.DurableBytes = dc.Bytes
 	}
 	st.ParCap = cap(s.parTokens)
 	st.ParInUse = cap(s.parTokens) - len(s.parTokens)
@@ -862,6 +917,13 @@ func (s *Server) run(j *job) {
 	} else {
 		if s.cache != nil {
 			s.cache.Put(j.key, res)
+		}
+		if s.cfg.Durable != nil {
+			// Put only queues the record (the write-behind goroutine does
+			// the disk work), so the span bounds the hand-off, not an I/O.
+			dsp := tr.StartSpan("durable-fill")
+			s.cfg.Durable.Put(j.key, res)
+			dsp.End()
 		}
 		s.metrics.Solves.Add(1)
 		s.metrics.prio(j.prio).Solves.Add(1)

@@ -264,6 +264,36 @@ func TestLRUCacheByteBudget(t *testing.T) {
 	}
 }
 
+// TestEntryCostChargesTrace: a traced result must weigh its Trace slice
+// against the byte budget, not just its mask — a long-round traced
+// solve can carry far more trace than mask.
+func TestEntryCostChargesTrace(t *testing.T) {
+	bare := &hypermis.Result{MIS: make([]bool, 100)}
+	traced := &hypermis.Result{MIS: make([]bool, 100), Trace: make([]hypermis.RoundTrace, 50)}
+	if entryCost(traced) <= entryCost(bare) {
+		t.Fatalf("traced cost %d not above bare cost %d", entryCost(traced), entryCost(bare))
+	}
+	if got, min := entryCost(traced)-entryCost(bare), int64(50*40); got < min {
+		t.Fatalf("50 trace records charged only %d bytes, want ≥ %d", got, min)
+	}
+	// The budget must see that weight: two traced entries whose masks
+	// alone would fit cannot both stay under a mask-sized budget.
+	c := newLRUCache(100, 2*entryCost(bare))
+	c.Put("a", traced)
+	c.Put("b", traced)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d: trace weight not charged against the byte budget", c.Len())
+	}
+	// Refreshing an entry from bare to traced re-charges it.
+	c2 := newLRUCache(100, 0)
+	c2.Put("a", bare)
+	before := c2.Bytes()
+	c2.Put("a", traced)
+	if c2.Bytes() <= before {
+		t.Fatalf("bytes %d → %d after swapping in a traced result, want an increase", before, c2.Bytes())
+	}
+}
+
 func TestHistogramQuantiles(t *testing.T) {
 	var h Histogram
 	if h.Quantile(0.5) != 0 {
