@@ -1,0 +1,169 @@
+// Command benchdiff compares two BENCH_solvers.json files (cmd/benchjson
+// output) and fails when the new run regresses past per-metric
+// thresholds — the regression gate CI runs against the committed
+// baseline.
+//
+// Comparison is per benchmark row, matched by name, at every GOMAXPROCS
+// sweep point the two files share. The two metrics are held to
+// different standards because they travel differently across machines:
+//
+//   - allocs/op is host-independent (the allocator does the same work
+//     regardless of clock speed), so it is always a hard gate.
+//   - ns/op depends on the host. When the two reports come from
+//     matching hosts (same go_version and host_cpus) it is a hard gate;
+//     when they differ, ns regressions are reported as warnings only,
+//     unless -strict-ns forces them fatal. A gate that red-flags every
+//     CI runner generation change would train people to ignore it.
+//
+// A benchmark present in the baseline but missing from the new run is a
+// failure (silent coverage loss), and new-only benchmarks are listed
+// informationally.
+//
+// Usage:
+//
+//	benchdiff old.json new.json
+//	benchdiff -ns 10 -allocs 5 BENCH_solvers.json /tmp/new.json
+//	benchdiff -strict-ns old.json new.json   # ns fatal even across hosts
+//
+// Exit status: 0 when clean (or warnings only), 1 on regression, 2 on
+// usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// procEntry mirrors cmd/benchjson's procRecord.
+type procEntry struct {
+	Procs       int     `json:"procs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchEntry mirrors cmd/benchjson's record (the fields the diff needs).
+type benchEntry struct {
+	Name        string      `json:"name"`
+	NsPerOp     float64     `json:"ns_per_op"`
+	AllocsPerOp int64       `json:"allocs_per_op"`
+	Sweep       []procEntry `json:"procs_sweep"`
+}
+
+// reportDoc mirrors cmd/benchjson's report.
+type reportDoc struct {
+	GoVersion  string       `json:"go_version"`
+	HostCPUs   int          `json:"host_cpus"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+func load(path string) (*reportDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc reportDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &doc, nil
+}
+
+func main() {
+	nsPct := flag.Float64("ns", 10, "ns/op regression threshold in percent")
+	allocsPct := flag.Float64("allocs", 5, "allocs/op regression threshold in percent")
+	strictNs := flag.Bool("strict-ns", false, "treat ns/op regressions as fatal even when the reports come from different hosts")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldDoc, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	sameHost := oldDoc.GoVersion == newDoc.GoVersion && oldDoc.HostCPUs == newDoc.HostCPUs
+	nsFatal := sameHost || *strictNs
+	if !sameHost {
+		fmt.Printf("host mismatch: old %s/%d cpus, new %s/%d cpus — ns/op diffs are %s\n",
+			oldDoc.GoVersion, oldDoc.HostCPUs, newDoc.GoVersion, newDoc.HostCPUs,
+			map[bool]string{true: "fatal (-strict-ns)", false: "advisory"}[*strictNs])
+	}
+
+	newByName := make(map[string]benchEntry, len(newDoc.Benchmarks))
+	for _, b := range newDoc.Benchmarks {
+		newByName[b.Name] = b
+	}
+	oldNames := make(map[string]bool, len(oldDoc.Benchmarks))
+
+	regressions, warnings := 0, 0
+	check := func(name, metric string, procs int, oldV, newV, pct float64, fatal bool) {
+		if oldV <= 0 || newV <= oldV*(1+pct/100) {
+			return
+		}
+		delta := 100 * (newV - oldV) / oldV
+		kind := "REGRESSION"
+		if !fatal {
+			kind = "warning"
+			warnings++
+		} else {
+			regressions++
+		}
+		fmt.Printf("%s: %s p=%d %s %.4g -> %.4g (%+.1f%%, threshold +%.4g%%)\n",
+			kind, name, procs, metric, oldV, newV, delta, pct)
+	}
+
+	for _, ob := range oldDoc.Benchmarks {
+		oldNames[ob.Name] = true
+		nb, ok := newByName[ob.Name]
+		if !ok {
+			fmt.Printf("REGRESSION: %s missing from new report\n", ob.Name)
+			regressions++
+			continue
+		}
+		newSweep := make(map[int]procEntry, len(nb.Sweep))
+		for _, p := range nb.Sweep {
+			newSweep[p.Procs] = p
+		}
+		for _, op := range ob.Sweep {
+			np, ok := newSweep[op.Procs]
+			if !ok {
+				continue
+			}
+			check(ob.Name, "ns/op", op.Procs, op.NsPerOp, np.NsPerOp, *nsPct, nsFatal)
+			// allocs/op gets one alloc of absolute grace so tiny counts
+			// aren't gated on ±1 noise, but stays a hard gate everywhere.
+			if np.AllocsPerOp > op.AllocsPerOp+1 {
+				check(ob.Name, "allocs/op", op.Procs, float64(op.AllocsPerOp), float64(np.AllocsPerOp), *allocsPct, true)
+			}
+		}
+	}
+	added := 0
+	for _, nb := range newDoc.Benchmarks {
+		if !oldNames[nb.Name] {
+			fmt.Printf("note: new benchmark %s (no baseline)\n", nb.Name)
+			added++
+		}
+	}
+
+	fmt.Printf("benchdiff: %d benchmarks compared, %d regressions, %d warnings, %d new\n",
+		len(oldDoc.Benchmarks), regressions, warnings, added)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,14 @@
 // (ns_per_op etc.) are the GOMAXPROCS=1 numbers, so the single-core
 // trajectory stays comparable across revisions.
 //
+// Speedup numbers are only honest when the host actually has the cores
+// the sweep asks for. When the widest sweep point exceeds the host's
+// CPU count the run is oversubscribed — goroutines time-slice one core
+// and the ratio measures scheduler churn, not scaling — so the report
+// sets a top-level "oversubscribed": true flag and every
+// parallel_speedup is emitted as null rather than a number a reader
+// could mistake for real scaling.
+//
 // The workloads come from internal/benchdefs — the same declarations
 // the root bench_test.go runs — so the JSON always corresponds to
 // `go test -bench Solve`.
@@ -49,7 +57,8 @@ type procRecord struct {
 
 // record is one benchmark result row. The top-level numbers are the
 // GOMAXPROCS=1 measurement; Sweep holds every point and
-// ParallelSpeedup is ns/op(1) / ns/op(widest).
+// ParallelSpeedup is ns/op(1) / ns/op(widest) — or null when the sweep
+// oversubscribed the host (see the package comment).
 type record struct {
 	Name            string       `json:"name"`
 	Iterations      int          `json:"iterations"`
@@ -57,16 +66,19 @@ type record struct {
 	BytesPerOp      int64        `json:"bytes_per_op"`
 	AllocsPerOp     int64        `json:"allocs_per_op"`
 	Sweep           []procRecord `json:"procs_sweep"`
-	ParallelSpeedup float64      `json:"parallel_speedup"`
+	ParallelSpeedup *float64     `json:"parallel_speedup"`
 }
 
 // report is the emitted document.
 type report struct {
-	Tool       string   `json:"tool"`
-	GoVersion  string   `json:"go_version"`
-	HostCPUs   int      `json:"host_cpus"`
-	ProcsSweep []int    `json:"procs_sweep"`
-	Benchmarks []record `json:"benchmarks"`
+	Tool       string `json:"tool"`
+	GoVersion  string `json:"go_version"`
+	HostCPUs   int    `json:"host_cpus"`
+	ProcsSweep []int  `json:"procs_sweep"`
+	// Oversubscribed is true when the widest sweep point exceeds
+	// HostCPUs; every parallel_speedup is null in that case.
+	Oversubscribed bool     `json:"oversubscribed,omitempty"`
+	Benchmarks     []record `json:"benchmarks"`
 }
 
 // parseProcs parses "1,2,4" into a sorted, deduplicated, positive list.
@@ -189,6 +201,11 @@ func main() {
 		GoVersion:  runtime.Version(),
 		HostCPUs:   runtime.NumCPU(),
 		ProcsSweep: procs,
+		// A sweep wider than the host oversubscribes: the "parallel"
+		// points time-slice one core, so a speedup ratio would be
+		// meaningless (historically this emitted 0.4–0.9 "speedups" on a
+		// 1-CPU host that read like parallelism losing).
+		Oversubscribed: procs[len(procs)-1] > runtime.NumCPU(),
 	}
 	origProcs := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(origProcs)
@@ -219,8 +236,9 @@ func main() {
 		rec.BytesPerOp = base.BytesPerOp
 		rec.AllocsPerOp = base.AllocsPerOp
 		widest := rec.Sweep[len(rec.Sweep)-1]
-		if widest.NsPerOp > 0 {
-			rec.ParallelSpeedup = base.NsPerOp / widest.NsPerOp
+		if !rep.Oversubscribed && widest.NsPerOp > 0 {
+			speedup := base.NsPerOp / widest.NsPerOp
+			rec.ParallelSpeedup = &speedup
 		}
 		rep.Benchmarks = append(rep.Benchmarks, rec)
 	}

@@ -212,3 +212,106 @@ func TestUnionShards(t *testing.T) {
 		}
 	}
 }
+
+// TestFusedKernels checks OrCount and AndNotInto against their
+// unfused equivalents, including the dst==a aliasing case AndNotInto
+// documents.
+func TestFusedKernels(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 63, 64, 65, 500, 4096} {
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) != 0 {
+				a.Add(i)
+			}
+			if r.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		// OrCount: union in place, count of the result.
+		u := New(n)
+		u.Copy(a)
+		u.Or(b)
+		wantUnion := u.Count()
+		got := New(n)
+		got.Copy(a)
+		if c := got.OrCount(b); c != wantUnion {
+			t.Fatalf("n=%d: OrCount=%d want %d", n, c, wantUnion)
+		}
+		for i := range got {
+			if got[i] != u[i] {
+				t.Fatalf("n=%d: OrCount word %d = %#x want %#x", n, i, got[i], u[i])
+			}
+		}
+		// AndNotInto with a distinct destination.
+		wantDiff := AndNotCount(a, b)
+		d := New(n)
+		if c := AndNotInto(d, a, b); c != wantDiff {
+			t.Fatalf("n=%d: AndNotInto=%d want %d", n, c, wantDiff)
+		}
+		for i := range d {
+			if d[i] != a[i]&^b[i] {
+				t.Fatalf("n=%d: AndNotInto word %d wrong", n, i)
+			}
+		}
+		// Aliased in-place form (dst == a).
+		inPlace := New(n)
+		inPlace.Copy(a)
+		if c := AndNotInto(inPlace, inPlace, b); c != wantDiff {
+			t.Fatalf("n=%d: aliased AndNotInto=%d want %d", n, c, wantDiff)
+		}
+		for i := range inPlace {
+			if inPlace[i] != d[i] {
+				t.Fatalf("n=%d: aliased AndNotInto word %d wrong", n, i)
+			}
+		}
+	}
+}
+
+func benchPair(n int) (Set, Set) {
+	a, b := New(n), New(n)
+	for i := 0; i < n; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < n; i += 2 {
+		b.Add(i)
+	}
+	return a, b
+}
+
+func BenchmarkOrThenCount1M(b *testing.B) {
+	x, y := benchPair(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+		_ = x.Count()
+	}
+}
+
+func BenchmarkOrCount1M(b *testing.B) {
+	x, y := benchPair(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.OrCount(y)
+	}
+}
+
+func BenchmarkCopyAndNotCount1M(b *testing.B) {
+	x, y := benchPair(1 << 20)
+	dst := New(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Copy(x)
+		dst.AndNot(y)
+		_ = dst.Count()
+	}
+}
+
+func BenchmarkAndNotInto1M(b *testing.B) {
+	x, y := benchPair(1 << 20)
+	dst := New(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AndNotInto(dst, x, y)
+	}
+}

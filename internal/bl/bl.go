@@ -384,10 +384,10 @@ func Run(h *hypergraph.Hypergraph, active []bool, s *rng.Stream, cost *par.Cost,
 			par.ChargeReduce(cost, n)
 		}
 
-		// Step 3: survivors join the IS.
-		blue.Copy(marked)
-		blue.AndNot(unmark)
-		added := blue.Count()
+		// Step 3: survivors join the IS. blue = marked \ unmark and its
+		// size come out of one fused sweep (Copy+AndNot+Count would walk
+		// the words three times).
+		added := bitset.AndNotInto(blue, marked, unmark)
 		blue.ForEach(func(v int) {
 			res.InIS[v] = true
 		})

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/bitset"
 	"repro/internal/bl"
 	"repro/internal/greedy"
 	"repro/internal/hypergraph"
@@ -258,11 +259,14 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 		Unit:      "round",
 		Observer:  opts.Observer,
 	}
+	// |undecided| is carried across rounds: SetAll makes it exactly n
+	// here, and the fused discard below maintains it — no per-round
+	// Count sweep.
+	remaining := n
 	for {
 		if err := lp.Check(); err != nil {
 			return nil, err
 		}
-		remaining := undecided.Count()
 		par.ChargeReduce(cost, n)
 		// Line 4: while |V| ≥ 1/p².
 		if remaining < params.MinVertices {
@@ -360,7 +364,9 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 				red++
 			}
 		})
-		undecided.AndNot(sampled)
+		// Discard the sampled vertices and pick up the next round's
+		// |undecided| from the same fused sweep.
+		remaining = bitset.AndNotInto(undecided, undecided, sampled)
 		par.ChargeStep(cost, n)
 		st.Blue = blue
 		st.Red = red
@@ -389,8 +395,9 @@ func runOnce(h *hypergraph.Hypergraph, s *rng.Stream, cost *par.Cost, opts Optio
 	}
 	res.Rounds = lp.Rounds()
 
-	// Lines 23–24: tail solver on the residual instance.
-	res.TailSize = undecided.Count()
+	// Lines 23–24: tail solver on the residual instance. remaining is
+	// |undecided|, maintained by the fused discard.
+	res.TailSize = remaining
 	par.ChargeReduce(cost, n)
 	res.TailUsed = opts.Tail
 	undecidedMask := sampledMask // recycle: the sampling buffer is dead now

@@ -28,6 +28,21 @@
 // the scheduler granted, so concurrent jobs never oversubscribe the
 // host; Engine{P: 1} makes every primitive run inline with no
 // goroutines at all.
+//
+// # Dispatch
+//
+// Multi-worker passes run on a persistent Pool when the engine carries
+// one (Pool.Engine): long-lived workers parked on a task channel take
+// closures by handoff instead of a fresh goroutine per pass, which
+// amortizes spawn cost across the thousands of short rounds a solve
+// executes. Engines without a pool (plain Engine{P: n} literals) fall
+// back to spawning, with the calling goroutine always acting as worker
+// 0. How many workers a pass gets is decided by the grain — minimum
+// operations per chunk — which is either the static default or, when a
+// Tuner is attached (Engine.WithTuner), learned per pass class from
+// dispatch timings and per-round wall times. None of this affects
+// results: pool, tuner, and worker count are scheduling decisions
+// only, and the block partition stays a pure function of (n, shards).
 package par
 
 import (
@@ -35,6 +50,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Cost accumulates work-depth charges across primitive invocations. The
@@ -109,20 +125,33 @@ func log2Ceil(n int) int64 {
 	return int64(bits.Len(uint(n - 1)))
 }
 
-// grain is the minimum amount of work (in elementwise operation units)
-// each goroutine processes; below this, parallel dispatch overhead
-// dominates.
-const grain = 2048
-
 // Engine bounds the parallelism of the primitives. P is the maximum
 // number of worker goroutines; P <= 0 means runtime.GOMAXPROCS. The
 // zero value is ready to use and runs on the whole machine. Engines
-// are values: copy freely, no state is shared.
+// are values: copy freely, no state is shared beyond the optional
+// pool/tuner they reference.
 //
-// Results never depend on P — primitives partition work without
-// reordering it — so an Engine choice is purely a scheduling decision.
+// Results never depend on P, on whether a pool or tuner is attached,
+// or on scheduling — primitives partition work without reordering it —
+// so an Engine choice is purely a scheduling decision.
 type Engine struct {
 	P int
+
+	// pool, when set, supplies persistent workers for multi-worker
+	// dispatch (see Pool.Engine). nil engines spawn per pass.
+	pool *Pool
+	// tune, when set, adapts the shard grain (see Tuner). nil engines
+	// use the static defaultGrain.
+	tune *Tuner
+}
+
+// WithTuner returns a copy of the engine whose shard grain is driven
+// by t. A nil t returns the engine unchanged.
+func (e Engine) WithTuner(t *Tuner) Engine {
+	if t != nil {
+		e.tune = t
+	}
+	return e
 }
 
 // Procs returns the engine's parallelism bound.
@@ -133,14 +162,20 @@ func (e Engine) Procs() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// workersFor returns the number of goroutines to use for n items whose
+// workersFor returns the number of workers to use for n items whose
 // per-item cost is roughly perItem elementwise operations. Workers are
-// capped so each processes at least ~grain operations.
+// capped so each processes at least ~grain operations, where the grain
+// is the tuner's current estimate for the pass class (or the static
+// default without a tuner).
 func (e Engine) workersFor(n, perItem int) int {
 	w := e.Procs()
+	if w <= 1 {
+		return 1
+	}
 	if perItem < 1 {
 		perItem = 1
 	}
+	grain := e.tune.grainFor(classOf(perItem))
 	minPer := 1
 	if perItem < grain {
 		minPer = grain / perItem
@@ -152,6 +187,44 @@ func (e Engine) workersFor(n, perItem int) int {
 		w = 1
 	}
 	return w
+}
+
+// dispatch runs body(g) for every g in [0, w): on the persistent pool
+// when the engine has one, otherwise spawning w-1 goroutines. The
+// calling goroutine is always worker 0; w <= 1 runs inline.
+func (e Engine) dispatch(w int, body func(g int)) {
+	if w <= 1 {
+		body(0)
+		return
+	}
+	if e.pool != nil {
+		e.pool.run(w, body)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for g := 1; g < w; g++ {
+		go func(g int) {
+			defer wg.Done()
+			body(g)
+		}(g)
+	}
+	body(0)
+	wg.Wait()
+}
+
+// timed is dispatch plus tuner feedback: when a tuner is attached and
+// the pass is large enough to time meaningfully, the measured wall
+// time is folded into the pass class's ns/op estimate.
+func (e Engine) timed(n, perItem, w int, body func(g int)) {
+	ops := int64(n) * int64(perItem)
+	if e.tune == nil || ops < measureFloor {
+		e.dispatch(w, body)
+		return
+	}
+	start := time.Now()
+	e.dispatch(w, body)
+	e.tune.observe(classOf(perItem), ops, time.Since(start).Nanoseconds(), w)
 }
 
 // NumShards returns the recommended number of blocks for ForShards
@@ -179,26 +252,17 @@ func (e Engine) For(c *Cost, n int, body func(i int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
-	for g := 0; g < w; g++ {
+	e.timed(n, 1, w, func(g int) {
 		lo := g * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
-			break
+		for i := lo; i < hi; i++ {
+			body(i)
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // ForBlocked runs body(lo, hi) over disjoint contiguous blocks covering
@@ -251,7 +315,7 @@ func (e Engine) ForShardsWork(c *Cost, n, perItem, shards int, body func(shard, 
 
 // runShards invokes body over the deterministic (n, shards) block
 // partition, distributing blocks round-robin over up to
-// workersFor(n, perItem) goroutines.
+// workersFor(n, perItem) workers.
 func (e Engine) runShards(n, perItem, shards int, body func(shard, lo, hi int)) {
 	if shards < 1 {
 		shards = 1
@@ -278,25 +342,19 @@ func (e Engine) runShards(n, perItem, shards int, body func(shard, lo, hi int)) 
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for s := g; s < shards; s += w {
-				lo := s * chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				body(s, lo, hi)
+	e.timed(n, perItem, w, func(g int) {
+		for s := g; s < shards; s += w {
+			lo := s * chunk
+			if lo >= n {
+				return
 			}
-		}(g)
-	}
-	wg.Wait()
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(s, lo, hi)
+		}
+	})
 }
 
 // Count returns the number of indices in [0, n) for which pred holds.
@@ -314,30 +372,21 @@ func (e Engine) Count(c *Cost, n int, pred func(i int) bool) int {
 		return total
 	}
 	partial := make([]int, w)
-	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
-	for g := 0; g < w; g++ {
+	e.timed(n, 1, w, func(g int) {
 		lo := g * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(g, lo, hi int) {
-			defer wg.Done()
-			t := 0
-			for i := lo; i < hi; i++ {
-				if pred(i) {
-					t++
-				}
+		t := 0
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				t++
 			}
-			partial[g] = t
-		}(g, lo, hi)
-	}
-	wg.Wait()
+		}
+		partial[g] = t
+	})
 	total := 0
 	for _, t := range partial {
 		total += t
@@ -388,32 +437,24 @@ func ReduceOn[T any](e Engine, c *Cost, in []T, id T, op func(a, b T) T) T {
 		return acc
 	}
 	partial := make([]T, w)
-	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
-	used := 0
-	for g := 0; g < w; g++ {
+	e.timed(n, 1, w, func(g int) {
 		lo := g * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
+		acc := id
+		for i := lo; i < hi; i++ {
+			acc = op(acc, in[i])
+		}
+		partial[g] = acc
+	})
+	acc := id
+	for g := 0; g < w; g++ {
+		if g*chunk >= n {
 			break
 		}
-		used++
-		wg.Add(1)
-		go func(g, lo, hi int) {
-			defer wg.Done()
-			acc := id
-			for i := lo; i < hi; i++ {
-				acc = op(acc, in[i])
-			}
-			partial[g] = acc
-		}(g, lo, hi)
-	}
-	wg.Wait()
-	acc := id
-	for g := 0; g < used; g++ {
 		acc = op(acc, partial[g])
 	}
 	return acc
@@ -442,27 +483,18 @@ func ExclusiveScanOn(e Engine, c *Cost, in []int) ([]int, int) {
 	// Phase 1: per-block sums.
 	chunk := (n + w - 1) / w
 	blockSum := make([]int, w)
-	var wg sync.WaitGroup
-	for g := 0; g < w; g++ {
+	e.timed(n, 1, w, func(g int) {
 		lo := g * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
-			break
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += in[i]
 		}
-		wg.Add(1)
-		go func(g, lo, hi int) {
-			defer wg.Done()
-			s := 0
-			for i := lo; i < hi; i++ {
-				s += in[i]
-			}
-			blockSum[g] = s
-		}(g, lo, hi)
-	}
-	wg.Wait()
+		blockSum[g] = s
+	})
 	// Phase 2: sequential scan of block sums (w is tiny).
 	run := 0
 	blockOff := make([]int, w)
@@ -471,26 +503,18 @@ func ExclusiveScanOn(e Engine, c *Cost, in []int) ([]int, int) {
 		run += blockSum[g]
 	}
 	// Phase 3: per-block exclusive scans with offsets.
-	for g := 0; g < w; g++ {
+	e.dispatch(w, func(g int) {
 		lo := g * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
-			break
+		s := blockOff[g]
+		for i := lo; i < hi; i++ {
+			out[i] = s
+			s += in[i]
 		}
-		wg.Add(1)
-		go func(g, lo, hi int) {
-			defer wg.Done()
-			s := blockOff[g]
-			for i := lo; i < hi; i++ {
-				out[i] = s
-				s += in[i]
-			}
-		}(g, lo, hi)
-	}
-	wg.Wait()
+	})
 	return out, run
 }
 

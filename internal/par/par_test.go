@@ -10,7 +10,7 @@ import (
 )
 
 func TestForCoversAllIndices(t *testing.T) {
-	for _, n := range []int{0, 1, 7, grain - 1, grain, grain + 1, 10 * grain} {
+	for _, n := range []int{0, 1, 7, defaultGrain - 1, defaultGrain, defaultGrain + 1, 10 * defaultGrain} {
 		hit := make([]bool, n)
 		For(nil, n, func(i int) { hit[i] = true })
 		for i, h := range hit {
@@ -22,7 +22,7 @@ func TestForCoversAllIndices(t *testing.T) {
 }
 
 func TestForBlockedCoversDisjointly(t *testing.T) {
-	for _, n := range []int{0, 1, 100, 3 * grain} {
+	for _, n := range []int{0, 1, 100, 3 * defaultGrain} {
 		count := make([]int, n)
 		ForBlocked(nil, n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -100,7 +100,7 @@ func TestCount(t *testing.T) {
 
 func TestExclusiveScanMatchesSequential(t *testing.T) {
 	s := rng.New(2)
-	for _, n := range []int{0, 1, 2, 17, grain, grain*4 + 3} {
+	for _, n := range []int{0, 1, 2, 17, defaultGrain, defaultGrain*4 + 3} {
 		in := make([]int, n)
 		for i := range in {
 			in[i] = s.Intn(9) - 4
@@ -120,7 +120,7 @@ func TestExclusiveScanMatchesSequential(t *testing.T) {
 }
 
 func TestPackPreservesOrder(t *testing.T) {
-	n := 3*grain + 11
+	n := 3*defaultGrain + 11
 	in := make([]int, n)
 	for i := range in {
 		in[i] = i
@@ -272,7 +272,7 @@ func BenchmarkReduce1M(b *testing.B) {
 }
 
 func TestForShardsCoversDisjointly(t *testing.T) {
-	for _, n := range []int{0, 1, 7, grain, 10 * grain} {
+	for _, n := range []int{0, 1, 7, defaultGrain, 10 * defaultGrain} {
 		seen := make([]int32, n)
 		shards := NumShards(n)
 		hit := make([]bool, shards)
@@ -302,7 +302,7 @@ func TestForShardsRespectsShardBound(t *testing.T) {
 	// GOMAXPROCS-raced case the parameter exists for).
 	old := runtime.GOMAXPROCS(8)
 	defer runtime.GOMAXPROCS(old)
-	n := 10 * grain
+	n := 10 * defaultGrain
 	const shards = 2
 	seen := make([]int32, n)
 	ForShards(nil, n, shards, func(s, lo, hi int) {
@@ -398,7 +398,7 @@ func TestEngineP1Inline(t *testing.T) {
 func TestShardsForWorkHint(t *testing.T) {
 	e := Engine{P: 8}
 	if got := e.NumShards(100); got != 1 {
-		t.Fatalf("NumShards(100)=%d want 1 (below grain)", got)
+		t.Fatalf("NumShards(100)=%d want 1 (below defaultGrain)", got)
 	}
 	if got := e.ShardsFor(100, 1<<12); got != 8 {
 		t.Fatalf("ShardsFor(100, 4096)=%d want 8", got)

@@ -1,0 +1,244 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolDispatchCoversAllWorkers: every worker index in [0, w) runs
+// exactly once per dispatch, for degrees above and below the pool size.
+func TestPoolDispatchCoversAllWorkers(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, w := range []int{1, 2, 4, 7, 16} {
+		var hits [16]atomic.Int32
+		p.run(w, func(g int) { hits[g].Add(1) })
+		for g := 0; g < w; g++ {
+			if got := hits[g].Load(); got != 1 {
+				t.Fatalf("w=%d: worker %d ran %d times", w, g, got)
+			}
+		}
+		for g := w; g < len(hits); g++ {
+			if hits[g].Load() != 0 {
+				t.Fatalf("w=%d: phantom worker %d ran", w, g)
+			}
+		}
+	}
+}
+
+// TestPoolEngineDeterminism: primitives on a pooled engine must return
+// bit-identical results to the inline engine at any degree.
+func TestPoolEngineDeterminism(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	const n = 100_000
+	in := make([]int, n)
+	for i := range in {
+		in[i] = (i*2654435761 + 12345) % 1000
+	}
+	sum := func(a, b int) int { return a + b }
+	ref := ReduceOn(Engine{P: 1}, nil, in, 0, sum)
+	refScan, refTotal := ExclusiveScanOn(Engine{P: 1}, nil, in)
+	refPack := PackIndicesOn(Engine{P: 1}, nil, n, func(i int) bool { return in[i]%7 == 0 })
+	for _, deg := range []int{1, 2, 3, 8, 64} {
+		e := p.Engine(deg).WithTuner(NewTuner())
+		if got := ReduceOn(e, nil, in, 0, sum); got != ref {
+			t.Fatalf("deg=%d: reduce %d want %d", deg, got, ref)
+		}
+		scan, total := ExclusiveScanOn(e, nil, in)
+		if total != refTotal {
+			t.Fatalf("deg=%d: scan total %d want %d", deg, total, refTotal)
+		}
+		for i := range scan {
+			if scan[i] != refScan[i] {
+				t.Fatalf("deg=%d: scan[%d]=%d want %d", deg, i, scan[i], refScan[i])
+			}
+		}
+		pack := PackIndicesOn(e, nil, n, func(i int) bool { return in[i]%7 == 0 })
+		if len(pack) != len(refPack) {
+			t.Fatalf("deg=%d: pack len %d want %d", deg, len(pack), len(refPack))
+		}
+		for i := range pack {
+			if pack[i] != refPack[i] {
+				t.Fatalf("deg=%d: pack[%d]=%d want %d", deg, i, pack[i], refPack[i])
+			}
+		}
+	}
+}
+
+// TestPoolSharedByConcurrentEngines is the -race stress test: many
+// engines of mixed degree hammer one pool concurrently; every result
+// must still be exact.
+func TestPoolSharedByConcurrentEngines(t *testing.T) {
+	p := NewPool(runtime.GOMAXPROCS(0))
+	defer p.Close()
+	const n = 20_000
+	in := make([]int, n)
+	want := 0
+	for i := range in {
+		in[i] = i % 97
+		want += in[i]
+	}
+	var wg sync.WaitGroup
+	errs := make(chan int, 64)
+	for i := 0; i < 16; i++ {
+		deg := 1 + i%8
+		wg.Add(1)
+		go func(deg int) {
+			defer wg.Done()
+			e := p.Engine(deg).WithTuner(NewTuner())
+			for iter := 0; iter < 30; iter++ {
+				if got := ReduceOn(e, nil, in, 0, func(a, b int) int { return a + b }); got != want {
+					errs <- got
+					return
+				}
+				if got := e.Count(nil, n, func(i int) bool { return in[i] == 0 }); got != (n+96)/97 {
+					errs <- got
+					return
+				}
+			}
+		}(deg)
+	}
+	wg.Wait()
+	close(errs)
+	for got := range errs {
+		t.Fatalf("concurrent engine returned %d", got)
+	}
+}
+
+// TestPoolCloseInlineFallback: dispatch after Close must still cover
+// every worker index (inline on the caller) rather than hang or drop.
+func TestPoolCloseInlineFallback(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // idempotent
+	var hits [4]atomic.Int32
+	p.run(4, func(g int) { hits[g].Add(1) })
+	for g := range hits {
+		if hits[g].Load() != 1 {
+			t.Fatalf("post-close worker %d ran %d times", g, hits[g].Load())
+		}
+	}
+	if st := p.Stats(); st.Handoffs != 0 || st.Inline != 1 {
+		t.Fatalf("post-close stats: %+v", st)
+	}
+}
+
+// TestPoolNoGoroutineLeak: Close returns the process to its goroutine
+// baseline (goleak-style manual check with retries for runtime lag).
+func TestPoolNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := NewPool(8)
+	e := p.Engine(8)
+	e.For(nil, 1<<16, func(int) {})
+	if runtime.NumGoroutine() <= base {
+		t.Fatalf("pool started no goroutines (base %d)", base)
+	}
+	p.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d > baseline %d after Close", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPoolStatsCounters: handoffs accrue on pooled dispatch, inline on
+// degree-1-effective passes through a closed or saturated pool.
+func TestPoolStatsCounters(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	if st := p.Stats(); st.Workers != 4 || st.Busy != 0 {
+		t.Fatalf("fresh stats: %+v", st)
+	}
+	for i := 0; i < 50; i++ {
+		p.run(4, func(g int) { time.Sleep(10 * time.Microsecond) })
+	}
+	st := p.Stats()
+	if st.Handoffs+st.Inline == 0 {
+		t.Fatalf("no dispatch recorded: %+v", st)
+	}
+	if st.Busy != 0 {
+		t.Fatalf("busy gauge stuck at %d", st.Busy)
+	}
+}
+
+// TestTunerGrainFromSamples: the grain tracks learned ns/op — cheap ops
+// push it up from the default, expensive ops pull it down — and stays
+// clamped.
+func TestTunerGrainFromSamples(t *testing.T) {
+	tu := NewTuner()
+	if g := tu.grainFor(classElem); g != defaultGrain {
+		t.Fatalf("no-sample grain %d want %d", g, defaultGrain)
+	}
+	// ~0.5ns/op elementwise work: grain should rise well above default.
+	for i := 0; i < 20; i++ {
+		tu.observe(classElem, 1_000_000, 500_000, 1)
+	}
+	if g := tu.grainFor(classElem); g <= defaultGrain {
+		t.Fatalf("cheap-op grain %d, want > %d", g, defaultGrain)
+	}
+	// ~1µs/op heavy work in a different class: grain collapses to min.
+	for i := 0; i < 20; i++ {
+		tu.observe(classHeavy, 10_000, 10_000_000, 1)
+	}
+	if g := tu.grainFor(classHeavy); g != minGrain {
+		t.Fatalf("heavy-op grain %d want %d", g, minGrain)
+	}
+	// Classes are independent.
+	if g := tu.grainFor(classElem); g <= defaultGrain {
+		t.Fatalf("classElem grain disturbed: %d", g)
+	}
+	// nil tuner is always the default.
+	var nilT *Tuner
+	if g := nilT.grainFor(classMid); g != defaultGrain {
+		t.Fatalf("nil tuner grain %d", g)
+	}
+}
+
+// TestTunerShortRoundCollapse: a streak of short rounds collapses
+// dispatch to serial; one long round restores it.
+func TestTunerShortRoundCollapse(t *testing.T) {
+	tu := NewTuner()
+	e := Engine{P: 8}.WithTuner(tu)
+	n := 1 << 20
+	if w := e.workersFor(n, 1); w <= 1 {
+		t.Fatalf("pre-collapse workers %d", w)
+	}
+	for i := 0; i < shortRoundStreak; i++ {
+		tu.ObserveRound(10 * time.Microsecond)
+	}
+	if !tu.Collapsed() {
+		t.Fatal("not collapsed after short-round streak")
+	}
+	if w := e.workersFor(n, 1); w != 1 {
+		t.Fatalf("collapsed workers %d want 1", w)
+	}
+	tu.ObserveRound(50 * time.Millisecond)
+	if tu.Collapsed() {
+		t.Fatal("long round did not reset the streak")
+	}
+	if w := e.workersFor(n, 1); w <= 1 {
+		t.Fatalf("post-reset workers %d", w)
+	}
+	if tu.Rounds() != shortRoundStreak+1 {
+		t.Fatalf("rounds %d", tu.Rounds())
+	}
+}
+
+// TestClassOf pins the pass-class bucketing.
+func TestClassOf(t *testing.T) {
+	cases := map[int]int{0: classElem, 1: classElem, 2: classMid, 63: classMid, 64: classHeavy, 4096: classHeavy}
+	for perItem, want := range cases {
+		if got := classOf(perItem); got != want {
+			t.Fatalf("classOf(%d)=%d want %d", perItem, got, want)
+		}
+	}
+}

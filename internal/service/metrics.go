@@ -252,6 +252,17 @@ type Stats struct {
 	MaxJobParallelism int   `json:"max_job_parallelism"`
 	WideJobs          int64 `json:"jobs_wide"`
 	ParGranted        int64 `json:"par_granted_total"`
+	// Persistent parallel worker pool (shared by every job's solve):
+	// pool size, workers running a pass right now, cumulative pass
+	// handoffs to parked workers, and multi-worker passes that found no
+	// parked worker and ran inline on the dispatcher. A rising inline
+	// share under load means the pool is undersized — or the grain
+	// autotuner is collapsing short rounds to serial, which is the
+	// intended endgame behavior.
+	ParPoolWorkers int   `json:"par_pool_workers"`
+	ParWorkersBusy int64 `json:"par_workers_busy"`
+	ParHandoffs    int64 `json:"par_handoffs_total"`
+	ParInline      int64 `json:"par_inline_total"`
 	// Aggregate solver-round telemetry: total outer rounds across all
 	// solves, vertices decided inside them, and the summed in-round
 	// wall time (solver_round_ms_total / solver_rounds_total ≈ mean

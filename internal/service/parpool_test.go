@@ -1,0 +1,61 @@
+package service
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	hypermis "repro"
+)
+
+// waitGoroutines polls until the live goroutine count drops back to
+// base (manual goleak: the runtime retires exited goroutines lazily,
+// so a single snapshot right after Close races the scheduler).
+func waitGoroutines(t *testing.T, base int, when string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: %d goroutines alive, baseline %d", when, n, base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPoolGoroutinesReleasedOnClose: the server's persistent par pool
+// workers (and its job workers) must all exit after Close — no parked
+// goroutine survives the server that spawned it.
+func TestPoolGoroutinesReleasedOnClose(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := New(Config{Workers: 2})
+	h := testInstance(41)
+	if _, _, err := s.Solve(context.Background(), h, hypermis.Options{Algorithm: hypermis.AlgSBL, Seed: 1, Parallelism: 4}); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if st := s.Stats(); st.ParPoolWorkers <= 0 {
+		t.Fatalf("par pool not running: %+v", st)
+	}
+	s.Close()
+	s.Close() // idempotent
+	waitGoroutines(t, base, "after Close")
+}
+
+// TestPoolGoroutinesReleasedOnDrain: the graceful-shutdown path must
+// tear the par pool down just like Close does.
+func TestPoolGoroutinesReleasedOnDrain(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := New(Config{Workers: 2})
+	h := testInstance(42)
+	if _, _, err := s.Solve(context.Background(), h, hypermis.Options{Algorithm: hypermis.AlgBL, Seed: 2, Parallelism: 2}); err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if err := s.Drain(2 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitGoroutines(t, base, "after Drain")
+}

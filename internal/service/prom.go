@@ -176,6 +176,11 @@ func (s *Server) writeProm(pw *obs.PromWriter) {
 	pw.Gauge("hypermisd_draining", "1 while the server is draining for shutdown.", drainingVal)
 	pw.Gauge("hypermisd_par_in_use", "Parallelism tokens held by running jobs.", float64(cap(s.parTokens)-len(s.parTokens)))
 	pw.Gauge("hypermisd_par_cap", "Parallelism token-pool capacity.", float64(cap(s.parTokens)))
+	pps := s.parPool.Stats()
+	pw.Gauge("hypermisd_par_pool_workers", "Persistent parallel worker-pool size.", float64(pps.Workers))
+	pw.Gauge("hypermisd_par_workers_busy", "Pool workers running a parallel pass right now.", float64(pps.Busy))
+	pw.Counter("hypermisd_par_handoffs_total", "Parallel-pass blocks handed to parked pool workers.", float64(pps.Handoffs))
+	pw.Counter("hypermisd_par_inline_total", "Multi-worker passes that found no parked worker and ran inline.", float64(pps.Inline))
 	if s.cache != nil {
 		pw.Gauge("hypermisd_cache_entries", "Result-cache entries held.", float64(s.cache.Len()))
 		pw.Gauge("hypermisd_cache_bytes", "Approximate bytes held by the result cache.", float64(s.cache.Bytes()))

@@ -348,6 +348,14 @@ type Server struct {
 	// by the pool, and the aggregate granted degree can never exceed it.
 	parTokens chan struct{}
 
+	// parPool is the persistent parallel worker pool every job's solve
+	// dispatches onto (hypermis.Options.ParPool): its workers are
+	// started once per server and park between passes, so wide jobs pay
+	// no goroutine-spawn cost per solver round. Sized like parTokens —
+	// the aggregate granted degree — and closed by Close after the last
+	// worker exits.
+	parPool *hypermis.ParPool
+
 	// wsPool recycles solver workspaces across jobs. It is sized by the
 	// parallelism token pool — the number of jobs that can be solving
 	// simultaneously — so steady-state traffic runs on a fixed set of
@@ -388,6 +396,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		parTokens: make(chan struct{}, poolSize),
+		parPool:   hypermis.NewParPool(poolSize),
 		wsPool:    solver.NewPool(poolSize),
 		jobs:      newJobStore(cfg.JobTTL, cfg.MaxJobs),
 		estimator: admit.NewEstimator(),
@@ -434,6 +443,9 @@ func (s *Server) Close() {
 	})
 	s.jobWg.Wait()
 	s.wg.Wait()
+	// Workers are done solving, so no dispatch can race the pool
+	// shutdown; release its parked goroutines and wait for them.
+	s.parPool.Close()
 }
 
 // Drain shuts the server down gracefully: new submissions are refused
@@ -735,6 +747,11 @@ func (s *Server) Stats() Stats {
 	st.ParCap = cap(s.parTokens)
 	st.ParInUse = cap(s.parTokens) - len(s.parTokens)
 	st.MaxJobParallelism = s.cfg.MaxJobParallelism
+	ps := s.parPool.Stats()
+	st.ParPoolWorkers = ps.Workers
+	st.ParWorkersBusy = ps.Busy
+	st.ParHandoffs = ps.Handoffs
+	st.ParInline = ps.Inline
 	if s.cache != nil {
 		st.CacheSize = s.cache.Len()
 		st.CacheCap = s.cfg.CacheSize
@@ -868,6 +885,7 @@ func (s *Server) run(j *job) {
 	ws := s.wsPool.Get()
 	sp.End()
 	j.opts.Workspace = ws
+	j.opts.ParPool = s.parPool
 	ac := s.metrics.alg(hypermis.ResolveAlgorithm(j.h, j.opts.Algorithm).String())
 	callerObserver := j.opts.RoundObserver
 	j.opts.RoundObserver = func(r hypermis.RoundTrace) {

@@ -1,0 +1,42 @@
+package hypermis
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDeterminismSharedParPool pins the persistent-pool guarantee: a
+// single ParPool shared across solves of every algorithm, combined
+// with a reused Workspace poisoned between checkouts, still yields
+// bit-identical results at parallelism 1, 2 and 8. The pool only
+// changes which OS threads execute shard closures — never the shard
+// partition or the reduction order — so nothing may leak into results.
+func TestDeterminismSharedParPool(t *testing.T) {
+	pool := NewParPool(8)
+	defer pool.Close()
+	ws := NewWorkspace()
+	for _, c := range solverCases() {
+		t.Run(c.name, func(t *testing.T) {
+			for seed := uint64(0); seed < 3; seed++ {
+				ref := runSolver(t, c.algo, c.h, seed, 1)
+				if err := VerifyMIS(c.h, ref.MIS); err != nil {
+					t.Fatalf("seed %d: invalid MIS: %v", seed, err)
+				}
+				for _, p := range []int{1, 2, 8} {
+					ws.Poison()
+					got, err := Solve(c.h, Options{
+						Algorithm:   c.algo,
+						Seed:        seed,
+						Parallelism: p,
+						Workspace:   ws,
+						ParPool:     pool,
+					})
+					if err != nil {
+						t.Fatalf("solve(%s seed=%d par=%d pooled): %v", c.name, seed, p, err)
+					}
+					assertSameResult(t, fmt.Sprintf("%s seed=%d par=%d pooled", c.name, seed, p), ref, got)
+				}
+			}
+		})
+	}
+}

@@ -71,6 +71,20 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 	return 0, fmt.Errorf("hypermis: unknown algorithm %q", name)
 }
 
+// ParPool is a persistent pool of parallel worker goroutines shared
+// across Solve calls (it aliases the internal engine's pool type).
+// Solvers dispatch their sharded round passes onto the pool's parked
+// workers instead of spawning goroutines per pass; a steady-state
+// caller running many solves — the hypermisd scheduler keeps one per
+// server — amortizes all worker startup across jobs. A pool never
+// affects results, only scheduling. Close releases the workers.
+type ParPool = par.Pool
+
+// NewParPool starts a pool of the given number of worker goroutines
+// for Options.ParPool (workers <= 0 means runtime.GOMAXPROCS). The
+// caller owns its lifetime and must Close it.
+func NewParPool(workers int) *ParPool { return par.NewPool(workers) }
+
 // Workspace is the reusable per-job buffer bundle of the solver
 // runtime: the CSR round arenas, packed decision masks and per-vertex
 // slices every solver draws from. Passing one workspace to sequential
@@ -127,6 +141,12 @@ type Options struct {
 	// is left warm for the caller to reuse (nil = fresh buffers). It
 	// must not be shared by concurrent solves.
 	Workspace *Workspace
+	// ParPool, if non-nil, supplies the persistent worker pool the
+	// solve's parallel passes dispatch onto; unlike a Workspace it may
+	// be shared by concurrent solves. nil makes the call run a private
+	// pool when Parallelism permits more than one worker (and none at
+	// all when it doesn't). Pools never affect results.
+	ParPool *ParPool
 }
 
 // Result of a Solve call.
@@ -196,13 +216,29 @@ func SolveCtx(ctx context.Context, h *Hypergraph, opts Options) (*Result, error)
 	}
 	observer = solver.Tee(observer, solver.RoundObserver(opts.RoundObserver))
 
+	// Parallel runs dispatch onto a persistent pool (the caller's, or a
+	// private one for this call) and attach a fresh grain autotuner fed
+	// by the per-round wall times the Loop driver already records.
+	// Neither changes results — see Options.Parallelism.
+	eng := par.Engine{P: opts.Parallelism}
+	if eng.Procs() > 1 {
+		pool := opts.ParPool
+		if pool == nil {
+			pool = par.NewPool(eng.Procs() - 1)
+			defer pool.Close()
+		}
+		tuner := par.NewTuner()
+		eng = pool.Engine(opts.Parallelism).WithTuner(tuner)
+		observer = solver.Tee(observer, func(r solver.Round) { tuner.ObserveRound(r.Elapsed) })
+	}
+
 	out, err := desc.Solve(solver.Request{
 		H:          h,
 		Stream:     rng.New(opts.Seed),
 		Cost:       cost,
 		Ws:         ws,
 		Ctx:        ctx,
-		Par:        par.Engine{P: opts.Parallelism},
+		Par:        eng,
 		Observer:   observer,
 		Alpha:      opts.Alpha,
 		GreedyTail: opts.UseGreedyTail,
