@@ -152,6 +152,25 @@ func BenchmarkServiceHTTPBatch32_Luby_n1000(b *testing.B) {
 func BenchmarkServiceHTTPSingle_SBL_n1000(b *testing.B)  { benchServiceHTTP(b, "SolveSBL_n1000", false) }
 func BenchmarkServiceHTTPBatch32_SBL_n1000(b *testing.B) { benchServiceHTTP(b, "SolveSBL_n1000", true) }
 
+// Workload-endpoint rows: the same daemon round trip through POST
+// /v1/color (the whole peeling pipeline as one scheduled job) and POST
+// /v1/transversal (one solve plus the verified complement). ns/op is
+// per coloring / per transversal.
+func BenchmarkServiceHTTPColor_Luby_n1000(b *testing.B) {
+	c, ok := benchdefs.Find("SolveLuby_n1000")
+	if !ok {
+		b.Fatal("benchdefs case SolveLuby_n1000 not declared")
+	}
+	benchdefs.RunServiceHTTPColor(b, c)
+}
+func BenchmarkServiceHTTPTransversal_Luby_n1000(b *testing.B) {
+	c, ok := benchdefs.Find("SolveLuby_n1000")
+	if !ok {
+		b.Fatal("benchdefs case SolveLuby_n1000 not declared")
+	}
+	benchdefs.RunServiceHTTPTransversal(b, c)
+}
+
 func BenchmarkServiceHTTPSingleNoTrace_Luby_n1000(b *testing.B) {
 	benchServiceHTTPNoTrace(b, "SolveLuby_n1000", false)
 }

@@ -30,6 +30,7 @@
 //	go run ./cmd/benchjson -out -              # writes to stdout
 //	go run ./cmd/benchjson -procs 1,8 -out -   # custom sweep
 //	go run ./cmd/benchjson -benchtime 1x -out -  # CI smoke (one iteration per case)
+//	go run ./cmd/benchjson -match 'HTTPColor'  # refresh only matching rows in place
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -120,6 +122,7 @@ func main() {
 	out := flag.String("out", "BENCH_solvers.json", "output path, or - for stdout")
 	benchtime := flag.String("benchtime", "", "per-benchmark budget forwarded to testing (e.g. 100ms or 5x); default 1s")
 	procsFlag := flag.String("procs", defaultProcs(), "comma-separated GOMAXPROCS sweep")
+	match := flag.String("match", "", "regexp selecting which benchmarks to run; with an existing -out file, unmatched rows are carried over unchanged (selective refresh)")
 	testing.Init()
 	flag.Parse()
 	if *benchtime != "" {
@@ -194,7 +197,43 @@ func main() {
 			func(b *testing.B) { benchdefs.RunServiceHTTPBatchNoTrace(b, c) },
 		})
 	}
+	// Workload-endpoint rows: /v1/color runs the whole peeling pipeline
+	// per request, /v1/transversal one solve plus the verified
+	// complement — the recorded per-request cost of the two non-solve
+	// workloads.
+	{
+		c, ok := benchdefs.Find("SolveLuby_n1000")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchjson: missing case SolveLuby_n1000")
+			os.Exit(1)
+		}
+		benches = append(benches, namedBench{"BenchmarkServiceHTTPColor_Luby_n1000", func(b *testing.B) {
+			benchdefs.RunServiceHTTPColor(b, c)
+		}})
+		benches = append(benches, namedBench{"BenchmarkServiceHTTPTransversal_Luby_n1000", func(b *testing.B) {
+			benchdefs.RunServiceHTTPTransversal(b, c)
+		}})
+	}
 	benches = append(benches, namedBench{"BenchmarkVerifyMIS_n10000", benchdefs.RunVerify})
+
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -match:", err)
+			os.Exit(1)
+		}
+		kept := benches[:0]
+		for _, bench := range benches {
+			if re.MatchString(bench.name) {
+				kept = append(kept, bench)
+			}
+		}
+		benches = kept
+		if len(benches) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -match selects no benchmarks")
+			os.Exit(1)
+		}
+	}
 
 	rep := report{
 		Tool:       "cmd/benchjson",
@@ -241,6 +280,39 @@ func main() {
 			rec.ParallelSpeedup = &speedup
 		}
 		rep.Benchmarks = append(rep.Benchmarks, rec)
+	}
+
+	// Selective refresh: under -match against an existing file, carry the
+	// unmatched rows over unchanged so one new benchmark can be added to
+	// the tracked baseline without re-measuring (and so re-baselining)
+	// every other row.
+	if *match != "" && *out != "-" {
+		if prior, err := os.ReadFile(*out); err == nil {
+			var old report
+			if err := json.Unmarshal(prior, &old); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: existing %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+			fresh := make(map[string]record, len(rep.Benchmarks))
+			for _, r := range rep.Benchmarks {
+				fresh[r.Name] = r
+			}
+			merged := make([]record, 0, len(old.Benchmarks)+len(rep.Benchmarks))
+			for _, r := range old.Benchmarks {
+				if nr, ok := fresh[r.Name]; ok {
+					merged = append(merged, nr)
+					delete(fresh, r.Name)
+				} else {
+					merged = append(merged, r)
+				}
+			}
+			for _, r := range rep.Benchmarks {
+				if _, ok := fresh[r.Name]; ok {
+					merged = append(merged, r)
+				}
+			}
+			rep.Benchmarks = merged
+		}
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

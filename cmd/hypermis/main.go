@@ -7,9 +7,15 @@
 //
 //	hypermis generate -n 1000 -m 2000 -min 2 -max 6 -seed 1 > h.txt
 //	hypermis solve -algo sbl -seed 7 < h.txt > mis.txt
+//	hypermis color -algo sbl -seed 7 < h.txt > colors.txt
+//	hypermis transversal -seed 7 < h.txt > tv.txt
 //	hypermis verify -mis mis.txt < h.txt
 //	hypermis batch < items.ndjson > results.ndjson
 //	hypermis stats < h.txt
+//
+// color and transversal run locally by default; -addr sends the same
+// request to a running hypermisd (POST /v1/color, /v1/transversal) and
+// prints the identical, locally re-verified output.
 //
 // Instances use the line-oriented text format of internal/hgio by
 // default ("hypergraph <n> <m>" header, one edge per line); -bin on any
@@ -20,12 +26,14 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand/v2"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -49,6 +57,10 @@ func main() {
 		err = cmdGenerate(args)
 	case "solve":
 		err = cmdSolve(args)
+	case "color":
+		err = cmdColor(args)
+	case "transversal":
+		err = cmdTransversal(args)
 	case "verify":
 		err = cmdVerify(args)
 	case "batch":
@@ -66,12 +78,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hypermis <generate|solve|verify|batch|stats> [flags]
-  generate -n N -m M [-min S] [-max S] [-d D] [-kind uniform|mixed|graph|linear|sunflower] [-seed S] [-bin]
-  solve    [-algo auto|sbl|bl|kuw|luby|greedy|permbl|help] [-seed S] [-alpha A] [-cost] [-trace] [-transversal] [-bin]  < instance
-  verify   -mis FILE [-transversal] [-bin]  < instance
-  batch    [-addr URL]  < items.ndjson  > results.ndjson
-  stats    [-bin]  < instance`)
+	fmt.Fprintln(os.Stderr, `usage: hypermis <generate|solve|color|transversal|verify|batch|stats> [flags]
+  generate    -n N -m M [-min S] [-max S] [-d D] [-kind uniform|mixed|graph|linear|sunflower] [-seed S] [-bin]
+  solve       [-algo auto|sbl|bl|kuw|luby|greedy|permbl|help] [-seed S] [-alpha A] [-cost] [-trace] [-transversal] [-bin]  < instance
+  color       [-algo A] [-seed S] [-alpha A] [-addr URL] [-bin]  < instance  > colors.txt
+  transversal [-algo A] [-seed S] [-alpha A] [-addr URL] [-bin]  < instance  > transversal.txt
+  verify      -mis FILE [-transversal] [-bin]  < instance
+  batch       [-addr URL]  < items.ndjson  > results.ndjson
+  stats       [-bin]  < instance`)
 }
 
 func readInstance(r io.Reader, bin bool) (*hypergraph.Hypergraph, error) {
@@ -161,6 +175,166 @@ func cmdSolve(args []string) error {
 		fmt.Fprintf(os.Stderr, " depth=%d work=%d", res.Depth, res.Work)
 	}
 	fmt.Fprintln(os.Stderr)
+	return nil
+}
+
+// workloadQuery renders the shared solver flags as the service's query
+// parameters (zero values omitted, matching the server defaults).
+func workloadQuery(algo string, seed uint64, alpha float64) url.Values {
+	q := url.Values{}
+	if algo != "" && algo != "auto" {
+		q.Set("algo", algo)
+	}
+	q.Set("seed", strconv.FormatUint(seed, 10))
+	if alpha != 0 {
+		q.Set("alpha", strconv.FormatFloat(alpha, 'g', -1, 64))
+	}
+	return q
+}
+
+// postWorkload sends the instance to a daemon workload endpoint
+// (/v1/color or /v1/transversal) and decodes the JSON response into
+// out. The daemon computes exactly what the local path would — the
+// caller re-verifies the answer against the instance either way.
+func postWorkload(addr, path string, q url.Values, h *hypergraph.Hypergraph, out any) error {
+	var buf bytes.Buffer
+	if err := hgio.WriteBinary(&buf, h); err != nil {
+		return err
+	}
+	u := strings.TrimSuffix(addr, "/") + path
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := http.Post(u, service.ContentTypeBinary, &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		return fmt.Errorf("daemon status %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// cmdColor colors the instance by MIS peeling — locally through
+// hypermis.ColorByMISCtx, or through a running hypermisd's POST
+// /v1/color with -addr. Both paths print the identical color vector
+// (line v = color of vertex v) and re-verify the coloring before
+// printing, so a daemon answer is held to the same standard as a local
+// one.
+func cmdColor(args []string) error {
+	fs := flag.NewFlagSet("color", flag.ExitOnError)
+	algoName := fs.String("algo", "auto", "algorithm")
+	seed := fs.Uint64("seed", 1, "seed")
+	alpha := fs.Float64("alpha", 0, "SBL sampling exponent (0 = default)")
+	addr := fs.String("addr", "", "daemon base URL (empty = color locally)")
+	bin := fs.Bool("bin", false, "binary instance format")
+	fs.Parse(args)
+
+	algo, err := hypermis.ParseAlgorithm(*algoName)
+	if err != nil {
+		return err
+	}
+	h, err := readInstance(os.Stdin, *bin)
+	if err != nil {
+		return err
+	}
+	var c hypermis.Coloring
+	var algoStr string
+	var rounds int
+	if *addr != "" {
+		var cr service.ColorResponse
+		if err := postWorkload(*addr, "/v1/color", workloadQuery(*algoName, *seed, *alpha), h, &cr); err != nil {
+			return err
+		}
+		c = hypermis.Coloring{Colors: cr.Colors, NumColors: cr.NumColors, ClassSizes: cr.ClassSizes}
+		algoStr, rounds = cr.Algorithm, cr.Rounds
+	} else {
+		res, err := hypermis.ColorByMISCtx(context.Background(), h, hypermis.Options{
+			Algorithm: algo, Seed: *seed, Alpha: *alpha,
+		})
+		if err != nil {
+			return err
+		}
+		c = *res.Coloring()
+		algoStr, rounds = res.Algorithm.String(), res.Rounds
+	}
+	if err := hypermis.VerifyColoring(h, &c); err != nil {
+		return fmt.Errorf("coloring verification failed: %w", err)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	for _, col := range c.Colors {
+		fmt.Fprintln(out, col)
+	}
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "algorithm=%s colors=%d rounds=%d class_sizes=%v\n",
+		algoStr, c.NumColors, rounds, c.ClassSizes)
+	return nil
+}
+
+// cmdTransversal computes a verified minimal transversal — locally via
+// hypermis.MinimalTransversalCtx, or through POST /v1/transversal with
+// -addr. Output is the member vertex set in the same format `hypermis
+// solve -transversal` emits, bit-identical across the two paths.
+func cmdTransversal(args []string) error {
+	fs := flag.NewFlagSet("transversal", flag.ExitOnError)
+	algoName := fs.String("algo", "auto", "algorithm")
+	seed := fs.Uint64("seed", 1, "seed")
+	alpha := fs.Float64("alpha", 0, "SBL sampling exponent (0 = default)")
+	addr := fs.String("addr", "", "daemon base URL (empty = compute locally)")
+	bin := fs.Bool("bin", false, "binary instance format")
+	fs.Parse(args)
+
+	algo, err := hypermis.ParseAlgorithm(*algoName)
+	if err != nil {
+		return err
+	}
+	h, err := readInstance(os.Stdin, *bin)
+	if err != nil {
+		return err
+	}
+	var mask []bool
+	var algoStr string
+	var rounds int
+	if *addr != "" {
+		var tr service.TransversalResponse
+		if err := postWorkload(*addr, "/v1/transversal", workloadQuery(*algoName, *seed, *alpha), h, &tr); err != nil {
+			return err
+		}
+		mask = make([]bool, h.N())
+		for _, v := range tr.Transversal {
+			if v < 0 || v >= h.N() {
+				return fmt.Errorf("daemon returned out-of-range vertex %d", v)
+			}
+			mask[v] = true
+		}
+		algoStr, rounds = tr.Algorithm, tr.Rounds
+	} else {
+		res, err := hypermis.MinimalTransversalCtx(context.Background(), h, hypermis.Options{
+			Algorithm: algo, Seed: *seed, Alpha: *alpha,
+		})
+		if err != nil {
+			return err
+		}
+		mask = res.Transversal
+		algoStr, rounds = res.Algorithm.String(), res.Rounds
+	}
+	if err := hypermis.VerifyMinimalTransversal(h, mask); err != nil {
+		return fmt.Errorf("transversal verification failed: %w", err)
+	}
+	if err := hgio.WriteVertexSet(os.Stdout, mask); err != nil {
+		return err
+	}
+	size := 0
+	for _, in := range mask {
+		if in {
+			size++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "algorithm=%s minimal transversal size=%d rounds=%d\n", algoStr, size, rounds)
 	return nil
 }
 

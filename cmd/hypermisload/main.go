@@ -12,6 +12,17 @@
 //	batch   NDJSON POST /v1/batch, -batch items per request
 //	jobs    async POST /v1/jobs + GET polling until each job is done
 //
+// Two workload modes drive the non-solve endpoints with the same
+// instance/seed grid, verifying every answer locally (the generator
+// holds the instances) and cross-checking repeats against a
+// fingerprint table — the determinism contract of ColorByMIS and
+// MinimalTransversal, end to end through the daemon:
+//
+//	color        POST /v1/color; each response must be a proper,
+//	             complete coloring and bit-identical across repeats
+//	transversal  POST /v1/transversal; each response must be a verified
+//	             minimal transversal and bit-identical across repeats
+//
 // A fourth mode probes the daemon's overload behaviour instead of its
 // throughput:
 //
@@ -102,6 +113,9 @@ type instance struct {
 	textStr, binB64 string
 	digest          string
 	genQuery        string
+	// h is the decoded instance itself, kept so the color/transversal
+	// modes can verify every daemon answer locally.
+	h *hypermis.Hypergraph
 }
 
 type runner struct {
@@ -121,8 +135,8 @@ type runner struct {
 	ovOK   [2]atomic.Int64 // interactive successes per half
 	ovShed [2]atomic.Int64 // honest rejections (503/429) per half
 
-	genLat, solveLat, verifyLat, batchLat, jobLat service.Histogram
-	genOps, solveOps, verifyOps, batchOps, jobOps atomic.Int64
+	genLat, solveLat, verifyLat, batchLat, jobLat, colorLat, tvLat service.Histogram
+	genOps, solveOps, verifyOps, batchOps, jobOps, colorOps, tvOps atomic.Int64
 
 	mu       sync.Mutex
 	answers  map[string]string // (spec,seed) -> MIS fingerprint
@@ -141,7 +155,7 @@ func main() {
 	flag.IntVar(&cfg.n, "size", 400, "vertices per generated instance")
 	flag.IntVar(&cfg.m, "edges", 800, "edges per generated instance")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "base instance seed")
-	flag.StringVar(&cfg.mode, "mode", "single", "traffic shape: single (mixed per-request ops), batch (NDJSON /v1/batch), jobs (async /v1/jobs + polling), overload (uncacheable flood, goodput band check)")
+	flag.StringVar(&cfg.mode, "mode", "single", "traffic shape: single (mixed per-request ops), batch (NDJSON /v1/batch), jobs (async /v1/jobs + polling), overload (uncacheable flood, goodput band check), restart (durable-cache grid walk), color (/v1/color, verified + determinism-checked), transversal (/v1/transversal, same)")
 	flag.IntVar(&cfg.batch, "batch", 16, "items per batch request (batch mode)")
 	flag.DurationVar(&cfg.statsEvery, "statsevery", 0, "poll GET /v1/stats at this interval and print deltas (0 disables)")
 	flag.IntVar(&cfg.deadlineMs, "deadline", 2000, "per-request deadline_ms budget in overload mode (0 sends none)")
@@ -149,9 +163,9 @@ func main() {
 	flag.Float64Var(&cfg.expectHit, "expecthitrate", -1, "restart mode: fail unless the cache hit rate reaches this fraction in [0,1] (negative disables)")
 	flag.Parse()
 	switch cfg.mode {
-	case "single", "batch", "jobs", "overload", "restart":
+	case "single", "batch", "jobs", "overload", "restart", "color", "transversal":
 	default:
-		log.Fatalf("unknown -mode %q (want single, batch, jobs, overload or restart)", cfg.mode)
+		log.Fatalf("unknown -mode %q (want single, batch, jobs, overload, restart, color or transversal)", cfg.mode)
 	}
 	if cfg.batch < 1 {
 		cfg.batch = 1
@@ -214,6 +228,22 @@ func main() {
 						return
 					}
 					r.restartStep(int(i))
+				}
+			case "color":
+				for {
+					i := r.issued.Add(1) - 1
+					if i >= int64(cfg.total) {
+						return
+					}
+					r.colorStep(int(i))
+				}
+			case "transversal":
+				for {
+					i := r.issued.Add(1) - 1
+					if i >= int64(cfg.total) {
+						return
+					}
+					r.transversalStep(int(i))
 				}
 			default:
 				for {
@@ -314,6 +344,7 @@ func (r *runner) buildPool() {
 			digest:  hgio.Digest(h),
 			genQuery: fmt.Sprintf("kind=mixed&n=%d&m=%d&min=2&max=6&seed=%d",
 				r.cfg.n, r.cfg.m, seed),
+			h: h,
 		}
 	}
 }
@@ -698,6 +729,117 @@ func (r *runner) restartStep(i int) {
 	r.checkAnswer("restart", spec, seed, &sr, false)
 }
 
+// checkFingerprint enforces determinism for the color/transversal
+// modes: repeated (instance, seed) pairs must return the bit-identical
+// answer, exactly as checkAnswer does for MIS solves.
+func (r *runner) checkFingerprint(op string, spec int, seed uint64, fp string) {
+	key := fmt.Sprintf("%s %d/%d", op, spec, seed)
+	r.mu.Lock()
+	prev, seen := r.answers[key]
+	if !seen {
+		r.answers[key] = fp
+	}
+	r.mu.Unlock()
+	if seen && prev != fp {
+		r.fail("%s %d/%d: nondeterministic answer for equal (instance, seed)", op, spec, seed)
+	}
+}
+
+// colorStep issues one POST /v1/color over the (instance, seed) grid,
+// verifies the returned coloring locally (proper and complete against
+// the generator's own copy of the instance), and fingerprints it for
+// the determinism cross-check.
+func (r *runner) colorStep(i int) {
+	spec := i % len(r.instances)
+	seed := uint64(i % r.cfg.seeds)
+	inst := &r.instances[spec]
+	body, contentType := inst.text, service.ContentTypeText
+	if spec%2 == 1 { // exercise the binary path on half the pool
+		body, contentType = inst.bin, service.ContentTypeBinary
+	}
+	url := fmt.Sprintf("%s/v1/color?algo=%s&seed=%d", r.cfg.addr, r.cfg.algo, seed)
+	start := time.Now()
+	resp, raw, err := r.post(url, contentType, body)
+	if err != nil {
+		r.fail("color %d/%d: %v", spec, seed, err)
+		return
+	}
+	r.colorLat.Observe(time.Since(start))
+	r.colorOps.Add(1)
+	if resp.StatusCode != http.StatusOK {
+		r.fail("color %d/%d: status %d: %s", spec, seed, resp.StatusCode, raw)
+		return
+	}
+	var cr service.ColorResponse
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		r.fail("color %d/%d: bad JSON: %v", spec, seed, err)
+		return
+	}
+	if cr.Cached {
+		r.cached.Add(1)
+	}
+	c := hypermis.Coloring{Colors: cr.Colors, NumColors: cr.NumColors, ClassSizes: cr.ClassSizes}
+	if err := hypermis.VerifyColoring(inst.h, &c); err != nil {
+		r.fail("color %d/%d: invalid coloring: %v", spec, seed, err)
+		return
+	}
+	if len(cr.Classes) != cr.NumColors {
+		r.fail("color %d/%d: %d class records for %d colors", spec, seed, len(cr.Classes), cr.NumColors)
+	}
+	r.checkFingerprint("color", spec, seed, fmt.Sprint(cr.Colors))
+}
+
+// transversalStep issues one POST /v1/transversal over the grid,
+// verifies coverage and minimality locally, and fingerprints the
+// member set for the determinism cross-check.
+func (r *runner) transversalStep(i int) {
+	spec := i % len(r.instances)
+	seed := uint64(i % r.cfg.seeds)
+	inst := &r.instances[spec]
+	body, contentType := inst.text, service.ContentTypeText
+	if spec%2 == 1 {
+		body, contentType = inst.bin, service.ContentTypeBinary
+	}
+	url := fmt.Sprintf("%s/v1/transversal?algo=%s&seed=%d", r.cfg.addr, r.cfg.algo, seed)
+	start := time.Now()
+	resp, raw, err := r.post(url, contentType, body)
+	if err != nil {
+		r.fail("transversal %d/%d: %v", spec, seed, err)
+		return
+	}
+	r.tvLat.Observe(time.Since(start))
+	r.tvOps.Add(1)
+	if resp.StatusCode != http.StatusOK {
+		r.fail("transversal %d/%d: status %d: %s", spec, seed, resp.StatusCode, raw)
+		return
+	}
+	var tr service.TransversalResponse
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		r.fail("transversal %d/%d: bad JSON: %v", spec, seed, err)
+		return
+	}
+	if tr.Cached {
+		r.cached.Add(1)
+	}
+	if tr.Size+tr.MISSize != tr.N || tr.N != inst.h.N() {
+		r.fail("transversal %d/%d: size %d + mis_size %d != n %d", spec, seed, tr.Size, tr.MISSize, tr.N)
+		return
+	}
+	mask := make([]bool, inst.h.N())
+	for _, v := range tr.Transversal {
+		if v < 0 || v >= len(mask) {
+			r.fail("transversal %d/%d: out-of-range vertex %d", spec, seed, v)
+			return
+		}
+		mask[v] = true
+	}
+	if err := hypermis.VerifyMinimalTransversal(inst.h, mask); err != nil {
+		r.fail("transversal %d/%d: invalid transversal: %v", spec, seed, err)
+		return
+	}
+	r.checkFingerprint("transversal", spec, seed, fmt.Sprint(tr.Transversal))
+}
+
 func (r *runner) verify(spec int) {
 	r.mu.Lock()
 	mis, ok := r.lastMIS[spec]
@@ -750,7 +892,10 @@ func (r *runner) report(elapsed time.Duration) {
 	printHist("verify", r.verifyOps.Load(), &r.verifyLat)
 	printHist("batch", r.batchOps.Load(), &r.batchLat) // per batch request
 	printHist("job", r.jobOps.Load(), &r.jobLat)       // submit → done, polling included
-	fmt.Printf("  client-observed cache hits: %d of %d solves\n", r.cached.Load(), r.solveOps.Load())
+	printHist("color", r.colorOps.Load(), &r.colorLat)
+	printHist("transversal", r.tvOps.Load(), &r.tvLat)
+	fmt.Printf("  client-observed cache hits: %d of %d solves\n",
+		r.cached.Load(), r.solveOps.Load()+r.colorOps.Load()+r.tvOps.Load())
 
 	if resp, err := r.client.Get(r.cfg.addr + "/v1/stats"); err == nil {
 		var st service.Stats
@@ -807,7 +952,8 @@ func (r *runner) report(elapsed time.Duration) {
 	for _, f := range r.failures {
 		fmt.Println("  FAIL:", f)
 	}
-	if r.cfg.mode != "overload" && r.cached.Load() == 0 && r.solveOps.Load() > int64(r.cfg.pool*r.cfg.seeds) {
+	if r.cfg.mode != "overload" && r.cached.Load() == 0 &&
+		r.solveOps.Load()+r.colorOps.Load()+r.tvOps.Load() > int64(r.cfg.pool*r.cfg.seeds) {
 		// More solves than distinct keys yet zero hits: the cache is not
 		// doing its job. Flag it so the acceptance run catches it.
 		fmt.Println("  FAIL: no cache hits despite repeated (instance, seed) pairs")

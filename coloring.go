@@ -1,6 +1,8 @@
 package hypermis
 
 import (
+	"context"
+
 	"repro/internal/coloring"
 	"repro/internal/hypergraph"
 )
@@ -9,6 +11,51 @@ import (
 // monochromatic.
 type Coloring = coloring.Result
 
+// ColorClass is one peeled color class's telemetry: the class size, the
+// residual instance shape (uncolored vertices and the edges still alive
+// among them) the class's MIS solve saw, the solver rounds it spent, and
+// — when Options.Trace is set — its per-round trace. The JSON tags make
+// the type directly servable (the hypermisd /v1/color response embeds
+// it).
+type ColorClass struct {
+	// Size is the number of vertices assigned this class's color.
+	Size int `json:"size"`
+	// N and M are the residual instance shape entering the class: the
+	// uncolored vertex count and the count of edges whose vertices were
+	// all still uncolored.
+	N int `json:"n"`
+	M int `json:"m"`
+	// Rounds is the class solve's outer round count.
+	Rounds int `json:"rounds"`
+	// Trace is the class solve's per-round telemetry (Options.Trace
+	// only).
+	Trace []RoundTrace `json:"trace,omitempty"`
+}
+
+// ColorResult is the result of ColorByMISCtx: the coloring itself plus
+// the peeling pipeline's telemetry. Colors, NumColors and ClassSizes
+// mirror Coloring; Classes records the per-class solves in peel order.
+type ColorResult struct {
+	// Colors[v] is the color of vertex v, in [0, NumColors).
+	Colors []int
+	// NumColors is the number of color classes used.
+	NumColors int
+	// ClassSizes[c] is the size of color class c.
+	ClassSizes []int
+	// Algorithm that solved every class (resolves AlgAuto against the
+	// original instance — see ColorByMISCtx).
+	Algorithm Algorithm
+	// Rounds is the total outer solver rounds summed across classes.
+	Rounds int
+	// Classes holds one telemetry record per color class, in peel order.
+	Classes []ColorClass
+}
+
+// Coloring returns the result as the plain Coloring the verifier takes.
+func (r *ColorResult) Coloring() *Coloring {
+	return &Coloring{Colors: r.Colors, NumColors: r.NumColors, ClassSizes: r.ClassSizes}
+}
+
 // ColorByMIS colors h by repeated MIS extraction ("MIS peeling") using
 // the solver selected in opts: color class c is a maximal independent
 // set of the sub-hypergraph induced by the vertices still uncolored
@@ -16,7 +63,28 @@ type Coloring = coloring.Result
 // The result is a proper coloring; the number of classes is the
 // peeling number of the instance under the chosen solver.
 func ColorByMIS(h *Hypergraph, opts Options) (*Coloring, error) {
-	solver := func(sub *hypergraph.Hypergraph, active []bool, round int) ([]bool, error) {
+	res, err := ColorByMISCtx(context.Background(), h, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Coloring(), nil
+}
+
+// ColorByMISCtx is ColorByMIS with cooperative cancellation and the
+// full peeling telemetry: the whole multi-class pipeline runs under ctx
+// (each class solve checks it per round — see SolveCtx), and the result
+// carries per-class residual shapes, round counts and optional traces.
+//
+// AlgAuto is resolved once against h and pinned for every class, rather
+// than re-resolved per residual: edges only disappear as classes peel,
+// so the pinned algorithm stays within its dimension class, and pinning
+// keeps an "auto" request bit-identical to the equivalent explicit
+// request — the equivalence the service cache key canonicalizes on.
+// Like Solve, the output is bit-identical at any Options.Parallelism.
+func ColorByMISCtx(ctx context.Context, h *Hypergraph, opts Options) (*ColorResult, error) {
+	opts.Algorithm = ResolveAlgorithm(h, opts.Algorithm)
+	out := &ColorResult{Algorithm: opts.Algorithm}
+	solve := func(sub *hypergraph.Hypergraph, active []bool, round int) ([]bool, error) {
 		// The peeling loop hands us the induced sub-hypergraph (its
 		// edges lie inside the active set). Solving the whole universe
 		// is correct: inactive vertices are edge-free there, and the
@@ -25,13 +93,33 @@ func ColorByMIS(h *Hypergraph, opts Options) (*Coloring, error) {
 		// edge does.
 		o := opts
 		o.Seed = opts.Seed + uint64(round)
-		res, err := Solve(sub, o)
+		res, err := SolveCtx(ctx, sub, o)
 		if err != nil {
 			return nil, err
 		}
+		n := 0
+		for _, a := range active {
+			if a {
+				n++
+			}
+		}
+		out.Rounds += res.Rounds
+		out.Classes = append(out.Classes, ColorClass{
+			N: n, M: sub.M(), Rounds: res.Rounds, Trace: res.Trace,
+		})
 		return res.MIS, nil
 	}
-	return coloring.ByMIS(h, solver, 0)
+	c, err := coloring.ByMIS(h, solve, 0)
+	if err != nil {
+		return nil, err
+	}
+	out.Colors = c.Colors
+	out.NumColors = c.NumColors
+	out.ClassSizes = c.ClassSizes
+	for i := range out.Classes {
+		out.Classes[i].Size = c.ClassSizes[i]
+	}
+	return out, nil
 }
 
 // VerifyColoring checks completeness and properness of a coloring of h.

@@ -10,7 +10,9 @@
 // scheduler grant, pooled workspace, observer), and the HTTP pair
 // RunServiceHTTPSolve / RunServiceHTTPBatch (the daemon round trip per
 // solve, one request per solve versus NDJSON /v1/batch requests of
-// HTTPBatchSize items).
+// HTTPBatchSize items). RunServiceHTTPColor and
+// RunServiceHTTPTransversal measure the sibling workload endpoints the
+// same way — one uncached POST round trip per iteration.
 package benchdefs
 
 import (
@@ -193,6 +195,30 @@ func RunServiceHTTPSolve(b *testing.B, c Case) { runServiceHTTPSolve(b, c, false
 func RunServiceHTTPSolveNoTrace(b *testing.B, c Case) { runServiceHTTPSolve(b, c, true) }
 
 func runServiceHTTPSolve(b *testing.B, c Case, disableTracing bool) {
+	runServiceHTTPWork(b, c, "/v1/solve", disableTracing)
+}
+
+// RunServiceHTTPColor measures the coloring serving path: one POST
+// /v1/color round trip per iteration, each running the whole MIS-peeling
+// pipeline as one scheduled job (distinct seeds, so nothing caches).
+// ns/op is per coloring — expect a multiple of the solve row, roughly
+// the instance's peeling number.
+func RunServiceHTTPColor(b *testing.B, c Case) {
+	runServiceHTTPWork(b, c, "/v1/color", false)
+}
+
+// RunServiceHTTPTransversal measures the minimal-transversal serving
+// path: one POST /v1/transversal round trip per iteration — one solve
+// plus the verified complement, so the delta against the solve row is
+// the duality overhead.
+func RunServiceHTTPTransversal(b *testing.B, c Case) {
+	runServiceHTTPWork(b, c, "/v1/transversal", false)
+}
+
+// runServiceHTTPWork is the shared measured body of the synchronous
+// HTTP workload benchmarks: one POST round trip to the given endpoint
+// per iteration, distinct seeds so every request is a cache miss.
+func runServiceHTTPWork(b *testing.B, c Case, path string, disableTracing bool) {
 	ts, done, bin, _ := newHTTPBench(b, c, disableTracing)
 	defer done()
 	client := ts.Client()
@@ -200,7 +226,7 @@ func runServiceHTTPSolve(b *testing.B, c Case, disableTracing bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		url := fmt.Sprintf("%s/v1/solve?algo=%s&seed=%d&alpha=0.3", ts.URL, algo, i)
+		url := fmt.Sprintf("%s%s?algo=%s&seed=%d&alpha=0.3", ts.URL, path, algo, i)
 		resp, err := client.Post(url, service.ContentTypeBinary, bytes.NewReader(bin))
 		if err != nil {
 			b.Fatal(err)

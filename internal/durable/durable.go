@@ -15,15 +15,29 @@
 //	CRC32C of the payload (uint32 LE)
 //	payload
 //
-// The payload is a versioned, varint-encoded tuple: the canonical
-// service JobKey (instance digest + canonicalized options), the
-// resolved algorithm name, round count, MIS cardinality, PRAM
-// depth/work, the mask length n, and the MIS itself in the
-// hgio.WriteVertexSet encoding (one vertex id per line) — the same
-// certificate format the CLI reads and writes, so a segment record is
-// inspectable with standard tools. Records carrying a per-round trace
-// are never persisted: traces are telemetry, and a JobKey with trace=t
-// demands one, so such results stay memory-only.
+// The payload is a versioned, varint-encoded tuple whose leading
+// version byte doubles as the workload-kind discriminator:
+//
+//   - version 1 (solve): the canonical service key (instance digest +
+//     canonicalized options), the resolved algorithm name, round count,
+//     MIS cardinality, PRAM depth/work, the mask length n, and the MIS
+//     itself in the hgio.WriteVertexSet encoding (one vertex id per
+//     line) — the same certificate format the CLI reads and writes, so
+//     a segment record is inspectable with standard tools.
+//   - version 2 (transversal): byte-identical layout to version 1 with
+//     the transversal mask and its cardinality in place of the MIS
+//     (the complementary MIS size is n − size, so it is not stored).
+//   - version 3 (coloring): key, algorithm name, total rounds, the
+//     color count, n, the n per-vertex colors as uvarints, and one
+//     (size, n, m, rounds) tuple per color class in peel order.
+//
+// Kinds never cross: the typed getters (Get, GetTransversal, GetColor)
+// treat a record of any other version under the requested key as a
+// clean miss — not corruption — and the service's cache keys are
+// kind-prefixed anyway, so a solve key can never name a color record.
+// Records carrying a per-round trace are never persisted: traces are
+// telemetry, and a key with trace=t demands one, so such results stay
+// memory-only.
 //
 // # Write path
 //
@@ -77,9 +91,13 @@ const (
 )
 
 const (
-	frameMagic    = "HMR1"
-	headerSize    = 12 // magic(4) + payload length(4) + CRC32C(4)
-	recordVersion = 1
+	frameMagic = "HMR1"
+	headerSize = 12 // magic(4) + payload length(4) + CRC32C(4)
+	// Record versions double as workload-kind discriminators — see the
+	// package comment.
+	recordVersion            = 1 // solve (MIS) record
+	recordVersionTransversal = 2
+	recordVersionColor       = 3
 	// maxRecordBytes bounds a single record's payload; a length field
 	// beyond it is treated as corruption, not an allocation request.
 	maxRecordBytes = 64 << 20
@@ -358,7 +376,7 @@ func recoverScan(data []byte) (recs []recoveredRecord, validLen int64, corrupt i
 		if n <= maxRecordBytes && end <= len(data) {
 			payload := data[pos+headerSize : end]
 			if crc32.Checksum(payload, castagnoli) == crc {
-				if key, _, err := decodePayload(payload); err == nil {
+				if key, err := decodeRecordKey(payload); err == nil {
 					recs = append(recs, recoveredRecord{key: key, off: int64(pos + headerSize), n: n, crc: crc})
 					pos = end
 					lastGood = pos
@@ -384,40 +402,115 @@ func recoverScan(data []byte) (recs []recoveredRecord, validLen int64, corrupt i
 	return recs, int64(lastGood), corrupt
 }
 
-// Get returns the stored result for key. The payload is CRC-checked
-// again at read time (and run through the chaos bit-flip hook first);
-// any mismatch or decode failure drops the entry and reports a miss —
-// corruption degrades, it never serves.
-func (s *Store) Get(key string) (*hypermis.Result, bool) {
-	if s == nil {
-		return nil, false
-	}
+// getPayload fetches and integrity-checks the raw payload for key: the
+// bytes are CRC-checked again at read time (and run through the chaos
+// bit-flip hook first); any mismatch drops the entry and reports a
+// miss — corruption degrades, it never serves.
+func (s *Store) getPayload(key string) ([]byte, recRef, bool) {
 	s.mu.Lock()
 	ref, ok := s.idx[key]
 	s.mu.Unlock()
 	if !ok {
 		s.misses.Add(1)
-		return nil, false
+		return nil, recRef{}, false
 	}
 	buf := make([]byte, ref.n)
 	if _, err := ref.seg.r.ReadAt(buf, ref.off); err != nil {
 		s.dropRef(key, ref)
 		s.corruptSkipped.Add(1)
 		s.misses.Add(1)
-		return nil, false
+		return nil, recRef{}, false
 	}
 	s.cfg.Faults.DiskBitFlip(buf)
 	if crc32.Checksum(buf, castagnoli) != ref.crc {
 		s.dropRef(key, ref)
 		s.corruptSkipped.Add(1)
 		s.misses.Add(1)
+		return nil, recRef{}, false
+	}
+	return buf, ref, true
+}
+
+// wrongKind counts a kind mismatch: the record under key is intact but
+// belongs to a different workload. That is a clean miss, not
+// corruption — the entry is NOT dropped, because the record is a valid
+// answer for its own kind's getter.
+func (s *Store) wrongKind() {
+	s.misses.Add(1)
+}
+
+// corruptPayload drops key (it decoded wrong despite a matching CRC)
+// and reports a miss.
+func (s *Store) corruptPayload(key string, ref recRef) {
+	s.dropRef(key, ref)
+	s.corruptSkipped.Add(1)
+	s.misses.Add(1)
+}
+
+// Get returns the stored solve result for key. A record of a different
+// workload kind under the key is a clean miss; an undecodable payload
+// drops the entry.
+func (s *Store) Get(key string) (*hypermis.Result, bool) {
+	if s == nil {
+		return nil, false
+	}
+	buf, ref, ok := s.getPayload(key)
+	if !ok {
+		return nil, false
+	}
+	if len(buf) > 0 && (buf[0] == recordVersionTransversal || buf[0] == recordVersionColor) {
+		s.wrongKind()
 		return nil, false
 	}
 	gotKey, res, err := decodePayload(buf)
 	if err != nil || gotKey != key {
-		s.dropRef(key, ref)
-		s.corruptSkipped.Add(1)
-		s.misses.Add(1)
+		s.corruptPayload(key, ref)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return res, true
+}
+
+// GetTransversal returns the stored minimal-transversal result for key,
+// with the same kind-safety as Get.
+func (s *Store) GetTransversal(key string) (*hypermis.TransversalResult, bool) {
+	if s == nil {
+		return nil, false
+	}
+	buf, ref, ok := s.getPayload(key)
+	if !ok {
+		return nil, false
+	}
+	if len(buf) > 0 && (buf[0] == recordVersion || buf[0] == recordVersionColor) {
+		s.wrongKind()
+		return nil, false
+	}
+	gotKey, res, err := decodeTransversalPayload(buf)
+	if err != nil || gotKey != key {
+		s.corruptPayload(key, ref)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return res, true
+}
+
+// GetColor returns the stored coloring result for key, with the same
+// kind-safety as Get.
+func (s *Store) GetColor(key string) (*hypermis.ColorResult, bool) {
+	if s == nil {
+		return nil, false
+	}
+	buf, ref, ok := s.getPayload(key)
+	if !ok {
+		return nil, false
+	}
+	if len(buf) > 0 && (buf[0] == recordVersion || buf[0] == recordVersionTransversal) {
+		s.wrongKind()
+		return nil, false
+	}
+	gotKey, res, err := decodeColorPayload(buf)
+	if err != nil || gotKey != key {
+		s.corruptPayload(key, ref)
 		return nil, false
 	}
 	s.hits.Add(1)
@@ -432,12 +525,39 @@ func (s *Store) Put(key string, res *hypermis.Result) {
 	if s == nil || res == nil || len(res.Trace) > 0 || len(key) > maxKeyBytes {
 		return
 	}
+	s.putPayload(key, encodePayload(key, res))
+}
+
+// PutTransversal schedules a minimal-transversal record, with the same
+// never-block, skip-traced semantics as Put.
+func (s *Store) PutTransversal(key string, res *hypermis.TransversalResult) {
+	if s == nil || res == nil || len(res.Trace) > 0 || len(key) > maxKeyBytes {
+		return
+	}
+	s.putPayload(key, encodeTransversalPayload(key, res))
+}
+
+// PutColor schedules a coloring record, with the same never-block
+// semantics as Put. A result whose classes carry per-round traces is
+// telemetry and is skipped, like a traced solve.
+func (s *Store) PutColor(key string, res *hypermis.ColorResult) {
+	if s == nil || res == nil || len(key) > maxKeyBytes {
+		return
+	}
+	for _, c := range res.Classes {
+		if len(c.Trace) > 0 {
+			return
+		}
+	}
+	s.putPayload(key, encodeColorPayload(key, res))
+}
+
+func (s *Store) putPayload(key string, payload []byte) {
 	select {
 	case <-s.closed:
 		return
 	default:
 	}
-	payload := encodePayload(key, res)
 	req := writeReq{key: key, payload: payload, crc: crc32.Checksum(payload, castagnoli)}
 	select {
 	case s.writeCh <- req:
@@ -721,51 +841,60 @@ func encodePayload(key string, res *hypermis.Result) []byte {
 	return b
 }
 
-// decodePayload parses one record's payload back into its key and
-// result, rejecting anything malformed — wrong version, truncated
-// varints, out-of-range lengths, a cardinality that disagrees with the
-// mask, or an algorithm name the registry no longer knows.
-func decodePayload(p []byte) (string, *hypermis.Result, error) {
-	if len(p) == 0 || p[0] != recordVersion {
-		return "", nil, errBadRecord
+// payloadReader is the shared varint cursor the per-kind decoders use.
+type payloadReader struct {
+	p   []byte
+	pos int
+}
+
+func (r *payloadReader) readU() (uint64, bool) {
+	v, n := binary.Uvarint(r.p[r.pos:])
+	if n <= 0 {
+		return 0, false
 	}
-	pos := 1
-	readU := func() (uint64, bool) {
-		v, n := binary.Uvarint(p[pos:])
-		if n <= 0 {
-			return 0, false
-		}
-		pos += n
-		return v, true
+	r.pos += n
+	return v, true
+}
+
+func (r *payloadReader) readStr(max int) (string, bool) {
+	l, ok := r.readU()
+	if !ok || l > uint64(max) || uint64(len(r.p)-r.pos) < l {
+		return "", false
 	}
-	readStr := func(max int) (string, bool) {
-		l, ok := readU()
-		if !ok || l > uint64(max) || uint64(len(p)-pos) < l {
-			return "", false
-		}
-		v := string(p[pos : pos+int(l)])
-		pos += int(l)
-		return v, true
-	}
-	key, ok := readStr(maxKeyBytes)
+	v := string(r.p[r.pos : r.pos+int(l)])
+	r.pos += int(l)
+	return v, true
+}
+
+// readHeader reads the key and algorithm-name fields every kind's
+// payload starts with (after the version byte).
+func (r *payloadReader) readHeader() (key string, algo hypermis.Algorithm, ok bool) {
+	key, ok = r.readStr(maxKeyBytes)
 	if !ok || key == "" {
-		return "", nil, errBadRecord
+		return "", 0, false
 	}
-	name, ok := readStr(64)
+	name, ok := r.readStr(64)
 	if !ok {
-		return "", nil, errBadRecord
+		return "", 0, false
 	}
-	rounds, ok1 := readU()
-	size, ok2 := readU()
-	depth, ok3 := readU()
-	work, ok4 := readU()
-	n, ok5 := readU()
-	if !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || n > maxRecordVertices || size > n {
-		return "", nil, errBadRecord
-	}
-	mask, err := hgio.ReadVertexSet(bytes.NewReader(p[pos:]), int(n))
+	a, err := hypermis.ParseAlgorithm(name)
 	if err != nil {
-		return "", nil, errBadRecord
+		return "", 0, false
+	}
+	return key, a, true
+}
+
+// decodeMaskTail reads the (size, mask-length, mask) tail shared by the
+// solve and transversal layouts, validating that the mask's cardinality
+// matches the declared size.
+func (r *payloadReader) decodeMaskTail(size uint64) ([]bool, bool) {
+	n, ok := r.readU()
+	if !ok || n > maxRecordVertices || size > n {
+		return nil, false
+	}
+	mask, err := hgio.ReadVertexSet(bytes.NewReader(r.p[r.pos:]), int(n))
+	if err != nil {
+		return nil, false
 	}
 	card := 0
 	for _, in := range mask {
@@ -774,18 +903,196 @@ func decodePayload(p []byte) (string, *hypermis.Result, error) {
 		}
 	}
 	if uint64(card) != size {
+		return nil, false
+	}
+	return mask, true
+}
+
+// decodeRecordKey extracts the key from a payload of any known kind,
+// running the kind's full decode so recovery only indexes records that
+// will later serve. It is what recoverScan trusts.
+func decodeRecordKey(p []byte) (string, error) {
+	if len(p) == 0 {
+		return "", errBadRecord
+	}
+	switch p[0] {
+	case recordVersion:
+		key, _, err := decodePayload(p)
+		return key, err
+	case recordVersionTransversal:
+		key, _, err := decodeTransversalPayload(p)
+		return key, err
+	case recordVersionColor:
+		key, _, err := decodeColorPayload(p)
+		return key, err
+	}
+	return "", errBadRecord
+}
+
+// decodePayload parses one solve record's payload back into its key and
+// result, rejecting anything malformed — wrong version, truncated
+// varints, out-of-range lengths, a cardinality that disagrees with the
+// mask, or an algorithm name the registry no longer knows.
+func decodePayload(p []byte) (string, *hypermis.Result, error) {
+	if len(p) == 0 || p[0] != recordVersion {
 		return "", nil, errBadRecord
 	}
-	algo, err := hypermis.ParseAlgorithm(name)
-	if err != nil {
+	r := &payloadReader{p: p, pos: 1}
+	key, algo, ok := r.readHeader()
+	if !ok {
+		return "", nil, errBadRecord
+	}
+	rounds, ok1 := r.readU()
+	size, ok2 := r.readU()
+	depth, ok3 := r.readU()
+	work, ok4 := r.readU()
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return "", nil, errBadRecord
+	}
+	mask, ok := r.decodeMaskTail(size)
+	if !ok {
 		return "", nil, errBadRecord
 	}
 	return key, &hypermis.Result{
 		MIS:       mask,
-		Size:      card,
+		Size:      int(size),
 		Algorithm: algo,
 		Rounds:    int(rounds),
 		Depth:     int64(depth),
 		Work:      int64(work),
+	}, nil
+}
+
+// encodeTransversalPayload serializes a minimal-transversal record:
+// the version-1 layout with the transversal mask and its cardinality in
+// place of the MIS (the MIS size is n − size, so it is derived on
+// decode rather than stored).
+func encodeTransversalPayload(key string, res *hypermis.TransversalResult) []byte {
+	var vs bytes.Buffer
+	_ = hgio.WriteVertexSet(&vs, res.Transversal)
+	name := res.Algorithm.String()
+	b := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(name)+4*binary.MaxVarintLen64+vs.Len())
+	b = append(b, recordVersionTransversal)
+	b = binary.AppendUvarint(b, uint64(len(key)))
+	b = append(b, key...)
+	b = binary.AppendUvarint(b, uint64(len(name)))
+	b = append(b, name...)
+	b = binary.AppendUvarint(b, uint64(res.Rounds))
+	b = binary.AppendUvarint(b, uint64(res.Size))
+	b = binary.AppendUvarint(b, uint64(res.Depth))
+	b = binary.AppendUvarint(b, uint64(res.Work))
+	b = binary.AppendUvarint(b, uint64(len(res.Transversal)))
+	b = append(b, vs.Bytes()...)
+	return b
+}
+
+func decodeTransversalPayload(p []byte) (string, *hypermis.TransversalResult, error) {
+	if len(p) == 0 || p[0] != recordVersionTransversal {
+		return "", nil, errBadRecord
+	}
+	r := &payloadReader{p: p, pos: 1}
+	key, algo, ok := r.readHeader()
+	if !ok {
+		return "", nil, errBadRecord
+	}
+	rounds, ok1 := r.readU()
+	size, ok2 := r.readU()
+	depth, ok3 := r.readU()
+	work, ok4 := r.readU()
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return "", nil, errBadRecord
+	}
+	mask, ok := r.decodeMaskTail(size)
+	if !ok {
+		return "", nil, errBadRecord
+	}
+	return key, &hypermis.TransversalResult{
+		Transversal: mask,
+		Size:        int(size),
+		MISSize:     len(mask) - int(size),
+		Algorithm:   algo,
+		Rounds:      int(rounds),
+		Depth:       int64(depth),
+		Work:        int64(work),
+	}, nil
+}
+
+// encodeColorPayload serializes a coloring record: key, algorithm,
+// total rounds, color count, n, the n per-vertex colors, and one
+// (size, n, m, rounds) telemetry tuple per color class in peel order.
+func encodeColorPayload(key string, res *hypermis.ColorResult) []byte {
+	name := res.Algorithm.String()
+	b := make([]byte, 0, 1+len(key)+len(name)+(len(res.Colors)+4*len(res.Classes)+8)*binary.MaxVarintLen64)
+	b = append(b, recordVersionColor)
+	b = binary.AppendUvarint(b, uint64(len(key)))
+	b = append(b, key...)
+	b = binary.AppendUvarint(b, uint64(len(name)))
+	b = append(b, name...)
+	b = binary.AppendUvarint(b, uint64(res.Rounds))
+	b = binary.AppendUvarint(b, uint64(res.NumColors))
+	b = binary.AppendUvarint(b, uint64(len(res.Colors)))
+	for _, c := range res.Colors {
+		b = binary.AppendUvarint(b, uint64(c))
+	}
+	for _, cl := range res.Classes {
+		b = binary.AppendUvarint(b, uint64(cl.Size))
+		b = binary.AppendUvarint(b, uint64(cl.N))
+		b = binary.AppendUvarint(b, uint64(cl.M))
+		b = binary.AppendUvarint(b, uint64(cl.Rounds))
+	}
+	return b
+}
+
+// decodeColorPayload parses and cross-validates a coloring record: one
+// class tuple per color, every vertex's color in range, and every
+// class's declared size equal to the recomputed count of its color —
+// tampering that keeps the CRC intact still cannot smuggle an
+// inconsistent coloring past recovery.
+func decodeColorPayload(p []byte) (string, *hypermis.ColorResult, error) {
+	if len(p) == 0 || p[0] != recordVersionColor {
+		return "", nil, errBadRecord
+	}
+	r := &payloadReader{p: p, pos: 1}
+	key, algo, ok := r.readHeader()
+	if !ok {
+		return "", nil, errBadRecord
+	}
+	rounds, ok1 := r.readU()
+	numColors, ok2 := r.readU()
+	n, ok3 := r.readU()
+	if !ok1 || !ok2 || !ok3 || n > maxRecordVertices || numColors > n {
+		return "", nil, errBadRecord
+	}
+	colors := make([]int, n)
+	counts := make([]int, numColors)
+	for i := range colors {
+		c, ok := r.readU()
+		if !ok || c >= numColors {
+			return "", nil, errBadRecord
+		}
+		colors[i] = int(c)
+		counts[c]++
+	}
+	classes := make([]hypermis.ColorClass, numColors)
+	sizes := make([]int, numColors)
+	for i := range classes {
+		size, ok1 := r.readU()
+		cn, ok2 := r.readU()
+		m, ok3 := r.readU()
+		crounds, ok4 := r.readU()
+		if !ok1 || !ok2 || !ok3 || !ok4 ||
+			size != uint64(counts[i]) || cn > n || m > maxRecordVertices {
+			return "", nil, errBadRecord
+		}
+		classes[i] = hypermis.ColorClass{Size: int(size), N: int(cn), M: int(m), Rounds: int(crounds)}
+		sizes[i] = int(size)
+	}
+	return key, &hypermis.ColorResult{
+		Colors:     colors,
+		NumColors:  int(numColors),
+		ClassSizes: sizes,
+		Algorithm:  algo,
+		Rounds:     int(rounds),
+		Classes:    classes,
 	}, nil
 }

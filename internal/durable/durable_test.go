@@ -402,6 +402,287 @@ func TestDecodeRejectsMalformedPayloads(t *testing.T) {
 	}
 }
 
+// testTransversalResult complements testResult's mask: the stored
+// transversal is exactly what MinimalTransversalFromMIS would produce
+// from it.
+func testTransversalResult(n, seed int) *hypermis.TransversalResult {
+	base := testResult(n, seed)
+	mask := make([]bool, n)
+	size := 0
+	for i, in := range base.MIS {
+		if !in {
+			mask[i] = true
+			size++
+		}
+	}
+	return &hypermis.TransversalResult{
+		Transversal: mask,
+		Size:        size,
+		MISSize:     n - size,
+		Algorithm:   base.Algorithm,
+		Rounds:      base.Rounds,
+		Depth:       base.Depth,
+		Work:        base.Work,
+	}
+}
+
+// testColorResult builds a deterministic 3-coloring telemetry record.
+func testColorResult(n, seed int) *hypermis.ColorResult {
+	colors := make([]int, n)
+	sizes := make([]int, 3)
+	for i := range colors {
+		colors[i] = (i + seed) % 3
+		sizes[colors[i]]++
+	}
+	classes := make([]hypermis.ColorClass, 3)
+	rem := n
+	total := 0
+	for c := range classes {
+		classes[c] = hypermis.ColorClass{Size: sizes[c], N: rem, M: rem / 2, Rounds: c + seed + 1}
+		rem -= sizes[c]
+		total += classes[c].Rounds
+	}
+	return &hypermis.ColorResult{
+		Colors:     colors,
+		NumColors:  3,
+		ClassSizes: sizes,
+		Algorithm:  hypermis.AlgGreedy,
+		Rounds:     total,
+		Classes:    classes,
+	}
+}
+
+func sameTransversal(t *testing.T, got, want *hypermis.TransversalResult) {
+	t.Helper()
+	if got == nil {
+		t.Fatal("got nil transversal result")
+	}
+	if len(got.Transversal) != len(want.Transversal) {
+		t.Fatalf("mask length %d, want %d", len(got.Transversal), len(want.Transversal))
+	}
+	for i := range got.Transversal {
+		if got.Transversal[i] != want.Transversal[i] {
+			t.Fatalf("mask differs at vertex %d", i)
+		}
+	}
+	if got.Size != want.Size || got.MISSize != want.MISSize || got.Algorithm != want.Algorithm ||
+		got.Rounds != want.Rounds || got.Depth != want.Depth || got.Work != want.Work {
+		t.Fatalf("metadata round-trip: got %+v, want %+v", got, want)
+	}
+}
+
+func sameColor(t *testing.T, got, want *hypermis.ColorResult) {
+	t.Helper()
+	if got == nil {
+		t.Fatal("got nil color result")
+	}
+	if len(got.Colors) != len(want.Colors) || got.NumColors != want.NumColors {
+		t.Fatalf("shape (%d colors over %d vertices), want (%d over %d)",
+			got.NumColors, len(got.Colors), want.NumColors, len(want.Colors))
+	}
+	for i := range got.Colors {
+		if got.Colors[i] != want.Colors[i] {
+			t.Fatalf("color differs at vertex %d", i)
+		}
+	}
+	if got.Algorithm != want.Algorithm || got.Rounds != want.Rounds {
+		t.Fatalf("metadata round-trip: got %+v, want %+v", got, want)
+	}
+	if len(got.Classes) != len(want.Classes) {
+		t.Fatalf("%d classes, want %d", len(got.Classes), len(want.Classes))
+	}
+	for c := range got.Classes {
+		g, w := got.Classes[c], want.Classes[c]
+		if g.Size != w.Size || g.N != w.N || g.M != w.M || g.Rounds != w.Rounds {
+			t.Fatalf("class %d round-trip: got %+v, want %+v", c, g, w)
+		}
+		if got.ClassSizes[c] != want.ClassSizes[c] {
+			t.Fatalf("class size %d differs", c)
+		}
+	}
+}
+
+func TestTransversalPutGetRoundTrip(t *testing.T) {
+	s := openTest(t, Config{})
+	want := testTransversalResult(100, 1)
+	s.PutTransversal("t-1", want)
+	s.Flush()
+	got, ok := s.GetTransversal("t-1")
+	if !ok {
+		t.Fatal("GetTransversal after Put+Flush missed")
+	}
+	sameTransversal(t, got, want)
+	if got.MISSize+got.Size != len(got.Transversal) {
+		t.Fatal("MISSize + Size != n — the complement invariant broke in the codec")
+	}
+}
+
+func TestColorPutGetRoundTrip(t *testing.T) {
+	s := openTest(t, Config{})
+	want := testColorResult(90, 2)
+	s.PutColor("c-1", want)
+	s.Flush()
+	got, ok := s.GetColor("c-1")
+	if !ok {
+		t.Fatal("GetColor after Put+Flush missed")
+	}
+	sameColor(t, got, want)
+}
+
+// TestDurableKindConfusion is the kind-safety acceptance test: a record
+// of one workload kind must never be served by another kind's getter,
+// and the mismatch must be a clean miss — not corruption, and not a
+// dropped entry.
+func TestDurableKindConfusion(t *testing.T) {
+	s := openTest(t, Config{})
+	solve := testResult(60, 1)
+	trans := testTransversalResult(60, 2)
+	color := testColorResult(60, 3)
+	s.Put("solve-key", solve)
+	s.PutTransversal("trans-key", trans)
+	s.PutColor("color-key", color)
+	s.Flush()
+
+	if _, ok := s.Get("trans-key"); ok {
+		t.Fatal("Get served a transversal record")
+	}
+	if _, ok := s.Get("color-key"); ok {
+		t.Fatal("Get served a color record")
+	}
+	if _, ok := s.GetTransversal("solve-key"); ok {
+		t.Fatal("GetTransversal served a solve record")
+	}
+	if _, ok := s.GetTransversal("color-key"); ok {
+		t.Fatal("GetTransversal served a color record")
+	}
+	if _, ok := s.GetColor("solve-key"); ok {
+		t.Fatal("GetColor served a solve record")
+	}
+	if _, ok := s.GetColor("trans-key"); ok {
+		t.Fatal("GetColor served a transversal record")
+	}
+	c := s.Counters()
+	if c.CorruptSkipped != 0 {
+		t.Fatalf("corrupt_skipped = %d after kind mismatches, want 0 — wrong kind is a miss, not corruption", c.CorruptSkipped)
+	}
+	if c.Misses != 6 {
+		t.Fatalf("misses = %d, want 6 (one per cross-kind probe)", c.Misses)
+	}
+	// The entries survive the cross-kind probes: each kind's own getter
+	// still hits.
+	if got, ok := s.Get("solve-key"); !ok {
+		t.Fatal("solve record dropped by cross-kind probes")
+	} else {
+		sameResult(t, got, solve)
+	}
+	if got, ok := s.GetTransversal("trans-key"); !ok {
+		t.Fatal("transversal record dropped by cross-kind probes")
+	} else {
+		sameTransversal(t, got, trans)
+	}
+	if got, ok := s.GetColor("color-key"); !ok {
+		t.Fatal("color record dropped by cross-kind probes")
+	} else {
+		sameColor(t, got, color)
+	}
+}
+
+func TestReopenRecoversAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, Config{Dir: dir})
+	solve := testResult(50, 1)
+	trans := testTransversalResult(50, 2)
+	color := testColorResult(50, 3)
+	s.Put("solve-key", solve)
+	s.PutTransversal("trans-key", trans)
+	s.PutColor("color-key", color)
+	s.Flush()
+	s.Close()
+
+	s2 := openTest(t, Config{Dir: dir})
+	c := s2.Counters()
+	if c.Recovered != 3 || c.CorruptSkipped != 0 {
+		t.Fatalf("recovery counters = %+v, want 3 recovered / 0 corrupt", c)
+	}
+	got, ok := s2.Get("solve-key")
+	if !ok {
+		t.Fatal("solve record lost across reopen")
+	}
+	sameResult(t, got, solve)
+	gotT, ok := s2.GetTransversal("trans-key")
+	if !ok {
+		t.Fatal("transversal record lost across reopen")
+	}
+	sameTransversal(t, gotT, trans)
+	gotC, ok := s2.GetColor("color-key")
+	if !ok {
+		t.Fatal("color record lost across reopen")
+	}
+	sameColor(t, gotC, color)
+}
+
+func TestColorTracedResultsNotPersisted(t *testing.T) {
+	s := openTest(t, Config{})
+	res := testColorResult(30, 1)
+	res.Classes[1].Trace = []hypermis.RoundTrace{{}}
+	s.PutColor("traced", res)
+	trans := testTransversalResult(30, 1)
+	trans.Trace = []hypermis.RoundTrace{{}}
+	s.PutTransversal("traced-t", trans)
+	s.Flush()
+	if _, ok := s.GetColor("traced"); ok {
+		t.Fatal("traced color result was persisted; traces are memory-only")
+	}
+	if _, ok := s.GetTransversal("traced-t"); ok {
+		t.Fatal("traced transversal result was persisted; traces are memory-only")
+	}
+	if c := s.Counters(); c.Writes != 0 || c.WriteErrors != 0 {
+		t.Fatalf("counters = %+v, want a silent skip (no write, no error)", c)
+	}
+}
+
+func TestColorDecodeRejectsTamperedPayloads(t *testing.T) {
+	good := encodeColorPayload("key", testColorResult(20, 1))
+	if _, _, err := decodeColorPayload(good); err != nil {
+		t.Fatalf("round-trip decode failed: %v", err)
+	}
+	cases := map[string]*hypermis.ColorResult{}
+	// A vertex colored outside the palette.
+	bad := testColorResult(20, 1)
+	bad.Colors[5] = bad.NumColors
+	cases["color out of range"] = bad
+	// A class whose declared size disagrees with the color vector.
+	bad = testColorResult(20, 1)
+	bad.Classes[0].Size++
+	cases["class size mismatch"] = bad
+	for name, res := range cases {
+		if _, _, err := decodeColorPayload(encodeColorPayload("key", res)); err == nil {
+			t.Errorf("decodeColorPayload accepted a payload with %s", name)
+		}
+	}
+	if _, _, err := decodeColorPayload(good[:len(good)/2]); err == nil {
+		t.Error("decodeColorPayload accepted a truncated payload")
+	}
+	if _, _, err := decodeColorPayload(nil); err == nil {
+		t.Error("decodeColorPayload accepted an empty payload")
+	}
+}
+
+func TestTransversalDecodeRejectsMalformedPayloads(t *testing.T) {
+	good := encodeTransversalPayload("key", testTransversalResult(20, 1))
+	if _, _, err := decodeTransversalPayload(good); err != nil {
+		t.Fatalf("round-trip decode failed: %v", err)
+	}
+	bad := testTransversalResult(20, 1)
+	bad.Size++
+	if _, _, err := decodeTransversalPayload(encodeTransversalPayload("key", bad)); err == nil {
+		t.Error("decodeTransversalPayload accepted a cardinality mismatch")
+	}
+	if _, _, err := decodeTransversalPayload(good[:len(good)/2]); err == nil {
+		t.Error("decodeTransversalPayload accepted a truncated payload")
+	}
+}
+
 func TestRecoverScanEmptyAndGarbage(t *testing.T) {
 	if recs, n, corrupt := recoverScan(nil); len(recs) != 0 || n != 0 || corrupt != 0 {
 		t.Fatalf("empty scan = (%d recs, %d, %d), want zeros", len(recs), n, corrupt)

@@ -25,7 +25,8 @@ import (
 const ContentTypeNDJSON = "application/x-ndjson"
 
 // BatchItem is one line of the NDJSON body of POST /v1/batch: a
-// self-contained solve request. Exactly one of Instance (hgio text
+// self-contained work request (a solve by default — see Kind). Exactly
+// one of Instance (hgio text
 // format, newlines included), InstanceB64 (standard base64 of the hgio
 // binary format) or Ref (the id of an earlier item in the same batch,
 // whose already-parsed instance is reused) carries the hypergraph. The
@@ -38,7 +39,11 @@ type BatchItem struct {
 	// correlate by name instead of by index. It is also the anchor Ref
 	// resolves against: later items in the same batch may reuse this
 	// item's instance without resending it.
-	ID          string  `json:"id,omitempty"`
+	ID string `json:"id,omitempty"`
+	// Kind selects the item's workload: "solve" (the default when
+	// empty), "color" or "transversal". The remaining options apply to
+	// every kind (a coloring seeds class c with Seed+c).
+	Kind        string  `json:"kind,omitempty"`
 	Algo        string  `json:"algo,omitempty"`
 	Seed        uint64  `json:"seed,omitempty"`
 	Alpha       float64 `json:"alpha,omitempty"`
@@ -139,13 +144,15 @@ func (p *BatchParser) Instance(it *BatchItem) (*hypermis.Hypergraph, error) {
 // BatchItemResult is one line of the NDJSON response of POST /v1/batch.
 // Index is the item's zero-based position in the request stream (the
 // response arrives in completion order, not submission order); exactly
-// one of Solve and Error is set. A per-item Error never aborts the rest
-// of the batch.
+// one of Solve, Color, Transversal (matching the item's Kind) and Error
+// is set. A per-item Error never aborts the rest of the batch.
 type BatchItemResult struct {
-	Index int            `json:"index"`
-	ID    string         `json:"id,omitempty"`
-	Error string         `json:"error,omitempty"`
-	Solve *SolveResponse `json:"solve,omitempty"`
+	Index       int                  `json:"index"`
+	ID          string               `json:"id,omitempty"`
+	Error       string               `json:"error,omitempty"`
+	Solve       *SolveResponse       `json:"solve,omitempty"`
+	Color       *ColorResponse       `json:"color,omitempty"`
+	Transversal *TransversalResponse `json:"transversal,omitempty"`
 }
 
 // parseScratch holds the decode buffers one batch request reuses across
@@ -201,20 +208,20 @@ type timedResult struct {
 	start time.Time
 }
 
-// solveBlocking is SolveClass with the bounded queue's fail-fast
-// turned into waiting: the batch and async-job paths own no client
-// connection that needs an immediate 503, so on ErrQueueFull they back
-// off — capped exponential with full jitter, so a queue-full burst
-// doesn't resubmit every stalled item in lockstep — and retry until
-// ctx expires. Other errors pass through (an AdmissionError is
-// terminal: retrying a deadline that cannot be met only adds load).
-// The cache key is computed once and counters fire only on the first
-// attempt — see solveKeyed. Every backoff sleep bumps
+// workBlocking is the kind-generic *Class scheduling with the bounded
+// queue's fail-fast turned into waiting: the batch and async-job paths
+// own no client connection that needs an immediate 503, so on
+// ErrQueueFull they back off — capped exponential with full jitter, so
+// a queue-full burst doesn't resubmit every stalled item in lockstep —
+// and retry until ctx expires. Other errors pass through (an
+// AdmissionError is terminal: retrying a deadline that cannot be met
+// only adds load). The cache key is computed once and counters fire
+// only on the first attempt — see workKeyed. Every backoff sleep bumps
 // batch_backoff_total, the saturation signal for this path.
-func (s *Server) solveBlocking(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) (*hypermis.Result, bool, error) {
-	key := JobKey(h, opts)
+func (s *Server) workBlocking(ctx context.Context, kind WorkKind, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) (any, bool, error) {
+	key := WorkKey(kind, h, opts)
 	for attempt := 1; ; attempt++ {
-		res, cached, err := s.solveKeyed(ctx, h, opts, key, prio, attempt == 1)
+		res, cached, err := s.workKeyed(ctx, kind, h, opts, key, prio, attempt == 1)
 		if !errors.Is(err, ErrQueueFull) {
 			return res, cached, err
 		}
@@ -309,6 +316,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			res := BatchItemResult{Index: index, ID: it.ID}
 			opts, err := it.Options()
+			var kind WorkKind
+			if err == nil {
+				kind, err = ParseWorkKind(it.Kind)
+			}
 			var prio admit.Priority
 			if err == nil {
 				prio, err = admit.Parse(it.Priority, admit.Batch)
@@ -321,12 +332,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					wg.Add(1)
 					go func(res BatchItemResult, h *hypermis.Hypergraph, opts hypermis.Options, start time.Time) {
 						defer wg.Done()
-						solved, cached, err := s.solveBlocking(ctx, h, opts, prio)
+						worked, cached, err := s.workBlocking(ctx, kind, h, opts, prio)
 						if err != nil {
 							s.metrics.BatchItemErrors.Add(1)
 							res.Error = err.Error()
 						} else {
-							res.Solve = SolveResponseFor(h, solved, cached, time.Since(start))
+							switch kind {
+							case WorkColor:
+								res.Color = ColorResponseFor(h, worked.(*hypermis.ColorResult), cached, time.Since(start))
+							case WorkTransversal:
+								res.Transversal = TransversalResponseFor(h, worked.(*hypermis.TransversalResult), cached, time.Since(start))
+							default:
+								res.Solve = SolveResponseFor(h, worked.(*hypermis.Result), cached, time.Since(start))
+							}
 						}
 						results <- timedResult{res, start}
 						<-sem

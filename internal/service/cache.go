@@ -8,12 +8,13 @@ import (
 	hypermis "repro"
 )
 
-// lruCache is a mutex-guarded LRU map from canonical job key to solve
-// result, bounded both by entry count and by an approximate byte
-// budget (each entry is charged entryCost: its n-length MIS mask plus
-// its per-round trace — without the budget, a cache of maximal-size
+// lruCache is a mutex-guarded LRU map from canonical work key to
+// result — a solve, coloring or transversal per the key's workload
+// kind — bounded both by entry count and by an approximate byte budget
+// (each entry is charged entryCost: its n-length answer plus its
+// per-round trace — without the budget, a cache of maximal-size
 // instances would hold entries × maxInstanceN bytes).
-// Results are immutable once computed (deterministic solves), so
+// Results are immutable once computed (deterministic workloads), so
 // entries are shared, never copied.
 type lruCache struct {
 	mu       sync.Mutex
@@ -26,7 +27,7 @@ type lruCache struct {
 
 type lruEntry struct {
 	key  string
-	val  *hypermis.Result
+	val  any
 	cost int64
 }
 
@@ -39,18 +40,32 @@ func newLRUCache(capacity int, maxBytes int64) *lruCache {
 	}
 }
 
-// entryCost approximates a Result's resident weight: the n-byte MIS
-// mask, the per-round trace records (?trace=1 solves carry one per
-// solver round — for O(√n)-round algorithms the trace can outweigh the
-// mask, so it must be charged too), and a flat allowance for the
-// struct, key and list bookkeeping.
-func entryCost(val *hypermis.Result) int64 {
+// entryCost approximates a result's resident weight: the n-length
+// answer (mask bytes, or 8-byte ints for a coloring's color vector),
+// the per-round trace records (?trace=1 results carry one per solver
+// round — for O(√n)-round algorithms the trace can outweigh the mask,
+// so it must be charged too), and a flat allowance for the struct, key
+// and list bookkeeping.
+func entryCost(val any) int64 {
 	const traceRecBytes = int64(unsafe.Sizeof(hypermis.RoundTrace{}))
-	return int64(len(val.MIS)) + int64(len(val.Trace))*traceRecBytes + 64
+	const classBytes = int64(unsafe.Sizeof(hypermis.ColorClass{}))
+	switch v := val.(type) {
+	case *hypermis.Result:
+		return int64(len(v.MIS)) + int64(len(v.Trace))*traceRecBytes + 64
+	case *hypermis.TransversalResult:
+		return int64(len(v.Transversal)) + int64(len(v.Trace))*traceRecBytes + 64
+	case *hypermis.ColorResult:
+		cost := int64(8*len(v.Colors)) + int64(len(v.Classes))*classBytes + 64
+		for _, c := range v.Classes {
+			cost += int64(len(c.Trace)) * traceRecBytes
+		}
+		return cost
+	}
+	return 64
 }
 
 // Get returns the cached result for key, refreshing its recency.
-func (c *lruCache) Get(key string) (*hypermis.Result, bool) {
+func (c *lruCache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.idx[key]
@@ -63,7 +78,7 @@ func (c *lruCache) Get(key string) (*hypermis.Result, bool) {
 
 // Put inserts or refreshes key, evicting least recently used entries
 // while either bound (entry count, byte budget) is exceeded.
-func (c *lruCache) Put(key string, val *hypermis.Result) {
+func (c *lruCache) Put(key string, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.idx[key]; ok {

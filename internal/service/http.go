@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -15,9 +14,7 @@ import (
 
 	hypermis "repro"
 	"repro/internal/admit"
-	"repro/internal/faultinject"
 	"repro/internal/hgio"
-	"repro/internal/obs"
 )
 
 // Content types for instance payloads. Text is the default; anything
@@ -79,6 +76,8 @@ type errorResponse struct {
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/color", s.handleColor)
+	mux.HandleFunc("POST /v1/transversal", s.handleTransversal)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -236,79 +235,7 @@ func parseSolveOptions(r *http.Request) (hypermis.Options, error) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	if !s.allowClient(w, r) {
-		return
-	}
-	tr := obs.From(r.Context())
-	opts, err := parseSolveOptions(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	prio, err := requestPriority(r, admit.Interactive)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	ctx, cancelDeadline, err := requestDeadline(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	defer cancelDeadline()
-	sp := tr.StartSpan("decode")
-	h, err := readInstanceBody(r)
-	sp.End()
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "reading instance: %v", err)
-		return
-	}
-	start := time.Now()
-	res, cached, err := s.SolveClass(ctx, h, opts, prio)
-	var admission *AdmissionError
-	switch {
-	case errors.As(err, &admission):
-		// Deadline-aware shed: the queue-wait estimate says the client's
-		// deadline cannot be met, so the Retry-After is that estimate —
-		// the soonest moment a retry could plausibly succeed.
-		w.Header().Set("Retry-After", retryAfterSeconds(admission.EstWait))
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", retryAfterSeconds(s.estimatedRetryAfter(prio)))
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case errors.Is(err, ErrDraining):
-		// The process is going away; point retries at a restarted
-		// instance, not this one.
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case errors.Is(err, ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case errors.Is(err, faultinject.ErrInjected):
-		// A chaos-injected solver failure is a server fault by
-		// construction; clients must see the 5xx a real one would cause.
-		httpError(w, http.StatusInternalServerError, "solve: %v", err)
-		return
-	case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
-		// The client's own context is still live, so the expiry was a
-		// server-side deadline (the per-job one, or the request's
-		// deadline_ms budget): a retryable condition, not a malformed
-		// request.
-		httpError(w, http.StatusGatewayTimeout, "solve: %v (deadline)", err)
-		return
-	case err != nil:
-		// Dimension violations and client-driven cancellation are the
-		// client's fault or choice; unprocessable rather than 500.
-		httpError(w, http.StatusUnprocessableEntity, "solve: %v", err)
-		return
-	}
-	tr.SetDetail("algo=%s n=%d m=%d size=%d cached=%t", res.Algorithm, h.N(), h.M(), res.Size, cached)
-	sp = tr.StartSpan("encode")
-	writeJSON(w, http.StatusOK, *SolveResponseFor(h, res, cached, time.Since(start)))
-	sp.End()
+	s.handleWork(w, r, WorkSolve)
 }
 
 // SolveResponseFor builds the wire response for one completed solve —

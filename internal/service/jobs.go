@@ -44,15 +44,18 @@ var ErrJobStoreFull = errors.New("service: job store full")
 // errUnknownJob distinguishes "no such job" (404) from other failures.
 var errUnknownJob = errors.New("service: unknown job")
 
-// asyncJob is one async solve tracked by the job store. All fields
-// after the immutable header are guarded by the store's mutex.
+// asyncJob is one async workload tracked by the job store. All fields
+// after the immutable header are guarded by the store's mutex. resp is
+// the kind's wire response (*SolveResponse, *ColorResponse or
+// *TransversalResponse) once the job is done.
 type asyncJob struct {
 	id      string
+	kind    WorkKind
 	created time.Time
 	cancel  context.CancelFunc
 
 	state   JobState
-	resp    *SolveResponse
+	resp    any
 	errMsg  string
 	expires time.Time // zero until terminal; then terminal time + TTL
 }
@@ -142,7 +145,7 @@ func (st *jobStore) setRunning(id string) {
 
 // finish moves the job to a terminal state and starts its TTL clock.
 // The job may already have been evicted (store pressure); that is fine.
-func (st *jobStore) finish(id string, state JobState, resp *SolveResponse, errMsg string, now time.Time) {
+func (st *jobStore) finish(id string, state JobState, resp any, errMsg string, now time.Time) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	j, ok := st.m[id]
@@ -199,12 +202,19 @@ func (st *jobStore) cancelAll() {
 	}
 }
 
-// SubmitJob accepts h under opts as an async job in the given priority
-// class and returns its id immediately; the solve runs through the
-// same scheduler, cache and workspace pool as Solve, detached from any
-// caller context. Poll JobStatus for the result; CancelJob stops an
-// in-flight job at its next solver round.
+// SubmitJob accepts h under opts as an async MIS solve in the given
+// priority class — SubmitWork with the historical solve kind.
 func (s *Server) SubmitJob(h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) (string, error) {
+	return s.SubmitWork(WorkSolve, h, opts, prio)
+}
+
+// SubmitWork accepts h under opts as an async job of the given workload
+// kind and priority class and returns its id immediately; the work runs
+// through the same scheduler, cache and workspace pool as the
+// synchronous paths, detached from any caller context. Poll JobStatus
+// for the result; CancelJob stops an in-flight job at its next solver
+// round.
+func (s *Server) SubmitWork(kind WorkKind, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) (string, error) {
 	// The job context bounds the job's WHOLE lifetime — queue wait
 	// included — at twice the per-job deadline (which itself starts only
 	// at worker pickup). Without this, a job starved by a saturated
@@ -217,7 +227,7 @@ func (s *Server) SubmitJob(h *hypermis.Hypergraph, opts hypermis.Options, prio a
 	} else {
 		jctx, cancel = context.WithCancel(context.Background())
 	}
-	j := &asyncJob{id: newJobID(), created: time.Now(), cancel: cancel, state: JobQueued}
+	j := &asyncJob{id: newJobID(), kind: kind, created: time.Now(), cancel: cancel, state: JobQueued}
 	// Hold the read side across the closed-check, the store add and the
 	// WaitGroup Add (mirroring enqueue): once Close holds the write side
 	// it sees every accepted job — cancelAll catches it in the store and
@@ -238,11 +248,11 @@ func (s *Server) SubmitJob(h *hypermis.Hypergraph, opts hypermis.Options, prio a
 	}
 	s.metrics.JobsSubmitted.Add(1)
 	s.jobWg.Add(1)
-	go s.runJob(jctx, cancel, j.id, h, opts, prio)
+	go s.runJob(jctx, cancel, j.id, kind, h, opts, prio)
 	return j.id, nil
 }
 
-func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, id string, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) {
+func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, id string, kind WorkKind, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) {
 	defer s.jobWg.Done()
 	// Release the lifetime timer once terminal; CancelJob may also call
 	// it concurrently (CancelFuncs are idempotent and safe).
@@ -253,16 +263,26 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, id strin
 	var tr *obs.Trace
 	if s.recorder != nil {
 		tr = obs.NewTrace("JOB /v1/jobs")
-		tr.SetDetail("job=%s algo=%s", id, hypermis.ResolveAlgorithm(h, opts.Algorithm))
+		tr.SetDetail("job=%s kind=%s algo=%s", id, kind, hypermis.ResolveAlgorithm(h, opts.Algorithm))
 		ctx = obs.With(ctx, tr)
 	}
 	s.jobs.setRunning(id)
 	start := time.Now()
-	res, cached, err := s.solveBlocking(ctx, h, opts, prio)
+	res, cached, err := s.workBlocking(ctx, kind, h, opts, prio)
 	status := http.StatusOK
 	switch {
 	case err == nil:
-		s.jobs.finish(id, JobDone, SolveResponseFor(h, res, cached, time.Since(start)), "", time.Now())
+		var resp any
+		elapsed := time.Since(start)
+		switch kind {
+		case WorkColor:
+			resp = ColorResponseFor(h, res.(*hypermis.ColorResult), cached, elapsed)
+		case WorkTransversal:
+			resp = TransversalResponseFor(h, res.(*hypermis.TransversalResult), cached, elapsed)
+		default:
+			resp = SolveResponseFor(h, res.(*hypermis.Result), cached, elapsed)
+		}
+		s.jobs.finish(id, JobDone, resp, "", time.Now())
 		s.metrics.JobsDone.Add(1)
 	case errors.Is(err, context.Canceled), errors.Is(err, ErrClosed):
 		// Only CancelJob and server shutdown cancel the job's context
@@ -285,25 +305,37 @@ func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, id strin
 }
 
 // JobStatusResponse is the JSON body of POST /v1/jobs (job_id + status
-// only), GET /v1/jobs/{id} and DELETE /v1/jobs/{id}. Solve is present
-// once the job is done; Error once it failed or was canceled;
+// only), GET /v1/jobs/{id} and DELETE /v1/jobs/{id}. Exactly one of
+// Solve, Color or Transversal — matching the submitted kind — is
+// present once the job is done; Error once it failed or was canceled;
 // ExpiresInMs counts down the terminal job's retention.
 type JobStatusResponse struct {
-	JobID       string         `json:"job_id"`
-	Status      JobState       `json:"status"`
-	AgeMs       float64        `json:"age_ms,omitempty"`
-	ExpiresInMs float64        `json:"expires_in_ms,omitempty"`
-	Error       string         `json:"error,omitempty"`
-	Solve       *SolveResponse `json:"solve,omitempty"`
+	JobID       string               `json:"job_id"`
+	Kind        WorkKind             `json:"kind,omitempty"`
+	Status      JobState             `json:"status"`
+	AgeMs       float64              `json:"age_ms,omitempty"`
+	ExpiresInMs float64              `json:"expires_in_ms,omitempty"`
+	Error       string               `json:"error,omitempty"`
+	Solve       *SolveResponse       `json:"solve,omitempty"`
+	Color       *ColorResponse       `json:"color,omitempty"`
+	Transversal *TransversalResponse `json:"transversal,omitempty"`
 }
 
 func jobStatusResponse(j asyncJob, now time.Time) JobStatusResponse {
 	resp := JobStatusResponse{
 		JobID:  j.id,
+		Kind:   j.kind,
 		Status: j.state,
 		AgeMs:  float64(now.Sub(j.created)) / float64(time.Millisecond),
 		Error:  j.errMsg,
-		Solve:  j.resp,
+	}
+	switch r := j.resp.(type) {
+	case *SolveResponse:
+		resp.Solve = r
+	case *ColorResponse:
+		resp.Color = r
+	case *TransversalResponse:
+		resp.Transversal = r
 	}
 	if j.state.terminal() {
 		resp.ExpiresInMs = float64(j.expires.Sub(now)) / float64(time.Millisecond)
@@ -342,6 +374,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	kind, err := ParseWorkKind(r.URL.Query().Get("kind"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	prio, err := requestPriority(r, admit.Batch)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -352,7 +389,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "reading instance: %v", err)
 		return
 	}
-	id, err := s.SubmitJob(h, opts, prio)
+	id, err := s.SubmitWork(kind, h, opts, prio)
 	switch {
 	case errors.Is(err, ErrJobStoreFull):
 		w.Header().Set("Retry-After", "1")
@@ -363,7 +400,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+id)
-	writeJSON(w, http.StatusAccepted, JobStatusResponse{JobID: id, Status: JobQueued})
+	writeJSON(w, http.StatusAccepted, JobStatusResponse{JobID: id, Kind: kind, Status: JobQueued})
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

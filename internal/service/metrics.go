@@ -127,7 +127,16 @@ type Metrics struct {
 	Generates    atomic.Int64 // HTTP layer
 	WideJobs     atomic.Int64 // jobs granted parallelism degree > 1
 	ParGranted   atomic.Int64 // sum of granted degrees across jobs
-	SolveLatency Histogram
+	SolveLatency Histogram    // job wall time, all workload kinds
+	// Dual-problem workloads (POST /v1/color, /v1/transversal): completed
+	// colorings and the color classes they peeled, completed minimal
+	// transversals, and per-kind failures. Solves/Errors above stay
+	// solve-only so their long-standing meaning survives the new kinds.
+	Colorings         atomic.Int64
+	ColorClasses      atomic.Int64
+	ColorErrors       atomic.Int64
+	Transversals      atomic.Int64
+	TransversalErrors atomic.Int64
 	// Aggregate per-round solver telemetry, fed by the per-job
 	// RoundObserver: outer rounds executed across all jobs, vertices
 	// decided in those rounds, and total in-round wall time.
@@ -242,6 +251,16 @@ type Stats struct {
 	CacheBytes  int64 `json:"cache_bytes"`
 	Verifies    int64 `json:"verifies"`
 	Generates   int64 `json:"generates"`
+	// Dual-problem workloads: completed colorings (colorings_total), the
+	// color classes peeled across them (color_classes_total /
+	// colorings_total ≈ mean palette size), completed minimal
+	// transversals, and per-kind failures. The solves/errors fields above
+	// remain MIS-solve-only.
+	Colorings         int64 `json:"colorings_total"`
+	ColorClasses      int64 `json:"color_classes_total"`
+	ColorErrors       int64 `json:"color_errors_total"`
+	Transversals      int64 `json:"transversals_total"`
+	TransversalErrors int64 `json:"transversal_errors_total"`
 	// Per-job parallelism: the token-pool capacity (the aggregate
 	// degree bound), how many tokens running jobs hold right now, the
 	// per-job degree cap, the number of jobs granted degree > 1, and
@@ -377,6 +396,11 @@ func (m *Metrics) snapshot() Stats {
 		CacheMisses:        m.CacheMisses.Load(),
 		Verifies:           m.Verifies.Load(),
 		Generates:          m.Generates.Load(),
+		Colorings:          m.Colorings.Load(),
+		ColorClasses:       m.ColorClasses.Load(),
+		ColorErrors:        m.ColorErrors.Load(),
+		Transversals:       m.Transversals.Load(),
+		TransversalErrors:  m.TransversalErrors.Load(),
 		WideJobs:           m.WideJobs.Load(),
 		ParGranted:         m.ParGranted.Load(),
 		SolverRounds:       m.SolverRounds.Load(),

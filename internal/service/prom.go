@@ -69,6 +69,14 @@ func (s *Server) writeProm(pw *obs.PromWriter) {
 	pw.Counter("hypermisd_wide_jobs_total", "Jobs granted parallelism degree > 1.", float64(m.WideJobs.Load()))
 	pw.Counter("hypermisd_par_granted_total", "Sum of granted parallelism degrees across jobs.", float64(m.ParGranted.Load()))
 
+	// Coloring and transversal workloads (solve counters above stay
+	// solve-only; these are the sibling families for the other kinds).
+	pw.Counter("hypermisd_colorings_total", "Colorings completed without error (cache misses only).", float64(m.Colorings.Load()))
+	pw.Counter("hypermisd_color_classes_total", "Color classes produced across completed colorings.", float64(m.ColorClasses.Load()))
+	pw.Counter("hypermisd_color_errors_total", "Colorings that returned an error, timeouts and cancels included.", float64(m.ColorErrors.Load()))
+	pw.Counter("hypermisd_transversals_total", "Minimal transversals completed without error (cache misses only).", float64(m.Transversals.Load()))
+	pw.Counter("hypermisd_transversal_errors_total", "Transversal computations that returned an error.", float64(m.TransversalErrors.Load()))
+
 	// Aggregate solver-round telemetry.
 	pw.Counter("hypermisd_solver_rounds_total", "Outer solver rounds executed across all jobs.", float64(m.SolverRounds.Load()))
 	pw.Counter("hypermisd_solver_round_decided_total", "Vertices decided inside solver rounds.", float64(m.SolverRoundDecided.Load()))

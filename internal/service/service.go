@@ -11,15 +11,23 @@
 //	                   greedytail, cost, par (requested parallelism
 //	                   degree), trace (trace=1 adds per-round telemetry
 //	                   to the response). Returns a JSON SolveResponse.
+//	POST /v1/color     body + query as /v1/solve. Colors the instance by
+//	                   MIS peeling in one scheduled job and returns a
+//	                   JSON ColorResponse (per-class telemetry; trace=1
+//	                   adds each class's per-round solve trace).
+//	POST /v1/transversal  body + query as /v1/solve. Returns a JSON
+//	                   TransversalResponse: a verified minimal
+//	                   transversal (the solved MIS's complement).
 //	POST /v1/verify    body = instance; query mis = comma-separated
 //	                   vertex ids. 200 on a valid MIS, 422 otherwise.
 //	POST /v1/generate  query kind, n, m, d, min, max, seed, format.
 //	                   Returns an instance (text or binary).
-//	POST /v1/batch     body = NDJSON, one BatchItem per line. Streams
-//	                   one BatchItemResult line per item back in
-//	                   completion order, flushing as items finish.
-//	POST /v1/jobs      body = instance, query as /v1/solve. Accepts an
-//	                   async job, 202 + job id immediately.
+//	POST /v1/batch     body = NDJSON, one BatchItem per line (kind =
+//	                   solve | color | transversal). Streams one
+//	                   BatchItemResult line per item back in completion
+//	                   order, flushing as items finish.
+//	POST /v1/jobs      body = instance, query as /v1/solve plus kind.
+//	                   Accepts an async job, 202 + job id immediately.
 //	GET  /v1/jobs/{id}    job status; the result once the job is done.
 //	DELETE /v1/jobs/{id}  cancel an in-flight job.
 //	GET  /v1/stats     JSON Stats snapshot.
@@ -300,6 +308,7 @@ func (e *AdmissionError) Error() string {
 
 type job struct {
 	ctx      context.Context
+	kind     WorkKind
 	h        *hypermis.Hypergraph
 	opts     hypermis.Options
 	key      string
@@ -308,8 +317,11 @@ type job struct {
 	done     chan jobResult
 }
 
+// jobResult carries the finished job's kind-specific result:
+// *hypermis.Result, *hypermis.ColorResult, or
+// *hypermis.TransversalResult per job.kind.
 type jobResult struct {
-	res *hypermis.Result
+	res any
 	err error
 }
 
@@ -516,14 +528,24 @@ func (s *Server) Drain(timeout time.Duration) error {
 // Config reports the effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// JobKey is the result-cache key for solving h under opts: the
-// canonical instance digest plus the canonicalized options. AlgAuto is
+// JobKey is the result-cache key for solving h under opts — WorkKey for
+// the solve workload. See WorkKey for the canonicalization rules.
+func JobKey(h *hypermis.Hypergraph, opts hypermis.Options) string {
+	return WorkKey(WorkSolve, h, opts)
+}
+
+// WorkKey is the result-cache key for running workload kind on h under
+// opts: the workload kind, the canonical instance digest, and the
+// canonicalized options. The kind leads the key, so a color result can
+// never answer a solve (or vice versa) even before the durable tier's
+// record-version check — the keys simply never collide. AlgAuto is
 // resolved against h and SBL's Alpha default is normalized, so
 // equivalent requests share one entry; fields that cannot influence the
 // result for the resolved algorithm are dropped. Options.Parallelism is
-// deliberately excluded: solving is deterministic for any degree, so a
-// par=8 request is satisfied by a cached par=1 result and vice versa.
-func JobKey(h *hypermis.Hypergraph, opts hypermis.Options) string {
+// deliberately excluded: every workload is deterministic for any
+// degree, so a par=8 request is satisfied by a cached par=1 result and
+// vice versa.
+func WorkKey(kind WorkKind, h *hypermis.Hypergraph, opts hypermis.Options) string {
 	algo := hypermis.ResolveAlgorithm(h, opts.Algorithm)
 	alpha := 0.0
 	greedyTail := false
@@ -534,10 +556,10 @@ func JobKey(h *hypermis.Hypergraph, opts hypermis.Options) string {
 		}
 		greedyTail = opts.UseGreedyTail
 	}
-	// Trace is part of the key: the MIS is identical either way, but a
-	// cached traceless result cannot serve a ?trace=1 request.
-	return fmt.Sprintf("%s|algo=%s|seed=%d|alpha=%g|gtail=%t|cost=%t|trace=%t",
-		hgio.Digest(h), algo, opts.Seed, alpha, greedyTail, opts.CollectCost, opts.Trace)
+	// Trace is part of the key: the answer is identical either way, but
+	// a cached traceless result cannot serve a ?trace=1 request.
+	return fmt.Sprintf("%s|%s|algo=%s|seed=%d|alpha=%g|gtail=%t|cost=%t|trace=%t",
+		kind, hgio.Digest(h), algo, opts.Seed, alpha, greedyTail, opts.CollectCost, opts.Trace)
 }
 
 // Solve computes (or recalls) the MIS of h under opts at interactive
@@ -555,16 +577,23 @@ func (s *Server) Solve(ctx context.Context, h *hypermis.Hypergraph, opts hypermi
 // jobs are preferred by the weighted dequeue, batch tolerates
 // queueing, background fills otherwise-idle capacity.
 func (s *Server) SolveClass(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) (*hypermis.Result, bool, error) {
-	return s.solveKeyed(ctx, h, opts, JobKey(h, opts), prio, true)
+	res, hit, err := s.workKeyed(ctx, WorkSolve, h, opts, JobKey(h, opts), prio, true)
+	if err != nil {
+		return nil, hit, err
+	}
+	return res.(*hypermis.Result), hit, nil
 }
 
-// solveKeyed is SolveClass with the cache key precomputed and counter
-// updates optional: the batch/async retry loop (solveBlocking) hashes
-// the instance once and counts the cache miss / queue rejection only
-// on its first attempt, so a queue-starved item doesn't inflate
-// cache_misses and rejected on every backoff retry (nor re-digest a
-// large instance while the server is already overloaded).
-func (s *Server) solveKeyed(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options, key string, prio admit.Priority, count bool) (*hypermis.Result, bool, error) {
+// workKeyed is the kind-generic scheduling path every workload shares:
+// memory LRU → durable tier → admission → bounded queue → worker. The
+// cache key is precomputed and counter updates optional: the
+// batch/async retry loop (workBlocking) hashes the instance once and
+// counts the cache miss / queue rejection only on its first attempt, so
+// a queue-starved item doesn't inflate cache_misses and rejected on
+// every backoff retry (nor re-digest a large instance while the server
+// is already overloaded). The returned value's type follows kind — see
+// jobResult.
+func (s *Server) workKeyed(ctx context.Context, kind WorkKind, h *hypermis.Hypergraph, opts hypermis.Options, key string, prio admit.Priority, count bool) (any, bool, error) {
 	if s.cache != nil {
 		sp := obs.From(ctx).StartSpan("cache-lookup")
 		res, ok := s.cache.Get(key)
@@ -582,20 +611,21 @@ func (s *Server) solveKeyed(ctx context.Context, h *hypermis.Hypergraph, opts hy
 	// Second cache tier: the durable store. A hit here short-circuits
 	// the queue exactly like a memory hit and back-fills the LRU, but
 	// nothing read from disk is trusted blindly — the record already
-	// passed its CRC inside Get, the mask length must match the instance
-	// (a wrong-length mask cannot be this instance's result and would
-	// panic VerifyMIS), and under DurableVerify the MIS is re-proved
-	// against the submitted instance before it is served. Any failure
-	// evicts the record and degrades to a miss, never a wrong answer.
+	// passed its CRC (and its kind's record-version check) inside the
+	// store, the answer's length must match the instance (a wrong-length
+	// answer cannot be this instance's result), and under DurableVerify
+	// the answer is re-proved against the submitted instance before it
+	// is served. Any failure evicts the record and degrades to a miss,
+	// never a wrong answer.
 	if s.cfg.Durable != nil {
 		sp := obs.From(ctx).StartSpan("durable-lookup")
-		res, ok := s.cfg.Durable.Get(key)
+		res, ok := s.durableGet(kind, key)
 		sp.End()
 		if ok {
-			good := len(res.MIS) == h.N()
+			good := durableLenOK(kind, res, h.N())
 			if good && s.cfg.DurableVerify {
 				vsp := obs.From(ctx).StartSpan("durable-verify")
-				good = hypermis.VerifyMIS(h, res.MIS) == nil
+				good = durableVerify(kind, h, res) == nil
 				vsp.End()
 			}
 			if good {
@@ -612,10 +642,10 @@ func (s *Server) solveKeyed(ctx context.Context, h *hypermis.Hypergraph, opts hy
 	// instead of queueing a job whose answer will arrive after the
 	// caller has gone. Estimates come from observed service times; with
 	// no observations yet the estimate is zero and admission stays open.
-	if err := s.admissionCheck(ctx, h, opts, prio); err != nil {
+	if err := s.admissionCheck(ctx, kind, h, opts, prio); err != nil {
 		return nil, false, err
 	}
-	j := &job{ctx: ctx, h: h, opts: opts, key: key, prio: prio, done: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, kind: kind, h: h, opts: opts, key: key, prio: prio, done: make(chan jobResult, 1)}
 	if err := s.enqueue(j, count); err != nil {
 		return nil, false, err
 	}
@@ -634,12 +664,12 @@ func (s *Server) solveKeyed(ctx context.Context, h *hypermis.Hypergraph, opts hy
 // costing the algorithm's EWMA service time) and rejects with
 // *AdmissionError when the caller's ctx deadline precedes even the
 // optimistic completion time estWait + svc.
-func (s *Server) admissionCheck(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) error {
+func (s *Server) admissionCheck(ctx context.Context, kind WorkKind, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) error {
 	dl, ok := ctx.Deadline()
 	if !ok {
 		return nil
 	}
-	svc := s.estimator.Estimate(hypermis.ResolveAlgorithm(h, opts.Algorithm).String())
+	svc := s.estimator.Estimate(estimatorLabel(kind, h, opts))
 	if svc <= 0 {
 		return nil
 	}
@@ -917,42 +947,37 @@ func (s *Server) run(j *job) {
 	// Chaos hooks (nil injector = no-ops): injected latency models a
 	// slow solver, an injected error models a failing one.
 	s.cfg.Chaos.Delay(ctx)
-	algName := hypermis.ResolveAlgorithm(j.h, j.opts.Algorithm).String()
-	sp = tr.StartSpan("solve")
-	var res *hypermis.Result
+	sp = tr.StartSpan(string(j.kind))
+	var res any
 	err := s.cfg.Chaos.SolveError()
 	if err == nil {
-		res, err = hypermis.SolveCtx(ctx, j.h, j.opts)
+		res, err = s.compute(ctx, j)
 	}
 	sp.End()
 	s.wsPool.Put(ws)
 	s.releaseParallelism(grant)
 	if err != nil {
-		s.metrics.Errors.Add(1)
-		if ac != nil {
-			ac.Errors.Add(1)
-		}
+		s.countError(j.kind, ac)
 	} else {
 		if s.cache != nil {
 			s.cache.Put(j.key, res)
 		}
 		if s.cfg.Durable != nil {
-			// Put only queues the record (the write-behind goroutine does
-			// the disk work), so the span bounds the hand-off, not an I/O.
+			// The typed puts only queue the record (the write-behind
+			// goroutine does the disk work), so the span bounds the
+			// hand-off, not an I/O.
 			dsp := tr.StartSpan("durable-fill")
-			s.cfg.Durable.Put(j.key, res)
+			s.durableFill(j.key, res)
 			dsp.End()
 		}
-		s.metrics.Solves.Add(1)
-		s.metrics.prio(j.prio).Solves.Add(1)
+		s.countDone(j, res, ac)
 		svc := time.Since(start)
+		// One latency histogram covers every workload kind — a color job
+		// is a pipeline of solves and reports its whole wall time here.
 		s.metrics.SolveLatency.Observe(svc)
 		// Feed the admission controller's queue-wait arithmetic with the
-		// service time this class of solve actually took.
-		s.estimator.Observe(algName, svc)
-		if ac != nil {
-			ac.Solves.Add(1)
-		}
+		// service time this kind of job actually took.
+		s.estimator.Observe(estimatorLabel(j.kind, j.h, j.opts), svc)
 	}
 	j.done <- jobResult{res, err}
 }

@@ -1,0 +1,190 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	hypermis "repro"
+	"repro/internal/admit"
+)
+
+// WorkKind names a served workload: a single MIS solve, an MIS-peeling
+// coloring, or a minimal-transversal (hitting set) computation. The
+// kind is part of every cache key (WorkKey) and of the durable tier's
+// record version, so results of different kinds can never answer each
+// other.
+type WorkKind string
+
+// The served workload kinds.
+const (
+	WorkSolve       WorkKind = "solve"
+	WorkColor       WorkKind = "color"
+	WorkTransversal WorkKind = "transversal"
+)
+
+// ParseWorkKind parses a wire-level kind string ("" selects solve, the
+// historical default of the job and batch APIs).
+func ParseWorkKind(s string) (WorkKind, error) {
+	switch s {
+	case "", string(WorkSolve):
+		return WorkSolve, nil
+	case string(WorkColor):
+		return WorkColor, nil
+	case string(WorkTransversal):
+		return WorkTransversal, nil
+	}
+	return "", fmt.Errorf("service: unknown work kind %q (want solve, color or transversal)", s)
+}
+
+// estimatorLabel is the admission estimator's bucket for a job: color
+// jobs run a whole pipeline of solves, so their service times would
+// poison the per-algorithm solve EWMA — they get their own
+// kind-qualified label. A transversal is one solve plus a linear
+// complement, so it shares the solve label.
+func estimatorLabel(kind WorkKind, h *hypermis.Hypergraph, opts hypermis.Options) string {
+	name := hypermis.ResolveAlgorithm(h, opts.Algorithm).String()
+	if kind == WorkColor {
+		return "color/" + name
+	}
+	return name
+}
+
+// durableGet dispatches the durable-tier lookup to the kind's typed
+// getter; a record of a different kind under the key is a clean miss.
+func (s *Server) durableGet(kind WorkKind, key string) (any, bool) {
+	switch kind {
+	case WorkColor:
+		return s.cfg.Durable.GetColor(key)
+	case WorkTransversal:
+		return s.cfg.Durable.GetTransversal(key)
+	default:
+		return s.cfg.Durable.Get(key)
+	}
+}
+
+// durableLenOK checks the recovered answer's length against the
+// submitted instance — a wrong-length answer cannot be this instance's
+// result and would panic the verifier.
+func durableLenOK(kind WorkKind, res any, n int) bool {
+	switch kind {
+	case WorkColor:
+		return len(res.(*hypermis.ColorResult).Colors) == n
+	case WorkTransversal:
+		return len(res.(*hypermis.TransversalResult).Transversal) == n
+	default:
+		return len(res.(*hypermis.Result).MIS) == n
+	}
+}
+
+// durableVerify re-proves a recovered answer against the submitted
+// instance (Config.DurableVerify): VerifyMIS for solves,
+// VerifyColoring for colorings, VerifyMinimalTransversal for
+// transversals — each linear time.
+func durableVerify(kind WorkKind, h *hypermis.Hypergraph, res any) error {
+	switch kind {
+	case WorkColor:
+		return hypermis.VerifyColoring(h, res.(*hypermis.ColorResult).Coloring())
+	case WorkTransversal:
+		return hypermis.VerifyMinimalTransversal(h, res.(*hypermis.TransversalResult).Transversal)
+	default:
+		return hypermis.VerifyMIS(h, res.(*hypermis.Result).MIS)
+	}
+}
+
+// durableFill dispatches the write-behind fill to the kind's typed put.
+func (s *Server) durableFill(key string, res any) {
+	switch r := res.(type) {
+	case *hypermis.ColorResult:
+		s.cfg.Durable.PutColor(key, r)
+	case *hypermis.TransversalResult:
+		s.cfg.Durable.PutTransversal(key, r)
+	case *hypermis.Result:
+		s.cfg.Durable.Put(key, r)
+	}
+}
+
+// compute runs the job's workload under ctx on the already-granted
+// workspace, pool and parallelism carried in j.opts.
+func (s *Server) compute(ctx context.Context, j *job) (any, error) {
+	switch j.kind {
+	case WorkColor:
+		return hypermis.ColorByMISCtx(ctx, j.h, j.opts)
+	case WorkTransversal:
+		return hypermis.MinimalTransversalCtx(ctx, j.h, j.opts)
+	default:
+		return hypermis.SolveCtx(ctx, j.h, j.opts)
+	}
+}
+
+// countError bumps the kind's error counter. The top-level Errors
+// counter (and the per-algorithm one) stays solve-only so its
+// long-standing meaning — failed MIS solves — survives the new
+// workloads; color and transversal failures get their own counters.
+func (s *Server) countError(kind WorkKind, ac *algCounters) {
+	switch kind {
+	case WorkColor:
+		s.metrics.ColorErrors.Add(1)
+	case WorkTransversal:
+		s.metrics.TransversalErrors.Add(1)
+	default:
+		s.metrics.Errors.Add(1)
+		if ac != nil {
+			ac.Errors.Add(1)
+		}
+	}
+}
+
+// countDone bumps the kind's completion counters. Per-priority solves
+// count completed jobs of every kind (the class's share of the
+// machine); the top-level Solves counter and the per-algorithm counters
+// stay solve-only, mirroring countError.
+func (s *Server) countDone(j *job, res any, ac *algCounters) {
+	s.metrics.prio(j.prio).Solves.Add(1)
+	switch j.kind {
+	case WorkColor:
+		s.metrics.Colorings.Add(1)
+		s.metrics.ColorClasses.Add(int64(res.(*hypermis.ColorResult).NumColors))
+	case WorkTransversal:
+		s.metrics.Transversals.Add(1)
+	default:
+		s.metrics.Solves.Add(1)
+		if ac != nil {
+			ac.Solves.Add(1)
+		}
+	}
+}
+
+// Color computes (or recalls) a proper coloring of h by MIS peeling at
+// interactive priority, scheduled exactly like Solve: one queued job
+// runs the whole multi-class pipeline on one pooled workspace, and the
+// result lands in the same two cache tiers under a color-kind key. The
+// boolean reports a cache hit.
+func (s *Server) Color(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options) (*hypermis.ColorResult, bool, error) {
+	return s.ColorClass(ctx, h, opts, admit.Interactive)
+}
+
+// ColorClass is Color under an explicit priority class.
+func (s *Server) ColorClass(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) (*hypermis.ColorResult, bool, error) {
+	res, hit, err := s.workKeyed(ctx, WorkColor, h, opts, WorkKey(WorkColor, h, opts), prio, true)
+	if err != nil {
+		return nil, hit, err
+	}
+	return res.(*hypermis.ColorResult), hit, nil
+}
+
+// Transversal computes (or recalls) a minimal transversal of h at
+// interactive priority — one scheduled solve plus the verified
+// complement, cached under a transversal-kind key. The boolean reports
+// a cache hit.
+func (s *Server) Transversal(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options) (*hypermis.TransversalResult, bool, error) {
+	return s.TransversalClass(ctx, h, opts, admit.Interactive)
+}
+
+// TransversalClass is Transversal under an explicit priority class.
+func (s *Server) TransversalClass(ctx context.Context, h *hypermis.Hypergraph, opts hypermis.Options, prio admit.Priority) (*hypermis.TransversalResult, bool, error) {
+	res, hit, err := s.workKeyed(ctx, WorkTransversal, h, opts, WorkKey(WorkTransversal, h, opts), prio, true)
+	if err != nil {
+		return nil, hit, err
+	}
+	return res.(*hypermis.TransversalResult), hit, nil
+}

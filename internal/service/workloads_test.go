@@ -1,0 +1,420 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	hypermis "repro"
+	"repro/internal/durable"
+)
+
+func postColor(t *testing.T, ts *httptest.Server, query string, body []byte, contentType string) *ColorResponse {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/color?"+query, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("color status %d: %s", resp.StatusCode, raw)
+	}
+	var cr ColorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	return &cr
+}
+
+func postTransversal(t *testing.T, ts *httptest.Server, query string, body []byte, contentType string) *TransversalResponse {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/transversal?"+query, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("transversal status %d: %s", resp.StatusCode, raw)
+	}
+	var tv TransversalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tv); err != nil {
+		t.Fatal(err)
+	}
+	return &tv
+}
+
+// maskFromMembers rebuilds the []bool mask a TransversalResponse's
+// ascending member list denotes.
+func maskFromMembers(t *testing.T, n int, members []int) []bool {
+	t.Helper()
+	mask := make([]bool, n)
+	prev := -1
+	for _, v := range members {
+		if v <= prev || v >= n {
+			t.Fatalf("member list not ascending in range: %v", members)
+		}
+		prev = v
+		mask[v] = true
+	}
+	return mask
+}
+
+// TestColorEndpointMatchesLocal: POST /v1/color is bit-identical to the
+// in-process ColorByMISCtx at every requested parallelism degree, the
+// served coloring verifies against the instance, and a repeat request
+// is a cache hit with the same bits. The cache is disabled for the par
+// sweep (keys are par-independent, so hits would mask par bugs).
+func TestColorEndpointMatchesLocal(t *testing.T) {
+	h := testInstance(31)
+	opts := hypermis.Options{Algorithm: hypermis.AlgSBL, Seed: 7, Alpha: 0.3}
+	ref, err := hypermis.ColorByMISCtx(context.Background(), h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 4, CacheSize: -1})
+	body := instanceText(t, h)
+	for _, par := range []int{0, 1, 2, 8} {
+		q := fmt.Sprintf("algo=sbl&seed=7&alpha=0.3&par=%d", par)
+		cr := postColor(t, ts, q, body, ContentTypeText)
+		if cr.Cached {
+			t.Fatalf("par=%d: cache hit with caching disabled", par)
+		}
+		if cr.Algorithm != "sbl" || cr.N != h.N() || cr.M != h.M() {
+			t.Fatalf("par=%d: response header %s/%d/%d", par, cr.Algorithm, cr.N, cr.M)
+		}
+		if cr.NumColors != ref.NumColors || cr.Rounds != ref.Rounds {
+			t.Fatalf("par=%d: (colors,rounds)=(%d,%d), local=(%d,%d)",
+				par, cr.NumColors, cr.Rounds, ref.NumColors, ref.Rounds)
+		}
+		if fmt.Sprint(cr.Colors) != fmt.Sprint(ref.Colors) {
+			t.Fatalf("par=%d: served colors differ from local ColorByMISCtx", par)
+		}
+		if fmt.Sprint(cr.ClassSizes) != fmt.Sprint(ref.ClassSizes) {
+			t.Fatalf("par=%d: class sizes %v, local %v", par, cr.ClassSizes, ref.ClassSizes)
+		}
+		if len(cr.Classes) != cr.NumColors {
+			t.Fatalf("par=%d: %d class records for %d colors", par, len(cr.Classes), cr.NumColors)
+		}
+		served := &hypermis.Coloring{Colors: cr.Colors, NumColors: cr.NumColors, ClassSizes: cr.ClassSizes}
+		if err := hypermis.VerifyColoring(h, served); err != nil {
+			t.Fatalf("par=%d: served coloring invalid: %v", par, err)
+		}
+	}
+
+	// With caching on, the second request is a hit with identical bits.
+	_, ts2 := newTestServer(t, Config{Workers: 2})
+	first := postColor(t, ts2, "algo=sbl&seed=7&alpha=0.3", body, ContentTypeText)
+	if first.Cached {
+		t.Fatal("first request was a cache hit")
+	}
+	second := postColor(t, ts2, "algo=sbl&seed=7&alpha=0.3", body, ContentTypeText)
+	if !second.Cached {
+		t.Fatal("repeat request missed the cache")
+	}
+	if fmt.Sprint(second.Colors) != fmt.Sprint(first.Colors) {
+		t.Fatal("cached coloring differs from the computed one")
+	}
+}
+
+// TestTransversalEndpointMatchesLocal: POST /v1/transversal is
+// bit-identical to the in-process MinimalTransversalCtx at every
+// parallelism degree, and the served member list denotes a verified
+// minimal transversal with Size + MISSize == N.
+func TestTransversalEndpointMatchesLocal(t *testing.T) {
+	h := testInstance(32)
+	opts := hypermis.Options{Algorithm: hypermis.AlgKUW, Seed: 4}
+	ref, err := hypermis.MinimalTransversalCtx(context.Background(), h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 4, CacheSize: -1})
+	body := instanceText(t, h)
+	for _, par := range []int{0, 1, 2, 8} {
+		q := fmt.Sprintf("algo=kuw&seed=4&par=%d", par)
+		tv := postTransversal(t, ts, q, body, ContentTypeText)
+		if tv.Cached {
+			t.Fatalf("par=%d: cache hit with caching disabled", par)
+		}
+		if tv.Size != ref.Size || tv.MISSize != ref.MISSize || tv.Rounds != ref.Rounds {
+			t.Fatalf("par=%d: (size,mis,rounds)=(%d,%d,%d), local=(%d,%d,%d)",
+				par, tv.Size, tv.MISSize, tv.Rounds, ref.Size, ref.MISSize, ref.Rounds)
+		}
+		if tv.Size+tv.MISSize != tv.N || tv.N != h.N() {
+			t.Fatalf("par=%d: size %d + mis_size %d != n %d", par, tv.Size, tv.MISSize, tv.N)
+		}
+		mask := maskFromMembers(t, h.N(), tv.Transversal)
+		for v := range mask {
+			if mask[v] != ref.Transversal[v] {
+				t.Fatalf("par=%d: served transversal differs from local at vertex %d", par, v)
+			}
+		}
+		if err := hypermis.VerifyMinimalTransversal(h, mask); err != nil {
+			t.Fatalf("par=%d: served transversal invalid: %v", par, err)
+		}
+	}
+}
+
+// TestWorkloadCrossPathEquivalence: the same (instance, options, kind)
+// through the synchronous endpoint, a /v1/batch item with a kind field,
+// and an async /v1/jobs?kind= submission yields bit-identical payloads.
+func TestWorkloadCrossPathEquivalence(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	h := testInstance(33)
+	body := instanceText(t, h)
+
+	syncColor := postColor(t, ts, "algo=sbl&seed=2", body, ContentTypeText)
+	syncTv := postTransversal(t, ts, "algo=sbl&seed=2", body, ContentTypeText)
+
+	// Batch: one item per kind, the color item anchoring the instance
+	// and the transversal item reusing it by ref.
+	results := byIndex(t, postBatch(t, ts.URL, []BatchItem{
+		{ID: "c", Kind: "color", Algo: "sbl", Seed: 2, InstanceB64: instanceB64(t, h)},
+		{ID: "t", Kind: "transversal", Algo: "sbl", Seed: 2, Ref: "c"},
+	}), 2)
+	if results[0].Error != "" || results[1].Error != "" {
+		t.Fatalf("batch errors: %q / %q", results[0].Error, results[1].Error)
+	}
+	if results[0].Color == nil || results[1].Transversal == nil {
+		t.Fatalf("batch results missing kind payloads: %+v / %+v", results[0], results[1])
+	}
+	if fmt.Sprint(results[0].Color.Colors) != fmt.Sprint(syncColor.Colors) {
+		t.Fatal("batch coloring differs from synchronous /v1/color")
+	}
+	if fmt.Sprint(results[1].Transversal.Transversal) != fmt.Sprint(syncTv.Transversal) {
+		t.Fatal("batch transversal differs from synchronous /v1/transversal")
+	}
+
+	// Async jobs: one submission per kind; the done payload must carry
+	// the matching kind field and identical bits.
+	for _, tc := range []struct {
+		kind  string
+		check func(js JobStatusResponse)
+	}{
+		{"color", func(js JobStatusResponse) {
+			if js.Color == nil || js.Transversal != nil || js.Solve != nil {
+				t.Fatalf("color job payloads: %+v", js)
+			}
+			if fmt.Sprint(js.Color.Colors) != fmt.Sprint(syncColor.Colors) {
+				t.Fatal("async coloring differs from synchronous /v1/color")
+			}
+		}},
+		{"transversal", func(js JobStatusResponse) {
+			if js.Transversal == nil || js.Color != nil || js.Solve != nil {
+				t.Fatalf("transversal job payloads: %+v", js)
+			}
+			if fmt.Sprint(js.Transversal.Transversal) != fmt.Sprint(syncTv.Transversal) {
+				t.Fatal("async transversal differs from synchronous /v1/transversal")
+			}
+		}},
+	} {
+		code, js := jobRequest(t, http.MethodPost, ts.URL+"/v1/jobs?kind="+tc.kind+"&algo=sbl&seed=2", body)
+		if code != http.StatusAccepted {
+			t.Fatalf("%s job submit status %d", tc.kind, code)
+		}
+		if string(js.Kind) != tc.kind {
+			t.Fatalf("submit echoed kind %q, want %q", js.Kind, tc.kind)
+		}
+		_, js = pollJob(t, ts.URL, js.JobID, 10*time.Second, func(c int, j JobStatusResponse) bool {
+			return j.Status == JobDone || j.Status == JobFailed
+		})
+		if js.Status != JobDone {
+			t.Fatalf("%s job ended %q: %s", tc.kind, js.Status, js.Error)
+		}
+		if string(js.Kind) != tc.kind {
+			t.Fatalf("done status carries kind %q, want %q", js.Kind, tc.kind)
+		}
+		tc.check(js)
+	}
+}
+
+// TestWorkloadCacheKindSegregation: the same (instance, options) under
+// all three kinds produces three distinct cache entries — the first
+// request of each kind computes, the second hits, and the per-kind
+// completion counters move independently.
+func TestWorkloadCacheKindSegregation(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	h := testInstance(34)
+	opts := hypermis.Options{Algorithm: hypermis.AlgSBL, Seed: 1}
+	ctx := context.Background()
+
+	if _, cached, err := s.Solve(ctx, h, opts); err != nil || cached {
+		t.Fatalf("first solve: cached=%v err=%v", cached, err)
+	}
+	if _, cached, err := s.Color(ctx, h, opts); err != nil || cached {
+		t.Fatalf("first color: cached=%v err=%v", cached, err)
+	}
+	if _, cached, err := s.Transversal(ctx, h, opts); err != nil || cached {
+		t.Fatalf("first transversal: cached=%v err=%v", cached, err)
+	}
+	if _, cached, err := s.Solve(ctx, h, opts); err != nil || !cached {
+		t.Fatalf("repeat solve: cached=%v err=%v", cached, err)
+	}
+	if _, cached, err := s.Color(ctx, h, opts); err != nil || !cached {
+		t.Fatalf("repeat color: cached=%v err=%v", cached, err)
+	}
+	if _, cached, err := s.Transversal(ctx, h, opts); err != nil || !cached {
+		t.Fatalf("repeat transversal: cached=%v err=%v", cached, err)
+	}
+
+	st := s.Stats()
+	if st.Solves != 1 || st.Colorings != 1 || st.Transversals != 1 {
+		t.Fatalf("completions solve/color/transversal = %d/%d/%d, want 1/1/1",
+			st.Solves, st.Colorings, st.Transversals)
+	}
+	if st.ColorErrors != 0 || st.TransversalErrors != 0 || st.Errors != 0 {
+		t.Fatalf("error counters moved: %d/%d/%d", st.ColorErrors, st.TransversalErrors, st.Errors)
+	}
+	if st.ColorClasses == 0 {
+		t.Fatal("color_classes_total did not count the coloring's classes")
+	}
+	if st.CacheHits != 3 {
+		t.Fatalf("cache hits = %d, want 3 (one per kind)", st.CacheHits)
+	}
+}
+
+// TestWorkloadDurableRestartServesBothKinds: colorings and transversals
+// persisted by one server generation are durable-tier hits for the
+// next, bit-identical and without recomputing (the per-kind completion
+// counters stay zero, mirroring the solve-path crash-recovery smoke).
+func TestWorkloadDurableRestartServesBothKinds(t *testing.T) {
+	dir := t.TempDir()
+	h := testInstance(35)
+	opts := hypermis.Options{Algorithm: hypermis.AlgSBL, Seed: 6}
+	ctx := context.Background()
+
+	store := openDurable(t, dir, durable.Config{})
+	s := New(Config{Workers: 2, Durable: store})
+	col1, cached, err := s.Color(ctx, h, opts)
+	if err != nil || cached {
+		t.Fatalf("warm color: cached=%v err=%v", cached, err)
+	}
+	tv1, cached, err := s.Transversal(ctx, h, opts)
+	if err != nil || cached {
+		t.Fatalf("warm transversal: cached=%v err=%v", cached, err)
+	}
+	store.Flush()
+	s.Close()
+	store.Close()
+
+	store2 := openDurable(t, dir, durable.Config{})
+	s2 := New(Config{Workers: 2, Durable: store2, DurableVerify: true})
+	defer s2.Close()
+	col2, cached, err := s2.Color(ctx, h, opts)
+	if err != nil || !cached {
+		t.Fatalf("post-restart color: cached=%v err=%v", cached, err)
+	}
+	if fmt.Sprint(col2.Colors) != fmt.Sprint(col1.Colors) || col2.NumColors != col1.NumColors {
+		t.Fatal("recovered coloring differs from the original")
+	}
+	tv2, cached, err := s2.Transversal(ctx, h, opts)
+	if err != nil || !cached {
+		t.Fatalf("post-restart transversal: cached=%v err=%v", cached, err)
+	}
+	if fmt.Sprint(tv2.Transversal) != fmt.Sprint(tv1.Transversal) {
+		t.Fatal("recovered transversal differs from the original")
+	}
+	st := s2.Stats()
+	if st.Colorings != 0 || st.Transversals != 0 || st.Solves != 0 {
+		t.Fatalf("post-restart generation recomputed: solve/color/transversal = %d/%d/%d, want 0/0/0",
+			st.Solves, st.Colorings, st.Transversals)
+	}
+	if st.DurableHits != 2 || st.DurableVerifyFailed != 0 {
+		t.Fatalf("durable hits %d (want 2), verify failures %d (want 0)",
+			st.DurableHits, st.DurableVerifyFailed)
+	}
+}
+
+// TestWorkloadDurableKindConfusionMisses: a well-formed *solve* record
+// planted under a *color* key (and vice versa) is a clean durable miss
+// — the record-version check refuses to decode it as the wrong kind,
+// the workload recomputes, and nothing is served cross-kind.
+func TestWorkloadDurableKindConfusionMisses(t *testing.T) {
+	dir := t.TempDir()
+	h := testInstance(36)
+	opts := hypermis.Options{Algorithm: hypermis.AlgGreedy}
+
+	// Plant a solve result under the color key and a transversal result
+	// under the solve key.
+	solved, err := hypermis.Solve(h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tvRes, err := hypermis.MinimalTransversalCtx(context.Background(), h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forge := openDurable(t, dir, durable.Config{})
+	forge.Put(WorkKey(WorkColor, h, opts), solved)
+	forge.PutTransversal(WorkKey(WorkSolve, h, opts), tvRes)
+	forge.Flush()
+	forge.Close()
+
+	store := openDurable(t, dir, durable.Config{})
+	s := New(Config{Workers: 1, Durable: store, DurableVerify: true})
+	defer s.Close()
+	ctx := context.Background()
+
+	col, cached, err := s.Color(ctx, h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("solve record under a color key served as a coloring")
+	}
+	if err := hypermis.VerifyColoring(h, col.Coloring()); err != nil {
+		t.Fatalf("recomputed coloring invalid: %v", err)
+	}
+	res, cached, err := s.Solve(ctx, h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("transversal record under a solve key served as a MIS")
+	}
+	if err := hypermis.VerifyMIS(h, res.MIS); err != nil {
+		t.Fatalf("recomputed MIS invalid: %v", err)
+	}
+	if st := s.Stats(); st.Solves != 1 || st.Colorings != 1 {
+		t.Fatalf("solves/colorings = %d/%d, want 1/1 (both recomputed)", st.Solves, st.Colorings)
+	}
+}
+
+// TestWorkloadEndpointErrorContract: the workload endpoints share the
+// solve endpoint's client-error mapping — a dimension violation is 422
+// with the kind named, a bad option is 400.
+func TestWorkloadEndpointErrorContract(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	h := hypermis.RandomMixed(37, 50, 100, 2, 5)
+	body := instanceText(t, h)
+
+	for _, path := range []string{"/v1/color", "/v1/transversal"} {
+		resp, err := http.Post(ts.URL+path+"?algo=luby", ContentTypeText, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("%s dim violation status %d: %s", path, resp.StatusCode, raw)
+		}
+		resp, err = http.Post(ts.URL+path+"?algo=nonesuch", ContentTypeText, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s bad algo status %d", path, resp.StatusCode)
+		}
+	}
+}

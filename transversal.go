@@ -1,6 +1,10 @@
 package hypermis
 
-import "repro/internal/hypergraph"
+import (
+	"context"
+
+	"repro/internal/hypergraph"
+)
 
 // The MIS/transversal duality: S is a maximal independent set of H iff
 // V\S is a minimal transversal (hitting set) of H. The parallel MIS
@@ -18,13 +22,62 @@ func VerifyMinimalTransversal(h *Hypergraph, mask []bool) error {
 	return hypergraph.VerifyMinimalTransversal(h, mask)
 }
 
+// TransversalResult is the result of MinimalTransversalCtx: the
+// transversal mask plus the telemetry of the MIS solve it complements.
+// MISSize + Size == h.N() always — the mask is exactly the complement
+// of the solved maximal independent set.
+type TransversalResult struct {
+	// Transversal[v] reports whether vertex v is in the transversal.
+	Transversal []bool
+	// Size is the number of vertices in the transversal.
+	Size int
+	// MISSize is the size of the complementary maximal independent set.
+	MISSize int
+	// Algorithm that was used (AlgAuto resolved).
+	Algorithm Algorithm
+	// Rounds is the underlying solve's outer round count.
+	Rounds int
+	// Depth and Work are PRAM cost measures (Options.CollectCost only).
+	Depth int64
+	Work  int64
+	// Trace is the underlying solve's per-round telemetry
+	// (Options.Trace only).
+	Trace []RoundTrace
+}
+
 // MinimalTransversal computes a minimal transversal of h as the
 // complement of a maximal independent set found by Solve with the given
 // options.
 func MinimalTransversal(h *Hypergraph, opts Options) ([]bool, error) {
-	res, err := Solve(h, opts)
+	res, err := MinimalTransversalCtx(context.Background(), h, opts)
 	if err != nil {
 		return nil, err
 	}
-	return hypergraph.MinimalTransversalFromMIS(h, res.MIS)
+	return res.Transversal, nil
+}
+
+// MinimalTransversalCtx is MinimalTransversal with cooperative
+// cancellation and the underlying solve's telemetry. The complement is
+// verified as a maximal independent set before it is inverted, so a
+// returned result is always a genuine minimal transversal. Like Solve,
+// the output is bit-identical at any Options.Parallelism.
+func MinimalTransversalCtx(ctx context.Context, h *Hypergraph, opts Options) (*TransversalResult, error) {
+	res, err := SolveCtx(ctx, h, opts)
+	if err != nil {
+		return nil, err
+	}
+	mask, err := hypergraph.MinimalTransversalFromMIS(h, res.MIS)
+	if err != nil {
+		return nil, err
+	}
+	return &TransversalResult{
+		Transversal: mask,
+		Size:        h.N() - res.Size,
+		MISSize:     res.Size,
+		Algorithm:   res.Algorithm,
+		Rounds:      res.Rounds,
+		Depth:       res.Depth,
+		Work:        res.Work,
+		Trace:       res.Trace,
+	}, nil
 }

@@ -1,0 +1,164 @@
+package hypermis
+
+import (
+	"testing"
+)
+
+// Differential fuzzing for the workload verifiers. VerifyColoring and
+// VerifyMinimalTransversal are the trust anchors of the color and
+// transversal endpoints (the durable tier re-proves recovered answers
+// with them, the CLIs refuse to print anything they reject), so they
+// must digest adversarial class vectors and masks — wrong lengths,
+// out-of-range values, redundant members — without panicking, and their
+// accept/reject decision must match an independent naive reimplementation
+// of the definitions.
+
+// fuzzHypergraph decodes an instance from fuzz bytes: n in [1,32], then
+// edges of 2–3 vertices consumed from data (values mod n, so always in
+// range; duplicate vertices inside an edge are canonicalized away by
+// the builder, which can shrink edges to singletons — a case the
+// verifiers must handle, since parsers accept it too).
+func fuzzHypergraph(nByte uint8, data []byte) *Hypergraph {
+	n := int(nByte%32) + 1
+	b := NewBuilder(n)
+	for i := 0; i+2 < len(data); i += 3 {
+		e := Edge{V(int(data[i]) % n), V(int(data[i+1]) % n)}
+		if data[i+2]&1 == 0 {
+			e = append(e, V(int(data[i+2]>>1)%n))
+		}
+		b.AddEdgeSlice(e)
+	}
+	h, err := b.Build()
+	if err != nil {
+		// Unreachable by construction (no empty edges, all in range) —
+		// treat defensively as the empty instance.
+		h, _ = FromEdges(n, nil)
+	}
+	return h
+}
+
+// FuzzVerifyColoring: no panic on any (instance, class vector,
+// NumColors) triple, and err == nil exactly when the definition holds —
+// full length, colors in [0, NumColors), no monochromatic edge of size
+// ≥ 2.
+func FuzzVerifyColoring(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 2}, []byte{0, 1, 0, 1}, 2)
+	f.Add(uint8(7), []byte{0, 1, 5, 2, 3, 4}, []byte{0, 0, 0, 0, 0, 0, 0, 0}, 1)
+	f.Add(uint8(15), []byte{}, []byte{}, 0)
+	f.Add(uint8(200), []byte{9, 9, 9, 1, 2, 2}, []byte{255, 128, 7}, -3)
+	f.Add(uint8(31), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8}, []byte{1, 2, 3}, 300)
+
+	f.Fuzz(func(t *testing.T, nByte uint8, edgeData []byte, colorData []byte, numColors int) {
+		h := fuzzHypergraph(nByte, edgeData)
+		// int8 reinterpretation makes negative colors reachable.
+		colors := make([]int, len(colorData))
+		for i, b := range colorData {
+			colors[i] = int(int8(b))
+		}
+		c := &Coloring{Colors: colors, NumColors: numColors}
+		err := VerifyColoring(h, c)
+
+		valid := len(colors) == h.N()
+		if valid {
+			for _, col := range colors {
+				if col < 0 || col >= numColors {
+					valid = false
+					break
+				}
+			}
+		}
+		if valid {
+		edges:
+			for _, e := range h.Edges() {
+				if len(e) < 2 {
+					continue
+				}
+				for _, v := range e[1:] {
+					if colors[v] != colors[e[0]] {
+						continue edges
+					}
+				}
+				valid = false
+				break
+			}
+		}
+		if (err == nil) != valid {
+			t.Fatalf("VerifyColoring = %v, naive validity = %t (n=%d m=%d colors=%v numColors=%d)",
+				err, valid, h.N(), h.M(), colors, numColors)
+		}
+
+		// Positive control: a coloring the library itself produces on
+		// this instance must be accepted.
+		if got, err := ColorByMIS(h, Options{Algorithm: AlgGreedy}); err == nil {
+			if err := VerifyColoring(h, got); err != nil {
+				t.Fatalf("library coloring rejected: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzVerifyMinimalTransversal: no panic on any (instance, mask) pair,
+// and err == nil exactly when the definition holds — full length, every
+// edge hit, every member essential (some edge is hit only through it).
+func FuzzVerifyMinimalTransversal(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 2}, []byte{1, 0, 1, 0})
+	f.Add(uint8(7), []byte{0, 1, 5, 2, 3, 4}, []byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add(uint8(15), []byte{}, []byte{})
+	f.Add(uint8(200), []byte{9, 9, 9, 1, 2, 2}, []byte{0, 0, 0})
+	f.Add(uint8(31), []byte{0, 1, 2, 3, 4, 5}, []byte{1})
+
+	f.Fuzz(func(t *testing.T, nByte uint8, edgeData []byte, maskData []byte) {
+		h := fuzzHypergraph(nByte, edgeData)
+		mask := make([]bool, len(maskData))
+		for i, b := range maskData {
+			mask[i] = b&1 == 1
+		}
+		err := VerifyMinimalTransversal(h, mask)
+
+		valid := len(mask) == h.N()
+		if valid {
+			// Coverage, tracking which members are essential.
+			essential := make([]bool, h.N())
+			for _, e := range h.Edges() {
+				hits, last := 0, -1
+				for _, v := range e {
+					if mask[v] {
+						hits++
+						last = int(v)
+					}
+				}
+				if hits == 0 {
+					valid = false
+					break
+				}
+				if hits == 1 {
+					essential[last] = true
+				}
+			}
+			if valid {
+				for v := range mask {
+					if mask[v] && !essential[v] {
+						valid = false
+						break
+					}
+				}
+			}
+		}
+		if (err == nil) != valid {
+			t.Fatalf("VerifyMinimalTransversal = %v, naive validity = %t (n=%d m=%d mask=%v)",
+				err, valid, h.N(), h.M(), mask)
+		}
+
+		// Positive control: the duality the transversal workload is built
+		// on — the complement of any solved MIS must be accepted.
+		if res, err := Solve(h, Options{Algorithm: AlgGreedy}); err == nil {
+			comp := make([]bool, len(res.MIS))
+			for v, in := range res.MIS {
+				comp[v] = !in
+			}
+			if err := VerifyMinimalTransversal(h, comp); err != nil {
+				t.Fatalf("complement of a solved MIS rejected: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package hypermis
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Property tests for the two derived workloads — coloring by MIS
+// peeling and minimal transversals — across every solver, several
+// seeds, and engine parallelism degrees 1, 2 and 8, with a shared
+// workspace poisoned between runs (the library-level form of the
+// service's pooled-workspace guarantee). The properties:
+//
+//   - a transversal is exactly the complement of the solved MIS, is a
+//     verified minimal transversal, and Size + MISSize == n;
+//   - a coloring is proper and complete (VerifyColoring), its class
+//     bookkeeping is internally consistent, and class 0 is a maximal
+//     independent set (the first peel);
+//   - both are bit-identical at any parallelism degree and under
+//     workspace reuse.
+
+// workloadCases returns one instance per registered solver, sized so
+// multi-class peelings stay fast while the instances remain within
+// each algorithm's dimension class.
+func workloadCases() []struct {
+	name string
+	algo Algorithm
+	h    *Hypergraph
+} {
+	return []struct {
+		name string
+		algo Algorithm
+		h    *Hypergraph
+	}{
+		{"sbl", AlgSBL, RandomMixed(21, 800, 1600, 2, 14)},
+		{"bl", AlgBL, RandomUniform(22, 600, 1200, 3)},
+		{"kuw", AlgKUW, RandomMixed(23, 800, 1600, 2, 10)},
+		{"luby", AlgLuby, RandomGraph(24, 800, 2400)},
+		{"greedy", AlgGreedy, RandomMixed(25, 800, 1600, 2, 12)},
+		{"permbl", AlgPermBL, RandomMixed(26, 600, 1200, 2, 6)},
+	}
+}
+
+func TestTransversalDualityProperty(t *testing.T) {
+	ws := NewWorkspace()
+	for _, c := range workloadCases() {
+		t.Run(c.name, func(t *testing.T) {
+			n := c.h.N()
+			for seed := uint64(0); seed < 3; seed++ {
+				opts := Options{Algorithm: c.algo, Seed: seed, Parallelism: 1}
+				ref, err := MinimalTransversalCtx(t.Context(), c.h, opts)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := VerifyMinimalTransversal(c.h, ref.Transversal); err != nil {
+					t.Fatalf("seed %d: invalid transversal: %v", seed, err)
+				}
+				if ref.Size+ref.MISSize != n {
+					t.Fatalf("seed %d: size %d + mis_size %d != n %d", seed, ref.Size, ref.MISSize, n)
+				}
+				// Exact duality: the mask is the solved MIS's complement,
+				// vertex by vertex.
+				mis, err := Solve(c.h, opts)
+				if err != nil {
+					t.Fatalf("seed %d: solve: %v", seed, err)
+				}
+				if mis.Size != ref.MISSize {
+					t.Fatalf("seed %d: MISSize %d, solve found %d", seed, ref.MISSize, mis.Size)
+				}
+				for v := range mis.MIS {
+					if ref.Transversal[v] == mis.MIS[v] {
+						t.Fatalf("seed %d: vertex %d in both/neither of MIS and transversal", seed, v)
+					}
+				}
+				// Parallel degrees through a poisoned reused workspace must
+				// reproduce the reference bit for bit.
+				for _, p := range []int{2, 8} {
+					ws.Poison()
+					o := opts
+					o.Parallelism = p
+					o.Workspace = ws
+					got, err := MinimalTransversalCtx(t.Context(), c.h, o)
+					if err != nil {
+						t.Fatalf("seed %d par %d: %v", seed, p, err)
+					}
+					if got.Size != ref.Size || got.MISSize != ref.MISSize || got.Rounds != ref.Rounds {
+						t.Fatalf("seed %d par %d: (size,mis,rounds)=(%d,%d,%d) != (%d,%d,%d)",
+							seed, p, got.Size, got.MISSize, got.Rounds, ref.Size, ref.MISSize, ref.Rounds)
+					}
+					for v := range ref.Transversal {
+						if got.Transversal[v] != ref.Transversal[v] {
+							t.Fatalf("seed %d par %d: transversal differs at vertex %d", seed, p, v)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestColoringProperty(t *testing.T) {
+	ws := NewWorkspace()
+	for _, c := range workloadCases() {
+		t.Run(c.name, func(t *testing.T) {
+			n := c.h.N()
+			for seed := uint64(0); seed < 3; seed++ {
+				opts := Options{Algorithm: c.algo, Seed: seed, Parallelism: 1}
+				ref, err := ColorByMISCtx(t.Context(), c.h, opts)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := VerifyColoring(c.h, ref.Coloring()); err != nil {
+					t.Fatalf("seed %d: invalid coloring: %v", seed, err)
+				}
+				assertColorBookkeeping(t, seed, n, ref)
+				// Class 0 is the first peel: a maximal independent set of the
+				// whole instance under the class-0 seed.
+				class0 := make([]bool, n)
+				for v, col := range ref.Colors {
+					if col == 0 {
+						class0[v] = true
+					}
+				}
+				if err := VerifyMIS(c.h, class0); err != nil {
+					t.Fatalf("seed %d: class 0 is not a MIS: %v", seed, err)
+				}
+				for _, p := range []int{2, 8} {
+					ws.Poison()
+					o := opts
+					o.Parallelism = p
+					o.Workspace = ws
+					got, err := ColorByMISCtx(t.Context(), c.h, o)
+					if err != nil {
+						t.Fatalf("seed %d par %d: %v", seed, p, err)
+					}
+					if got.NumColors != ref.NumColors || got.Rounds != ref.Rounds {
+						t.Fatalf("seed %d par %d: (colors,rounds)=(%d,%d) != (%d,%d)",
+							seed, p, got.NumColors, got.Rounds, ref.NumColors, ref.Rounds)
+					}
+					for v := range ref.Colors {
+						if got.Colors[v] != ref.Colors[v] {
+							t.Fatalf("seed %d par %d: color differs at vertex %d", seed, p, v)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// assertColorBookkeeping cross-checks a ColorResult's redundant fields
+// against the color vector itself: completeness, in-range colors,
+// ClassSizes as exact counts, and per-class telemetry consistency
+// (Classes[i].Size matches, residual N shrinks by the preceding class).
+func assertColorBookkeeping(t *testing.T, seed uint64, n int, res *ColorResult) {
+	t.Helper()
+	if len(res.Colors) != n {
+		t.Fatalf("seed %d: %d colors for %d vertices", seed, len(res.Colors), n)
+	}
+	counts := make([]int, res.NumColors)
+	for v, col := range res.Colors {
+		if col < 0 || col >= res.NumColors {
+			t.Fatalf("seed %d: vertex %d has color %d of %d", seed, v, col, res.NumColors)
+		}
+		counts[col]++
+	}
+	if len(res.ClassSizes) != res.NumColors || len(res.Classes) != res.NumColors {
+		t.Fatalf("seed %d: %d class sizes, %d class records for %d colors",
+			seed, len(res.ClassSizes), len(res.Classes), res.NumColors)
+	}
+	remaining := n
+	totalRounds := 0
+	for i, cl := range res.Classes {
+		if res.ClassSizes[i] != counts[i] || cl.Size != counts[i] {
+			t.Fatalf("seed %d: class %d sizes (%d, %d) != recount %d",
+				seed, i, res.ClassSizes[i], cl.Size, counts[i])
+		}
+		if counts[i] == 0 {
+			t.Fatalf("seed %d: empty color class %d", seed, i)
+		}
+		if cl.N != remaining {
+			t.Fatalf("seed %d: class %d saw residual n=%d, want %d", seed, i, cl.N, remaining)
+		}
+		remaining -= counts[i]
+		totalRounds += cl.Rounds
+	}
+	if remaining != 0 {
+		t.Fatalf("seed %d: class sizes sum to %d, want %d", seed, n-remaining, n)
+	}
+	if totalRounds != res.Rounds {
+		t.Fatalf("seed %d: class rounds sum to %d, result says %d", seed, totalRounds, res.Rounds)
+	}
+}
+
+// TestColoringSeedSchedule pins the per-class seed schedule: class c is
+// solved with Seed+c, so a standalone solve at the shifted seed must
+// reproduce class 0 of the shifted coloring. This is the contract that
+// makes colorings cacheable under (digest, algo, seed) keys.
+func TestColoringSeedSchedule(t *testing.T) {
+	h := RandomMixed(27, 500, 1000, 2, 10)
+	opts := Options{Algorithm: AlgGreedy, Seed: 9}
+	base, err := ColorByMIS(h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ColorByMIS(h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(base.Colors) != fmt.Sprint(again.Colors) {
+		t.Fatal("coloring not deterministic for equal options")
+	}
+	mis, err := Solve(h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, in := range mis.MIS {
+		if in != (base.Colors[v] == 0) {
+			t.Fatalf("class 0 differs from the seed-9 MIS at vertex %d", v)
+		}
+	}
+}
